@@ -1,0 +1,103 @@
+// P2: parallel quicksort with three runtime flavours vs sequential —
+// wall times per strategy/size/input shape, cutoff ablation, and the
+// divide-and-conquer machine-model speedup curve for the lab machines.
+#include "bench_util.hpp"
+#include "kernels/sort.hpp"
+#include "sim/machine.hpp"
+#include "support/clock.hpp"
+
+using namespace parc;
+using namespace parc::kernels;
+
+namespace {
+
+ptask::Runtime& runtime() {
+  static ptask::Runtime rt(ptask::Runtime::Config{4, {}});
+  return rt;
+}
+
+double time_sort(const std::function<void(std::vector<std::int64_t>&)>& fn,
+                 std::size_t n, InputKind kind) {
+  auto data = make_sort_input(n, kind, 42 + n);
+  Stopwatch sw;
+  fn(data);
+  return sw.elapsed_ms();
+}
+
+}  // namespace
+
+static void BM_QuicksortSeq(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = make_sort_input(n, InputKind::kUniform, 7);
+    state.ResumeTiming();
+    quicksort_seq(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_QuicksortSeq)->Arg(100000)->Arg(1000000);
+
+static void BM_QuicksortPTask(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = make_sort_input(n, InputKind::kUniform, 7);
+    state.ResumeTiming();
+    quicksort_ptask(data, runtime(), 16384);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_QuicksortPTask)->Arg(100000)->Arg(1000000);
+
+int main(int argc, char** argv) {
+  Table table("P2 — quicksort strategies (1-core container wall times)");
+  table.columns({"n", "input", "seq ms", "ptask ms", "pj ms", "threads ms"});
+  for (std::size_t n : {100000u, 1000000u, 4000000u}) {
+    for (const auto kind : {InputKind::kUniform, InputKind::kFewUniques}) {
+      table.add_row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(kind == InputKind::kUniform ? "uniform" : "few-uniques")
+          .cell(time_sort([](auto& d) { quicksort_seq(d); }, n, kind), 1)
+          .cell(time_sort(
+                    [](auto& d) { quicksort_ptask(d, runtime(), 16384); }, n,
+                    kind),
+                1)
+          .cell(time_sort([](auto& d) { quicksort_pj(d, 3, 16384); }, n, kind),
+                1)
+          .cell(time_sort([](auto& d) { quicksort_threads(d, 3, 16384); }, n,
+                          kind),
+                1);
+    }
+  }
+  bench::emit(table);
+
+  // Cutoff ablation (the design knob DESIGN.md calls out).
+  Table cutoff("P2 — ParallelTask cutoff ablation (n = 1M uniform)");
+  cutoff.columns({"cutoff", "wall ms"});
+  for (std::size_t c : {256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+    cutoff.add_row()
+        .cell(static_cast<std::uint64_t>(c))
+        .cell(time_sort([c](auto& d) { quicksort_ptask(d, runtime(), c); },
+                        1000000, InputKind::kUniform),
+              1);
+  }
+  bench::emit(cutoff);
+
+  // Machine-model speedup curve: quicksort DAG on 1..64 cores.
+  const auto dag = sim::divide_conquer_dag(1 << 22, 1 << 14, 2e-9, 1e-6);
+  Table curve("P2 — quicksort DAG speedup (machine model, 4M elements)");
+  curve.columns({"cores", "speedup", "efficiency %"});
+  for (const auto& point :
+       sim::speedup_curve(dag, {1, 2, 4, 8, 16, 32, 64}, 1e-6)) {
+    curve.add_row()
+        .cell(static_cast<std::uint64_t>(point.cores))
+        .cell(point.speedup, 2)
+        .cell(100.0 * point.efficiency, 1);
+  }
+  bench::emit(curve);
+  std::printf("quicksort DAG parallelism (work/span): %.1f\n",
+              dag.parallelism());
+
+  return bench::run_micro(argc, argv);
+}

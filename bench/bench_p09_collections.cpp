@@ -1,0 +1,153 @@
+// P9: parallel use of collections — throughput of each map/queue variant
+// under read/write mixes and thread counts: coarse std::mutex vs fair
+// ticket vs unfair spin locks, lock striping, and the two queue designs.
+#include "bench_util.hpp"
+#include "conc/conc.hpp"
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+
+#include <thread>
+
+using namespace parc;
+using namespace parc::conc;
+
+namespace {
+
+constexpr std::size_t kOpsPerThread = 40000;
+constexpr std::size_t kKeySpace = 1024;
+
+/// Mixed read/write workload against any map-like type with get/put.
+template <typename Map>
+double map_throughput_mops(Map& map, unsigned threads, double read_fraction) {
+  std::atomic<unsigned> started{0};
+  Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      started.fetch_add(1);
+      while (started.load() < threads) std::this_thread::yield();
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const auto key = static_cast<int>(rng.below(kKeySpace));
+        if (rng.uniform() < read_fraction) {
+          benchmark::DoNotOptimize(map.get(key));
+        } else {
+          map.put(key, static_cast<int>(i));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double total_ops =
+      static_cast<double>(threads) * static_cast<double>(kOpsPerThread);
+  return total_ops / sw.elapsed_us();  // Mops/s
+}
+
+template <typename Queue>
+double queue_throughput_mops(Queue& queue, unsigned producers,
+                             unsigned consumers, std::size_t items) {
+  std::atomic<std::size_t> consumed{0};
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < items; ++i) {
+        if constexpr (requires { queue.enqueue(1); }) {
+          queue.enqueue(static_cast<int>(i));
+        } else {
+          while (!queue.try_enqueue(static_cast<int>(i))) {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  const std::size_t total = producers * items;
+  for (unsigned c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < total) {
+        if (auto v = queue.try_dequeue()) {
+          benchmark::DoNotOptimize(*v);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return static_cast<double>(total) / sw.elapsed_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Table maps("P9 — map variants: throughput (Mops/s, 1-core container)");
+  maps.columns({"implementation", "threads", "95/5 r/w", "70/30 r/w",
+                "50/50 r/w"});
+  for (unsigned threads : {1u, 2u, 4u}) {
+    {
+      LockedMap<int, int, std::mutex> m;
+      maps.add_row()
+          .cell("coarse std::mutex")
+          .cell(static_cast<std::uint64_t>(threads))
+          .cell(map_throughput_mops(m, threads, 0.95), 2)
+          .cell(map_throughput_mops(m, threads, 0.70), 2)
+          .cell(map_throughput_mops(m, threads, 0.50), 2);
+    }
+    {
+      LockedMap<int, int, TicketLock> m;
+      maps.add_row()
+          .cell("coarse ticket (fair)")
+          .cell(static_cast<std::uint64_t>(threads))
+          .cell(map_throughput_mops(m, threads, 0.95), 2)
+          .cell(map_throughput_mops(m, threads, 0.70), 2)
+          .cell(map_throughput_mops(m, threads, 0.50), 2);
+    }
+    {
+      LockedMap<int, int, SpinLock> m;
+      maps.add_row()
+          .cell("coarse spin (unfair)")
+          .cell(static_cast<std::uint64_t>(threads))
+          .cell(map_throughput_mops(m, threads, 0.95), 2)
+          .cell(map_throughput_mops(m, threads, 0.70), 2)
+          .cell(map_throughput_mops(m, threads, 0.50), 2);
+    }
+    {
+      StripedHashMap<int, int> m(32);
+      maps.add_row()
+          .cell("striped x32")
+          .cell(static_cast<std::uint64_t>(threads))
+          .cell(map_throughput_mops(m, threads, 0.95), 2)
+          .cell(map_throughput_mops(m, threads, 0.70), 2)
+          .cell(map_throughput_mops(m, threads, 0.50), 2);
+    }
+  }
+  bench::emit(maps);
+
+  Table queues("P9 — queue variants: 2 producers + 2 consumers, 100k items each");
+  queues.columns({"implementation", "Mops/s"});
+  {
+    MichaelScottQueue<int> q;
+    queues.add_row()
+        .cell("Michael-Scott two-lock")
+        .cell(queue_throughput_mops(q, 2, 2, 100000), 2);
+  }
+  {
+    MpmcRing<int> q(4096);
+    queues.add_row()
+        .cell("Vyukov MPMC ring (lock-free)")
+        .cell(queue_throughput_mops(q, 2, 2, 100000), 2);
+  }
+  bench::emit(queues);
+
+  std::printf(
+      "\nexpected shape (and what the 64-core runs showed the students): "
+      "striping/lock-free pull ahead as threads and write share grow; the "
+      "fair ticket lock pays a handover penalty under contention that the "
+      "unfair spinlock avoids at the cost of starvation risk. On this "
+      "1-core container absolute gaps compress — the ranking is what "
+      "transfers.\n");
+
+  return bench::run_micro(argc, argv);
+}

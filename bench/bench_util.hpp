@@ -1,0 +1,28 @@
+// Shared scaffolding for bench binaries: every bench prints the regenerated
+// paper artifact as a Table first (deterministic), then runs its registered
+// google-benchmark micro-measurements (wall-clock, labelled as 1-core
+// container numbers in EXPERIMENTS.md).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "support/table.hpp"
+
+namespace parc::bench {
+
+/// Print the artifact table to stdout (the regenerated figure/table).
+inline void emit(const Table& table) { table.print(std::cout); }
+
+/// Standard tail of every bench main(): run micro-benchmarks if any were
+/// registered (and not filtered out by --benchmark_* flags).
+inline int run_micro(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace parc::bench

@@ -1,0 +1,95 @@
+// Project 3 as an application: run each computational kernel sequentially
+// and Pyjama-parallel, verify they agree, and replay the recorded work on
+// the PARC lab's three machines with the deterministic machine model.
+//
+//   $ ./kernels_tour
+#include <cstdio>
+#include <iostream>
+
+#include "kernels/kernels.hpp"
+#include "sim/machine.hpp"
+#include "support/clock.hpp"
+#include "support/table.hpp"
+
+using namespace parc;
+
+int main() {
+  Table table("Computational kernels: sequential vs Pyjama (4 threads)");
+  table.columns({"kernel", "seq ms", "pj ms", "agrees"});
+
+  {
+    auto signal = std::vector<kernels::Complex>(1 << 15);
+    Rng rng(42);
+    for (auto& c : signal) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    auto a = signal, b = signal;
+    Stopwatch sw1;
+    kernels::fft_seq(a);
+    const double t_seq = sw1.elapsed_ms();
+    Stopwatch sw2;
+    kernels::fft_pj(b, 4);
+    const double t_pj = sw2.elapsed_ms();
+    double diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      diff = std::max(diff, std::abs(a[i] - b[i]));
+    }
+    table.add_row().cell("FFT 32k").cell(t_seq, 2).cell(t_pj, 2).cell(
+        diff < 1e-9 ? "yes" : "NO");
+  }
+  {
+    auto sys_a = kernels::make_md_system(256, 7);
+    auto sys_b = kernels::make_md_system(256, 7);
+    Stopwatch sw1;
+    const double pe_seq = kernels::compute_forces_seq(sys_a);
+    const double t_seq = sw1.elapsed_ms();
+    Stopwatch sw2;
+    const double pe_pj = kernels::compute_forces_pj(sys_b, 4);
+    const double t_pj = sw2.elapsed_ms();
+    table.add_row().cell("MD forces n=256").cell(t_seq, 2).cell(t_pj, 2).cell(
+        std::abs(pe_seq - pe_pj) < 1e-9 ? "yes" : "NO");
+  }
+  {
+    const auto g = kernels::make_random_graph(20000, 8.0, 5);
+    Stopwatch sw1;
+    const auto d_seq = kernels::bfs_seq(g, 0);
+    const double t_seq = sw1.elapsed_ms();
+    Stopwatch sw2;
+    const auto d_pj = kernels::bfs_pj(g, 0, 4);
+    const double t_pj = sw2.elapsed_ms();
+    table.add_row().cell("BFS 20k vertices").cell(t_seq, 2).cell(t_pj, 2).cell(
+        d_seq == d_pj ? "yes" : "NO");
+  }
+  {
+    const auto a = kernels::Matrix::random(192, 192, 3);
+    const auto b = kernels::Matrix::random(192, 192, 4);
+    Stopwatch sw1;
+    const auto c_seq = kernels::gemm_seq(a, b);
+    const double t_seq = sw1.elapsed_ms();
+    Stopwatch sw2;
+    const auto c_pj = kernels::gemm_pj(a, b, 4);
+    const double t_pj = sw2.elapsed_ms();
+    table.add_row().cell("GEMM 192^3").cell(t_seq, 2).cell(t_pj, 2).cell(
+        c_seq.max_abs_diff(c_pj) < 1e-9 ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  // Scaling shapes on the paper's machines via the machine model: the GEMM
+  // row workload (192 rows ≈ 192 equal tasks) on 8/16/64 cores.
+  Table scaling("Recorded GEMM task graph replayed on the PARC machines");
+  scaling.columns({"machine", "cores", "speedup", "efficiency %"});
+  const auto dag =
+      sim::fork_join_dag(std::vector<double>(192, 1.0 / 192.0));
+  for (const auto& machine :
+       {sim::parc_8core(), sim::parc_16core(), sim::parc_64core()}) {
+    const auto out = sim::simulate(dag, machine);
+    scaling.add_row()
+        .cell(machine.name)
+        .cell(static_cast<std::uint64_t>(machine.cores))
+        .cell(out.speedup, 2)
+        .cell(100.0 * out.efficiency, 1);
+  }
+  scaling.print(std::cout);
+  std::printf(
+      "\n(1-core container: the wall-clock columns show overhead, not "
+      "speedup; the machine-model table shows the scaling shape.)\n");
+  return 0;
+}

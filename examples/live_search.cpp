@@ -1,0 +1,98 @@
+// Search-as-you-type (project 4's interactivity goal, sharpened): each
+// simulated keystroke launches a fresh parallel search and cancels the
+// previous one; stale results never reach the list because delivery checks
+// the query generation on the EDT. Exercises: cancellation, multi-tasks,
+// EDT hopping, and the progress channel.
+//
+//   $ ./live_search
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "gui/gui.hpp"
+#include "ptask/ptask.hpp"
+#include "text/text.hpp"
+
+using namespace parc;
+
+namespace {
+
+struct SearchSession {
+  ptask::Runtime& rt;
+  gui::EventLoop& loop;
+  const text::Corpus& corpus;
+  gui::ListModel<std::string>& results;
+  std::atomic<std::uint64_t> generation{0};
+  ptask::TaskID<void> current;
+
+  /// One keystroke: bump the generation, cancel the running search, start a
+  /// new one for the longer prefix.
+  void type(const std::string& query) {
+    const std::uint64_t my_gen = generation.fetch_add(1) + 1;
+    if (current.valid()) current.cancel();
+    loop.post([this] { results.clear(); });
+    current = ptask::run(rt, [this, query, my_gen] {
+      for (std::size_t f = 0; f < corpus.files.size(); ++f) {
+        if (ptask::cancellation_requested()) return;  // superseded
+        const auto matches =
+            text::search_file_literal(corpus.files[f], f, query);
+        if (matches.empty()) continue;
+        loop.post([this, f, my_gen, count = matches.size()] {
+          // Drop stale deliveries: a newer keystroke owns the list now.
+          if (generation.load() != my_gen) return;
+          results.append(corpus.files[f].path + " (" +
+                         std::to_string(count) + ")");
+        });
+      }
+    });
+  }
+};
+
+}  // namespace
+
+int main() {
+  text::CorpusOptions opts;
+  opts.num_files = 512;
+  opts.needle = "concurrency";
+  const auto generated = text::make_corpus(opts, 4242);
+  std::printf("corpus ready: %zu files, %zu bytes\n",
+              generated.corpus.files.size(), generated.corpus.total_bytes());
+
+  ptask::Runtime rt(ptask::Runtime::Config{4, {}});
+  gui::EventLoop loop;
+  gui::ListModel<std::string> results(loop);
+  rt.set_event_dispatcher(loop.dispatcher());
+
+  SearchSession session{rt, loop, generated.corpus, results, {}, {}};
+
+  // The user types "concurrency" one character at a time, faster than a
+  // full-corpus search completes — earlier searches must be cancelled.
+  const std::string full = opts.needle;
+  for (std::size_t len = 2; len <= full.size(); ++len) {
+    session.type(full.substr(0, len));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  session.current.wait();
+  loop.drain();
+
+  const auto rows = results.snapshot();
+  std::printf("final query \"%s\": %zu files with matches\n", full.c_str(),
+              rows.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(rows.size(), 8); ++i) {
+    std::printf("  %s\n", rows[i].c_str());
+  }
+
+  // Oracle check: final list must equal the files containing the needle.
+  std::size_t expected_files = 0;
+  std::size_t last_file = SIZE_MAX;
+  for (const auto& n : generated.needles) {
+    if (n.file_index != last_file) {
+      ++expected_files;
+      last_file = n.file_index;
+    }
+  }
+  std::printf("expected %zu files — %s\n", expected_files,
+              rows.size() == expected_files ? "consistent" : "MISMATCH");
+  rt.set_event_dispatcher(nullptr);
+  return rows.size() == expected_files ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Quickstart: the two runtimes in ~80 lines.
+//
+//   $ ./quickstart
+//
+// Shows: spawning ParallelTask tasks, dependences, multi-tasks; a Pyjama
+// parallel region, a scheduled parallel-for and an object reduction.
+#include <cstdio>
+#include <set>
+
+#include "pj/pj.hpp"
+#include "ptask/ptask.hpp"
+
+namespace ptask = parc::ptask;
+namespace pj = parc::pj;
+
+int main() {
+  // ------------------------------------------------------------------
+  // ParallelTask: futures, dependences, multi-tasks.
+  // ------------------------------------------------------------------
+  ptask::Runtime runtime(ptask::Runtime::Config{4, {}});
+
+  auto hello = ptask::run(runtime, [] { return 6 * 7; });
+  std::printf("task result: %d\n", hello.get());
+
+  // dependsOn: `sum` starts only after both inputs finished.
+  auto a = ptask::run(runtime, [] { return 20; });
+  auto b = ptask::run(runtime, [] { return 22; });
+  auto sum = ptask::run_after(
+      runtime, [&] { return a.get() + b.get(); }, a, b);
+  std::printf("dependent task: %d\n", sum.get());
+
+  // Multi-task (TASK(n)): one logical task, n parallel bodies.
+  auto squares = ptask::run_multi(
+      runtime, 8, [](std::size_t i) { return static_cast<int>(i * i); });
+  int total = 0;
+  for (int v : squares.get()) total += v;
+  std::printf("multi-task sum of squares 0..7: %d\n", total);
+
+  // Structured fork/join for divide and conquer.
+  long fib_result = 0;
+  {
+    ptask::TaskGroup group(runtime);
+    group.run([&] { fib_result = 21 + 13; });
+    group.wait();
+  }
+  std::printf("task group result: %ld\n", fib_result);
+
+  // ------------------------------------------------------------------
+  // Pyjama: regions, worksharing, reductions.
+  // ------------------------------------------------------------------
+  // A parallel region: every team thread runs the body (omp parallel).
+  pj::region(4, [](pj::Team& team) {
+    team.critical([&] {
+      std::printf("hello from team thread %d of %d\n", team.thread_num(),
+                  team.num_threads());
+    });
+    team.barrier();
+    team.single([] { std::printf("exactly one thread says this\n"); });
+  });
+
+  // Combined parallel-for with a dynamic schedule (omp parallel for).
+  std::vector<double> xs(1'000'000);
+  pj::parallel_for(
+      4, 0, static_cast<std::int64_t>(xs.size()),
+      [&](std::int64_t i) {
+        xs[static_cast<std::size_t>(i)] = 1.0 / static_cast<double>(i + 1);
+      },
+      {pj::Schedule::kDynamic, 4096});
+
+  // Builtin reduction (omp reduction(+:sum)).
+  const double harmonic = pj::reduce(
+      4, 0, static_cast<std::int64_t>(xs.size()), pj::SumReducer<double>{},
+      [&](std::int64_t i, double& acc) {
+        acc += xs[static_cast<std::size_t>(i)];
+      });
+  std::printf("harmonic number H_1e6 = %.6f\n", harmonic);
+
+  // Object reduction — Pyjama's extension: merge sets across the team.
+  const auto digits = pj::reduce(
+      4, 0, 10000, pj::SetUnionReducer<int>{},
+      [](std::int64_t i, std::set<int>& acc) {
+        acc.insert(static_cast<int>(i % 10));
+      });
+  std::printf("distinct last digits seen: %zu\n", digits.size());
+
+  std::printf("quickstart done\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Project 1 as an application: open a "folder" of images, render thumbnails
+// with each strategy, and measure what a user would feel — thumbnails
+// delivered incrementally to the gallery while simulated scroll events keep
+// arriving on the event-dispatch thread.
+//
+//   $ ./thumbnail_gallery [num_images] [thumb_box]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "gui/gui.hpp"
+#include "img/ppm.hpp"
+#include "img/thumbnails.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace parc;
+
+int main(int argc, char** argv) {
+  const std::size_t num_images =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 48;
+  const std::uint32_t box =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 96;
+
+  std::printf("generating a folder of %zu images...\n", num_images);
+  const auto folder = img::make_image_folder(num_images, 256, 1280, 2013);
+  std::printf("total %zu pixels across the folder\n", folder.total_pixels());
+
+  ptask::Runtime runtime(ptask::Runtime::Config{4, {}});
+
+  Table table("Thumbnail gallery: strategy comparison");
+  table.columns({"strategy", "wall ms", "extra threads", "scroll p99 ms",
+                 "dropped frames %"});
+
+  for (const auto strategy :
+       {img::ThumbnailStrategy::kOnEventThread,
+        img::ThumbnailStrategy::kSingleWorker,
+        img::ThumbnailStrategy::kThreadPerImage,
+        img::ThumbnailStrategy::kPTaskMulti}) {
+    gui::EventLoop loop;
+    gui::ListModel<img::Image> gallery(loop);
+    runtime.set_event_dispatcher(loop.dispatcher());
+
+    // Simulated user scrolling at ~500 Hz while thumbnails render.
+    gui::ResponsivenessProbe probe(loop, std::chrono::microseconds(2000));
+    const auto run = img::render_gallery(folder, box, img::Filter::kBilinear,
+                                         strategy, loop, gallery, runtime);
+    probe.stop();
+    loop.drain();
+
+    const auto latencies = loop.latency_samples_ms();
+    Summary latency;
+    latency.add_all(latencies);
+    table.add_row()
+        .cell(img::to_string(strategy))
+        .cell(run.wall_ms, 1)
+        .cell(static_cast<std::uint64_t>(run.peak_threads))
+        .cell(latency.empty() ? 0.0 : latency.percentile(99), 2)
+        .cell(100.0 * gui::dropped_frame_fraction(latencies), 1);
+
+    const auto items = gallery.snapshot();
+    std::printf("  %-16s delivered %zu thumbnails\n",
+                img::to_string(strategy).c_str(), items.size());
+    runtime.set_event_dispatcher(nullptr);
+  }
+
+  table.print(std::cout);
+
+  // Leave a real artifact: a contact sheet of the gallery as a PPM.
+  {
+    gui::EventLoop loop;
+    gui::ListModel<img::Image> gallery(loop);
+    runtime.set_event_dispatcher(loop.dispatcher());
+    img::render_gallery(folder, box, img::Filter::kBilinear,
+                        img::ThumbnailStrategy::kPTaskMulti, loop, gallery,
+                        runtime);
+    const auto thumbs = gallery.snapshot();
+    const std::uint32_t columns = 8;
+    const std::uint32_t rows =
+        (static_cast<std::uint32_t>(thumbs.size()) + columns - 1) / columns;
+    img::Image sheet(columns * box, rows * box);
+    for (std::size_t i = 0; i < thumbs.size(); ++i) {
+      const auto cx = static_cast<std::uint32_t>(i % columns) * box;
+      const auto cy = static_cast<std::uint32_t>(i / columns) * box;
+      const img::Image& t = thumbs[i];
+      for (std::uint32_t y = 0; y < t.height(); ++y) {
+        for (std::uint32_t x = 0; x < t.width(); ++x) {
+          sheet.at(cx + x, cy + y) = t.at(x, y);
+        }
+      }
+    }
+    img::save_ppm(sheet, "thumbnail_contact_sheet.ppm");
+    std::printf("\nwrote thumbnail_contact_sheet.ppm (%ux%u)\n", sheet.width(),
+                sheet.height());
+    runtime.set_event_dispatcher(nullptr);
+  }
+
+  std::printf(
+      "\nreading the table: on-EDT freezes the UI (p99 explodes); every "
+      "off-EDT strategy keeps scrolling smooth, and the pooled multi-task "
+      "does it without a thread per image.\n");
+  return 0;
+}

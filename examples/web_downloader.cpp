@@ -1,0 +1,63 @@
+// Project 10 as an application: download a batch of pages as fast as
+// possible, sweeping the number of simultaneous connections to find the
+// knee — first on the exact virtual-clock model, then live against the
+// real-time simulated server with ParallelTask interactive tasks.
+//
+//   $ ./web_downloader [num_pages]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "net/downloader.hpp"
+#include "support/table.hpp"
+
+using namespace parc;
+
+int main(int argc, char** argv) {
+  const std::size_t num_pages =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400;
+
+  net::NetParams params;  // 80 ms latency, 256 kB pages, 100 Mbit/s downlink
+  const auto pages = net::make_page_set(num_pages, params, 1100);
+
+  Table model_table("Connection sweep (virtual-clock model, exact)");
+  model_table.columns({"connections", "makespan s", "throughput pages/s",
+                       "bandwidth util %", "p95 page s"});
+  for (std::size_t c : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const auto r = net::simulate_fetch(pages, c, params);
+    model_table.add_row()
+        .cell(static_cast<std::uint64_t>(c))
+        .cell(r.makespan_s, 3)
+        .cell(r.throughput_pages_s, 1)
+        .cell(100.0 * r.bandwidth_utilisation, 1)
+        .cell(r.p95_page_s, 3);
+  }
+  model_table.print(std::cout);
+
+  // Live run: scaled-down real time through interactive tasks.
+  ptask::Runtime runtime(ptask::Runtime::Config{2, {}});
+  const auto live_pages = net::make_page_set(60, params, 1101);
+  net::SimWebServer server(live_pages, params, 0.01);
+
+  Table live_table("Live downloader (ParallelTask interactive tasks, 1/100 time scale)");
+  live_table.columns({"connections", "wall ms", "MB fetched"});
+  const auto seq = net::download_sequential(server);
+  live_table.add_row()
+      .cell("sequential")
+      .cell(seq.wall_ms, 1)
+      .cell(seq.bytes / 1e6, 2);
+  for (std::size_t c : {4u, 16u, 64u}) {
+    const auto r = net::download_all(server, c, runtime);
+    live_table.add_row()
+        .cell(static_cast<std::uint64_t>(c))
+        .cell(r.wall_ms, 1)
+        .cell(r.bytes / 1e6, 2);
+  }
+  live_table.print(std::cout);
+
+  std::printf(
+      "\nreading the tables: throughput climbs while fetches are "
+      "latency-bound, then knees once the downlink saturates — opening more "
+      "connections past the knee buys nothing.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Umbrella header for the concurrent-collections study kit (parc::conc).
+#pragma once
+
+#include "conc/cow_set.hpp"             // IWYU pragma: export
+#include "conc/locked_collections.hpp"  // IWYU pragma: export
+#include "conc/locks.hpp"               // IWYU pragma: export
+#include "conc/queues.hpp"              // IWYU pragma: export
+#include "conc/striped_map.hpp"         // IWYU pragma: export
+#include "conc/task_safe.hpp"           // IWYU pragma: export

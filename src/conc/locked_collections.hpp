@@ -1,0 +1,169 @@
+// Coarse-grained locked wrappers around std collections — the baseline the
+// project-9 students built with `synchronized`-style locking, parameterised
+// on the lock type so fair/unfair/mutex variants are one template away.
+// The mutex lives with the data it guards (CP.50).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace parc::conc {
+
+template <typename T, typename Lock = std::mutex>
+class LockedVector {
+ public:
+  void push_back(T v) {
+    std::scoped_lock lock(lock_);
+    data_.push_back(std::move(v));
+  }
+
+  [[nodiscard]] std::optional<T> at(std::size_t i) const {
+    std::scoped_lock lock(lock_);
+    if (i >= data_.size()) return std::nullopt;
+    return data_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(lock_);
+    return data_.size();
+  }
+
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::scoped_lock lock(lock_);
+    return data_;
+  }
+
+  /// Read-modify-write under the lock (the composed-operation fix the
+  /// memory-model project teaches: check-then-act must be one critical
+  /// section).
+  template <typename F>
+  auto with(F&& f) {
+    std::scoped_lock lock(lock_);
+    return f(data_);
+  }
+
+ private:
+  mutable Lock lock_;
+  std::vector<T> data_;  // guarded by lock_
+};
+
+template <typename T, typename Lock = std::mutex>
+class LockedSet {
+ public:
+  bool insert(const T& v) {
+    std::scoped_lock lock(lock_);
+    return data_.insert(v).second;
+  }
+
+  bool erase(const T& v) {
+    std::scoped_lock lock(lock_);
+    return data_.erase(v) > 0;
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    std::scoped_lock lock(lock_);
+    return data_.contains(v);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(lock_);
+    return data_.size();
+  }
+
+  [[nodiscard]] std::set<T> snapshot() const {
+    std::scoped_lock lock(lock_);
+    return data_;
+  }
+
+ private:
+  mutable Lock lock_;
+  std::set<T> data_;  // guarded by lock_
+};
+
+template <typename K, typename V, typename Lock = std::mutex>
+class LockedMap {
+ public:
+  void put(const K& k, V v) {
+    std::scoped_lock lock(lock_);
+    data_[k] = std::move(v);
+  }
+
+  [[nodiscard]] std::optional<V> get(const K& k) const {
+    std::scoped_lock lock(lock_);
+    auto it = data_.find(k);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool erase(const K& k) {
+    std::scoped_lock lock(lock_);
+    return data_.erase(k) > 0;
+  }
+
+  /// Atomic compute-if-absent (the composed op that naive callers get wrong
+  /// with separate contains()+put()).
+  template <typename F>
+  V get_or_compute(const K& k, F&& compute) {
+    std::scoped_lock lock(lock_);
+    auto it = data_.find(k);
+    if (it != data_.end()) return it->second;
+    V v = compute();
+    data_.emplace(k, v);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(lock_);
+    return data_.size();
+  }
+
+ private:
+  mutable Lock lock_;
+  std::unordered_map<K, V> data_;  // guarded by lock_
+};
+
+template <typename T, typename Lock = std::mutex>
+class LockedDeque {
+ public:
+  void push_back(T v) {
+    std::scoped_lock lock(lock_);
+    data_.push_back(std::move(v));
+  }
+
+  void push_front(T v) {
+    std::scoped_lock lock(lock_);
+    data_.push_front(std::move(v));
+  }
+
+  [[nodiscard]] std::optional<T> pop_front() {
+    std::scoped_lock lock(lock_);
+    if (data_.empty()) return std::nullopt;
+    T v = std::move(data_.front());
+    data_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] std::optional<T> pop_back() {
+    std::scoped_lock lock(lock_);
+    if (data_.empty()) return std::nullopt;
+    T v = std::move(data_.back());
+    data_.pop_back();
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(lock_);
+    return data_.size();
+  }
+
+ private:
+  mutable Lock lock_;
+  std::deque<T> data_;  // guarded by lock_
+};
+
+}  // namespace parc::conc

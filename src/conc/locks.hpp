@@ -1,0 +1,70 @@
+// Lock variants for the project-9 study: fair ticket lock, unfair
+// test-and-set spinlock, and std::mutex — all BasicLockable so they drop
+// into std::scoped_lock and the locked collection wrappers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "support/backoff.hpp"
+
+namespace parc::conc {
+
+/// FIFO-fair ticket spinlock: acquirers are served strictly in arrival
+/// order. Fairness costs throughput under contention (every handover wakes
+/// exactly one specific waiter).
+class TicketLock {
+ public:
+  void lock() noexcept {
+    const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    ExponentialBackoff backoff;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      backoff.pause();
+    }
+  }
+
+  void unlock() noexcept {
+    serving_.fetch_add(1, std::memory_order_release);
+  }
+
+  bool try_lock() noexcept {
+    std::uint64_t cur = serving_.load(std::memory_order_acquire);
+    std::uint64_t expected = cur;
+    // Only succeeds when no one is waiting (next == serving).
+    return next_.compare_exchange_strong(expected, cur + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> next_{0};
+  alignas(64) std::atomic<std::uint64_t> serving_{0};
+};
+
+/// Unfair test-and-test-and-set spinlock: whoever's CAS lands first wins,
+/// regardless of arrival order. Fast under low contention; can starve
+/// individual threads under high contention.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    ExponentialBackoff backoff;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        backoff.pause();
+      }
+    }
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace parc::conc

@@ -1,0 +1,163 @@
+// Queue variants for the project-9 throughput study:
+//  - MichaelScottQueue: the classic *two-lock* concurrent queue (Michael &
+//    Scott, PODC 1996): head and tail locks, so one enqueuer and one
+//    dequeuer never contend.
+//  - MpmcRing: Vyukov's bounded lock-free MPMC ring buffer — per-slot
+//    sequence numbers, no reclamation problem, the honest lock-free
+//    contender (an unbounded lock-free queue would need hazard pointers;
+//    CP.100 says don't unless you have to, and we don't).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parc::conc {
+
+template <typename T>
+class MichaelScottQueue {
+ public:
+  MichaelScottQueue() : head_(new Node()), tail_(head_) {}
+
+  ~MichaelScottQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  MichaelScottQueue(const MichaelScottQueue&) = delete;
+  MichaelScottQueue& operator=(const MichaelScottQueue&) = delete;
+
+  void enqueue(T v) {
+    auto* node = new Node(std::move(v));
+    std::scoped_lock lock(tail_mutex_);
+    tail_->next = node;
+    tail_ = node;
+  }
+
+  [[nodiscard]] std::optional<T> try_dequeue() {
+    std::scoped_lock lock(head_mutex_);
+    Node* first = head_->next;
+    if (first == nullptr) return std::nullopt;
+    std::optional<T> out(std::move(*first->value));
+    delete head_;
+    head_ = first;
+    first->value.reset();  // consumed; head_ is now the new dummy
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::scoped_lock lock(head_mutex_);
+    return head_->next == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::make_unique<T>(std::move(v))) {}
+    std::unique_ptr<T> value;
+    Node* next = nullptr;
+  };
+
+  mutable std::mutex head_mutex_;  // guards head_
+  std::mutex tail_mutex_;          // guards tail_ and tail_->next
+  Node* head_;
+  Node* tail_;
+};
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Non-blocking; false when full.
+  bool try_enqueue(T v) {
+    Slot* slot;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::uint64_t seq = slot->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::int64_t>(seq) -
+                        static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(v);
+    slot->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking; nullopt when empty.
+  [[nodiscard]] std::optional<T> try_dequeue() {
+    Slot* slot;
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::uint64_t seq = slot->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::int64_t>(seq) -
+                        static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(slot->value));
+    slot->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> sequence;
+    T value;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    PARC_CHECK(n >= 2);
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace parc::conc

@@ -1,0 +1,195 @@
+// Project 6: task-aware ("task-safe") blocking classes for ParallelTask.
+//
+// The insight the project teaches: a *thread-safe* class is not necessarily
+// a *task-safe* class. java.util.concurrent's blocking queue is perfectly
+// thread-safe, yet inside a tasking runtime a blocking take() parks a pool
+// worker; with a bounded pool, every worker can end up parked waiting for
+// elements that only queued-but-unstarted producer tasks would add —
+// deadlock, even though no lock is held.
+//
+// ThreadSafeBlockingQueue reproduces that hazard faithfully (with an optional
+// timeout used by the bench to *detect* the stall instead of hanging).
+// TaskSafeQueue waits cooperatively: a blocked consumer donates its thread to
+// the pool via help_while(), so the producer tasks it is waiting on can run.
+// TaskSafeLatch/TaskSafeBarrier apply the same rule to join points.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "sched/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace parc::conc {
+
+/// Conventional cv-blocking bounded queue: thread-safe, NOT task-safe.
+template <typename T>
+class ThreadSafeBlockingQueue {
+ public:
+  explicit ThreadSafeBlockingQueue(std::size_t capacity) : capacity_(capacity) {
+    PARC_CHECK(capacity >= 1);
+  }
+
+  /// Blocks while full.
+  void put(T v) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return data_.size() < capacity_; });
+    data_.push_back(std::move(v));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks while empty.
+  [[nodiscard]] T take() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !data_.empty(); });
+    T v = std::move(data_.front());
+    data_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// take() with a deadline; nullopt on timeout. The bench uses this to
+  /// observe the deadlock the plain take() would hang on.
+  [[nodiscard]] std::optional<T> take_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout, [&] { return !data_.empty(); })) {
+      return std::nullopt;
+    }
+    T v = std::move(data_.front());
+    data_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return data_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> data_;  // guarded by mutex_
+};
+
+/// Task-safe queue: take() waits by helping the pool instead of parking the
+/// worker, so producer tasks stuck behind the consumer can run.
+///
+/// Deliberately *unbounded* — and that asymmetry is the design lesson the
+/// project teaches. If put() could block (bounded buffer), a blocked
+/// producer's cooperative help might execute the consumer task nested on its
+/// own stack; when the consumer then waits for more elements, the producer
+/// frame underneath it can never resume — deadlock. With put() nonblocking,
+/// helped work can only ever *add* elements, so take()'s wait always makes
+/// progress. (This mirrors real tasking runtimes, which forbid blocking a
+/// worker on buffer space.)
+template <typename T>
+class TaskSafeQueue {
+ public:
+  explicit TaskSafeQueue(sched::WorkStealingPool& pool) : pool_(pool) {}
+
+  /// Never blocks.
+  void put(T v) {
+    std::scoped_lock lock(mutex_);
+    data_.push_back(std::move(v));
+  }
+
+  /// Cooperative wait: runs pending pool work while empty. The caller must
+  /// guarantee a producer exists (submitted or running), as with any
+  /// blocking take.
+  [[nodiscard]] T take() {
+    for (;;) {
+      {
+        std::scoped_lock lock(mutex_);
+        if (!data_.empty()) {
+          T v = std::move(data_.front());
+          data_.pop_front();
+          return v;
+        }
+      }
+      pool_.help_while([&] {
+        std::scoped_lock lock(mutex_);
+        return data_.empty();
+      });
+    }
+  }
+
+  [[nodiscard]] std::optional<T> try_take() {
+    std::scoped_lock lock(mutex_);
+    if (data_.empty()) return std::nullopt;
+    T v = std::move(data_.front());
+    data_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return data_.size();
+  }
+
+ private:
+  sched::WorkStealingPool& pool_;
+  mutable std::mutex mutex_;
+  std::deque<T> data_;  // guarded by mutex_
+};
+
+/// Task-safe countdown latch.
+class TaskSafeLatch {
+ public:
+  TaskSafeLatch(sched::WorkStealingPool& pool, std::size_t count)
+      : pool_(pool), count_(count) {}
+
+  void count_down() noexcept {
+    count_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] bool ready() const noexcept {
+    return count_.load(std::memory_order_acquire) == 0;
+  }
+
+  void wait() {
+    pool_.help_while([this] { return !ready(); });
+  }
+
+ private:
+  sched::WorkStealingPool& pool_;
+  std::atomic<std::size_t> count_;
+};
+
+/// Task-safe cyclic barrier: parties arriving from *tasks* help the pool
+/// while waiting, so sibling tasks that have not started yet can reach the
+/// barrier too (a cv-barrier inside a bounded pool would deadlock whenever
+/// parties > workers).
+class TaskSafeBarrier {
+ public:
+  TaskSafeBarrier(sched::WorkStealingPool& pool, std::size_t parties)
+      : pool_(pool), parties_(parties) {
+    PARC_CHECK(parties >= 1);
+  }
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    pool_.help_while([&] {
+      return generation_.load(std::memory_order_acquire) == gen;
+    });
+  }
+
+ private:
+  sched::WorkStealingPool& pool_;
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace parc::conc

@@ -1,0 +1,119 @@
+#include "course/allocation.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parc::course {
+
+std::vector<Topic> softeng751_topics() {
+  return {
+      {"Thumbnails of images in a folder", true},
+      {"Parallel quicksort", false},
+      {"Parallelisation of simple computational kernels", false},
+      {"Search for a string in text files of a folder", true},
+      {"Reductions in Pyjama", false},
+      {"Task-aware libraries for Parallel Task", false},
+      {"PDF searching", true},
+      {"Understanding and coping with the Java memory model", false},
+      {"Parallel use of collections", false},
+      {"Fast web access through concurrent connections", true},
+  };
+}
+
+std::vector<Group> form_groups(const std::vector<std::string>& student_ids,
+                               std::size_t group_size) {
+  PARC_CHECK(group_size >= 1);
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < student_ids.size(); i += group_size) {
+    Group g;
+    g.id = groups.size();
+    for (std::size_t j = i; j < std::min(i + group_size, student_ids.size());
+         ++j) {
+      g.members.push_back(student_ids[j]);
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+void assign_preferences(std::vector<Group>& groups, std::size_t num_topics,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& g : groups) {
+    // Zipf-weighted sampling without replacement: popular topics tend to
+    // appear early in many groups' preference lists.
+    std::vector<std::size_t> remaining(num_topics);
+    for (std::size_t i = 0; i < num_topics; ++i) remaining[i] = i;
+    g.preferences.clear();
+    while (!remaining.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.zipf(remaining.size(), 0.8));
+      g.preferences.push_back(remaining[pick]);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+}
+
+AllocationResult allocate_fifo(const std::vector<Group>& groups,
+                               std::size_t num_topics,
+                               std::size_t capacity_per_topic,
+                               const std::vector<std::size_t>& arrival_order) {
+  PARC_CHECK(arrival_order.size() == groups.size());
+  PARC_CHECK_MSG(num_topics * capacity_per_topic >= groups.size(),
+                 "not enough topic capacity for all groups");
+  AllocationResult result;
+  result.topic_of_group.assign(groups.size(), num_topics);
+  result.groups_of_topic.assign(num_topics, {});
+  result.rank_received.assign(groups.size(), 0);
+
+  for (std::size_t gi : arrival_order) {
+    const Group& g = groups[gi];
+    PARC_CHECK_MSG(g.preferences.size() == num_topics,
+                   "group preference list must rank every topic");
+    for (std::size_t rank = 0; rank < g.preferences.size(); ++rank) {
+      const std::size_t topic = g.preferences[rank];
+      if (result.groups_of_topic[topic].size() < capacity_per_topic) {
+        result.groups_of_topic[topic].push_back(gi);
+        result.topic_of_group[gi] = topic;
+        result.rank_received[gi] = rank + 1;
+        break;
+      }
+    }
+    PARC_CHECK_MSG(result.topic_of_group[gi] < num_topics,
+                   "group could not be allocated (capacity exhausted)");
+  }
+  return result;
+}
+
+bool allocation_respects_capacity(const AllocationResult& result,
+                                  std::size_t capacity_per_topic) {
+  return std::all_of(result.groups_of_topic.begin(),
+                     result.groups_of_topic.end(), [&](const auto& gs) {
+                       return gs.size() <= capacity_per_topic;
+                     });
+}
+
+bool allocation_is_fifo_fair(const std::vector<Group>& groups,
+                             const AllocationResult& result,
+                             const std::vector<std::size_t>& arrival_order) {
+  // FIFO fairness: when group g picked, every topic it ranked strictly
+  // better than its allocation was already full *of earlier arrivals*.
+  std::vector<std::size_t> arrival_pos(groups.size());
+  for (std::size_t pos = 0; pos < arrival_order.size(); ++pos) {
+    arrival_pos[arrival_order[pos]] = pos;
+  }
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const std::size_t got_rank = result.rank_received[gi];  // 1-based
+    for (std::size_t r = 0; r + 1 < got_rank; ++r) {
+      const std::size_t better = groups[gi].preferences[r];
+      // Everyone holding `better` must have arrived before gi.
+      for (std::size_t holder : result.groups_of_topic[better]) {
+        if (arrival_pos[holder] > arrival_pos[gi]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace parc::course

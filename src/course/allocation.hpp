@@ -1,0 +1,63 @@
+// §III-D: group formation and the first-in-first-served doodle-poll topic
+// allocation — 10 topics, at most 2 groups per topic, one pick per group,
+// groups choose their best still-open preference in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parc::course {
+
+struct Topic {
+  std::string title;
+  bool android_option = false;  ///< "(also available for Android)"
+};
+
+/// The ten 2013 project topics of §IV-C, in paper order.
+[[nodiscard]] std::vector<Topic> softeng751_topics();
+
+struct Group {
+  std::size_t id = 0;
+  std::vector<std::string> members;
+  /// Preference order over topic indices (best first).
+  std::vector<std::size_t> preferences;
+};
+
+/// Partition `student_ids` into groups of `group_size` (last group may be
+/// smaller), preserving input order — the "all students allocated to a
+/// group before the poll opens" precondition.
+[[nodiscard]] std::vector<Group> form_groups(
+    const std::vector<std::string>& student_ids, std::size_t group_size);
+
+/// Seeded preference orders: popularity-skewed so "some project topics had
+/// higher preference than others" (a Zipf-weighted ranking per group).
+void assign_preferences(std::vector<Group>& groups, std::size_t num_topics,
+                        std::uint64_t seed);
+
+struct AllocationResult {
+  /// topic index per group (index = group id).
+  std::vector<std::size_t> topic_of_group;
+  /// groups per topic (inner size ≤ capacity).
+  std::vector<std::vector<std::size_t>> groups_of_topic;
+  /// 1-based preference rank each group received (1 = first choice).
+  std::vector<std::size_t> rank_received;
+};
+
+/// First-in-first-served allocation: groups pick in `arrival_order`; each
+/// takes its most-preferred topic that still has capacity. Aborts if total
+/// capacity < number of groups.
+[[nodiscard]] AllocationResult allocate_fifo(
+    const std::vector<Group>& groups, std::size_t num_topics,
+    std::size_t capacity_per_topic, const std::vector<std::size_t>& arrival_order);
+
+/// Invariant checks for property tests.
+[[nodiscard]] bool allocation_respects_capacity(
+    const AllocationResult& result, std::size_t capacity_per_topic);
+[[nodiscard]] bool allocation_is_fifo_fair(
+    const std::vector<Group>& groups, const AllocationResult& result,
+    const std::vector<std::size_t>& arrival_order);
+
+}  // namespace parc::course

@@ -1,0 +1,55 @@
+#include "course/assessment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace parc::course {
+
+std::string to_string(Component c) {
+  switch (c) {
+    case Component::kTest1: return "Test 1";
+    case Component::kSeminar: return "Group seminar";
+    case Component::kTest2: return "Test 2";
+    case Component::kImplementation: return "Project implementation";
+    case Component::kReport: return "Project report";
+  }
+  return "?";
+}
+
+double final_grade(const StudentRecord& student) {
+  double total = 0.0;
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    double raw = student.raw[c];
+    PARC_CHECK_MSG(raw >= 0.0 && raw <= 100.0, "raw mark out of range");
+    if (is_group_component(static_cast<Component>(c))) {
+      raw = std::clamp(raw * student.peer_factor, 0.0, 100.0);
+    }
+    total += raw * kWeights[c] / 100.0;
+  }
+  return std::clamp(total, 0.0, 100.0);
+}
+
+CohortGradeStats cohort_stats(const std::vector<StudentRecord>& cohort) {
+  PARC_CHECK(cohort.size() >= 2);
+  Summary grades;
+  std::vector<double> test1;
+  std::vector<double> impl;
+  for (const auto& s : cohort) {
+    grades.add(final_grade(s));
+    test1.push_back(s.raw[static_cast<std::size_t>(Component::kTest1)]);
+    impl.push_back(
+        s.raw[static_cast<std::size_t>(Component::kImplementation)]);
+  }
+  CohortGradeStats stats;
+  stats.mean = grades.mean();
+  stats.stddev = grades.stddev();
+  stats.min = grades.min();
+  stats.max = grades.max();
+  stats.test1_impl_correlation = pearson_correlation(test1, impl);
+  return stats;
+}
+
+}  // namespace parc::course

@@ -1,0 +1,64 @@
+// §III-C: the assessment schema (Test 1 25%, group seminar 20%, Test 2 10%,
+// project implementation 25%, group report 20%) and the grade pipeline —
+// group marks shared by members, adjusted by peer evaluation, individual
+// test marks added, all folded into a final grade.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parc::course {
+
+enum class Component : std::size_t {
+  kTest1 = 0,
+  kSeminar = 1,
+  kTest2 = 2,
+  kImplementation = 3,
+  kReport = 4,
+};
+inline constexpr std::size_t kComponentCount = 5;
+
+[[nodiscard]] std::string to_string(Component c);
+
+/// Weights in percent, exactly §III-C. Sum is 100 (static_asserted).
+inline constexpr std::array<double, kComponentCount> kWeights = {25.0, 20.0,
+                                                                 10.0, 25.0,
+                                                                 20.0};
+static_assert(kWeights[0] + kWeights[1] + kWeights[2] + kWeights[3] +
+                  kWeights[4] ==
+              100.0);
+
+/// Which components are assessed per-group (members share the raw mark).
+[[nodiscard]] constexpr bool is_group_component(Component c) noexcept {
+  return c == Component::kSeminar || c == Component::kImplementation ||
+         c == Component::kReport;
+}
+
+struct StudentRecord {
+  std::string id;
+  std::size_t group = 0;
+  /// Raw marks 0..100 per component (group components hold the group mark).
+  std::array<double, kComponentCount> raw{};
+  /// Peer-evaluation factor ~1.0; scales group components (§III-C: "in most
+  /// cases, students within a team were awarded equal marks").
+  double peer_factor = 1.0;
+};
+
+/// Final grade 0..100 after weighting and peer adjustment (clamped).
+[[nodiscard]] double final_grade(const StudentRecord& student);
+
+struct CohortGradeStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Pearson correlation between Test 1 and project implementation marks —
+  /// a sanity signal that the individual test tracks project competence.
+  double test1_impl_correlation = 0.0;
+};
+[[nodiscard]] CohortGradeStats cohort_stats(
+    const std::vector<StudentRecord>& cohort);
+
+}  // namespace parc::course

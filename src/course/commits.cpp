@@ -1,0 +1,114 @@
+#include "course/commits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace parc::course {
+
+CommitLog generate_commit_log(std::size_t group_id,
+                              const std::vector<std::string>& members,
+                              const CommitModel& model, std::uint64_t seed) {
+  PARC_CHECK(!members.empty());
+  std::vector<double> weights = model.member_weights;
+  if (weights.empty()) weights.assign(members.size(), 1.0);
+  PARC_CHECK(weights.size() == members.size());
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  PARC_CHECK(weight_sum > 0.0);
+
+  Rng rng(seed);
+  CommitLog log;
+  log.group_id = group_id;
+
+  static constexpr const char* kSrcFiles[] = {
+      "src/main.java", "src/Worker.java", "src/Scheduler.java",
+      "src/Gui.java"};
+  static constexpr const char* kTestFiles[] = {"tests/WorkerTest.java",
+                                               "tests/SchedulerTest.java"};
+  static constexpr const char* kBenchFiles[] = {"benchmarks/Throughput.java",
+                                                "benchmarks/Scaling.java"};
+
+  for (int day = 0; day < model.project_days; ++day) {
+    double intensity = model.commits_per_day;
+    if (day >= model.project_days - 7) intensity *= model.crunch_multiplier;
+    // Poisson-ish count via exponential draw.
+    const auto count = static_cast<std::size_t>(rng.exponential(intensity));
+    for (std::size_t c = 0; c < count; ++c) {
+      // Pick the author by weight.
+      double u = rng.uniform() * weight_sum;
+      std::size_t author = 0;
+      for (std::size_t m = 0; m < weights.size(); ++m) {
+        u -= weights[m];
+        if (u <= 0.0) {
+          author = m;
+          break;
+        }
+      }
+      const double kind = rng.uniform();
+      const char* path;
+      if (kind < model.src_fraction) {
+        path = kSrcFiles[rng.below(std::size(kSrcFiles))];
+      } else if (kind < model.src_fraction + model.test_fraction) {
+        path = kTestFiles[rng.below(std::size(kTestFiles))];
+      } else {
+        path = kBenchFiles[rng.below(std::size(kBenchFiles))];
+      }
+      log.commits.push_back(Commit{
+          members[author], day,
+          static_cast<std::size_t>(5.0 + rng.lognormal(3.0, 1.0)), path});
+    }
+  }
+  std::stable_sort(log.commits.begin(), log.commits.end(),
+                   [](const Commit& a, const Commit& b) {
+                     return a.day < b.day;
+                   });
+  return log;
+}
+
+ContributionReport analyse_contributions(const CommitLog& log,
+                                         double imbalance_threshold) {
+  ContributionReport report;
+  std::map<std::string, MemberContribution> by_member;
+  std::size_t total_commits = 0;
+  std::size_t total_lines = 0;
+  std::size_t layout_ok = 0;
+  for (const auto& c : log.commits) {
+    auto& m = by_member[c.author];
+    m.member = c.author;
+    ++m.commits;
+    m.lines += c.lines_changed;
+    ++total_commits;
+    total_lines += c.lines_changed;
+    if (c.path.starts_with("src/") || c.path.starts_with("tests/") ||
+        c.path.starts_with("benchmarks/")) {
+      ++layout_ok;
+    }
+  }
+  for (auto& [name, m] : by_member) {
+    if (total_commits > 0) {
+      m.commit_share = static_cast<double>(m.commits) /
+                       static_cast<double>(total_commits);
+    }
+    if (total_lines > 0) {
+      m.line_share =
+          static_cast<double>(m.lines) / static_cast<double>(total_lines);
+    }
+    report.max_line_share = std::max(report.max_line_share, m.line_share);
+    report.members.push_back(m);
+  }
+  std::sort(report.members.begin(), report.members.end(),
+            [](const MemberContribution& a, const MemberContribution& b) {
+              return a.commit_share > b.commit_share;
+            });
+  report.balanced = report.max_line_share <= imbalance_threshold;
+  report.layout_compliance =
+      total_commits == 0 ? 1.0
+                         : static_cast<double>(layout_ok) /
+                               static_cast<double>(total_commits);
+  return report;
+}
+
+}  // namespace parc::course

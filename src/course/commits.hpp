@@ -1,0 +1,69 @@
+// §IV-A: "subversion logs were assessed to gauge individual member
+// contributions". Synthetic commit histories per group over the 8-week
+// project window, plus the contribution analysis the instructors ran.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parc::course {
+
+struct Commit {
+  std::string author;
+  int day = 0;           ///< 0-based day within the 8-week window (0..55)
+  std::size_t lines_changed = 0;
+  std::string path;      ///< file touched (project-convention layout)
+};
+
+struct CommitLog {
+  std::size_t group_id = 0;
+  std::vector<Commit> commits;  ///< sorted by day
+};
+
+struct CommitModel {
+  int project_days = 56;         ///< 8 weeks
+  double commits_per_day = 1.2;  ///< group-wide mean
+  /// Member activity weights (relative); equal by default, skewed to model
+  /// an uneven group.
+  std::vector<double> member_weights;
+  /// Probability a commit lands in src/ vs tests/ vs benchmarks/ — the
+  /// directory hygiene the PARC protocol documentation prescribes.
+  double src_fraction = 0.6;
+  double test_fraction = 0.3;  // remainder goes to benchmarks/
+  /// Deadline effect: commit intensity multiplier on the last 7 days.
+  double crunch_multiplier = 2.5;
+};
+
+/// Generate a deterministic commit history for a group.
+[[nodiscard]] CommitLog generate_commit_log(std::size_t group_id,
+                                            const std::vector<std::string>& members,
+                                            const CommitModel& model,
+                                            std::uint64_t seed);
+
+struct MemberContribution {
+  std::string member;
+  std::size_t commits = 0;
+  std::size_t lines = 0;
+  double commit_share = 0.0;  ///< fraction of the group's commits
+  double line_share = 0.0;
+};
+
+struct ContributionReport {
+  std::vector<MemberContribution> members;  ///< sorted by commit share desc
+  /// True when no member's line share exceeds the imbalance threshold —
+  /// the "in most cases, students were awarded equal marks" condition.
+  bool balanced = true;
+  /// Largest member line share.
+  double max_line_share = 0.0;
+  /// Fraction of commits respecting the src/tests/benchmarks layout.
+  double layout_compliance = 0.0;
+};
+
+/// Analyse a log; `imbalance_threshold` is the max acceptable line share.
+[[nodiscard]] ContributionReport analyse_contributions(
+    const CommitLog& log, double imbalance_threshold = 0.6);
+
+}  // namespace parc::course

@@ -1,0 +1,79 @@
+#include "course/community.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parc::course {
+
+std::vector<SemesterOutcome> simulate_community(
+    const CommunityParams& params, std::size_t semesters,
+    std::size_t postgraduate_mentors, std::uint64_t seed) {
+  PARC_CHECK(semesters >= 1);
+  Rng rng(seed);
+  std::vector<SemesterOutcome> out;
+  out.reserve(semesters);
+
+  // Active project-students by remaining semesters of involvement.
+  std::vector<std::size_t> active(params.active_semesters, 0);
+  std::size_t open_bugs = 0;
+
+  for (std::size_t s = 0; s < semesters; ++s) {
+    SemesterOutcome sem;
+    sem.semester = s + 1;
+    sem.course_students = params.cohort_per_semester;
+
+    // Experienced members = everyone active from earlier semesters.
+    std::size_t experienced = 0;
+    for (std::size_t a : active) experienced += a;
+    sem.experienced_members = experienced;
+    sem.mentors_available = experienced + postgraduate_mentors;
+
+    // Masters-taught students deciding to continue with PARC, plus
+    // word-of-mouth recruits driven by the experienced community.
+    const auto masters = static_cast<std::size_t>(
+        static_cast<double>(params.cohort_per_semester) *
+        params.masters_fraction);
+    std::size_t continuing = 0;
+    for (std::size_t i = 0; i < masters; ++i) {
+      if (rng.chance(params.continue_probability)) ++continuing;
+    }
+    const auto recommended = static_cast<std::size_t>(
+        rng.exponential(std::max(
+            params.recommendation_rate * static_cast<double>(experienced),
+            1e-9)));
+    sem.new_project_students = continuing + recommended;
+    sem.mentoring_ratio =
+        sem.mentors_available == 0
+            ? static_cast<double>(sem.new_project_students)
+            : static_cast<double>(sem.new_project_students) /
+                  static_cast<double>(sem.mentors_available);
+
+    // Tool feedback loop: every active user (course projects use the tools
+    // too) may file bug reports; a fraction get fixed this semester.
+    const std::size_t users =
+        params.cohort_per_semester + experienced + sem.new_project_students;
+    std::size_t reports = 0;
+    for (std::size_t u = 0; u < users; ++u) {
+      if (rng.chance(std::min(params.bug_reports_per_user, 1.0))) ++reports;
+    }
+    sem.bug_reports = reports;
+    open_bugs += reports;
+    const auto fixed = static_cast<std::size_t>(
+        static_cast<double>(open_bugs) * params.fix_rate);
+    sem.bugs_fixed = fixed;
+    open_bugs -= std::min(fixed, open_bugs);
+    sem.open_bugs = open_bugs;
+
+    // Age the active population and admit this semester's intake.
+    for (std::size_t a = params.active_semesters - 1; a > 0; --a) {
+      active[a] = active[a - 1];
+    }
+    active[0] = sem.new_project_students;
+
+    out.push_back(sem);
+  }
+  return out;
+}
+
+}  // namespace parc::course

@@ -1,0 +1,54 @@
+// §V-B "Outcomes": the PARC community dynamics the paper reports
+// qualitatively — SoftEng 751 graduates continuing into Masters-taught
+// projects with the lab, experienced project students mentoring new ones,
+// and the enlarged user base feeding bug reports and fixes back into the
+// research tools. This module turns those claims into a seeded multi-
+// semester simulation whose series the outcomes bench prints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parc::course {
+
+struct CommunityParams {
+  std::size_t cohort_per_semester = 57;   ///< SoftEng 751 enrolment
+  /// Fraction of the cohort who are Masters-taught students.
+  double masters_fraction = 0.35;
+  /// §V-B: "many of those completing SoftEng 751 decide to complete such a
+  /// project with PARC the following semester".
+  double continue_probability = 0.5;
+  /// Semesters a continuing student stays active in the lab.
+  std::size_t active_semesters = 2;
+  /// Bug reports filed per active tool user per semester (mean).
+  double bug_reports_per_user = 0.8;
+  /// Fraction of reported bugs resolved within the semester.
+  double fix_rate = 0.75;
+  /// Word-of-mouth: extra recruits per experienced member per semester.
+  double recommendation_rate = 0.15;
+};
+
+struct SemesterOutcome {
+  std::size_t semester = 0;
+  std::size_t course_students = 0;    ///< taking SoftEng 751 now
+  std::size_t new_project_students = 0;  ///< continued into a PARC project
+  std::size_t experienced_members = 0;   ///< past project students mentoring
+  std::size_t mentors_available = 0;     ///< experienced + postgraduates
+  double mentoring_ratio = 0.0;          ///< new project students per mentor
+  std::size_t bug_reports = 0;           ///< filed against the tools
+  std::size_t bugs_fixed = 0;
+  std::size_t open_bugs = 0;             ///< backlog carried forward
+};
+
+/// Run `semesters` of community evolution, deterministic in `seed`.
+/// Postgraduate researchers (a fixed pool) always mentor; experienced
+/// project students add to the mentor pool — the "constant stream of
+/// mentoring" §V-B describes emerges when new_project_students per mentor
+/// stays bounded as the community grows.
+[[nodiscard]] std::vector<SemesterOutcome> simulate_community(
+    const CommunityParams& params, std::size_t semesters,
+    std::size_t postgraduate_mentors, std::uint64_t seed);
+
+}  // namespace parc::course

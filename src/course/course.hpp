@@ -1,0 +1,12 @@
+// Umbrella header for the course-administration machinery (parc::course):
+// everything §III–§V of the paper describes, as testable components.
+#pragma once
+
+#include "course/allocation.hpp"  // IWYU pragma: export
+#include "course/assessment.hpp"  // IWYU pragma: export
+#include "course/commits.hpp"     // IWYU pragma: export
+#include "course/community.hpp"   // IWYU pragma: export
+#include "course/evaluation.hpp"  // IWYU pragma: export
+#include "course/nexus.hpp"       // IWYU pragma: export
+#include "course/plan.hpp"        // IWYU pragma: export
+#include "course/topic_pool.hpp"  // IWYU pragma: export

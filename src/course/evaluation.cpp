@@ -1,0 +1,97 @@
+#include "course/evaluation.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace parc::course {
+
+std::string to_string(Likert l) {
+  switch (l) {
+    case Likert::kStronglyAgree: return "Strongly Agree";
+    case Likert::kAgree: return "Agree";
+    case Likert::kNeutral: return "Neutral";
+    case Likert::kDisagree: return "Disagree";
+    case Likert::kStronglyDisagree: return "Strongly Disagree";
+  }
+  return "?";
+}
+
+std::vector<SurveyQuestion> softeng751_survey() {
+  // Distributions: agree mass equals the reported percentage; the split
+  // between SA and A and the tail shape are modelling choices (documented
+  // in EXPERIMENTS.md), chosen to be typical of strongly positive
+  // evaluations.
+  return {
+      {"The objectives of the lectures were clearly explained",
+       {0.45, 0.50, 0.04, 0.01, 0.00},
+       95.0},
+      {"The lecturer stimulated my engagement in the learning process",
+       {0.50, 0.45, 0.04, 0.01, 0.00},
+       95.0},
+      {"The class discussions were effective in helping me learn",
+       {0.42, 0.50, 0.06, 0.015, 0.005},
+       92.0},
+  };
+}
+
+std::vector<QuestionOutcome> run_survey(
+    const std::vector<SurveyQuestion>& questions, std::size_t respondents,
+    std::uint64_t seed) {
+  PARC_CHECK(respondents >= 1);
+  Rng rng(seed);
+  std::vector<QuestionOutcome> outcomes;
+  outcomes.reserve(questions.size());
+  for (const auto& q : questions) {
+    double total = 0.0;
+    for (double p : q.probabilities) total += p;
+    PARC_CHECK_MSG(std::abs(total - 1.0) < 1e-9,
+                   "question probabilities must sum to 1");
+    QuestionOutcome outcome;
+    outcome.question = q.text;
+    outcome.reported_pct = q.reported_agree_pct;
+    for (std::size_t r = 0; r < respondents; ++r) {
+      const double u = rng.uniform();
+      double acc = 0.0;
+      std::size_t level = kLikertLevels - 1;
+      for (std::size_t l = 0; l < kLikertLevels; ++l) {
+        acc += q.probabilities[l];
+        if (u < acc) {
+          level = l;
+          break;
+        }
+      }
+      ++outcome.counts[level];
+    }
+    const auto agree =
+        outcome.counts[static_cast<std::size_t>(Likert::kStronglyAgree)] +
+        outcome.counts[static_cast<std::size_t>(Likert::kAgree)];
+    outcome.agree_pct = 100.0 * static_cast<double>(agree) /
+                        static_cast<double>(respondents);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+std::vector<OpenComment> reported_open_comments() {
+  return {
+      {"What was most helpful for your learning?",
+       "The presentations were good practice and watching them was "
+       "informative"},
+      {"What was most helpful for your learning?",
+       "Keep up the interaction with all of the groups"},
+      {"What was most helpful for your learning?",
+       "The project that was part of the course was very helpful"},
+      {"What was most helpful for your learning?",
+       "This course was full of project work. It helped me to learn and "
+       "explore the concepts in Java. It also helped me to develop my "
+       "presentation skills."},
+      {"What improvement would you like to see?",
+       "Individual meeting time can be extended so that more research "
+       "oriented discussion can be done. I personally feel this course is "
+       "very good to perform research hence more time should be devoted by "
+       "the lecturer during individual meeting."},
+  };
+}
+
+}  // namespace parc::course

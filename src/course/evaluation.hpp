@@ -1,0 +1,59 @@
+// §V-A: the summative Likert course evaluation. A generative response model
+// (per-question probabilities over the 5-point scale) calibrated so the
+// expected agree-or-strongly-agree fractions match the paper's reported
+// 95% / 95% / 92%; a seeded cohort sample regenerates the evaluation table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parc::course {
+
+enum class Likert : std::size_t {
+  kStronglyAgree = 0,
+  kAgree = 1,
+  kNeutral = 2,
+  kDisagree = 3,
+  kStronglyDisagree = 4,
+};
+inline constexpr std::size_t kLikertLevels = 5;
+
+[[nodiscard]] std::string to_string(Likert l);
+
+struct SurveyQuestion {
+  std::string text;
+  /// Response distribution (sums to 1).
+  std::array<double, kLikertLevels> probabilities;
+  /// The paper's reported agree+strongly-agree percentage, for comparison.
+  double reported_agree_pct;
+};
+
+/// The three §V-A questions with distributions whose agree mass equals the
+/// reported numbers.
+[[nodiscard]] std::vector<SurveyQuestion> softeng751_survey();
+
+struct QuestionOutcome {
+  std::string question;
+  std::array<std::uint64_t, kLikertLevels> counts{};
+  double agree_pct = 0.0;     ///< sampled agree+strongly-agree %
+  double reported_pct = 0.0;  ///< the paper's number
+};
+
+/// Sample `respondents` seeded responses per question.
+[[nodiscard]] std::vector<QuestionOutcome> run_survey(
+    const std::vector<SurveyQuestion>& questions, std::size_t respondents,
+    std::uint64_t seed);
+
+/// The open-comment themes §V-A quotes (used by the evaluation bench to
+/// print the qualitative half of the table).
+struct OpenComment {
+  std::string prompt;
+  std::string comment;
+};
+[[nodiscard]] std::vector<OpenComment> reported_open_comments();
+
+}  // namespace parc::course

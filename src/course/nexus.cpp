@@ -1,0 +1,69 @@
+#include "course/nexus.hpp"
+
+#include <algorithm>
+
+namespace parc::course {
+
+std::string to_string(ContentEmphasis e) {
+  return e == ContentEmphasis::kResearchContent ? "research content"
+                                                : "research processes";
+}
+
+std::string to_string(StudentRole r) {
+  return r == StudentRole::kAudience ? "audience" : "participants";
+}
+
+std::string to_string(NexusCategory c) {
+  switch (c) {
+    case NexusCategory::kResearchLed: return "research-led";
+    case NexusCategory::kResearchOriented: return "research-oriented";
+    case NexusCategory::kResearchTutored: return "research-tutored";
+    case NexusCategory::kResearchBased: return "research-based";
+  }
+  return "?";
+}
+
+NexusCategory classify(ContentEmphasis emphasis, StudentRole role) {
+  if (role == StudentRole::kAudience) {
+    return emphasis == ContentEmphasis::kResearchContent
+               ? NexusCategory::kResearchLed
+               : NexusCategory::kResearchOriented;
+  }
+  return emphasis == ContentEmphasis::kResearchContent
+             ? NexusCategory::kResearchTutored
+             : NexusCategory::kResearchBased;
+}
+
+std::vector<CourseActivity> softeng751_activities() {
+  using E = ContentEmphasis;
+  using R = StudentRole;
+  // §III-E: lectures referencing PARC research are research-led; in-class
+  // programming exercises keep students active but still on taught content;
+  // the group project is inquiry-based (research-based); seminars, class
+  // discussions and the report are research-tutored (students leading
+  // discussion of research content). No activity sits in research-oriented
+  // — the paper argues that is acceptable for this course.
+  return {
+      {"lectures on core parallel concepts", E::kResearchContent, R::kAudience},
+      {"lectures on latest PARC tools", E::kResearchContent, R::kAudience},
+      {"in-class programming exercises", E::kResearchContent, R::kParticipants},
+      {"group research project", E::kResearchProcesses, R::kParticipants},
+      {"group seminar presentations", E::kResearchContent, R::kParticipants},
+      {"cross-group class discussions", E::kResearchContent, R::kParticipants},
+      {"project report", E::kResearchContent, R::kParticipants},
+      {"postgraduate mentoring sessions", E::kResearchProcesses,
+       R::kParticipants},
+  };
+}
+
+std::vector<NexusCategory> covered_categories(
+    const std::vector<CourseActivity>& activities) {
+  std::vector<NexusCategory> out;
+  for (const auto& a : activities) {
+    const auto c = a.category();
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace parc::course

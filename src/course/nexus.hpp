@@ -1,0 +1,53 @@
+// Figure 1: the research-teaching nexus (Healey 2005, as extended in the
+// paper) — two axes (content emphasis × student participation) spanning four
+// categories — plus the classification of every SoftEng 751 activity, which
+// regenerates the figure and the paper's §III-E analysis (three quadrants
+// covered; research-oriented deliberately absent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parc::course {
+
+/// Horizontal axis: is the emphasis on research *content* or on research
+/// *processes and problems*?
+enum class ContentEmphasis { kResearchContent, kResearchProcesses };
+
+/// Vertical axis: are students an *audience* or *participants*?
+enum class StudentRole { kAudience, kParticipants };
+
+enum class NexusCategory {
+  kResearchLed,       ///< content × audience — taught the instructor's research
+  kResearchOriented,  ///< processes × audience — taught research ethos/method
+  kResearchTutored,   ///< content × participants — writing/discussing papers
+  kResearchBased,     ///< processes × participants — inquiry-based projects
+};
+
+[[nodiscard]] std::string to_string(ContentEmphasis e);
+[[nodiscard]] std::string to_string(StudentRole r);
+[[nodiscard]] std::string to_string(NexusCategory c);
+
+/// The quadrant mapping of Healey's model.
+[[nodiscard]] NexusCategory classify(ContentEmphasis emphasis,
+                                     StudentRole role);
+
+/// One course activity placed on the nexus.
+struct CourseActivity {
+  std::string name;
+  ContentEmphasis emphasis;
+  StudentRole role;
+
+  [[nodiscard]] NexusCategory category() const {
+    return classify(emphasis, role);
+  }
+};
+
+/// The SoftEng 751 activity inventory as described in §§III–IV.
+[[nodiscard]] std::vector<CourseActivity> softeng751_activities();
+
+/// Which categories a set of activities covers (deduplicated, model order).
+[[nodiscard]] std::vector<NexusCategory> covered_categories(
+    const std::vector<CourseActivity>& activities);
+
+}  // namespace parc::course

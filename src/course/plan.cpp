@@ -1,0 +1,84 @@
+#include "course/plan.hpp"
+
+namespace parc::course {
+
+std::string week_use_code(unsigned uses) {
+  std::string out;
+  auto add = [&](unsigned bit, const char* code) {
+    if (uses & bit) {
+      if (!out.empty()) out += "+";
+      out += code;
+    }
+  };
+  add(static_cast<unsigned>(WeekUse::kInstructorTeaching), "IT");
+  add(static_cast<unsigned>(WeekUse::kAssessment), "A");
+  add(static_cast<unsigned>(WeekUse::kProject), "P");
+  add(static_cast<unsigned>(WeekUse::kStudentTeaching), "ST");
+  return out.empty() ? "-" : out;
+}
+
+std::vector<Week> softeng751_plan() {
+  using U = WeekUse;
+  const auto IT = static_cast<unsigned>(U::kInstructorTeaching);
+  const auto A = static_cast<unsigned>(U::kAssessment);
+  const auto P = static_cast<unsigned>(U::kProject);
+  const auto ST = static_cast<unsigned>(U::kStudentTeaching);
+
+  std::vector<Week> plan;
+  // Weeks 1–5: shared-memory parallel programming essentials.
+  for (int w = 1; w <= 5; ++w) {
+    plan.push_back(Week{w, false, IT,
+                        "core shared-memory parallel programming (lectures + "
+                        "in-class exercises)"});
+  }
+  // Week 6: Test 1 + project-topic discussion; groups finalised.
+  plan.push_back(Week{6, false, A | P,
+                      "Test 1 (25%); project topics discussed; doodle-poll "
+                      "allocation"});
+  // Two-week study break.
+  plan.push_back(Week{0, true, P, "study break (project start)"});
+  plan.push_back(Week{0, true, P, "study break"});
+  // Weeks 7–10: student seminars (two 20+5 min presentations per slot).
+  for (int w = 7; w <= 10; ++w) {
+    plan.push_back(Week{w, false, ST | P,
+                        "group seminars (assessed, 20%); project work"});
+  }
+  // Week 11: Test 2 over all presentation content.
+  plan.push_back(Week{11, false, A | P, "Test 2 (10%) on all seminar topics"});
+  // Week 12: project wrap-up; implementation (25%) + report (20%) due.
+  plan.push_back(Week{12, false, P,
+                      "final week: implementation and report due on the "
+                      "group's subversion repository"});
+  return plan;
+}
+
+PlanChecks validate_plan(const std::vector<Week>& plan) {
+  PlanChecks checks;
+  const auto IT = static_cast<unsigned>(WeekUse::kInstructorTeaching);
+  const auto A = static_cast<unsigned>(WeekUse::kAssessment);
+  const auto P = static_cast<unsigned>(WeekUse::kProject);
+  const auto ST = static_cast<unsigned>(WeekUse::kStudentTeaching);
+
+  checks.first_five_weeks_teaching = true;
+  bool seminars_ok = true;
+  for (const auto& w : plan) {
+    if (w.study_break) {
+      if (w.uses & P) ++checks.project_weeks;
+      continue;
+    }
+    if (w.number >= 1 && w.number <= 5) {
+      if (!(w.uses & IT)) checks.first_five_weeks_teaching = false;
+    }
+    if (w.number == 6) checks.test1_in_week6 = (w.uses & A) != 0;
+    if (w.number >= 7 && w.number <= 10) {
+      if (!(w.uses & ST)) seminars_ok = false;
+    }
+    if (w.number == 11) checks.test2_in_week11 = (w.uses & A) != 0;
+    if (w.number == 12) checks.final_due_week12 = (w.uses & P) != 0;
+    if (w.uses & P) ++checks.project_weeks;
+  }
+  checks.seminars_weeks_7_to_10 = seminars_ok;
+  return checks;
+}
+
+}  // namespace parc::course

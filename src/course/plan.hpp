@@ -1,0 +1,44 @@
+// Figure 2: the SoftEng 751 course structure — 12 teaching weeks around a
+// study break, each week tagged with how it is used: instructor-led teaching
+// (IT), assessment (A), project "free time" (P), or student-led teaching
+// (ST). The plan generator encodes §III-A/C's rules; validators assert the
+// placements the paper calls out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parc::course {
+
+enum class WeekUse : unsigned {
+  kInstructorTeaching = 1u << 0,  ///< IT
+  kAssessment = 1u << 1,          ///< A
+  kProject = 1u << 2,             ///< P
+  kStudentTeaching = 1u << 3,     ///< ST
+};
+
+[[nodiscard]] std::string week_use_code(unsigned uses);
+
+struct Week {
+  int number = 0;           ///< 1..12 teaching weeks (break excluded)
+  bool study_break = false; ///< the 2-week gap after week 6
+  unsigned uses = 0;        ///< bitmask of WeekUse
+  std::string note;
+};
+
+/// The full semester timeline: teaching weeks 1..6, the study break, then
+/// teaching weeks 7..12, with uses per §III-A and assessment per §III-C.
+[[nodiscard]] std::vector<Week> softeng751_plan();
+
+/// Structural checks the paper states explicitly.
+struct PlanChecks {
+  bool test1_in_week6 = false;          ///< test concluding weeks 1–5 content
+  bool seminars_weeks_7_to_10 = false;  ///< group presentations window
+  bool test2_in_week11 = false;         ///< concluding the presentations
+  bool final_due_week12 = false;        ///< implementation + report due
+  bool first_five_weeks_teaching = false;
+  int project_weeks = 0;                ///< weeks with project time (≈ 8)
+};
+[[nodiscard]] PlanChecks validate_plan(const std::vector<Week>& plan);
+
+}  // namespace parc::course

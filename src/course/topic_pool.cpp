@@ -1,0 +1,78 @@
+#include "course/topic_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace parc::course {
+
+double suitability(const TopicProposal& topic) {
+  PARC_CHECK(topic.timeframe_fit >= 0.0 && topic.timeframe_fit <= 1.0);
+  PARC_CHECK(topic.divisibility >= 0.0 && topic.divisibility <= 1.0);
+  PARC_CHECK(topic.nugget_value >= 0.0 && topic.nugget_value <= 1.0);
+  const double geo = std::cbrt(topic.timeframe_fit * topic.divisibility *
+                               topic.nugget_value);
+  return geo * std::pow(0.9, topic.times_offered);
+}
+
+void TopicPool::propose(TopicProposal topic) {
+  PARC_CHECK(!topic.title.empty());
+  topics_.push_back(std::move(topic));
+}
+
+std::vector<TopicProposal> TopicPool::review_top(std::size_t count,
+                                                 int year) {
+  PARC_CHECK_MSG(topics_.size() >= count,
+                 "not enough proposals for the yearly review");
+  // Stable sort on descending suitability: proposal order breaks ties, so
+  // the review is deterministic.
+  std::vector<std::size_t> order(topics_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return suitability(topics_[a]) > suitability(topics_[b]);
+                   });
+  std::vector<TopicProposal> selected;
+  selected.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    TopicProposal& t = topics_[order[k]];
+    ++t.times_offered;
+    t.proposed_year = year;
+    selected.push_back(t);
+  }
+  return selected;
+}
+
+TopicPool softeng751_2013_pool() {
+  TopicPool pool;
+  using K = ProposerKind;
+  // Factor estimates justified by the paper's own per-topic remarks.
+  pool.propose({"Thumbnails of images in a folder", K::kInstructor, 0.9, 0.8,
+                0.8, 2013, 0});
+  pool.propose({"Parallel quicksort", K::kInstructor, 1.0, 0.9, 0.6, 2013, 0});
+  pool.propose({"Parallelisation of simple computational kernels",
+                K::kPostgraduate, 0.9, 0.9, 0.7, 2013, 0});
+  pool.propose({"Search for a string in text files of a folder",
+                K::kInstructor, 0.9, 0.8, 0.7, 2013, 0});
+  pool.propose({"Reductions in Pyjama", K::kPostgraduate, 0.8, 0.7, 1.0, 2013,
+                0});
+  pool.propose({"Task-aware libraries for Parallel Task", K::kPostgraduate,
+                0.7, 0.7, 1.0, 2013, 0});
+  pool.propose({"PDF searching", K::kInstructor, 0.8, 0.8, 0.7, 2013, 0});
+  pool.propose({"Understanding and coping with the Java memory model",
+                K::kInstructor, 0.8, 0.6, 0.9, 2013, 0});
+  pool.propose({"Parallel use of collections", K::kInstructor, 0.9, 0.8, 0.8,
+                2013, 0});
+  pool.propose({"Fast web access through concurrent connections",
+                K::kPostgraduate, 0.8, 0.7, 0.8, 2013, 0});
+  // Wish-list entries that did not make the 2013 top ten — close behind, so
+  // the re-offering discount rotates them in within a couple of years.
+  pool.propose({"Parallel image filters gallery", K::kRecycled, 0.7, 0.7, 0.6,
+                2012, 0});
+  pool.propose({"GUI-aware matrix visualiser", K::kPostgraduate, 0.7, 0.6,
+                0.7, 2013, 0});
+  return pool;
+}
+
+}  // namespace parc::course

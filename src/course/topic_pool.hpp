@@ -1,0 +1,65 @@
+// §III-D / §IV-C: the instructors' topic wish-list. Topics are proposed
+// during the year (by instructors and postgraduate students), scored on the
+// paper's three suitability factors — timeframe fit (one quarter of a
+// full-time load, 8 development weeks), equal divisibility across a group
+// of 3 (needed for assessment), and "independent nugget" value
+// (complementary to the lab without requiring a dive into its big
+// codebases) — and reviewed once a year to select the top ten. Unselected
+// and completed topics can be recycled into later years "due to their
+// research nature".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parc::course {
+
+enum class ProposerKind { kInstructor, kPostgraduate, kRecycled };
+
+struct TopicProposal {
+  std::string title;
+  ProposerKind proposer = ProposerKind::kInstructor;
+  /// §III-D suitability factors, each 0..1.
+  double timeframe_fit = 0.5;   ///< doable in 8 weeks at quarter load
+  double divisibility = 0.5;    ///< splits evenly across 3 students
+  double nugget_value = 0.5;    ///< independent but complementary to PARC
+  int proposed_year = 0;
+  int times_offered = 0;
+};
+
+/// Combined §III-D suitability score. All three factors gate (a topic that
+/// cannot fit the timeframe is unsuitable no matter how divisible), so the
+/// score is the geometric mean, discounted 10% per previous offering to
+/// favour freshness among equals.
+[[nodiscard]] double suitability(const TopicProposal& topic);
+
+class TopicPool {
+ public:
+  void propose(TopicProposal topic);
+
+  [[nodiscard]] std::size_t size() const noexcept { return topics_.size(); }
+  [[nodiscard]] const std::vector<TopicProposal>& topics() const noexcept {
+    return topics_;
+  }
+
+  /// The yearly review: pick the `count` most suitable topics, mark them
+  /// offered in `year`, and return them (best first). Selected topics stay
+  /// in the pool for future recycling. Aborts if fewer than `count` topics
+  /// exist.
+  [[nodiscard]] std::vector<TopicProposal> review_top(std::size_t count,
+                                                      int year);
+
+ private:
+  std::vector<TopicProposal> topics_;
+};
+
+/// The 2013 pool: the ten §IV-C topics with factor estimates derived from
+/// the paper's own remarks (e.g. quicksort is trivially divisible; the
+/// memory-model study is an educational nugget; Android options demand
+/// existing familiarity, lowering timeframe fit slightly).
+[[nodiscard]] TopicPool softeng751_2013_pool();
+
+}  // namespace parc::course

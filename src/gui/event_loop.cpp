@@ -1,0 +1,174 @@
+#include "gui/event_loop.hpp"
+
+#include "support/check.hpp"
+
+namespace parc::gui {
+
+EventLoop::EventLoop() : thread_([this] { loop(); }) {}
+
+EventLoop::~EventLoop() { shutdown(); }
+
+void EventLoop::post(std::function<void()> event) {
+  PARC_CHECK(event != nullptr);
+  {
+    std::scoped_lock lock(mutex_);
+    PARC_CHECK_MSG(!stopping_, "post() after EventLoop::shutdown()");
+    queue_.push_back(Event{std::move(event), Clock::now()});
+  }
+  cv_.notify_one();
+}
+
+void EventLoop::post_delayed(std::function<void()> event,
+                             std::chrono::milliseconds delay) {
+  PARC_CHECK(event != nullptr);
+  {
+    std::scoped_lock lock(mutex_);
+    PARC_CHECK_MSG(!stopping_, "post_delayed() after EventLoop::shutdown()");
+    delayed_.push(
+        DelayedEvent{Clock::now() + delay, delayed_seq_++, std::move(event)});
+  }
+  cv_.notify_one();  // the loop recomputes its wake deadline
+}
+
+void EventLoop::promote_due_locked(Clock::time_point now) {
+  while (!delayed_.empty() && delayed_.top().due <= now) {
+    // enqueued = due time: latency measures EDT backlog, not the delay.
+    queue_.push_back(
+        Event{std::move(const_cast<DelayedEvent&>(delayed_.top()).fn),
+              delayed_.top().due});
+    delayed_.pop();
+  }
+}
+
+void EventLoop::post_and_wait(std::function<void()> event) {
+  PARC_CHECK_MSG(!is_event_thread(),
+                 "post_and_wait from the event thread would deadlock");
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  post([&, event = std::move(event)] {
+    event();
+    {
+      std::scoped_lock lock(done_mutex);
+      done = true;
+    }
+    done_cv.notify_one();
+  });
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+bool EventLoop::is_event_thread() const noexcept {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+void EventLoop::drain() {
+  PARC_CHECK_MSG(!is_event_thread(), "drain from the event thread");
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty(); });
+}
+
+void EventLoop::shutdown() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      // Second call: thread may already be joined.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::loop() {
+  for (;;) {
+    Event ev;
+    {
+      std::unique_lock lock(mutex_);
+      for (;;) {
+        promote_due_locked(Clock::now());
+        if (stopping_ || !queue_.empty()) break;
+        if (delayed_.empty()) {
+          cv_.wait(lock, [&] {
+            return stopping_ || !queue_.empty() || !delayed_.empty();
+          });
+        } else {
+          // Plain timed wait, deadline recomputed every lap: a notify for a
+          // newly posted *earlier* delayed event must shorten the sleep (a
+          // predicate wait would sleep through to the old deadline).
+          cv_.wait_until(lock, delayed_.top().due);
+        }
+      }
+      if (queue_.empty()) {
+        // stopping_ and nothing runnable: exit after notifying drainers.
+        // Delayed events that never became due are intentionally dropped —
+        // they are timers, and the app is closing.
+        idle_cv_.notify_all();
+        return;
+      }
+      ev = std::move(queue_.front());
+      queue_.pop_front();
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - ev.enqueued)
+              .count();
+      latencies_ms_.push_back(latency_ms);
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+    ev.fn();
+    serviced_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> EventLoop::latency_samples_ms() const {
+  std::scoped_lock lock(mutex_);
+  return latencies_ms_;
+}
+
+Summary EventLoop::latency_summary_ms() const {
+  Summary s;
+  s.add_all(latency_samples_ms());
+  return s;
+}
+
+void EventLoop::reset_metrics() {
+  std::scoped_lock lock(mutex_);
+  latencies_ms_.clear();
+}
+
+Debouncer::Debouncer(EventLoop& loop, std::chrono::milliseconds quiet)
+    : loop_(loop), quiet_(quiet), state_(std::make_shared<State>()) {}
+
+void Debouncer::trigger(std::function<void()> action) {
+  PARC_CHECK(action != nullptr);
+  std::uint64_t my_generation;
+  {
+    std::scoped_lock lock(state_->mutex);
+    my_generation = ++state_->generation;
+  }
+  loop_.post_delayed(
+      [state = state_, my_generation, action = std::move(action)] {
+        {
+          std::scoped_lock lock(state->mutex);
+          if (state->generation != my_generation) return;  // superseded
+        }
+        state->fired.fetch_add(1, std::memory_order_relaxed);
+        action();
+      },
+      quiet_);
+}
+
+std::uint64_t Debouncer::fired() const noexcept {
+  return state_->fired.load(std::memory_order_relaxed);
+}
+
+double dropped_frame_fraction(const std::vector<double>& latencies_ms,
+                              double budget_ms) {
+  if (latencies_ms.empty()) return 0.0;
+  std::size_t over = 0;
+  for (double l : latencies_ms) {
+    if (l > budget_ms) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(latencies_ms.size());
+}
+
+}  // namespace parc::gui

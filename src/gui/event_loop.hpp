@@ -1,0 +1,140 @@
+// A deterministic stand-in for the Swing/Android event-dispatch thread.
+//
+// This is the substrate under every "keep the GUI responsive" experiment
+// (projects 1, 4, 7 and the GUI-awareness of both runtimes). Events are
+// closures with an enqueue timestamp; the loop thread services them FIFO and
+// records the *service latency* (enqueue → start of execution) of each. A
+// responsive UI is exactly one whose event latency stays within a frame
+// budget while background work runs — which turns the paper's qualitative
+// "the GUI remains fully responsive" into a measurable distribution.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace parc::gui {
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Enqueue an event for the dispatch thread (thread-safe; the analogue of
+  /// SwingUtilities.invokeLater / Handler.post).
+  void post(std::function<void()> event);
+
+  /// Enqueue an event to run no earlier than `delay` from now (the
+  /// Swing Timer / Handler.postDelayed analogue). Delayed events do not
+  /// count toward latency metrics until they become due.
+  void post_delayed(std::function<void()> event,
+                    std::chrono::milliseconds delay);
+
+  /// Post and block until the event has been serviced (invokeAndWait).
+  /// Deadlocks if called from the event thread itself — checked.
+  void post_and_wait(std::function<void()> event);
+
+  /// True when the calling thread is this loop's dispatch thread.
+  [[nodiscard]] bool is_event_thread() const noexcept;
+
+  /// Block until the queue has been observed empty (all events posted so
+  /// far serviced). Events posted concurrently may still be pending.
+  void drain();
+
+  /// Stop accepting events, service what is queued, join the thread.
+  /// Idempotent; also runs from the destructor.
+  void shutdown();
+
+  /// Service-latency samples (ms) of all events serviced so far.
+  [[nodiscard]] std::vector<double> latency_samples_ms() const;
+  [[nodiscard]] Summary latency_summary_ms() const;
+  /// Discard recorded samples (between experiment phases).
+  void reset_metrics();
+
+  [[nodiscard]] std::uint64_t events_serviced() const noexcept {
+    return serviced_.load(std::memory_order_relaxed);
+  }
+
+  /// Adapter for Runtime::set_event_dispatcher / pj::set_event_dispatcher.
+  [[nodiscard]] std::function<void(std::function<void()>)> dispatcher() {
+    return [this](std::function<void()> fn) { post(std::move(fn)); };
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Event {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+  struct DelayedEvent {
+    Clock::time_point due;
+    std::uint64_t seq;  // FIFO among equal deadlines
+    std::function<void()> fn;
+    bool operator>(const DelayedEvent& o) const noexcept {
+      if (due != o.due) return due > o.due;
+      return seq > o.seq;
+    }
+  };
+
+  void loop();
+  /// Move due delayed events into the immediate queue. Caller holds mutex_.
+  void promote_due_locked(Clock::time_point now);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Event> queue_;          // guarded by mutex_
+  std::priority_queue<DelayedEvent, std::vector<DelayedEvent>,
+                      std::greater<>>
+      delayed_;                      // guarded by mutex_
+  std::uint64_t delayed_seq_ = 0;    // guarded by mutex_
+  bool stopping_ = false;            // guarded by mutex_
+  std::vector<double> latencies_ms_; // guarded by mutex_
+  std::atomic<std::uint64_t> serviced_{0};
+  std::thread thread_;  // last member: starts after state is ready
+};
+
+/// Collapse bursts of triggers into one action after a quiet period — the
+/// standard debounce for search-as-you-type. Only the last action of a
+/// burst fires; it runs on the event thread.
+class Debouncer {
+ public:
+  Debouncer(EventLoop& loop, std::chrono::milliseconds quiet);
+
+  /// (Re)arm the timer with a new action; thread-safe.
+  void trigger(std::function<void()> action);
+
+  /// Actions actually fired (for tests/metrics).
+  [[nodiscard]] std::uint64_t fired() const noexcept;
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::uint64_t generation = 0;  // guarded by mutex
+    std::atomic<std::uint64_t> fired{0};
+  };
+  EventLoop& loop_;
+  std::chrono::milliseconds quiet_;
+  std::shared_ptr<State> state_;
+};
+
+/// Fraction of latency samples exceeding a frame budget (default 60 Hz).
+/// The paper's "fully responsive" claim corresponds to this being ~0 for
+/// off-EDT strategies and large when work runs on the EDT.
+[[nodiscard]] double dropped_frame_fraction(const std::vector<double>& latencies_ms,
+                                            double budget_ms = 16.67);
+
+}  // namespace parc::gui

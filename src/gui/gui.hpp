@@ -1,0 +1,6 @@
+// Umbrella header for the simulated GUI substrate (parc::gui).
+#pragma once
+
+#include "gui/event_loop.hpp"  // IWYU pragma: export
+#include "gui/probe.hpp"       // IWYU pragma: export
+#include "gui/widgets.hpp"     // IWYU pragma: export

@@ -1,0 +1,26 @@
+#include "gui/probe.hpp"
+
+namespace parc::gui {
+
+ResponsivenessProbe::ResponsivenessProbe(EventLoop& loop,
+                                         std::chrono::microseconds interval)
+    : loop_(loop), interval_(interval), ticker_([this] { tick(); }) {}
+
+ResponsivenessProbe::~ResponsivenessProbe() { stop(); }
+
+void ResponsivenessProbe::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (ticker_.joinable()) ticker_.join();
+}
+
+void ResponsivenessProbe::tick() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // The probe event is an empty user interaction; its latency is the
+    // measurement (recorded by the EventLoop itself).
+    loop_.post([] {});
+    posted_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(interval_);
+  }
+}
+
+}  // namespace parc::gui

@@ -1,0 +1,44 @@
+// Responsiveness probe: simulated user interactions against an EventLoop.
+//
+// A ticker thread posts a no-op "user event" (scroll/click) every
+// `interval`; the loop records its service latency like any other event.
+// Running the probe while a workload executes yields the latency
+// distribution that quantifies the paper's "the GUI remains fully
+// responsive while thumbnails are being rendered".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "gui/event_loop.hpp"
+
+namespace parc::gui {
+
+class ResponsivenessProbe {
+ public:
+  ResponsivenessProbe(EventLoop& loop, std::chrono::microseconds interval);
+  ~ResponsivenessProbe();
+
+  ResponsivenessProbe(const ResponsivenessProbe&) = delete;
+  ResponsivenessProbe& operator=(const ResponsivenessProbe&) = delete;
+
+  /// Stop posting probe events and join the ticker (idempotent).
+  void stop();
+
+  [[nodiscard]] std::uint64_t probes_posted() const noexcept {
+    return posted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void tick();
+
+  EventLoop& loop_;
+  const std::chrono::microseconds interval_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> posted_{0};
+  std::thread ticker_;
+};
+
+}  // namespace parc::gui

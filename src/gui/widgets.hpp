@@ -1,0 +1,141 @@
+// Widget *models* — the mutable state behind a UI, with the Swing threading
+// rule enforced: models marked EDT-confined abort when touched off the event
+// thread. This is what makes the example apps honest: a background task
+// cannot "cheat" by updating the list directly, it must notify through the
+// event loop exactly as Parallel Task's `notify` clause does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gui/event_loop.hpp"
+#include "support/check.hpp"
+
+namespace parc::gui {
+
+/// EDT-confined growable list (a JList/ListView model).
+template <typename T>
+class ListModel {
+ public:
+  explicit ListModel(EventLoop& loop) : loop_(loop) {}
+
+  void append(T item) {
+    assert_on_edt();
+    items_.push_back(std::move(item));
+    ++revision_;
+  }
+
+  void clear() {
+    assert_on_edt();
+    items_.clear();
+    ++revision_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    assert_on_edt();
+    return items_.size();
+  }
+
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert_on_edt();
+    PARC_CHECK(i < items_.size());
+    return items_[i];
+  }
+
+  [[nodiscard]] const std::vector<T>& items() const {
+    assert_on_edt();
+    return items_;
+  }
+
+  /// Model change count (repaint trigger in a real toolkit).
+  [[nodiscard]] std::uint64_t revision() const {
+    assert_on_edt();
+    return revision_;
+  }
+
+  /// Thread-safe snapshot for assertions after the loop has drained:
+  /// hops onto the EDT to copy.
+  [[nodiscard]] std::vector<T> snapshot() {
+    std::vector<T> copy;
+    loop_.post_and_wait([&] { copy = items_; });
+    return copy;
+  }
+
+ private:
+  void assert_on_edt() const {
+    PARC_CHECK_MSG(loop_.is_event_thread(),
+                   "ListModel touched off the event-dispatch thread");
+  }
+
+  EventLoop& loop_;
+  std::vector<T> items_;       // EDT-confined
+  std::uint64_t revision_ = 0; // EDT-confined
+};
+
+/// Thread-safe progress indicator (a JProgressBar model): atomics only, so
+/// workers may bump it directly — the one widget Swing also allows that for.
+class ProgressModel {
+ public:
+  explicit ProgressModel(std::uint64_t total) : total_(total) {}
+
+  void advance(std::uint64_t by = 1) noexcept {
+    done_.fetch_add(by, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double fraction() const noexcept {
+    return total_ == 0 ? 1.0
+                       : static_cast<double>(done()) /
+                             static_cast<double>(total_);
+  }
+  [[nodiscard]] bool complete() const noexcept { return done() >= total_; }
+
+ private:
+  const std::uint64_t total_;
+  std::atomic<std::uint64_t> done_{0};
+};
+
+/// EDT-confined text field model (status bars, search boxes).
+class TextModel {
+ public:
+  explicit TextModel(EventLoop& loop) : loop_(loop) {}
+
+  void set(std::string text) {
+    assert_on_edt();
+    text_ = std::move(text);
+    ++revision_;
+  }
+
+  [[nodiscard]] const std::string& get() const {
+    assert_on_edt();
+    return text_;
+  }
+
+  [[nodiscard]] std::uint64_t revision() const {
+    assert_on_edt();
+    return revision_;
+  }
+
+  [[nodiscard]] std::string snapshot() {
+    std::string copy;
+    loop_.post_and_wait([&] { copy = text_; });
+    return copy;
+  }
+
+ private:
+  void assert_on_edt() const {
+    PARC_CHECK_MSG(loop_.is_event_thread(),
+                   "TextModel touched off the event-dispatch thread");
+  }
+
+  EventLoop& loop_;
+  std::string text_;           // EDT-confined
+  std::uint64_t revision_ = 0; // EDT-confined
+};
+
+}  // namespace parc::gui

@@ -1,0 +1,89 @@
+#include "img/ppm.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parc::img {
+
+void write_ppm(const Image& image, std::ostream& os) {
+  PARC_CHECK(image.width() >= 1 && image.height() >= 1);
+  os << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  std::vector<char> row(static_cast<std::size_t>(image.width()) * 3);
+  for (std::uint32_t y = 0; y < image.height(); ++y) {
+    for (std::uint32_t x = 0; x < image.width(); ++x) {
+      const Pixel& p = image.at(x, y);
+      row[x * 3 + 0] = static_cast<char>(p.r);
+      row[x * 3 + 1] = static_cast<char>(p.g);
+      row[x * 3 + 2] = static_cast<char>(p.b);
+    }
+    os.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  PARC_CHECK_MSG(os.good(), "PPM write failed");
+}
+
+namespace {
+
+/// Read one whitespace/comment-delimited PPM header token.
+std::string next_token(std::istream& is) {
+  std::string token;
+  for (;;) {
+    const int c = is.get();
+    PARC_CHECK_MSG(c != EOF, "truncated PPM header");
+    if (c == '#') {  // comment to end of line
+      std::string skip;
+      std::getline(is, skip);
+      continue;
+    }
+    if (std::isspace(c)) {
+      if (!token.empty()) return token;
+      continue;
+    }
+    token.push_back(static_cast<char>(c));
+  }
+}
+
+}  // namespace
+
+Image read_ppm(std::istream& is) {
+  PARC_CHECK_MSG(next_token(is) == "P6", "not a binary PPM (P6)");
+  const auto width = static_cast<std::uint32_t>(std::stoul(next_token(is)));
+  const auto height = static_cast<std::uint32_t>(std::stoul(next_token(is)));
+  const auto maxval = std::stoul(next_token(is));
+  PARC_CHECK_MSG(maxval == 255, "only maxval 255 supported");
+  PARC_CHECK(width >= 1 && height >= 1);
+
+  Image image(width, height);
+  std::vector<char> row(static_cast<std::size_t>(width) * 3);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    is.read(row.data(), static_cast<std::streamsize>(row.size()));
+    PARC_CHECK_MSG(is.gcount() == static_cast<std::streamsize>(row.size()),
+                   "truncated PPM pixel data");
+    for (std::uint32_t x = 0; x < width; ++x) {
+      image.at(x, y) = Pixel{
+          static_cast<std::uint8_t>(row[x * 3 + 0]),
+          static_cast<std::uint8_t>(row[x * 3 + 1]),
+          static_cast<std::uint8_t>(row[x * 3 + 2]),
+          255,
+      };
+    }
+  }
+  return image;
+}
+
+void save_ppm(const Image& image, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  PARC_CHECK_MSG(file.is_open(), "cannot open PPM output file");
+  write_ppm(image, file);
+}
+
+Image load_ppm(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  PARC_CHECK_MSG(file.is_open(), "cannot open PPM input file");
+  return read_ppm(file);
+}
+
+}  // namespace parc::img

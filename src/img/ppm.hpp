@@ -1,0 +1,26 @@
+// Binary PPM (P6) serialisation: lets the examples write real image
+// artifacts a viewer can open, and gives tests an encode/decode round-trip.
+// Alpha is not representable in PPM and is dropped on write / set to 255 on
+// read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "img/image.hpp"
+
+namespace parc::img {
+
+/// Serialise as binary PPM (P6, maxval 255).
+void write_ppm(const Image& image, std::ostream& os);
+
+/// Parse a binary PPM produced by write_ppm (or any P6 with maxval 255).
+/// Aborts on malformed input — this is a tool for our own artifacts, not a
+/// hardened codec.
+[[nodiscard]] Image read_ppm(std::istream& is);
+
+/// Convenience file wrappers.
+void save_ppm(const Image& image, const std::string& path);
+[[nodiscard]] Image load_ppm(const std::string& path);
+
+}  // namespace parc::img

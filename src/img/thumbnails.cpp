@@ -1,0 +1,110 @@
+#include "img/thumbnails.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ptask/ptask.hpp"
+#include "support/check.hpp"
+#include "support/clock.hpp"
+
+namespace parc::img {
+
+std::string to_string(ThumbnailStrategy s) {
+  switch (s) {
+    case ThumbnailStrategy::kOnEventThread: return "on-EDT";
+    case ThumbnailStrategy::kSingleWorker: return "single-worker";
+    case ThumbnailStrategy::kThreadPerImage: return "thread-per-image";
+    case ThumbnailStrategy::kPTaskMulti: return "ptask-multi";
+  }
+  return "?";
+}
+
+namespace {
+
+Image make_thumbnail(const Image& src, std::uint32_t box, Filter filter) {
+  // Simulated decode: a real thumbnailer decompresses the photo before
+  // scaling, an O(source pixels) pass that dominates the cost. Our images
+  // are already raw, so stand in for the decode with a full-image pass —
+  // without it, per-item work would be O(thumbnail) and no strategy could
+  // ever freeze a UI, which would falsify the experiment, not the claim.
+  volatile double decode_sink = src.mean_luminance();
+  (void)decode_sink;
+  const Extent e = fit_within(src.width(), src.height(), box);
+  return resize(src, e.width, e.height, filter);
+}
+
+}  // namespace
+
+ThumbnailRun render_gallery(const ImageFolder& folder, std::uint32_t box,
+                            Filter filter, ThumbnailStrategy strategy,
+                            gui::EventLoop& loop,
+                            gui::ListModel<Image>& gallery,
+                            ptask::Runtime& rt) {
+  const std::size_t n = folder.images.size();
+  ThumbnailRun run;
+  run.thumbnails = n;
+  std::atomic<std::size_t> delivered{0};
+  Stopwatch sw;
+
+  auto deliver = [&](Image thumb) {
+    // Hop to the EDT: the only thread allowed to touch the list model.
+    loop.post([&, thumb = std::move(thumb)]() mutable {
+      gallery.append(std::move(thumb));
+      delivered.fetch_add(1, std::memory_order_release);
+    });
+  };
+
+  switch (strategy) {
+    case ThumbnailStrategy::kOnEventThread: {
+      // The anti-pattern: each scale runs as an EDT event, so probe events
+      // queue behind whole-image work.
+      for (const auto& src : folder.images) {
+        loop.post([&, &src = src] {
+          gallery.append(make_thumbnail(src, box, filter));
+          delivered.fetch_add(1, std::memory_order_release);
+        });
+      }
+      run.peak_threads = 0;
+      break;
+    }
+    case ThumbnailStrategy::kSingleWorker: {
+      std::thread worker([&] {
+        for (const auto& src : folder.images) {
+          deliver(make_thumbnail(src, box, filter));
+        }
+      });
+      worker.join();
+      run.peak_threads = 1;
+      break;
+    }
+    case ThumbnailStrategy::kThreadPerImage: {
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (const auto& src : folder.images) {
+        threads.emplace_back(
+            [&, &src = src] { deliver(make_thumbnail(src, box, filter)); });
+      }
+      for (auto& t : threads) t.join();
+      run.peak_threads = n;
+      break;
+    }
+    case ThumbnailStrategy::kPTaskMulti: {
+      auto task = ptask::run_multi(rt, n, [&](std::size_t i) {
+        deliver(make_thumbnail(folder.images[i], box, filter));
+      });
+      task.get();
+      run.peak_threads = rt.worker_count();
+      break;
+    }
+  }
+
+  // All producers finished; wait for the EDT to drain deliveries.
+  while (delivered.load(std::memory_order_acquire) < n) {
+    std::this_thread::yield();
+  }
+  run.wall_ms = sw.elapsed_ms();
+  return run;
+}
+
+}  // namespace parc::img

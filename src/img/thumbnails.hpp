@@ -1,0 +1,44 @@
+// Project 1: the thumbnail-gallery pipeline with the exact strategy set the
+// two student groups compared — work on the EDT (the anti-pattern), a single
+// background worker (SwingWorker / AsyncTask analogue), a thread per image,
+// and a ParallelTask multi-task with GUI notify. All strategies deliver
+// thumbnails to an EDT-confined ListModel through the event loop, so the
+// responsiveness probe measures exactly what a user would feel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gui/event_loop.hpp"
+#include "gui/widgets.hpp"
+#include "img/image.hpp"
+#include "ptask/runtime.hpp"
+
+namespace parc::img {
+
+enum class ThumbnailStrategy {
+  kOnEventThread,   ///< decode+scale on the EDT (freezes the UI)
+  kSingleWorker,    ///< one background worker (SwingWorker)
+  kThreadPerImage,  ///< unbounded std::thread per image
+  kPTaskMulti,      ///< ParallelTask multi-task over the pool
+};
+
+[[nodiscard]] std::string to_string(ThumbnailStrategy s);
+
+struct ThumbnailRun {
+  double wall_ms = 0.0;          ///< start → all thumbnails delivered
+  std::size_t thumbnails = 0;    ///< items appended to the list model
+  std::size_t peak_threads = 0;  ///< extra threads the strategy created
+};
+
+/// Render thumbnails for every image in `folder` into `gallery` using the
+/// given strategy; returns once all thumbnails are delivered (list model
+/// populated on the EDT). The event loop stays live throughout so probe
+/// events interleave with delivery.
+ThumbnailRun render_gallery(const ImageFolder& folder, std::uint32_t box,
+                            Filter filter, ThumbnailStrategy strategy,
+                            gui::EventLoop& loop,
+                            gui::ListModel<Image>& gallery,
+                            ptask::Runtime& rt);
+
+}  // namespace parc::img

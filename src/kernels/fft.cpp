@@ -1,0 +1,109 @@
+#include "kernels/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "pj/parallel.hpp"
+#include "support/check.hpp"
+
+namespace parc::kernels {
+
+namespace {
+
+/// Bit-reversal permutation shared by both variants.
+void bit_reverse(std::vector<Complex>& a) {
+  const std::size_t n = a.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+/// One butterfly group: combines the pair block starting at `base` with
+/// half-length `half` using twiddle stride derived from `len`.
+inline void butterfly_group(std::vector<Complex>& a, std::size_t base,
+                            std::size_t half, double angle_unit) {
+  for (std::size_t k = 0; k < half; ++k) {
+    const double angle = angle_unit * static_cast<double>(k);
+    const Complex w(std::cos(angle), std::sin(angle));
+    Complex& u = a[base + k];
+    Complex& v = a[base + k + half];
+    const Complex t = v * w;
+    v = u - t;
+    u = u + t;
+  }
+}
+
+}  // namespace
+
+void fft_seq(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  PARC_CHECK_MSG(is_power_of_two(n), "FFT size must be a power of two");
+  bit_reverse(data);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const double angle_unit =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    for (std::size_t base = 0; base < n; base += len) {
+      butterfly_group(data, base, half, angle_unit);
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+void fft_pj(std::vector<Complex>& data, std::size_t num_threads, bool inverse,
+            pj::ForOptions opts) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  PARC_CHECK_MSG(is_power_of_two(n), "FFT size must be a power of two");
+  bit_reverse(data);
+  const double sign = inverse ? 1.0 : -1.0;
+  pj::region(num_threads, [&](pj::Team& team) {
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len >> 1;
+      const double angle_unit =
+          sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+      const auto groups = static_cast<std::int64_t>(n / len);
+      // Groups within a stage touch disjoint blocks: embarrassingly
+      // parallel. The loop's implicit barrier separates stages.
+      pj::for_loop(
+          team, 0, groups,
+          [&](std::int64_t g) {
+            butterfly_group(data, static_cast<std::size_t>(g) * len, half,
+                            angle_unit);
+          },
+          opts);
+    }
+    if (inverse) {
+      const double inv = 1.0 / static_cast<double>(n);
+      pj::for_loop(team, 0, static_cast<std::int64_t>(n),
+                   [&](std::int64_t i) {
+                     data[static_cast<std::size_t>(i)] *= inv;
+                   });
+    }
+  });
+}
+
+std::vector<Complex> fft_roundtrip(std::vector<Complex> data,
+                                   std::size_t num_threads) {
+  fft_pj(data, num_threads, /*inverse=*/false);
+  fft_pj(data, num_threads, /*inverse=*/true);
+  return data;
+}
+
+std::vector<double> power_spectrum(const std::vector<Complex>& freq) {
+  std::vector<double> out;
+  out.reserve(freq.size());
+  for (const auto& c : freq) out.push_back(std::abs(c));
+  return out;
+}
+
+}  // namespace parc::kernels

@@ -1,0 +1,36 @@
+// Radix-2 FFT kernel (project 3): sequential reference and a Pyjama-
+// parallel version that workshares the butterfly groups of each stage.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "pj/schedule.hpp"
+
+namespace parc::kernels {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative Cooley–Tukey FFT; size must be a power of two.
+void fft_seq(std::vector<Complex>& data, bool inverse = false);
+
+/// Parallel FFT: each stage's independent butterfly groups are workshared
+/// over a Pyjama team (one region per call; stages separated by the loop's
+/// implicit barrier).
+void fft_pj(std::vector<Complex>& data, std::size_t num_threads,
+            bool inverse = false, pj::ForOptions opts = {});
+
+/// Convenience round trip used by tests: forward then inverse.
+[[nodiscard]] std::vector<Complex> fft_roundtrip(std::vector<Complex> data,
+                                                 std::size_t num_threads);
+
+/// Power spectrum magnitude (|X_k|) helper for the examples.
+[[nodiscard]] std::vector<double> power_spectrum(
+    const std::vector<Complex>& freq);
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace parc::kernels

@@ -1,0 +1,79 @@
+// Graph-processing kernels (project 3): CSR storage, generators,
+// level-synchronous BFS and power-iteration PageRank, each sequential and
+// Pyjama-parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pj/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace parc::kernels {
+
+/// Compressed-sparse-row directed graph.
+class CsrGraph {
+ public:
+  using Vertex = std::uint32_t;
+
+  /// Build from an edge list (duplicates kept, self-loops kept).
+  CsrGraph(Vertex num_vertices,
+           const std::vector<std::pair<Vertex, Vertex>>& edges);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return adjacency_.size();
+  }
+
+  [[nodiscard]] std::size_t out_degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbours of v as a [begin, end) span into the adjacency array.
+  [[nodiscard]] const Vertex* neighbours_begin(Vertex v) const {
+    return adjacency_.data() + offsets_[v];
+  }
+  [[nodiscard]] const Vertex* neighbours_end(Vertex v) const {
+    return adjacency_.data() + offsets_[v + 1];
+  }
+
+ private:
+  Vertex n_;
+  std::vector<std::size_t> offsets_;   // n+1 entries
+  std::vector<Vertex> adjacency_;
+};
+
+/// Erdős–Rényi-style random digraph with out-degrees ~ Poisson(avg_degree),
+/// deterministic in `seed`.
+[[nodiscard]] CsrGraph make_random_graph(std::uint32_t n, double avg_degree,
+                                         std::uint64_t seed);
+
+/// Scale-free-ish digraph: targets drawn Zipf-skewed so a few hubs exist
+/// (exercises load imbalance — the reason dynamic schedules win here).
+[[nodiscard]] CsrGraph make_skewed_graph(std::uint32_t n, double avg_degree,
+                                         std::uint64_t seed);
+
+/// BFS distances from `source` (unreachable = UINT32_MAX). Sequential.
+[[nodiscard]] std::vector<std::uint32_t> bfs_seq(const CsrGraph& g,
+                                                 std::uint32_t source);
+
+/// Level-synchronous parallel BFS: each frontier is expanded by a
+/// worksharing loop; next-frontier membership decided by atomic CAS on the
+/// distance array.
+[[nodiscard]] std::vector<std::uint32_t> bfs_pj(const CsrGraph& g,
+                                                std::uint32_t source,
+                                                std::size_t num_threads,
+                                                pj::ForOptions opts = {});
+
+/// PageRank by power iteration (damping d, `iters` rounds). Sequential.
+[[nodiscard]] std::vector<double> pagerank_seq(const CsrGraph& g, int iters,
+                                               double damping = 0.85);
+
+/// Parallel PageRank: rank scatter per vertex row, workshared; dangling mass
+/// accumulated with a reduction.
+[[nodiscard]] std::vector<double> pagerank_pj(const CsrGraph& g, int iters,
+                                              std::size_t num_threads,
+                                              double damping = 0.85,
+                                              pj::ForOptions opts = {});
+
+}  // namespace parc::kernels

@@ -1,0 +1,9 @@
+// Umbrella header for the computational kernels (parc::kernels).
+#pragma once
+
+#include "kernels/fft.hpp"      // IWYU pragma: export
+#include "kernels/graph.hpp"    // IWYU pragma: export
+#include "kernels/linalg.hpp"   // IWYU pragma: export
+#include "kernels/moldyn.hpp"   // IWYU pragma: export
+#include "kernels/sort.hpp"     // IWYU pragma: export
+#include "kernels/stencil.hpp"  // IWYU pragma: export

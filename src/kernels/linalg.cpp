@@ -1,0 +1,285 @@
+#include "kernels/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pj/parallel.hpp"
+#include "support/check.hpp"
+
+namespace parc::kernels {
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  PARC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix gemm_seq(const Matrix& a, const Matrix& b) {
+  PARC_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {  // ikj: streaming-friendly
+      const double aik = a.at(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix gemm_blocked(const Matrix& a, const Matrix& b, std::size_t block) {
+  PARC_CHECK(a.cols() == b.rows());
+  PARC_CHECK(block >= 1);
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = a.rows(), m = b.cols(), p = a.cols();
+  for (std::size_t i0 = 0; i0 < n; i0 += block) {
+    for (std::size_t k0 = 0; k0 < p; k0 += block) {
+      for (std::size_t j0 = 0; j0 < m; j0 += block) {
+        const std::size_t i1 = std::min(i0 + block, n);
+        const std::size_t k1 = std::min(k0 + block, p);
+        const std::size_t j1 = std::min(j0 + block, m);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t k = k0; k < k1; ++k) {
+            const double aik = a.at(i, k);
+            for (std::size_t j = j0; j < j1; ++j) {
+              c.at(i, j) += aik * b.at(k, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix gemm_pj(const Matrix& a, const Matrix& b, std::size_t num_threads,
+               pj::ForOptions opts) {
+  PARC_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  pj::parallel_for(
+      num_threads, 0, static_cast<std::int64_t>(a.rows()),
+      [&](std::int64_t ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+          const double aik = a.at(i, k);
+          for (std::size_t j = 0; j < b.cols(); ++j) {
+            c.at(i, j) += aik * b.at(k, j);
+          }
+        }
+      },
+      opts);
+  return c;
+}
+
+Matrix gemm_pj_collapsed(const Matrix& a, const Matrix& b,
+                         std::size_t num_threads, pj::ForOptions opts) {
+  PARC_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  pj::parallel_for_2d(
+      num_threads, 0, static_cast<std::int64_t>(a.rows()), 0,
+      static_cast<std::int64_t>(b.cols()),
+      [&](std::int64_t ii, std::int64_t jj) {
+        const auto i = static_cast<std::size_t>(ii);
+        const auto j = static_cast<std::size_t>(jj);
+        double acc = 0.0;
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+          acc += a.at(i, k) * b.at(k, j);
+        }
+        c.at(i, j) = acc;
+      },
+      opts);
+  return c;
+}
+
+namespace {
+
+/// Shared pivoting step: returns pivot row index for column k.
+std::size_t find_pivot(const Matrix& a, std::size_t k) {
+  std::size_t pivot = k;
+  double best = std::abs(a.at(k, k));
+  for (std::size_t r = k + 1; r < a.rows(); ++r) {
+    const double v = std::abs(a.at(r, k));
+    if (v > best) {
+      best = v;
+      pivot = r;
+    }
+  }
+  PARC_CHECK_MSG(best > 0.0, "LU: singular matrix");
+  return pivot;
+}
+
+void swap_rows(Matrix& a, std::size_t r1, std::size_t r2) {
+  if (r1 == r2) return;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    std::swap(a.at(r1, c), a.at(r2, c));
+  }
+}
+
+}  // namespace
+
+LuResult lu_decompose_seq(Matrix a) {
+  PARC_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  LuResult out;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t pivot = find_pivot(a, k);
+    if (pivot != k) {
+      swap_rows(a, pivot, k);
+      std::swap(out.perm[pivot], out.perm[k]);
+      out.sign = -out.sign;
+    }
+    const double akk = a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a.at(r, k) / akk;
+      a.at(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(k, c);
+      }
+    }
+  }
+  out.lu = std::move(a);
+  return out;
+}
+
+LuResult lu_decompose_pj(Matrix a, std::size_t num_threads,
+                         pj::ForOptions opts) {
+  PARC_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  LuResult out;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  pj::region(num_threads, [&](pj::Team& team) {
+    for (std::size_t k = 0; k < n; ++k) {
+      team.single([&] {
+        const std::size_t pivot = find_pivot(a, k);
+        if (pivot != k) {
+          swap_rows(a, pivot, k);
+          std::swap(out.perm[pivot], out.perm[k]);
+          out.sign = -out.sign;
+        }
+      });
+      // single's barrier published the pivoted row; workshare the trailing
+      // update rows — each row is written by exactly one thread.
+      const double akk = a.at(k, k);
+      pj::for_loop(
+          team, static_cast<std::int64_t>(k) + 1, static_cast<std::int64_t>(n),
+          [&](std::int64_t rr) {
+            const auto r = static_cast<std::size_t>(rr);
+            const double factor = a.at(r, k) / akk;
+            a.at(r, k) = factor;
+            for (std::size_t c = k + 1; c < n; ++c) {
+              a.at(r, c) -= factor * a.at(k, c);
+            }
+          },
+          opts);
+    }
+  });
+  out.lu = std::move(a);
+  return out;
+}
+
+std::vector<double> lu_solve(const LuResult& lu, const std::vector<double>& b) {
+  const std::size_t n = lu.lu.rows();
+  PARC_CHECK(b.size() == n);
+  // Forward substitution with permuted rhs (Ly = Pb, L unit lower).
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[lu.perm[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu.lu.at(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Backward substitution (Ux = y).
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu.lu.at(ii, j) * x[j];
+    x[ii] = acc / lu.lu.at(ii, ii);
+  }
+  return x;
+}
+
+CsrMatrix CsrMatrix::random(std::size_t rows, std::size_t cols, double density,
+                            std::uint64_t seed) {
+  PARC_CHECK(density > 0.0 && density <= 1.0);
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_offsets.reserve(rows + 1);
+  m.row_offsets.push_back(0);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto nnz = static_cast<std::size_t>(
+        rng.exponential(density * static_cast<double>(cols)));
+    // Sorted unique column picks for this row.
+    std::vector<std::size_t> picks;
+    picks.reserve(nnz);
+    for (std::size_t k = 0; k < nnz; ++k) {
+      picks.push_back(static_cast<std::size_t>(rng.below(cols)));
+    }
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+    for (auto c : picks) {
+      m.col_index.push_back(c);
+      m.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    m.row_offsets.push_back(m.col_index.size());
+  }
+  return m;
+}
+
+std::vector<double> spmv_seq(const CsrMatrix& a, const std::vector<double>& x) {
+  PARC_CHECK(x.size() == a.cols);
+  std::vector<double> y(a.rows, 0.0);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = a.row_offsets[r]; k < a.row_offsets[r + 1]; ++k) {
+      acc += a.values[k] * x[a.col_index[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> spmv_pj(const CsrMatrix& a, const std::vector<double>& x,
+                            std::size_t num_threads, pj::ForOptions opts) {
+  PARC_CHECK(x.size() == a.cols);
+  std::vector<double> y(a.rows, 0.0);
+  pj::parallel_for(
+      num_threads, 0, static_cast<std::int64_t>(a.rows),
+      [&](std::int64_t rr) {
+        const auto r = static_cast<std::size_t>(rr);
+        double acc = 0.0;
+        for (std::size_t k = a.row_offsets[r]; k < a.row_offsets[r + 1]; ++k) {
+          acc += a.values[k] * x[a.col_index[k]];
+        }
+        y[r] = acc;
+      },
+      opts);
+  return y;
+}
+
+}  // namespace parc::kernels

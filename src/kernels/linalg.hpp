@@ -1,0 +1,107 @@
+// Dense and sparse linear-algebra kernels (project 3): GEMM (naive, blocked,
+// parallel), LU with partial pivoting, triangular solves, CSR SpMV.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pj/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace parc::kernels {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+  /// Max-abs elementwise difference (test oracle comparisons).
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  [[nodiscard]] static Matrix random(std::size_t rows, std::size_t cols,
+                                     std::uint64_t seed);
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A·B, triple loop (reference oracle).
+[[nodiscard]] Matrix gemm_seq(const Matrix& a, const Matrix& b);
+
+/// Cache-blocked sequential GEMM.
+[[nodiscard]] Matrix gemm_blocked(const Matrix& a, const Matrix& b,
+                                  std::size_t block = 64);
+
+/// Parallel GEMM: row blocks workshared over a Pyjama team.
+[[nodiscard]] Matrix gemm_pj(const Matrix& a, const Matrix& b,
+                             std::size_t num_threads,
+                             pj::ForOptions opts = {});
+
+/// Parallel GEMM over the collapsed (i, j) space (`collapse(2)`): finer
+/// units than whole rows, which balances better when rows < threads or row
+/// costs are uneven — the ablation bench compares both.
+[[nodiscard]] Matrix gemm_pj_collapsed(const Matrix& a, const Matrix& b,
+                                       std::size_t num_threads,
+                                       pj::ForOptions opts = {});
+
+/// LU decomposition with partial pivoting: returns L (unit diagonal) and U
+/// packed into one matrix plus the row permutation. Aborts on singularity.
+struct LuResult {
+  Matrix lu;                       ///< L below diagonal, U on/above
+  std::vector<std::size_t> perm;   ///< row permutation applied to A
+  int sign = 1;                    ///< permutation parity (for determinants)
+};
+[[nodiscard]] LuResult lu_decompose_seq(Matrix a);
+
+/// Parallel LU: the trailing-submatrix update of each elimination step is
+/// workshared (the O(n³) part); pivot search stays on the master.
+[[nodiscard]] LuResult lu_decompose_pj(Matrix a, std::size_t num_threads,
+                                       pj::ForOptions opts = {});
+
+/// Solve A x = b given an LU decomposition of A.
+[[nodiscard]] std::vector<double> lu_solve(const LuResult& lu,
+                                           const std::vector<double>& b);
+
+/// Sparse CSR matrix (values + column indices + row offsets).
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> row_offsets;  // rows+1
+  std::vector<std::size_t> col_index;
+  std::vector<double> values;
+
+  [[nodiscard]] static CsrMatrix random(std::size_t rows, std::size_t cols,
+                                        double density, std::uint64_t seed);
+};
+
+/// y = A·x, sequential.
+[[nodiscard]] std::vector<double> spmv_seq(const CsrMatrix& a,
+                                           const std::vector<double>& x);
+
+/// y = A·x with rows workshared (guided schedules shine on skewed rows).
+[[nodiscard]] std::vector<double> spmv_pj(const CsrMatrix& a,
+                                          const std::vector<double>& x,
+                                          std::size_t num_threads,
+                                          pj::ForOptions opts = {});
+
+}  // namespace parc::kernels

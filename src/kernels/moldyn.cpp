@@ -1,0 +1,127 @@
+#include "kernels/moldyn.hpp"
+
+#include <cmath>
+
+#include "pj/reductions.hpp"
+#include "support/check.hpp"
+
+namespace parc::kernels {
+
+MdSystem make_md_system(std::size_t n, std::uint64_t seed,
+                        double temperature) {
+  PARC_CHECK(n >= 2);
+  MdSystem sys;
+  sys.pos.resize(n);
+  sys.vel.resize(n);
+  sys.force.resize(n);
+  Rng rng(seed);
+
+  // Particles on a cubic lattice with small jitter: avoids the singular
+  // overlaps a uniform-random placement would produce.
+  const auto side = static_cast<std::size_t>(std::ceil(std::cbrt(
+      static_cast<double>(n))));
+  const double spacing = sys.box / static_cast<double>(side);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ix = i % side;
+    const std::size_t iy = (i / side) % side;
+    const std::size_t iz = i / (side * side);
+    sys.pos[i] = {(static_cast<double>(ix) + 0.5) * spacing +
+                      rng.uniform(-0.05, 0.05) * spacing,
+                  (static_cast<double>(iy) + 0.5) * spacing +
+                      rng.uniform(-0.05, 0.05) * spacing,
+                  (static_cast<double>(iz) + 0.5) * spacing +
+                      rng.uniform(-0.05, 0.05) * spacing};
+  }
+
+  const double sigma_v = std::sqrt(temperature);
+  Vec3 net{};
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.vel[i] = {rng.normal(0.0, sigma_v), rng.normal(0.0, sigma_v),
+                  rng.normal(0.0, sigma_v)};
+    net += sys.vel[i];
+  }
+  const Vec3 correction = net * (1.0 / static_cast<double>(n));
+  for (auto& v : sys.vel) v -= correction;  // zero total momentum
+  return sys;
+}
+
+namespace {
+
+/// Pairwise LJ contribution of (i, j): adds to fi and returns the pair's
+/// potential energy (0 beyond the cutoff).
+inline double lj_pair(const MdSystem& sys, std::size_t i, std::size_t j,
+                      Vec3& fi) {
+  Vec3 d = sys.pos[i] - sys.pos[j];
+  // minimum image
+  auto mi = [&](double& c) {
+    if (c > 0.5 * sys.box) c -= sys.box;
+    if (c < -0.5 * sys.box) c += sys.box;
+  };
+  mi(d.x);
+  mi(d.y);
+  mi(d.z);
+  const double r2 = d.norm2();
+  const double rc2 = sys.cutoff * sys.cutoff;
+  if (r2 >= rc2 || r2 == 0.0) return 0.0;
+  const double inv_r2 = 1.0 / r2;
+  const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+  const double inv_r12 = inv_r6 * inv_r6;
+  // F = 24ε (2 (σ/r)^12 − (σ/r)^6) / r² · d, with σ = ε = 1.
+  const double fmag = 24.0 * (2.0 * inv_r12 - inv_r6) * inv_r2;
+  fi += d * fmag;
+  return 4.0 * (inv_r12 - inv_r6);
+}
+
+}  // namespace
+
+double compute_forces_seq(MdSystem& sys) {
+  const std::size_t n = sys.size();
+  for (auto& f : sys.force) f = {};
+  double pe = 0.0;
+  // Full (i, j≠i) sweep: each particle accumulates its own force, energy
+  // pairs counted once via i<j weighting below.
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 fi{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double e = lj_pair(sys, i, j, fi);
+      if (j > i) pe += e;
+    }
+    sys.force[i] = fi;
+  }
+  return pe;
+}
+
+double compute_forces_pj(MdSystem& sys, std::size_t num_threads,
+                         pj::ForOptions opts) {
+  const std::size_t n = sys.size();
+  for (auto& f : sys.force) f = {};
+  // Row i owns force[i]: no write sharing; energy reduces over the team.
+  return pj::reduce(
+      num_threads, 0, static_cast<std::int64_t>(n), pj::SumReducer<double>{},
+      [&](std::int64_t ii, double& acc) {
+        const auto i = static_cast<std::size_t>(ii);
+        Vec3 fi{};
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double e = lj_pair(sys, i, j, fi);
+          if (j > i) acc += e;
+        }
+        sys.force[i] = fi;
+      },
+      opts);
+}
+
+double kinetic_energy(const MdSystem& sys) {
+  double ke = 0.0;
+  for (const auto& v : sys.vel) ke += 0.5 * v.norm2();
+  return ke;
+}
+
+double net_momentum(const MdSystem& sys) {
+  Vec3 p{};
+  for (const auto& v : sys.vel) p += v;
+  return std::sqrt(p.norm2());
+}
+
+}  // namespace parc::kernels

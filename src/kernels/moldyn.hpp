@@ -1,0 +1,98 @@
+// Molecular-dynamics kernel (project 3): Lennard-Jones particles in a
+// periodic cubic box, velocity-Verlet integration, O(n²) force evaluation —
+// the classic teaching MD (a miniature of the SPEC/Nas MD kernels the C
+// handouts gave students).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pj/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace parc::kernels {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  [[nodiscard]] double norm2() const noexcept { return x * x + y * y + z * z; }
+};
+
+struct MdSystem {
+  double box = 10.0;   ///< periodic box edge length
+  double dt = 0.001;   ///< integration timestep
+  double cutoff = 2.5; ///< LJ cutoff radius
+  std::vector<Vec3> pos;
+  std::vector<Vec3> vel;
+  std::vector<Vec3> force;
+
+  [[nodiscard]] std::size_t size() const noexcept { return pos.size(); }
+};
+
+/// Build an n-particle system on a jittered lattice with Maxwellian
+/// velocities (zero net momentum), deterministic in `seed`.
+[[nodiscard]] MdSystem make_md_system(std::size_t n, std::uint64_t seed,
+                                      double temperature = 0.7);
+
+/// O(n²) Lennard-Jones forces with minimum-image convention. Returns the
+/// potential energy. Sequential reference.
+double compute_forces_seq(MdSystem& sys);
+
+/// Parallel force evaluation: particle rows workshared over a Pyjama team;
+/// the potential energy is a SumReducer reduction.
+double compute_forces_pj(MdSystem& sys, std::size_t num_threads,
+                         pj::ForOptions opts = {});
+
+/// One velocity-Verlet step using the provided force function. Returns the
+/// potential energy at the new positions.
+template <typename ForceFn>
+double verlet_step(MdSystem& sys, ForceFn&& forces) {
+  const double half_dt = 0.5 * sys.dt;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys.vel[i] += sys.force[i] * half_dt;
+    sys.pos[i] += sys.vel[i] * sys.dt;
+    // wrap into the periodic box
+    auto wrap = [&](double& c) {
+      while (c < 0.0) c += sys.box;
+      while (c >= sys.box) c -= sys.box;
+    };
+    wrap(sys.pos[i].x);
+    wrap(sys.pos[i].y);
+    wrap(sys.pos[i].z);
+  }
+  const double pe = forces(sys);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys.vel[i] += sys.force[i] * half_dt;
+  }
+  return pe;
+}
+
+/// Kinetic energy ½ Σ v².
+[[nodiscard]] double kinetic_energy(const MdSystem& sys);
+
+/// Net momentum magnitude (conserved quantity; ~0 throughout a run).
+[[nodiscard]] double net_momentum(const MdSystem& sys);
+
+}  // namespace parc::kernels

@@ -1,0 +1,158 @@
+#include "kernels/sort.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "pj/parallel.hpp"
+#include "ptask/spawn.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parc::kernels {
+
+namespace {
+
+using Iter = std::vector<std::int64_t>::iterator;
+
+/// Median-of-three Hoare partition; returns the split point.
+Iter partition_range(Iter first, Iter last) {
+  const auto n = last - first;
+  auto mid = first + n / 2;
+  // Median-of-three pivot selection defends against sorted inputs.
+  if (*mid < *first) std::iter_swap(mid, first);
+  if (*(last - 1) < *first) std::iter_swap(last - 1, first);
+  if (*(last - 1) < *mid) std::iter_swap(last - 1, mid);
+  const std::int64_t pivot = *mid;
+  auto lo = first;
+  auto hi = last - 1;
+  for (;;) {
+    while (*lo < pivot) ++lo;
+    while (pivot < *hi) --hi;
+    if (lo >= hi) return hi + 1;
+    std::iter_swap(lo, hi);
+    ++lo;
+    --hi;
+  }
+}
+
+void qsort_seq_range(Iter first, Iter last) {
+  while (last - first > 32) {
+    const Iter split = partition_range(first, last);
+    // Recurse into the smaller side, loop on the larger (O(log n) stack).
+    if (split - first < last - split) {
+      qsort_seq_range(first, split);
+      first = split;
+    } else {
+      qsort_seq_range(split, last);
+      last = split;
+    }
+  }
+  // Insertion sort for small ranges.
+  for (Iter i = first + (first == last ? 0 : 1); i < last; ++i) {
+    std::int64_t v = *i;
+    Iter j = i;
+    while (j > first && *(j - 1) > v) {
+      *j = *(j - 1);
+      --j;
+    }
+    *j = v;
+  }
+}
+
+void qsort_ptask_range(Iter first, Iter last, ptask::Runtime& rt,
+                       ptask::TaskGroup& group, std::size_t cutoff) {
+  if (static_cast<std::size_t>(last - first) <= cutoff) {
+    qsort_seq_range(first, last);
+    return;
+  }
+  const Iter split = partition_range(first, last);
+  group.run([first, split, &rt, &group, cutoff] {
+    qsort_ptask_range(first, split, rt, group, cutoff);
+  });
+  qsort_ptask_range(split, last, rt, group, cutoff);
+}
+
+void qsort_pj_range(Iter first, Iter last, std::size_t depth,
+                    std::size_t cutoff) {
+  if (depth == 0 || static_cast<std::size_t>(last - first) <= cutoff) {
+    qsort_seq_range(first, last);
+    return;
+  }
+  const Iter split = partition_range(first, last);
+  pj::region(2, [&](pj::Team& team) {
+    team.sections({
+        [&] { qsort_pj_range(first, split, depth - 1, cutoff); },
+        [&] { qsort_pj_range(split, last, depth - 1, cutoff); },
+    });
+  });
+}
+
+void qsort_threads_range(Iter first, Iter last, std::size_t depth,
+                         std::size_t cutoff) {
+  if (depth == 0 || static_cast<std::size_t>(last - first) <= cutoff) {
+    qsort_seq_range(first, last);
+    return;
+  }
+  const Iter split = partition_range(first, last);
+  std::thread left([first, split, depth, cutoff] {
+    qsort_threads_range(first, split, depth - 1, cutoff);
+  });
+  qsort_threads_range(split, last, depth - 1, cutoff);
+  left.join();
+}
+
+}  // namespace
+
+void quicksort_seq(std::vector<std::int64_t>& data) {
+  if (data.size() < 2) return;
+  qsort_seq_range(data.begin(), data.end());
+}
+
+void quicksort_ptask(std::vector<std::int64_t>& data, ptask::Runtime& rt,
+                     std::size_t cutoff) {
+  if (data.size() < 2) return;
+  PARC_CHECK(cutoff >= 1);
+  ptask::TaskGroup group(rt);
+  qsort_ptask_range(data.begin(), data.end(), rt, group, cutoff);
+  group.wait();
+}
+
+void quicksort_pj(std::vector<std::int64_t>& data, std::size_t max_depth,
+                  std::size_t cutoff) {
+  if (data.size() < 2) return;
+  qsort_pj_range(data.begin(), data.end(), max_depth, cutoff);
+}
+
+void quicksort_threads(std::vector<std::int64_t>& data, std::size_t max_depth,
+                       std::size_t cutoff) {
+  if (data.size() < 2) return;
+  qsort_threads_range(data.begin(), data.end(), max_depth, cutoff);
+}
+
+std::vector<std::int64_t> make_sort_input(std::size_t n, InputKind kind,
+                                          std::uint64_t seed) {
+  std::vector<std::int64_t> out(n);
+  Rng rng(seed);
+  switch (kind) {
+    case InputKind::kUniform:
+      for (auto& v : out) v = static_cast<std::int64_t>(rng.bits() >> 1);
+      break;
+    case InputKind::kSorted:
+      for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::int64_t>(i);
+      break;
+    case InputKind::kReverse:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::int64_t>(n - i);
+      }
+      break;
+    case InputKind::kFewUniques:
+      for (auto& v : out) v = static_cast<std::int64_t>(rng.below(16));
+      break;
+    case InputKind::kConstant:
+      std::fill(out.begin(), out.end(), 42);
+      break;
+  }
+  return out;
+}
+
+}  // namespace parc::kernels

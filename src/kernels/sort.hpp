@@ -1,0 +1,41 @@
+// Project 2: parallel quicksort, once per runtime flavour —
+//   quicksort_seq    — sequential reference
+//   quicksort_ptask  — ParallelTask recursion (TaskGroup, cutoff)
+//   quicksort_pj     — Pyjama nested sections to a depth limit
+//   quicksort_threads — raw std::thread per recursion level (depth-limited),
+//                       the "standard Java threads" strategy of the paper
+// All sort in place and agree with std::sort on every input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ptask/runtime.hpp"
+
+namespace parc::kernels {
+
+void quicksort_seq(std::vector<std::int64_t>& data);
+
+/// ParallelTask version: spawns a task for one partition while recursing on
+/// the other; falls back to sequential below `cutoff` elements.
+void quicksort_ptask(std::vector<std::int64_t>& data, ptask::Runtime& rt,
+                     std::size_t cutoff = 8192);
+
+/// Pyjama version: nested 2-thread sections down to `max_depth` levels, the
+/// shape a directive-based fork/join gives.
+void quicksort_pj(std::vector<std::int64_t>& data, std::size_t max_depth = 4,
+                  std::size_t cutoff = 8192);
+
+/// Raw-threads version: spawns a std::thread per right partition down to
+/// `max_depth` levels (thread-per-task, the costliest strategy).
+void quicksort_threads(std::vector<std::int64_t>& data,
+                       std::size_t max_depth = 4, std::size_t cutoff = 8192);
+
+/// Deterministic test vectors: uniform, sorted, reverse-sorted, few-uniques.
+enum class InputKind { kUniform, kSorted, kReverse, kFewUniques, kConstant };
+[[nodiscard]] std::vector<std::int64_t> make_sort_input(std::size_t n,
+                                                        InputKind kind,
+                                                        std::uint64_t seed);
+
+}  // namespace parc::kernels

@@ -1,0 +1,59 @@
+#include "kernels/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pj/reductions.hpp"
+#include "support/check.hpp"
+
+namespace parc::kernels {
+
+Grid2D make_heat_grid(std::size_t rows, std::size_t cols, double edge_temp) {
+  PARC_CHECK(rows >= 3 && cols >= 3);
+  Grid2D g(rows, cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) g.at(0, c) = edge_temp;
+  return g;
+}
+
+double jacobi_seq(Grid2D& grid, int iters) {
+  Grid2D next = grid;
+  double residual = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    residual = 0.0;
+    for (std::size_t r = 1; r + 1 < grid.rows; ++r) {
+      for (std::size_t c = 1; c + 1 < grid.cols; ++c) {
+        const double v = 0.25 * (grid.at(r - 1, c) + grid.at(r + 1, c) +
+                                 grid.at(r, c - 1) + grid.at(r, c + 1));
+        residual = std::max(residual, std::abs(v - grid.at(r, c)));
+        next.at(r, c) = v;
+      }
+    }
+    std::swap(grid.cells, next.cells);
+  }
+  return residual;
+}
+
+double jacobi_pj(Grid2D& grid, int iters, std::size_t num_threads,
+                 pj::ForOptions opts) {
+  Grid2D next = grid;
+  double residual = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    residual = pj::reduce(
+        num_threads, 1, static_cast<std::int64_t>(grid.rows) - 1,
+        pj::MaxReducer<double>{},
+        [&](std::int64_t rr, double& acc) {
+          const auto r = static_cast<std::size_t>(rr);
+          for (std::size_t c = 1; c + 1 < grid.cols; ++c) {
+            const double v = 0.25 * (grid.at(r - 1, c) + grid.at(r + 1, c) +
+                                     grid.at(r, c - 1) + grid.at(r, c + 1));
+            acc = std::max(acc, std::abs(v - grid.at(r, c)));
+            next.at(r, c) = v;
+          }
+        },
+        opts);
+    std::swap(grid.cells, next.cells);
+  }
+  return residual;
+}
+
+}  // namespace parc::kernels

@@ -1,0 +1,42 @@
+// Jacobi 2-D heat-diffusion stencil (project 3's "nested loops" shape).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pj/schedule.hpp"
+
+namespace parc::kernels {
+
+/// Dense 2-D grid with fixed boundary values.
+struct Grid2D {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> cells;
+
+  Grid2D() = default;
+  Grid2D(std::size_t r, std::size_t c, double fill = 0.0)
+      : rows(r), cols(c), cells(r * c, fill) {}
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return cells[r * cols + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return cells[r * cols + c];
+  }
+};
+
+/// Hot-top-edge initial condition used by tests and benches.
+[[nodiscard]] Grid2D make_heat_grid(std::size_t rows, std::size_t cols,
+                                    double edge_temp = 100.0);
+
+/// `iters` Jacobi sweeps; returns the final max residual (L∞ change of the
+/// last sweep). Sequential reference.
+double jacobi_seq(Grid2D& grid, int iters);
+
+/// Parallel Jacobi: interior rows workshared per sweep, residual reduced
+/// with MaxReducer. Bit-identical to jacobi_seq for any schedule.
+double jacobi_pj(Grid2D& grid, int iters, std::size_t num_threads,
+                 pj::ForOptions opts = {});
+
+}  // namespace parc::kernels

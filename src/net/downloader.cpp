@@ -1,0 +1,56 @@
+#include "net/downloader.hpp"
+
+#include <atomic>
+#include <memory>
+#include <semaphore>
+
+#include "ptask/ptask.hpp"
+#include "support/check.hpp"
+#include "support/clock.hpp"
+
+namespace parc::net {
+
+DownloadRun download_all(SimWebServer& server, std::size_t connections,
+                         ptask::Runtime& rt) {
+  PARC_CHECK(connections >= 1);
+  const std::size_t n = server.page_count();
+  DownloadRun run;
+  run.pages = n;
+  std::atomic<double> bytes{0.0};
+  // The connection budget: acquired before each fetch, released after —
+  // the "how many connections should be opened at the same time?" knob.
+  auto gate = std::make_unique<std::counting_semaphore<>>(
+      static_cast<std::ptrdiff_t>(connections));
+
+  Stopwatch sw;
+  std::vector<ptask::TaskID<void>> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back(ptask::run_interactive(rt, [&, i] {
+      gate->acquire();
+      const double b = server.fetch(i);
+      gate->release();
+      double cur = bytes.load(std::memory_order_relaxed);
+      while (!bytes.compare_exchange_weak(cur, cur + b,
+                                          std::memory_order_relaxed)) {
+      }
+    }));
+  }
+  for (auto& t : tasks) t.get();
+  run.wall_ms = sw.elapsed_ms();
+  run.bytes = bytes.load();
+  return run;
+}
+
+DownloadRun download_sequential(SimWebServer& server) {
+  DownloadRun run;
+  run.pages = server.page_count();
+  Stopwatch sw;
+  for (std::size_t i = 0; i < server.page_count(); ++i) {
+    run.bytes += server.fetch(i);
+  }
+  run.wall_ms = sw.elapsed_ms();
+  return run;
+}
+
+}  // namespace parc::net

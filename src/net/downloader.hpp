@@ -1,0 +1,29 @@
+// The student program of project 10: download N pages as fast as possible
+// with ParallelTask, bounded to a configurable number of simultaneous
+// connections. Interactive (IO) tasks + a counting semaphore — exactly the
+// structure Parallel Task's IO_TASK gives in Java.
+#pragma once
+
+#include <cstddef>
+
+#include "net/simweb.hpp"
+#include "ptask/runtime.hpp"
+
+namespace parc::net {
+
+struct DownloadRun {
+  double wall_ms = 0.0;
+  double bytes = 0.0;
+  std::size_t pages = 0;
+};
+
+/// Fetch every page of `server` using interactive tasks, at most
+/// `connections` in flight. Blocks until all pages have arrived.
+[[nodiscard]] DownloadRun download_all(SimWebServer& server,
+                                       std::size_t connections,
+                                       ptask::Runtime& rt);
+
+/// Sequential baseline: one connection, one fetch at a time.
+[[nodiscard]] DownloadRun download_sequential(SimWebServer& server);
+
+}  // namespace parc::net

@@ -1,0 +1,174 @@
+#include "net/simweb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace parc::net {
+
+std::vector<Page> make_page_set(std::size_t n, const NetParams& params,
+                                std::uint64_t seed) {
+  PARC_CHECK(n >= 1);
+  PARC_CHECK(params.num_hosts >= 1);
+  Rng rng(seed);
+  std::vector<Page> pages;
+  pages.reserve(n);
+  const double mu = std::log(params.mean_page_bytes) - 0.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    pages.push_back(Page{
+        rng.exponential(params.mean_latency_s),
+        std::max(1.0, rng.lognormal(mu, 1.0)),
+        static_cast<std::uint32_t>(rng.zipf(params.num_hosts, 1.1)),
+    });
+  }
+  return pages;
+}
+
+FetchSimResult simulate_fetch(const std::vector<Page>& pages,
+                              std::size_t connections,
+                              const NetParams& params) {
+  PARC_CHECK(connections >= 1);
+  PARC_CHECK(!pages.empty());
+
+  struct Conn {
+    bool busy = false;
+    bool transferring = false;
+    double phase_end = 0.0;   ///< latency phase end (when !transferring)
+    double remaining = 0.0;   ///< bytes left (when transferring)
+    std::size_t page = 0;
+  };
+  std::vector<Conn> conns(connections);
+  std::deque<std::size_t> queue;
+  std::uint32_t max_host = 0;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    queue.push_back(i);
+    max_host = std::max(max_host, pages[i].host);
+  }
+  std::vector<std::size_t> host_active(max_host + 1, 0);
+
+  std::vector<double> completion(pages.size(), 0.0);
+  double t = 0.0;
+  std::size_t done = 0;
+  double bytes_moved = 0.0;
+
+  // Take the first queued page whose host has spare capacity (FIFO among
+  // eligible pages); returns false when nothing is currently startable.
+  auto start_next = [&](Conn& c) -> bool {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      const std::size_t p = *it;
+      const std::uint32_t host = pages[p].host;
+      if (params.per_host_cap != 0 &&
+          host_active[host] >= params.per_host_cap) {
+        continue;
+      }
+      queue.erase(it);
+      ++host_active[host];
+      c.busy = true;
+      c.transferring = false;
+      c.page = p;
+      c.phase_end = t + pages[p].latency_s + params.per_connection_overhead_s;
+      return true;
+    }
+    c.busy = false;
+    return false;
+  };
+
+  for (auto& c : conns) {
+    if (!start_next(c)) break;  // later conns can't start either (same state)
+  }
+
+  while (done < pages.size()) {
+    // Count active transfers to get the processor-sharing rate.
+    std::size_t transfers = 0;
+    for (const auto& c : conns) {
+      if (c.busy && c.transferring) ++transfers;
+    }
+    const double rate =
+        transfers > 0 ? params.bandwidth_bps / static_cast<double>(transfers)
+                      : 0.0;
+
+    // Earliest next event across latency expiries and transfer completions.
+    double t_next = std::numeric_limits<double>::infinity();
+    for (const auto& c : conns) {
+      if (!c.busy) continue;
+      if (c.transferring) {
+        t_next = std::min(t_next, t + c.remaining / rate);
+      } else {
+        t_next = std::min(t_next, c.phase_end);
+      }
+    }
+    PARC_CHECK_MSG(std::isfinite(t_next), "fetch simulation stalled");
+
+    // Advance transfers to t_next.
+    const double dt = t_next - t;
+    for (auto& c : conns) {
+      if (c.busy && c.transferring) {
+        c.remaining -= rate * dt;
+        bytes_moved += rate * dt;
+      }
+    }
+    t = t_next;
+
+    // Fire everything due at t (epsilon for float drift).
+    constexpr double kEps = 1e-12;
+    bool any_completion = false;
+    for (auto& c : conns) {
+      if (!c.busy) continue;
+      if (c.transferring && c.remaining <= kEps * params.bandwidth_bps + 1e-9) {
+        completion[c.page] = t;
+        ++done;
+        --host_active[pages[c.page].host];
+        c.busy = false;
+        any_completion = true;
+      } else if (!c.transferring && c.phase_end <= t + kEps) {
+        c.transferring = true;
+        c.remaining = pages[c.page].size_bytes;
+      }
+    }
+    if (any_completion) {
+      // A freed host slot may unblock pages skipped earlier; retry every
+      // idle connection until no further start succeeds.
+      for (auto& c : conns) {
+        if (!c.busy && !queue.empty()) {
+          if (!start_next(c)) break;
+        }
+      }
+    }
+  }
+
+  Summary s;
+  s.add_all(completion);
+  FetchSimResult out;
+  out.makespan_s = s.max();
+  out.mean_page_s = s.mean();
+  out.p95_page_s = s.percentile(95.0);
+  out.throughput_pages_s =
+      static_cast<double>(pages.size()) / std::max(out.makespan_s, 1e-12);
+  out.bandwidth_utilisation =
+      bytes_moved / (params.bandwidth_bps * std::max(out.makespan_s, 1e-12));
+  return out;
+}
+
+SimWebServer::SimWebServer(std::vector<Page> pages, const NetParams& params,
+                           double time_scale)
+    : pages_(std::move(pages)), params_(params), time_scale_(time_scale) {
+  PARC_CHECK(time_scale_ > 0.0);
+}
+
+double SimWebServer::fetch(std::size_t index) {
+  PARC_CHECK(index < pages_.size());
+  const Page& p = pages_[index];
+  const double transfer_s = p.size_bytes / params_.bandwidth_bps;
+  const double total_s =
+      (p.latency_s + params_.per_connection_overhead_s + transfer_s) *
+      time_scale_;
+  std::this_thread::sleep_for(std::chrono::duration<double>(total_s));
+  return p.size_bytes;
+}
+
+}  // namespace parc::net

@@ -1,0 +1,88 @@
+// Project 10 substrate: "fast web access through concurrent connections".
+//
+// Two faithful stand-ins for the real web the students hit:
+//
+//  1. A *virtual-clock* discrete-event model (simulate_fetch): each page has
+//     a latency (connection setup + server think time) and a size; active
+//     transfers share the client's downlink bandwidth (processor sharing).
+//     Deterministic, instant, and it reproduces the economics exactly —
+//     throughput rises while fetches are latency-bound, then knees when the
+//     downlink saturates; past that, extra connections only add overhead.
+//
+//  2. A *real-time* SimWebServer whose fetch() sleeps the scaled latency and
+//     transfer time, for driving the actual ParallelTask interactive-task
+//     code path in examples and tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parc::net {
+
+struct Page {
+  double latency_s;   ///< time before the first byte
+  double size_bytes;
+  std::uint32_t host = 0;  ///< origin server (per-host caps apply)
+};
+
+struct NetParams {
+  double mean_latency_s = 0.08;       ///< ~80 ms RTT+think
+  double mean_page_bytes = 256e3;     ///< 256 kB mean page
+  double bandwidth_bps = 12.5e6;      ///< 100 Mbit/s downlink (bytes/s)
+  /// Per-connection protocol overhead added to each fetch's latency —
+  /// models handshake cost that makes "thousands of connections" lose.
+  double per_connection_overhead_s = 0.004;
+  /// Distinct origin hosts pages are spread over (Zipf-popular).
+  std::uint32_t num_hosts = 1;
+  /// Max simultaneous connections to one host (0 = unlimited). Browsers
+  /// classically use 6; polite crawlers 1-2. With a hot host, this cap —
+  /// not the client's connection budget — limits throughput.
+  std::size_t per_host_cap = 0;
+};
+
+/// Deterministic page set: exponential latencies, log-normal sizes, hosts
+/// assigned Zipf(1.1) over params.num_hosts.
+[[nodiscard]] std::vector<Page> make_page_set(std::size_t n,
+                                              const NetParams& params,
+                                              std::uint64_t seed);
+
+struct FetchSimResult {
+  double makespan_s = 0.0;         ///< start → last page complete
+  double mean_page_s = 0.0;        ///< mean per-page completion latency
+  double p95_page_s = 0.0;
+  double throughput_pages_s = 0.0; ///< pages / makespan
+  double bandwidth_utilisation = 0.0;  ///< bytes moved / (B * makespan)
+};
+
+/// Fetch all pages with at most `connections` concurrent transfers on a
+/// shared downlink (processor sharing); exact event-driven evaluation on a
+/// virtual clock. Deterministic for a given page set.
+[[nodiscard]] FetchSimResult simulate_fetch(const std::vector<Page>& pages,
+                                            std::size_t connections,
+                                            const NetParams& params);
+
+/// Real-time simulated web server: fetch() blocks for the page's scaled
+/// latency + transfer time. time_scale 0.01 turns an 80 ms page into 0.8 ms
+/// so tests stay fast while the concurrency structure is identical.
+class SimWebServer {
+ public:
+  SimWebServer(std::vector<Page> pages, const NetParams& params,
+               double time_scale = 0.01);
+
+  /// Blocking fetch of page `index`; returns its (unscaled) modelled bytes.
+  double fetch(std::size_t index);
+
+  [[nodiscard]] std::size_t page_count() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  std::vector<Page> pages_;
+  NetParams params_;
+  double time_scale_;
+};
+
+}  // namespace parc::net

@@ -1,0 +1,41 @@
+// OpenMP `atomic` construct analogues: tiny wrappers over std::atomic
+// fetch-ops so teaching code can spell the four OpenMP atomic flavours
+// (read / write / update / capture) explicitly.
+#pragma once
+
+#include <atomic>
+
+namespace parc::pj {
+
+template <typename T>
+[[nodiscard]] T atomic_read(const std::atomic<T>& v) noexcept {
+  return v.load(std::memory_order_seq_cst);  // omp atomic read
+}
+
+template <typename T>
+void atomic_write(std::atomic<T>& v, T value) noexcept {
+  v.store(value, std::memory_order_seq_cst);  // omp atomic write
+}
+
+template <typename T>
+void atomic_add(std::atomic<T>& v, T delta) noexcept {
+  v.fetch_add(delta, std::memory_order_seq_cst);  // omp atomic update
+}
+
+template <typename T>
+[[nodiscard]] T atomic_capture_add(std::atomic<T>& v, T delta) noexcept {
+  return v.fetch_add(delta, std::memory_order_seq_cst);  // omp atomic capture
+}
+
+/// General read-modify-write via CAS loop (omp atomic update with an
+/// arbitrary pure operator).
+template <typename T, typename F>
+void atomic_update(std::atomic<T>& v, F&& op) noexcept {
+  T expected = v.load(std::memory_order_relaxed);
+  while (!v.compare_exchange_weak(expected, op(expected),
+                                  std::memory_order_seq_cst,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace parc::pj

@@ -1,0 +1,74 @@
+#include "pj/gui_region.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "pj/parallel.hpp"
+#include "support/check.hpp"
+
+namespace parc::pj {
+
+namespace {
+std::mutex g_edt_mutex;
+std::function<void(std::function<void()>)> g_edt_post;  // guarded by g_edt_mutex
+}  // namespace
+
+void set_event_dispatcher(std::function<void(std::function<void()>)> post) {
+  std::scoped_lock lock(g_edt_mutex);
+  g_edt_post = std::move(post);
+}
+
+void dispatch_to_edt(std::function<void()> fn) {
+  PARC_CHECK(fn != nullptr);
+  std::function<void(std::function<void()>)> post;
+  {
+    std::scoped_lock lock(g_edt_mutex);
+    post = g_edt_post;
+  }
+  if (post) {
+    post(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+GuiRegionHandle::GuiRegionHandle(std::thread coordinator)
+    : coordinator_(std::move(coordinator)) {}
+
+GuiRegionHandle::~GuiRegionHandle() {
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+GuiRegionHandle& GuiRegionHandle::operator=(GuiRegionHandle&& other) noexcept {
+  if (this != &other) {
+    if (coordinator_.joinable()) coordinator_.join();
+    coordinator_ = std::move(other.coordinator_);
+  }
+  return *this;
+}
+
+void GuiRegionHandle::wait() {
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+GuiRegionHandle gui_region(
+    std::size_t num_threads, std::function<void(Team&)> body,
+    std::function<void(std::exception_ptr)> on_complete) {
+  PARC_CHECK(body != nullptr);
+  std::thread coordinator(
+      [num_threads, body = std::move(body),
+       on_complete = std::move(on_complete)] {
+        std::exception_ptr error;
+        try {
+          region(num_threads, [&](Team& team) { body(team); });
+        } catch (...) {
+          error = std::current_exception();
+        }
+        if (on_complete) {
+          dispatch_to_edt([on_complete, error] { on_complete(error); });
+        }
+      });
+  return GuiRegionHandle(std::move(coordinator));
+}
+
+}  // namespace parc::pj

@@ -1,0 +1,60 @@
+// Pyjama's GUI-awareness: run a parallel region *off* the event-dispatch
+// thread and deliver a completion handler back *onto* it.
+//
+// This is the `//#omp parallel freeguithread` construct of the Java Pyjama
+// system (Vikas, Giacaman & Sinnen 2013): the EDT must never execute the
+// region (it would freeze the UI), so a coordinator thread forks the team,
+// joins it, and posts the continuation to the registered dispatcher.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "pj/team.hpp"
+
+namespace parc::pj {
+
+/// Register the process-wide event dispatcher used by gui_region completion
+/// handlers (same contract as ptask::Runtime::set_event_dispatcher). Pass
+/// nullptr to unregister; handlers then run on the coordinator thread.
+void set_event_dispatcher(std::function<void(std::function<void()>)> post);
+
+/// Deliver on the EDT if registered, inline otherwise.
+void dispatch_to_edt(std::function<void()> fn);
+
+/// Handle for an in-flight GUI region; joins on wait() or destruction
+/// (gsl::joining_thread discipline — never detached).
+class GuiRegionHandle {
+ public:
+  GuiRegionHandle() = default;
+  explicit GuiRegionHandle(std::thread coordinator);
+  ~GuiRegionHandle();
+
+  GuiRegionHandle(GuiRegionHandle&&) noexcept = default;
+  GuiRegionHandle& operator=(GuiRegionHandle&&) noexcept;
+
+  GuiRegionHandle(const GuiRegionHandle&) = delete;
+  GuiRegionHandle& operator=(const GuiRegionHandle&) = delete;
+
+  /// Block the calling thread until the region (and its completion dispatch)
+  /// has finished. Do not call from the EDT.
+  void wait();
+
+  [[nodiscard]] bool joinable() const noexcept {
+    return coordinator_.joinable();
+  }
+
+ private:
+  std::thread coordinator_;
+};
+
+/// Run `body(team)` on a background team of `num_threads`; when the region
+/// completes, `on_complete(error)` is posted to the EDT (error is nullptr on
+/// success, else the first exception from the team).
+GuiRegionHandle gui_region(
+    std::size_t num_threads, std::function<void(Team&)> body,
+    std::function<void(std::exception_ptr)> on_complete);
+
+}  // namespace parc::pj

@@ -1,0 +1,145 @@
+// Pyjama parallel constructs: `region` (omp parallel), worksharing loops
+// (omp for with schedules), and combined parallel-for.
+//
+// A region forks a fresh team — the calling thread participates as thread 0
+// and `size-1` joined std::threads are spawned for the rest, the classic
+// fork-join model. Exceptions thrown by any team thread are captured and the
+// first one is rethrown on the calling thread after the join (OpenMP leaves
+// this undefined; Pyjama's documented behaviour is to propagate).
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "pj/schedule.hpp"
+#include "pj/settings.hpp"
+#include "pj/tasks.hpp"
+#include "pj/team.hpp"
+#include "support/check.hpp"
+
+namespace parc::pj {
+
+/// Execute `body(team)` on a team of `num_threads` threads. Returns when all
+/// team members have finished (implicit barrier, threads joined).
+template <typename F>
+void region(std::size_t num_threads, F&& body) {
+  PARC_CHECK(num_threads >= 1);
+  Team team(num_threads);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;  // guarded by error_mutex
+
+  auto member = [&](int index) {
+    Team::MembershipScope scope(team, index);
+    try {
+      body(team);
+    } catch (...) {
+      std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    // OpenMP's region-end barrier completes deferred tasks; runs even when
+    // the body threw so no task can outlive the team.
+    try {
+      taskwait(team);
+    } catch (...) {
+      std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    threads.emplace_back(member, static_cast<int>(i));
+  }
+  member(0);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Region with the process default team size.
+template <typename F>
+void region(F&& body) {
+  region(default_num_threads(), std::forward<F>(body));
+}
+
+/// Worksharing loop inside an existing region: every team thread must call
+/// this with identical arguments (like encountering `#pragma omp for`).
+/// `body(i)` runs once for every i in [begin, end); implicit barrier at the
+/// end unless nowait.
+///
+/// nowait caveat (as in OpenMP): a nowait loop must not be followed by
+/// another worksharing construct on the same team without an intervening
+/// barrier, because the shared dispenser slot is reused.
+template <typename F>
+void for_loop(Team& team, std::int64_t begin, std::int64_t end, F&& body,
+              ForOptions opts = {}, bool nowait = false) {
+  // The single() winner installs the shared chunk dispenser; single's
+  // implicit barrier publishes it to every team member before any iterates.
+  team.single([&] {
+    team.set_workshare_slot(std::make_shared<ChunkSource>(
+        begin, end, static_cast<std::size_t>(team.num_threads()), opts));
+  });
+  auto source = std::static_pointer_cast<ChunkSource>(team.workshare_slot());
+  PARC_CHECK(source != nullptr);
+  // With nowait, a thread that finishes its share could reach a following
+  // worksharing construct and overwrite the team slot before a slower
+  // sibling has fetched it; this barrier makes the fetch safe either way.
+  team.barrier();
+
+  std::size_t local_step = 0;
+  const auto tid = static_cast<std::size_t>(team.thread_num());
+  while (auto chunk = source->next(tid, local_step)) {
+    for (std::int64_t i = chunk->begin; i < chunk->end; ++i) body(i);
+  }
+  if (!nowait) team.barrier();
+}
+
+/// Combined `parallel for`: forks a team and workshares [begin, end).
+template <typename F>
+void parallel_for(std::size_t num_threads, std::int64_t begin,
+                  std::int64_t end, F&& body, ForOptions opts = {}) {
+  if (begin >= end) return;
+  region(num_threads, [&](Team& team) {
+    for_loop(team, begin, end, body, opts, /*nowait=*/true);
+  });
+}
+
+template <typename F>
+void parallel_for(std::int64_t begin, std::int64_t end, F&& body,
+                  ForOptions opts = {}) {
+  parallel_for(default_num_threads(), begin, end, std::forward<F>(body), opts);
+}
+
+/// Collapsed 2-D parallel loop (`collapse(2)`): the (rows x cols) iteration
+/// space is flattened into one index space so scheduling balances across
+/// both dimensions — important when rows are few but columns are many.
+/// body(r, c) runs once for every pair in [r0, r1) x [c0, c1).
+template <typename F>
+void parallel_for_2d(std::size_t num_threads, std::int64_t r0, std::int64_t r1,
+                     std::int64_t c0, std::int64_t c1, F&& body,
+                     ForOptions opts = {}) {
+  if (r0 >= r1 || c0 >= c1) return;
+  const std::int64_t rows = r1 - r0;
+  const std::int64_t cols = c1 - c0;
+  parallel_for(
+      num_threads, 0, rows * cols,
+      [&](std::int64_t flat) {
+        body(r0 + flat / cols, c0 + flat % cols);
+      },
+      opts);
+}
+
+template <typename F>
+void parallel_for_2d(std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                     std::int64_t c1, F&& body, ForOptions opts = {}) {
+  parallel_for_2d(default_num_threads(), r0, r1, c0, c1,
+                  std::forward<F>(body), opts);
+}
+
+}  // namespace parc::pj

@@ -1,0 +1,20 @@
+// Umbrella header for the Pyjama runtime (parc::pj): OpenMP semantics as a
+// C++ library, plus Pyjama's two extensions — object reductions and
+// GUI-aware regions.
+//
+//   pj::region(4, [](pj::Team& t){ ... t.barrier(); ... });
+//   pj::parallel_for(0, n, [&](std::int64_t i){ ... },
+//                    {pj::Schedule::kDynamic, 64});
+//   auto total = pj::reduce(0, n, pj::SumReducer<double>{},
+//                           [&](std::int64_t i, double& acc){ acc += x[i]; });
+//   auto h = pj::gui_region(4, body, on_complete);   // EDT-safe region
+#pragma once
+
+#include "pj/atomic.hpp"      // IWYU pragma: export
+#include "pj/gui_region.hpp"  // IWYU pragma: export
+#include "pj/parallel.hpp"    // IWYU pragma: export
+#include "pj/reductions.hpp"  // IWYU pragma: export
+#include "pj/schedule.hpp"    // IWYU pragma: export
+#include "pj/settings.hpp"    // IWYU pragma: export
+#include "pj/tasks.hpp"       // IWYU pragma: export
+#include "pj/team.hpp"        // IWYU pragma: export

@@ -1,0 +1,309 @@
+// Pyjama reductions — including the object-oriented reductions that were
+// project 5's research contribution and §VI's example of teaching feeding
+// back into research.
+//
+// OpenMP's `reduction` clause covers a fixed operator set over scalars.
+// Pyjama generalises it: a *reducer* is any type with
+//
+//   using value_type = ...;
+//   value_type identity() const;
+//   void combine(value_type& into, value_type&& from) const;
+//
+// The reduce() driver gives each team thread a private accumulator seeded
+// with identity(), workshares the index space, then combines partials in
+// ascending thread order — deterministic for a fixed schedule/thread count,
+// and correct for any associative combine (commutativity not required).
+//
+// The builtin scalar reducers reproduce OpenMP's set; SetUnion, MapMerge,
+// VectorConcat, TopK and HistogramReducer are the "larger wealth of
+// reductions ... for example merging collections" the paper describes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "pj/parallel.hpp"
+#include "pj/schedule.hpp"
+#include "support/check.hpp"
+
+namespace parc::pj {
+
+// ---------------------------------------------------------------------------
+// Builtin scalar reducers (the OpenMP operator set).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct SumReducer {
+  using value_type = T;
+  [[nodiscard]] value_type identity() const { return T{}; }
+  void combine(value_type& into, value_type&& from) const { into += from; }
+};
+
+template <typename T>
+struct ProductReducer {
+  using value_type = T;
+  [[nodiscard]] value_type identity() const { return T{1}; }
+  void combine(value_type& into, value_type&& from) const { into *= from; }
+};
+
+template <typename T>
+struct MinReducer {
+  using value_type = T;
+  [[nodiscard]] value_type identity() const {
+    return std::numeric_limits<T>::max();
+  }
+  void combine(value_type& into, value_type&& from) const {
+    into = std::min(into, from);
+  }
+};
+
+template <typename T>
+struct MaxReducer {
+  using value_type = T;
+  [[nodiscard]] value_type identity() const {
+    return std::numeric_limits<T>::lowest();
+  }
+  void combine(value_type& into, value_type&& from) const {
+    into = std::max(into, from);
+  }
+};
+
+struct LogicalAndReducer {
+  using value_type = bool;
+  [[nodiscard]] value_type identity() const { return true; }
+  void combine(value_type& into, value_type&& from) const {
+    into = into && from;
+  }
+};
+
+struct LogicalOrReducer {
+  using value_type = bool;
+  [[nodiscard]] value_type identity() const { return false; }
+  void combine(value_type& into, value_type&& from) const {
+    into = into || from;
+  }
+};
+
+template <typename T>
+struct BitAndReducer {
+  static_assert(std::is_integral_v<T>);
+  using value_type = T;
+  [[nodiscard]] value_type identity() const { return static_cast<T>(~T{}); }
+  void combine(value_type& into, value_type&& from) const { into &= from; }
+};
+
+template <typename T>
+struct BitOrReducer {
+  static_assert(std::is_integral_v<T>);
+  using value_type = T;
+  [[nodiscard]] value_type identity() const { return T{}; }
+  void combine(value_type& into, value_type&& from) const { into |= from; }
+};
+
+template <typename T>
+struct BitXorReducer {
+  static_assert(std::is_integral_v<T>);
+  using value_type = T;
+  [[nodiscard]] value_type identity() const { return T{}; }
+  void combine(value_type& into, value_type&& from) const { into ^= from; }
+};
+
+// ---------------------------------------------------------------------------
+// Object reducers (Pyjama's extension; project 5).
+// ---------------------------------------------------------------------------
+
+/// Merge std::set partials (collection-merge reduction).
+template <typename T, typename Compare = std::less<T>>
+struct SetUnionReducer {
+  using value_type = std::set<T, Compare>;
+  [[nodiscard]] value_type identity() const { return {}; }
+  void combine(value_type& into, value_type&& from) const {
+    into.merge(from);
+  }
+};
+
+/// Merge std::map partials; colliding keys combine with ValueCombine.
+template <typename K, typename V, typename ValueCombine = std::plus<V>>
+struct MapMergeReducer {
+  using value_type = std::map<K, V>;
+  ValueCombine value_combine{};
+  [[nodiscard]] value_type identity() const { return {}; }
+  void combine(value_type& into, value_type&& from) const {
+    for (auto& [k, v] : from) {
+      auto [it, inserted] = into.try_emplace(k, std::move(v));
+      if (!inserted) it->second = value_combine(it->second, v);
+    }
+  }
+};
+
+/// Concatenate vector partials. Combined in thread order, so with a static
+/// schedule and chunk covering each thread's whole range the result equals
+/// the sequential order of per-index appends within each thread block.
+template <typename T>
+struct VectorConcatReducer {
+  using value_type = std::vector<T>;
+  [[nodiscard]] value_type identity() const { return {}; }
+  void combine(value_type& into, value_type&& from) const {
+    into.insert(into.end(), std::make_move_iterator(from.begin()),
+                std::make_move_iterator(from.end()));
+  }
+};
+
+/// Keep the k smallest elements under Compare (k-best reduction).
+template <typename T, typename Compare = std::less<T>>
+struct TopKReducer {
+  using value_type = std::vector<T>;  // kept sorted ascending by Compare
+  std::size_t k;
+  Compare less{};
+
+  explicit TopKReducer(std::size_t k_arg) : k(k_arg) { PARC_CHECK(k > 0); }
+
+  [[nodiscard]] value_type identity() const { return {}; }
+
+  /// Element-wise accumulate helper for use inside loop bodies.
+  void insert(value_type& acc, T item) const {
+    auto pos = std::lower_bound(acc.begin(), acc.end(), item, less);
+    acc.insert(pos, std::move(item));
+    if (acc.size() > k) acc.pop_back();
+  }
+
+  void combine(value_type& into, value_type&& from) const {
+    value_type merged;
+    merged.reserve(std::min(into.size() + from.size(), k));
+    std::merge(std::make_move_iterator(into.begin()),
+               std::make_move_iterator(into.end()),
+               std::make_move_iterator(from.begin()),
+               std::make_move_iterator(from.end()),
+               std::back_inserter(merged), less);
+    if (merged.size() > k) merged.resize(k);
+    into = std::move(merged);
+  }
+};
+
+/// Fixed-bin counting histogram.
+struct HistogramReducer {
+  using value_type = std::vector<std::uint64_t>;
+  std::size_t bins;
+
+  explicit HistogramReducer(std::size_t bins_arg) : bins(bins_arg) {
+    PARC_CHECK(bins > 0);
+  }
+
+  [[nodiscard]] value_type identity() const { return value_type(bins, 0); }
+
+  void count(value_type& acc, std::size_t bin) const {
+    PARC_DCHECK(bin < bins);
+    ++acc[bin];
+  }
+
+  void combine(value_type& into, value_type&& from) const {
+    PARC_CHECK(into.size() == from.size());
+    for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+  }
+};
+
+/// Ad-hoc reducer from identity value + combine lambda, for one-off
+/// user-defined reductions without a named struct.
+template <typename T, typename Combine>
+struct LambdaReducer {
+  using value_type = T;
+  T identity_value;
+  Combine combiner;
+  [[nodiscard]] value_type identity() const { return identity_value; }
+  void combine(value_type& into, value_type&& from) const {
+    combiner(into, std::move(from));
+  }
+};
+
+template <typename T, typename Combine>
+LambdaReducer<T, Combine> make_reducer(T identity, Combine combine) {
+  return LambdaReducer<T, Combine>{std::move(identity), std::move(combine)};
+}
+
+// ---------------------------------------------------------------------------
+// Drivers.
+// ---------------------------------------------------------------------------
+
+/// Reduction inside an existing region. `body(i, local)` accumulates index i
+/// into the thread-private accumulator `local`. Partials are combined in
+/// ascending thread order into the returned value on every thread (all team
+/// threads return the same result, like an OpenMP reduction variable after
+/// the join).
+template <typename Reducer, typename F>
+typename Reducer::value_type reduce_in_team(Team& team, std::int64_t begin,
+                                            std::int64_t end,
+                                            const Reducer& reducer, F&& body,
+                                            ForOptions opts = {}) {
+  using V = typename Reducer::value_type;
+  // Boxing each accumulator sidesteps std::vector<bool> proxies and gives
+  // every thread-private partial its own cache-line-ish object.
+  struct Cell {
+    V value;
+  };
+  struct Slot {
+    // One accumulator per team thread; threads touch only their own cell
+    // until the post-barrier combine, so no lock is needed.
+    std::vector<Cell> partials;
+    V result;
+  };
+  team.single([&] {
+    auto slot = std::make_shared<Slot>();
+    slot->partials.reserve(static_cast<std::size_t>(team.num_threads()));
+    for (int i = 0; i < team.num_threads(); ++i) {
+      slot->partials.push_back(Cell{reducer.identity()});
+    }
+    team.set_workshare_slot(std::move(slot));
+  });
+  auto slot = std::static_pointer_cast<Slot>(team.workshare_slot());
+  PARC_CHECK(slot != nullptr);
+  // Everyone must hold their Slot pointer before the for_loop below installs
+  // its own dispenser in the same team slot.
+  team.barrier();
+
+  const auto tid = static_cast<std::size_t>(team.thread_num());
+  V& local = slot->partials[tid].value;
+  for_loop(
+      team, begin, end, [&](std::int64_t i) { body(i, local); }, opts,
+      /*nowait=*/false);
+
+  // All iterations done (barrier above). Thread 0 folds in fixed order.
+  team.master([&] {
+    V acc = reducer.identity();
+    for (auto& p : slot->partials) reducer.combine(acc, std::move(p.value));
+    slot->result = std::move(acc);
+  });
+  team.barrier();
+  return slot->result;
+}
+
+/// Combined parallel + reduce over [begin, end).
+template <typename Reducer, typename F>
+typename Reducer::value_type reduce(std::size_t num_threads,
+                                    std::int64_t begin, std::int64_t end,
+                                    const Reducer& reducer, F&& body,
+                                    ForOptions opts = {}) {
+  typename Reducer::value_type out = reducer.identity();
+  region(num_threads, [&](Team& team) {
+    auto r = reduce_in_team(team, begin, end, reducer, body, opts);
+    team.master([&] { out = std::move(r); });
+  });
+  return out;
+}
+
+template <typename Reducer, typename F>
+typename Reducer::value_type reduce(std::int64_t begin, std::int64_t end,
+                                    const Reducer& reducer, F&& body,
+                                    ForOptions opts = {}) {
+  return reduce(default_num_threads(), begin, end, reducer,
+                std::forward<F>(body), opts);
+}
+
+}  // namespace parc::pj

@@ -1,0 +1,128 @@
+// Loop schedules for Pyjama worksharing constructs: the OpenMP `schedule`
+// clause. ChunkSource hands out [begin, end) chunks to team threads
+// according to the policy; the worksharing templates in parallel.hpp drive
+// it. All policies hand out work exactly once and cover the full range.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "support/check.hpp"
+
+namespace parc::pj {
+
+enum class Schedule : std::uint8_t {
+  kStatic,   ///< contiguous blocks (or round-robin chunks) fixed per thread
+  kDynamic,  ///< threads grab `chunk` iterations at a time
+  kGuided,   ///< exponentially decreasing chunks, min `chunk`
+  kAuto,     ///< implementation choice (here: static)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+    case Schedule::kAuto: return "auto";
+  }
+  return "?";
+}
+
+struct ForOptions {
+  Schedule schedule = Schedule::kStatic;
+  /// 0 means the policy default: n/threads for static, 1 for dynamic,
+  /// 1 for guided's minimum.
+  std::int64_t chunk = 0;
+};
+
+struct Chunk {
+  std::int64_t begin;
+  std::int64_t end;
+};
+
+/// Shared chunk dispenser for one worksharing loop instance.
+class ChunkSource {
+ public:
+  ChunkSource(std::int64_t begin, std::int64_t end, std::size_t threads,
+              ForOptions opts)
+      : begin_(begin),
+        end_(end),
+        threads_(threads),
+        opts_(opts),
+        cursor_(begin) {
+    PARC_CHECK(end >= begin);
+    PARC_CHECK(threads >= 1);
+    if (opts_.chunk <= 0) {
+      const std::int64_t n = end - begin;
+      switch (opts_.schedule) {
+        case Schedule::kStatic:
+        case Schedule::kAuto:
+          opts_.chunk = (n + static_cast<std::int64_t>(threads) - 1) /
+                        static_cast<std::int64_t>(threads);
+          if (opts_.chunk <= 0) opts_.chunk = 1;
+          break;
+        case Schedule::kDynamic:
+        case Schedule::kGuided:
+          opts_.chunk = 1;
+          break;
+      }
+    }
+  }
+
+  /// Next chunk for `thread_num`, or nullopt when the loop is exhausted.
+  /// Static schedules are per-thread deterministic; dynamic/guided share an
+  /// atomic cursor.
+  std::optional<Chunk> next(std::size_t thread_num, std::size_t& local_step) {
+    switch (opts_.schedule) {
+      case Schedule::kStatic:
+      case Schedule::kAuto: {
+        // Round-robin chunks: thread t takes chunks t, t+T, t+2T, ...
+        const std::int64_t chunk_index =
+            static_cast<std::int64_t>(thread_num) +
+            static_cast<std::int64_t>(local_step) *
+                static_cast<std::int64_t>(threads_);
+        const std::int64_t lo = begin_ + chunk_index * opts_.chunk;
+        if (lo >= end_) return std::nullopt;
+        ++local_step;
+        return Chunk{lo, std::min(end_, lo + opts_.chunk)};
+      }
+      case Schedule::kDynamic: {
+        const std::int64_t lo =
+            cursor_.fetch_add(opts_.chunk, std::memory_order_relaxed);
+        if (lo >= end_) return std::nullopt;
+        return Chunk{lo, std::min(end_, lo + opts_.chunk)};
+      }
+      case Schedule::kGuided: {
+        for (;;) {
+          std::int64_t lo = cursor_.load(std::memory_order_relaxed);
+          if (lo >= end_) return std::nullopt;
+          const std::int64_t remaining = end_ - lo;
+          std::int64_t size =
+              remaining / (2 * static_cast<std::int64_t>(threads_));
+          size = std::max(size, opts_.chunk);
+          size = std::min(size, remaining);
+          if (cursor_.compare_exchange_weak(lo, lo + size,
+                                            std::memory_order_relaxed)) {
+            return Chunk{lo, lo + size};
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::int64_t chunk_size() const noexcept { return opts_.chunk; }
+  [[nodiscard]] Schedule schedule() const noexcept { return opts_.schedule; }
+
+ private:
+  const std::int64_t begin_;
+  const std::int64_t end_;
+  const std::size_t threads_;
+  ForOptions opts_;
+  std::atomic<std::int64_t> cursor_;  // dynamic/guided only
+};
+
+}  // namespace parc::pj

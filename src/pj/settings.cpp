@@ -1,0 +1,40 @@
+#include "pj/settings.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "sched/thread_pool.hpp"
+
+namespace parc::pj {
+
+namespace {
+std::atomic<std::size_t> g_num_threads{0};  // 0 = uninitialised
+std::mutex g_opts_mutex;
+ForOptions g_for_options;  // guarded by g_opts_mutex
+}  // namespace
+
+std::size_t default_num_threads() noexcept {
+  std::size_t n = g_num_threads.load(std::memory_order_acquire);
+  if (n == 0) {
+    n = sched::default_concurrency();
+    g_num_threads.store(n, std::memory_order_release);
+  }
+  return n;
+}
+
+void set_default_num_threads(std::size_t n) noexcept {
+  g_num_threads.store(n == 0 ? sched::default_concurrency() : n,
+                      std::memory_order_release);
+}
+
+ForOptions default_for_options() noexcept {
+  std::scoped_lock lock(g_opts_mutex);
+  return g_for_options;
+}
+
+void set_default_for_options(ForOptions opts) noexcept {
+  std::scoped_lock lock(g_opts_mutex);
+  g_for_options = opts;
+}
+
+}  // namespace parc::pj

@@ -1,0 +1,20 @@
+// Process-wide Pyjama runtime knobs (the omp_set_* surface).
+#pragma once
+
+#include <cstddef>
+
+#include "pj/schedule.hpp"
+
+namespace parc::pj {
+
+/// Default team size for regions that don't specify one. Initially the
+/// hardware concurrency (min 2, so parallel semantics hold on 1-core hosts).
+[[nodiscard]] std::size_t default_num_threads() noexcept;
+void set_default_num_threads(std::size_t n) noexcept;
+
+/// Default schedule applied when ForOptions isn't given explicitly
+/// (omp_set_schedule analogue).
+[[nodiscard]] ForOptions default_for_options() noexcept;
+void set_default_for_options(ForOptions opts) noexcept;
+
+}  // namespace parc::pj

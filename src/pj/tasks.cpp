@@ -1,0 +1,45 @@
+#include "pj/tasks.hpp"
+
+#include "pj/settings.hpp"
+#include "support/check.hpp"
+
+namespace parc::pj {
+
+sched::WorkStealingPool& task_pool() {
+  // Immortal, like ptask::Runtime::global(): deferred tasks must never race
+  // static destruction.
+  static auto* pool = new sched::WorkStealingPool(
+      sched::WorkStealingPool::Config{default_num_threads(), 4, "pj-tasks"});
+  return *pool;
+}
+
+void task(Team& team, std::function<void()> body) {
+  PARC_CHECK(body != nullptr);
+  TaskAccounting::started(team);
+  task_pool().submit([&team, body = std::move(body)] {
+    try {
+      body();
+    } catch (...) {
+      TaskAccounting::store_error(team, std::current_exception());
+    }
+    TaskAccounting::finished(team);
+  });
+}
+
+void taskwait(Team& team) {
+  if (TaskAccounting::outstanding(team) != 0) {
+    task_pool().help_while(
+        [&team] { return TaskAccounting::outstanding(team) != 0; });
+  }
+  // The first caller to observe a task failure rethrows it (Pyjama's
+  // documented propagation; OpenMP leaves it undefined).
+  if (auto error = TaskAccounting::take_error(team)) {
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t tasks_outstanding(const Team& team) noexcept {
+  return TaskAccounting::outstanding(team);
+}
+
+}  // namespace parc::pj

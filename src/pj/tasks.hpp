@@ -1,0 +1,40 @@
+// OpenMP 3.0 tasks for Pyjama — the construct that later unified the two
+// PARC tools: directive-style regions spawning deferred tasks onto the same
+// work-stealing machinery Parallel Task uses.
+//
+//   pj::region(4, [&](pj::Team& team) {
+//     team.single([&] {
+//       for (auto& node : tree) pj::task(team, [&]{ process(node); });
+//     });
+//     pj::taskwait(team);   // also implicit at the end of the region
+//   });
+//
+// Tasks run on a process-wide work-stealing pool (sized like the default
+// team); taskwait donates the calling team thread to that pool while it
+// waits, so tasks can spawn nested tasks without deadlock.
+#pragma once
+
+#include <functional>
+
+#include "pj/team.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace parc::pj {
+
+/// Spawn a deferred task bound to `team`. Any team thread may call this,
+/// any number of times; tasks may spawn further tasks (bind them to the
+/// same team).
+void task(Team& team, std::function<void()> body);
+
+/// Wait until every task bound to `team` has completed (including tasks
+/// spawned by tasks). The calling thread executes pending tasks while it
+/// waits.
+void taskwait(Team& team);
+
+/// Tasks currently outstanding for the team (diagnostics).
+[[nodiscard]] std::size_t tasks_outstanding(const Team& team) noexcept;
+
+/// The shared task pool (exposed for stats/tests).
+[[nodiscard]] sched::WorkStealingPool& task_pool();
+
+}  // namespace parc::pj

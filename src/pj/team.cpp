@@ -1,0 +1,75 @@
+#include "pj/team.hpp"
+
+#include <unordered_map>
+
+namespace parc::pj {
+
+namespace {
+thread_local const Team* t_team = nullptr;
+thread_local int t_index = -1;
+}  // namespace
+
+Team::Team(std::size_t size)
+    : size_(size), barrier_(size), single_seq_(size, 0) {
+  PARC_CHECK(size >= 1);
+}
+
+Team::~Team() {
+  // A deferred task outliving its team would touch a destroyed object;
+  // OpenMP puts an implicit taskwait at the region end, and pj::region does
+  // the same — this check catches tasks spawned outside that machinery.
+  PARC_CHECK_MSG(tasks_outstanding_.load(std::memory_order_acquire) == 0,
+                 "team destroyed with unfinished pj::task tasks");
+}
+
+int Team::thread_num() const {
+  PARC_CHECK_MSG(t_team == this,
+                 "thread_num() called from a thread outside this team");
+  return t_index;
+}
+
+const Team* Team::current() noexcept { return t_team; }
+
+Team::MembershipScope::MembershipScope(const Team& team, int index) noexcept
+    : prev_team_(t_team), prev_index_(t_index) {
+  t_team = &team;
+  t_index = index;
+}
+
+Team::MembershipScope::~MembershipScope() {
+  t_team = prev_team_;
+  t_index = prev_index_;
+}
+
+std::mutex& Team::critical_mutex(const std::string& name) {
+  // Process-global registry, exactly mirroring OpenMP's named criticals.
+  // The registry mutex only guards the map; user code runs under the
+  // per-name mutex returned from here.
+  static std::mutex registry_mutex;
+  static std::unordered_map<std::string, std::unique_ptr<std::mutex>>* registry =
+      new std::unordered_map<std::string, std::unique_ptr<std::mutex>>();
+  std::scoped_lock lock(registry_mutex);
+  auto& slot = (*registry)[name];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
+void Team::sections(const std::vector<std::function<void()>>& bodies,
+                    bool nowait) {
+  // Each section is a claim site drawn from the same monotonic per-thread
+  // sequence as single(): the first thread to claim a site runs that body,
+  // which is OpenMP's first-come distribution for `sections`.
+  const auto tid = static_cast<std::size_t>(thread_num());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    const std::uint64_t site = single_seq_[tid]++;
+    bool mine;
+    {
+      std::scoped_lock lock(single_mutex_);
+      mine = single_claimed_.insert(site).second;
+    }
+    if (mine) bodies[i]();
+  }
+  if (!nowait) barrier();
+}
+
+}  // namespace parc::pj

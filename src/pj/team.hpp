@@ -1,0 +1,207 @@
+// Team: the set of threads executing one Pyjama parallel region, with the
+// OpenMP synchronisation constructs as member functions — barrier, critical
+// (named and unnamed, global like OpenMP's), single (with implicit barrier),
+// master, and an ordered helper for loops.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parc::pj {
+
+/// Sense-reversing cyclic barrier for a fixed team size.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties), waiting_(0) {
+    PARC_CHECK(parties >= 1);
+  }
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t waiting_;          // guarded by mutex_
+  std::uint64_t generation_ = 0; // guarded by mutex_
+};
+
+/// Ticket-order helper implementing OpenMP `ordered` semantics for loops
+/// executed with chunk size 1: iteration i's ordered section runs only after
+/// iterations 0..i-1 have completed theirs.
+class OrderedContext {
+ public:
+  explicit OrderedContext(std::int64_t first) : next_(first) {}
+
+  template <typename F>
+  void run_ordered(std::int64_t iteration, F&& body) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return next_ == iteration; });
+    body();  // still holding the lock: ordered sections are serial anyway
+    ++next_;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::int64_t next_;  // guarded by mutex_
+};
+
+class Team {
+ public:
+  explicit Team(std::size_t size);
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  /// omp_get_thread_num() — index of the calling thread within this team.
+  [[nodiscard]] int thread_num() const;
+  /// omp_get_num_threads().
+  [[nodiscard]] int num_threads() const noexcept {
+    return static_cast<int>(size_);
+  }
+
+  /// Block until every team member arrives (OpenMP `barrier`).
+  void barrier() { barrier_.arrive_and_wait(); }
+
+  /// OpenMP `critical` (unnamed): one global mutual-exclusion region across
+  /// the whole process, exactly like OpenMP's unnamed critical.
+  template <typename F>
+  void critical(F&& body) {
+    critical("", std::forward<F>(body));
+  }
+
+  /// OpenMP `critical(name)`: mutual exclusion across all teams using the
+  /// same name.
+  template <typename F>
+  void critical(const std::string& name, F&& body) {
+    std::scoped_lock lock(critical_mutex(name));
+    body();
+  }
+
+  /// OpenMP `single`: the first thread to arrive executes `body`; all
+  /// threads synchronise on the implicit barrier unless nowait is true.
+  /// All team threads must call single() the same number of times.
+  template <typename F>
+  void single(F&& body, bool nowait = false) {
+    const auto tid = static_cast<std::size_t>(thread_num());
+    const std::uint64_t site = single_seq_[tid]++;
+    bool mine;
+    {
+      std::scoped_lock lock(single_mutex_);
+      mine = single_claimed_.insert(site).second;
+    }
+    if (mine) body();
+    if (!nowait) barrier();
+  }
+
+  /// OpenMP `master`: only thread 0 executes; no implied barrier.
+  template <typename F>
+  void master(F&& body) {
+    if (thread_num() == 0) body();
+  }
+
+  /// OpenMP `sections`: distributes the given section bodies over the team
+  /// (first-come first-served), with an implicit barrier at the end.
+  void sections(const std::vector<std::function<void()>>& bodies,
+                bool nowait = false);
+
+  /// Internal: region runner binds the calling thread to `index`.
+  class MembershipScope {
+   public:
+    MembershipScope(const Team& team, int index) noexcept;
+    ~MembershipScope();
+    MembershipScope(const MembershipScope&) = delete;
+    MembershipScope& operator=(const MembershipScope&) = delete;
+
+   private:
+    const Team* prev_team_;
+    int prev_index_;
+  };
+
+  /// Team the calling thread currently belongs to (nullptr outside regions).
+  [[nodiscard]] static const Team* current() noexcept;
+
+  /// Worksharing rendezvous slot: the single() winner of a worksharing
+  /// construct installs the shared dispenser here; the single's implicit
+  /// barrier publishes it to the rest of the team. Type-erased so Team does
+  /// not depend on loop machinery.
+  void set_workshare_slot(std::shared_ptr<void> slot) {
+    std::scoped_lock lock(slot_mutex_);
+    workshare_slot_ = std::move(slot);
+  }
+  [[nodiscard]] std::shared_ptr<void> workshare_slot() const {
+    std::scoped_lock lock(slot_mutex_);
+    return workshare_slot_;
+  }
+
+ private:
+  /// Registry of named critical mutexes; process-global like OpenMP.
+  static std::mutex& critical_mutex(const std::string& name);
+
+  const std::size_t size_;
+  Barrier barrier_;
+
+  std::mutex single_mutex_;
+  std::set<std::uint64_t> single_claimed_;  // guarded by single_mutex_
+  std::vector<std::uint64_t> single_seq_;   // one slot per thread, own-slot access
+
+  mutable std::mutex slot_mutex_;
+  std::shared_ptr<void> workshare_slot_;  // guarded by slot_mutex_
+
+  // Deferred-task accounting for pj::task / pj::taskwait (tasks.hpp).
+  friend class TaskAccounting;
+  std::atomic<std::size_t> tasks_outstanding_{0};
+  std::mutex task_error_mutex_;
+  std::exception_ptr task_error_;  // guarded by task_error_mutex_
+};
+
+/// Internal handle used by the task layer to tick the team's counter and
+/// funnel task-body exceptions back to taskwait.
+class TaskAccounting {
+ public:
+  static void started(Team& team) noexcept {
+    team.tasks_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  static void finished(Team& team) noexcept {
+    team.tasks_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  static std::size_t outstanding(const Team& team) noexcept {
+    return team.tasks_outstanding_.load(std::memory_order_acquire);
+  }
+  static void store_error(Team& team, std::exception_ptr e) {
+    std::scoped_lock lock(team.task_error_mutex_);
+    if (!team.task_error_) team.task_error_ = std::move(e);
+  }
+  [[nodiscard]] static std::exception_ptr take_error(Team& team) {
+    std::scoped_lock lock(team.task_error_mutex_);
+    std::exception_ptr e = team.task_error_;
+    team.task_error_ = nullptr;
+    return e;
+  }
+};
+
+}  // namespace parc::pj

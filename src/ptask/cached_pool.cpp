@@ -1,0 +1,87 @@
+#include "ptask/cached_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace parc::ptask {
+
+CachedThreadPool::CachedThreadPool(Config cfg) : cfg_(cfg) {
+  PARC_CHECK(cfg_.max_threads >= 1);
+}
+
+CachedThreadPool::~CachedThreadPool() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock lock(mutex_);
+    stop_ = true;
+    cv_.notify_all();
+    to_join.swap(threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  // Any jobs still queued after shutdown run on the destructing thread so
+  // the "every submitted job executes" contract holds.
+  std::deque<std::function<void()>> leftovers;
+  {
+    std::unique_lock lock(mutex_);
+    leftovers.swap(queue_);
+  }
+  for (auto& fn : leftovers) fn();
+}
+
+void CachedThreadPool::submit(std::function<void()> fn) {
+  PARC_CHECK(fn != nullptr);
+  std::unique_lock lock(mutex_);
+  PARC_CHECK_MSG(!stop_, "submit after CachedThreadPool shutdown");
+  queue_.push_back(std::move(fn));
+  // Capacity check against the *backlog*, not just "is anyone idle": idle
+  // workers may not have woken yet (certain on a single-core host), so each
+  // queued job needs either a distinct idle waiter or a fresh thread —
+  // otherwise a burst of long-running jobs silently exceeds the waiters and
+  // the tail of the burst starves.
+  if (queue_.size() <= idle_) {
+    cv_.notify_one();
+    return;
+  }
+  if (alive_ < cfg_.max_threads) {
+    ++alive_;
+    peak_ = std::max(peak_, alive_);
+    threads_.emplace_back([this] { worker_loop(); });
+  } else {
+    cv_.notify_one();  // at the cap: best effort, job waits for a finisher
+  }
+}
+
+void CachedThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (!queue_.empty()) {
+      auto fn = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      fn();
+      lock.lock();
+      continue;
+    }
+    if (stop_) break;
+    ++idle_;
+    const bool woke = cv_.wait_for(lock, cfg_.idle_timeout, [this] {
+      return stop_ || !queue_.empty();
+    });
+    --idle_;
+    if (!woke) break;  // idle timeout: retire this thread
+  }
+  --alive_;
+}
+
+std::size_t CachedThreadPool::thread_count() const {
+  std::scoped_lock lock(mutex_);
+  return alive_;
+}
+
+std::size_t CachedThreadPool::peak_thread_count() const {
+  std::scoped_lock lock(mutex_);
+  return peak_;
+}
+
+}  // namespace parc::ptask

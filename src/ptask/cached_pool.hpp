@@ -1,0 +1,59 @@
+// Elastic thread pool for *interactive* (IO-bound) tasks.
+//
+// Parallel Task distinguishes compute tasks (bounded work-stealing pool,
+// one worker per core) from interactive tasks: operations that mostly wait
+// (network fetches, disk scans driven by a GUI). Those must not occupy a
+// compute worker, so they run on threads created on demand, cached for
+// reuse, and retired after an idle timeout — the same policy as
+// java.util.concurrent's CachedThreadPool which Parallel Task wraps.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parc::ptask {
+
+class CachedThreadPool {
+ public:
+  struct Config {
+    std::size_t max_threads = 256;
+    std::chrono::milliseconds idle_timeout{2000};
+  };
+
+  CachedThreadPool() : CachedThreadPool(Config{}) {}
+  explicit CachedThreadPool(Config cfg);
+  ~CachedThreadPool();
+
+  CachedThreadPool(const CachedThreadPool&) = delete;
+  CachedThreadPool& operator=(const CachedThreadPool&) = delete;
+
+  /// Enqueue a job; spawns a new thread if none is idle and the cap allows.
+  /// Above the cap, jobs queue until a thread frees up.
+  void submit(std::function<void()> fn);
+
+  /// Threads currently alive (running or idle).
+  [[nodiscard]] std::size_t thread_count() const;
+  /// High-water mark of concurrently alive threads.
+  [[nodiscard]] std::size_t peak_thread_count() const;
+
+ private:
+  void worker_loop();
+
+  Config cfg_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  std::size_t alive_ = 0;                    // guarded by mutex_
+  std::size_t idle_ = 0;                     // guarded by mutex_
+  std::size_t peak_ = 0;                     // guarded by mutex_
+  bool stop_ = false;                        // guarded by mutex_
+  std::vector<std::thread> threads_;         // guarded by mutex_
+};
+
+}  // namespace parc::ptask

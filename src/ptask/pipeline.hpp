@@ -1,0 +1,100 @@
+// Parallel Task pipelines: a chain of stages connected by blocking queues,
+// all stages active simultaneously — element k can be in stage 3 while
+// element k+2 is in stage 1. Order is preserved end to end (each stage is
+// sequential), which is the semantics Parallel Task's pipeline construct
+// gives GUI applications streaming intermediate results.
+//
+//   auto done = ptask::pipeline(rt, std::move(paths),
+//       [](std::string p){ return load(p); },
+//       [](Image i){ return scale(i); });
+//   std::vector<Thumb> thumbs = done.get();
+//
+// Stages are *interactive* tasks (the elastic pool), not compute tasks: a
+// stage spends its life blocked on its input queue, and parking a bounded
+// compute worker that way invites the nesting deadlock — a helping take()
+// can run the upstream stage on its own stack and then starve it. Long-
+// lived mostly-waiting work is precisely what Parallel Task routes to
+// interactive threads, so the pipeline does too; the compute pool stays
+// free for the work inside the stage bodies.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "conc/task_safe.hpp"
+#include "ptask/spawn.hpp"
+
+namespace parc::ptask {
+
+namespace detail {
+
+/// Inter-stage channel: elements are optional<T>; an empty token closes the
+/// stream. Effectively unbounded (stage outputs are never back-pressured;
+/// memory is bounded by the input size, which the caller provided anyway).
+template <typename T>
+using Flow = conc::ThreadSafeBlockingQueue<std::optional<T>>;
+
+template <typename T>
+std::shared_ptr<Flow<T>> make_flow() {
+  return std::make_shared<Flow<T>>(std::numeric_limits<std::size_t>::max());
+}
+
+/// Terminal: collect the final stream into a vector.
+template <typename In>
+TaskID<std::vector<In>> connect(Runtime& rt, std::shared_ptr<Flow<In>> in) {
+  return run_interactive(rt, [in] {
+    std::vector<In> out;
+    for (;;) {
+      std::optional<In> token = in->take();
+      if (!token.has_value()) return out;
+      out.push_back(std::move(*token));
+    }
+  });
+}
+
+/// One transforming stage, then recurse on the rest of the chain.
+template <typename In, typename F, typename... Rest>
+auto connect(Runtime& rt, std::shared_ptr<Flow<In>> in, F f, Rest... rest) {
+  using Out = std::invoke_result_t<F, In>;
+  static_assert(!std::is_void_v<Out>,
+                "pipeline stages must return a value; put side effects in "
+                "the sink stage's result");
+  auto out = make_flow<Out>();
+  run_interactive(rt, [in, out, f = std::move(f)] {
+    for (;;) {
+      std::optional<In> token = in->take();
+      if (!token.has_value()) {
+        out->put(std::nullopt);  // propagate end-of-stream
+        return;
+      }
+      out->put(f(std::move(*token)));
+    }
+  });
+  return connect(rt, out, std::move(rest)...);
+}
+
+}  // namespace detail
+
+/// Build and start a pipeline over `inputs`; returns a handle whose value is
+/// the ordered vector of final-stage outputs.
+template <typename In, typename... Stages>
+auto pipeline(Runtime& rt, std::vector<In> inputs, Stages... stages) {
+  auto source = detail::make_flow<In>();
+  auto result = detail::connect(rt, source, std::move(stages)...);
+  run_interactive(rt, [source, inputs = std::move(inputs)]() mutable {
+    for (auto& x : inputs) source->put(std::move(x));
+    source->put(std::nullopt);
+  });
+  return result;
+}
+
+template <typename In, typename... Stages>
+auto pipeline(std::vector<In> inputs, Stages... stages) {
+  return pipeline(Runtime::global(), std::move(inputs), std::move(stages)...);
+}
+
+}  // namespace parc::ptask

@@ -1,0 +1,18 @@
+// Umbrella header for the ParallelTask runtime (parc::ptask).
+//
+// Quick tour:
+//   auto t = ptask::run([]{ return render(img); });   // spawn
+//   t.notify([](const Thumb& th){ list.add(th); });   // GUI-aware handler
+//   auto u = ptask::run_after([...]{...}, t);         // dependsOn
+//   auto io = ptask::run_interactive([...]{...});     // IO task
+//   auto m = ptask::run_multi(n, [](std::size_t i){...});  // multi-task
+//   t.get();                                          // wait + result
+#pragma once
+
+#include "ptask/cached_pool.hpp"   // IWYU pragma: export
+#include "ptask/pipeline.hpp"      // IWYU pragma: export
+#include "ptask/progress.hpp"      // IWYU pragma: export
+#include "ptask/runtime.hpp"       // IWYU pragma: export
+#include "ptask/spawn.hpp"         // IWYU pragma: export
+#include "ptask/task_id.hpp"       // IWYU pragma: export
+#include "ptask/task_state.hpp"    // IWYU pragma: export

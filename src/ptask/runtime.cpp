@@ -1,0 +1,47 @@
+#include "ptask/runtime.hpp"
+
+#include "ptask/task_state.hpp"
+#include "support/check.hpp"
+
+namespace parc::ptask {
+
+thread_local TaskStateBase* CurrentTask::current_ = nullptr;
+
+Runtime::Runtime(Config cfg)
+    : pool_(std::make_unique<sched::WorkStealingPool>(
+          sched::WorkStealingPool::Config{cfg.workers, 4, "ptask"})),
+      interactive_(std::make_unique<CachedThreadPool>(cfg.interactive)) {}
+
+Runtime::~Runtime() = default;
+
+void Runtime::set_event_dispatcher(
+    std::function<void(std::function<void()>)> post) {
+  std::scoped_lock lock(edt_mutex_);
+  edt_post_ = std::move(post);
+}
+
+bool Runtime::has_event_dispatcher() const {
+  std::scoped_lock lock(edt_mutex_);
+  return static_cast<bool>(edt_post_);
+}
+
+void Runtime::dispatch_to_edt(std::function<void()> fn) {
+  PARC_CHECK(fn != nullptr);
+  std::function<void(std::function<void()>)> post;
+  {
+    std::scoped_lock lock(edt_mutex_);
+    post = edt_post_;
+  }
+  if (post) {
+    post(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+Runtime& Runtime::global() {
+  static Runtime* instance = new Runtime();  // immortal by design
+  return *instance;
+}
+
+}  // namespace parc::ptask

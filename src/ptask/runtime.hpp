@@ -1,0 +1,69 @@
+// The ParallelTask runtime: owns the compute pool, the interactive pool and
+// the (optional) event-dispatch hook that GUI-aware completion handlers are
+// delivered through.
+//
+// In the Java system this corresponds to the ParaTask runtime initialised at
+// program start; here it is an ordinary object. Most programs use the
+// process-wide instance returned by Runtime::global(), but tests construct
+// scoped runtimes with explicit worker counts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "ptask/cached_pool.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace parc::ptask {
+
+class Runtime {
+ public:
+  struct Config {
+    std::size_t workers = sched::default_concurrency();
+    CachedThreadPool::Config interactive{};
+  };
+
+  Runtime() : Runtime(Config{}) {}
+  explicit Runtime(Config cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// The compute pool (work-stealing, one worker per core by default).
+  [[nodiscard]] sched::WorkStealingPool& pool() noexcept { return *pool_; }
+
+  /// The interactive pool (elastic, for IO-bound tasks).
+  [[nodiscard]] CachedThreadPool& interactive_pool() noexcept {
+    return *interactive_;
+  }
+
+  /// Register the GUI event dispatcher. `post` must enqueue the closure for
+  /// execution on the event-dispatch thread (see parc::gui::EventLoop).
+  /// Passing nullptr unregisters; handlers then run inline on the completer.
+  void set_event_dispatcher(std::function<void(std::function<void()>)> post);
+
+  /// Deliver `fn` on the EDT if a dispatcher is registered, else run inline.
+  void dispatch_to_edt(std::function<void()> fn);
+
+  [[nodiscard]] bool has_event_dispatcher() const;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_->worker_count();
+  }
+
+  /// Process-wide default runtime, created on first use with default
+  /// configuration. Intentionally leaked (immortal) so that tasks running
+  /// during static destruction never touch a destroyed pool.
+  static Runtime& global();
+
+ private:
+  std::unique_ptr<sched::WorkStealingPool> pool_;
+  std::unique_ptr<CachedThreadPool> interactive_;
+
+  mutable std::mutex edt_mutex_;
+  std::function<void(std::function<void()>)> edt_post_;  // guarded by edt_mutex_
+};
+
+}  // namespace parc::ptask

@@ -1,0 +1,290 @@
+// Task creation API: the C++ spelling of Parallel Task's TASK constructs.
+//
+//   run(body)                         — `TASK R m(...)`      (compute task)
+//   run_after(body, dep1, dep2, ...)  — `dependsOn(...)`     (task graph)
+//   run_interactive(body)             — `IO_TASK`            (elastic pool)
+//   run_multi(n, f)                   — `TASK(n) / TASK(*)`  (multi-task)
+//   TaskGroup / parallel_invoke       — structured join points
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ptask/task_id.hpp"
+
+namespace parc::ptask {
+
+namespace detail {
+
+template <typename R>
+std::function<void()> make_job(std::shared_ptr<TaskState<R>> state,
+                               std::function<R()> body) {
+  return [state = std::move(state), body = std::move(body)] {
+    CurrentTask::Scope scope(state.get());
+    state->run_body(body);
+  };
+}
+
+/// Wire dependences with a +1 registration hold so the task cannot fire
+/// while registration is still in progress.
+inline void wire_dependences(
+    const std::shared_ptr<TaskStateBase>& state,
+    const std::vector<std::shared_ptr<TaskStateBase>>& deps,
+    std::function<void()> submit) {
+  state->init_dependences(deps.size() + 1, std::move(submit));
+  for (const auto& dep : deps) {
+    PARC_CHECK_MSG(dep != nullptr, "dependence on an invalid TaskID");
+    if (!dep->add_dependent(state)) {
+      state->dependence_satisfied();  // dep already finished
+    }
+  }
+  state->dependence_satisfied();  // release the registration hold
+}
+
+template <typename R, typename F>
+TaskID<R> spawn(Runtime& rt, F&& body,
+                std::vector<std::shared_ptr<TaskStateBase>> deps,
+                bool interactive) {
+  auto state = std::make_shared<TaskState<R>>();
+  std::function<R()> fn = std::forward<F>(body);
+  auto job = make_job<R>(state, std::move(fn));
+  auto submit = [state, job = std::move(job), &rt, interactive]() mutable {
+    state->mark_scheduled_public();
+    if (interactive) {
+      rt.interactive_pool().submit(std::move(job));
+    } else {
+      rt.pool().submit(std::move(job));
+    }
+  };
+  wire_dependences(state, deps, std::move(submit));
+  return TaskID<R>(std::move(state), &rt);
+}
+
+}  // namespace detail
+
+/// Spawn a compute task on the given runtime.
+template <typename F>
+auto run(Runtime& rt, F&& body) -> TaskID<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  return detail::spawn<R>(rt, std::forward<F>(body), {}, /*interactive=*/false);
+}
+
+/// Spawn a compute task on the global runtime.
+template <typename F>
+auto run(F&& body) -> TaskID<std::invoke_result_t<F>> {
+  return run(Runtime::global(), std::forward<F>(body));
+}
+
+/// Spawn a task that starts only after all `deps` have finished (in any
+/// terminal state; inspect the deps yourself if failure matters).
+template <typename F, typename... DepTs>
+auto run_after(Runtime& rt, F&& body, const TaskID<DepTs>&... deps)
+    -> TaskID<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  std::vector<std::shared_ptr<TaskStateBase>> dep_states{deps.state_base()...};
+  return detail::spawn<R>(rt, std::forward<F>(body), std::move(dep_states),
+                          /*interactive=*/false);
+}
+
+template <typename F, typename... DepTs>
+auto run_after(F&& body, const TaskID<DepTs>&... deps)
+    -> TaskID<std::invoke_result_t<F>> {
+  return run_after(Runtime::global(), std::forward<F>(body), deps...);
+}
+
+/// Spawn an interactive (IO-bound) task on the elastic pool: never occupies
+/// a compute worker, so GUI-driven scans/downloads cannot starve computation.
+template <typename F>
+auto run_interactive(Runtime& rt, F&& body)
+    -> TaskID<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  return detail::spawn<R>(rt, std::forward<F>(body), {}, /*interactive=*/true);
+}
+
+template <typename F>
+auto run_interactive(F&& body) -> TaskID<std::invoke_result_t<F>> {
+  return run_interactive(Runtime::global(), std::forward<F>(body));
+}
+
+/// Multi-task (`TASK(n)`): logically one task expanded into `n` bodies
+/// f(0..n-1) running in parallel; the returned handle completes when all
+/// bodies have. For value-returning f the results arrive index-ordered.
+template <typename F>
+  requires std::is_void_v<std::invoke_result_t<F, std::size_t>>
+TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
+  auto agg = std::make_shared<TaskState<void>>();
+  if (n == 0) {
+    agg->complete_value();
+    return TaskID<void>(std::move(agg), &rt);
+  }
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::exception_ptr first_error;  // guarded by mutex
+    std::function<void(std::size_t)> body;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->remaining.store(n);
+  shared->body = std::forward<F>(f);
+  for (std::size_t i = 0; i < n; ++i) {
+    rt.pool().submit([shared, agg, i] {
+      if (!agg->cancel_requested()) {
+        CurrentTask::Scope scope(agg.get());
+        try {
+          shared->body(i);
+        } catch (...) {
+          std::scoped_lock lock(shared->mutex);
+          if (!shared->first_error)
+            shared->first_error = std::current_exception();
+        }
+      }
+      if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (agg->cancel_requested()) {
+          agg->complete_cancelled();
+        } else if (shared->first_error) {
+          agg->complete_error(shared->first_error);
+        } else {
+          agg->complete_value();
+        }
+      }
+    });
+  }
+  return TaskID<void>(std::move(agg), &rt);
+}
+
+template <typename F>
+  requires(!std::is_void_v<std::invoke_result_t<F, std::size_t>>)
+auto run_multi(Runtime& rt, std::size_t n, F&& f)
+    -> TaskID<std::vector<std::invoke_result_t<F, std::size_t>>> {
+  using R = std::invoke_result_t<F, std::size_t>;
+  auto agg = std::make_shared<TaskState<std::vector<R>>>();
+  if (n == 0) {
+    agg->complete_value({});
+    return TaskID<std::vector<R>>(std::move(agg), &rt);
+  }
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::exception_ptr first_error;  // guarded by mutex
+    std::vector<std::optional<R>> slots;
+    std::function<R(std::size_t)> body;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->remaining.store(n);
+  shared->slots.resize(n);
+  shared->body = std::forward<F>(f);
+  for (std::size_t i = 0; i < n; ++i) {
+    rt.pool().submit([shared, agg, i] {
+      if (!agg->cancel_requested()) {
+        CurrentTask::Scope scope(agg.get());
+        try {
+          shared->slots[i].emplace(shared->body(i));
+        } catch (...) {
+          std::scoped_lock lock(shared->mutex);
+          if (!shared->first_error)
+            shared->first_error = std::current_exception();
+        }
+      }
+      if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (agg->cancel_requested()) {
+          agg->complete_cancelled();
+        } else if (shared->first_error) {
+          agg->complete_error(shared->first_error);
+        } else {
+          std::vector<R> out;
+          out.reserve(shared->slots.size());
+          for (auto& slot : shared->slots) out.push_back(std::move(*slot));
+          agg->complete_value(std::move(out));
+        }
+      }
+    });
+  }
+  return TaskID<std::vector<R>>(std::move(agg), &rt);
+}
+
+template <typename F>
+auto run_multi(std::size_t n, F&& f) {
+  return run_multi(Runtime::global(), n, std::forward<F>(f));
+}
+
+/// Structured fork/join: spawn void tasks into the group, then wait() for
+/// all of them. wait() rethrows the first captured exception. A worker that
+/// waits helps execute pending tasks, so recursive use (divide and conquer)
+/// cannot deadlock the pool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Runtime& rt = Runtime::global()) : rt_(rt) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() {
+    // Late safety net only: callers are expected to wait() themselves.
+    wait_nothrow();
+  }
+
+  template <typename F>
+  void run(F&& f) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    rt_.pool().submit(
+        [this, body = std::function<void()>(std::forward<F>(f))] {
+          try {
+            body();
+          } catch (...) {
+            std::scoped_lock lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+          }
+          outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        });
+  }
+
+  /// Wait for all tasks spawned so far; rethrows the first failure.
+  void wait() {
+    wait_nothrow();
+    std::exception_ptr err;
+    {
+      std::scoped_lock lock(mutex_);
+      err = std::exchange(first_error_, nullptr);
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void wait_nothrow() {
+    rt_.pool().help_while([this] {
+      return outstanding_.load(std::memory_order_acquire) != 0;
+    });
+  }
+
+  Runtime& rt_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex mutex_;
+  std::exception_ptr first_error_;  // guarded by mutex_
+};
+
+/// Run the given callables in parallel and wait for all of them.
+template <typename... Fs>
+void parallel_invoke(Runtime& rt, Fs&&... fs) {
+  TaskGroup group(rt);
+  (group.run(std::forward<Fs>(fs)), ...);
+  group.wait();
+}
+
+template <typename... Fs>
+void parallel_invoke(Fs&&... fs) {
+  parallel_invoke(Runtime::global(), std::forward<Fs>(fs)...);
+}
+
+}  // namespace parc::ptask

@@ -1,0 +1,273 @@
+// Shared state behind a TaskID: status, result/exception slot, completion
+// continuations, dependence bookkeeping and the cancellation flag.
+//
+// Mirrors the runtime objects that the Java Parallel Task compiler emits for
+// a `TASK` method invocation (Giacaman & Sinnen, IJPP 2013): the handle the
+// caller holds is a thin shared_ptr to this state.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parc::ptask {
+
+enum class TaskStatus : std::uint8_t {
+  kCreated,    ///< constructed, dependences not yet satisfied
+  kScheduled,  ///< in a pool queue
+  kRunning,    ///< body executing
+  kDone,       ///< completed with a value
+  kFailed,     ///< completed with an exception
+  kCancelled,  ///< cancelled before the body started
+};
+
+/// Thrown by TaskID::get() when the task was cancelled before running.
+class TaskCancelled : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "parc::ptask task was cancelled before it ran";
+  }
+};
+
+class TaskStateBase : public std::enable_shared_from_this<TaskStateBase> {
+ public:
+  virtual ~TaskStateBase() = default;
+
+  [[nodiscard]] TaskStatus status() const noexcept {
+    return status_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool finished() const noexcept {
+    const TaskStatus s = status();
+    return s == TaskStatus::kDone || s == TaskStatus::kFailed ||
+           s == TaskStatus::kCancelled;
+  }
+
+  /// Request cooperative cancellation. Returns true if the request landed
+  /// before the body started (i.e. the task will not run).
+  bool request_cancel() noexcept {
+    cancel_requested_.store(true, std::memory_order_release);
+    return !started_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Register a continuation to run after completion. If the task has
+  /// already finished the continuation runs inline on the calling thread.
+  void add_continuation(std::function<void()> fn) {
+    {
+      std::unique_lock lock(mutex_);
+      if (!finished()) {
+        continuations_.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
+  /// Register `dependent` to be notified when this task finishes. Returns
+  /// false (and does not register) if this task is already finished.
+  bool add_dependent(std::shared_ptr<TaskStateBase> dependent) {
+    std::unique_lock lock(mutex_);
+    if (finished()) return false;
+    dependents_.push_back(std::move(dependent));
+    return true;
+  }
+
+  /// Dependence countdown; when it reaches zero the scheduler closure runs.
+  void init_dependences(std::size_t count, std::function<void()> on_ready) {
+    PARC_CHECK(on_ready != nullptr);
+    on_ready_ = std::move(on_ready);
+    deps_remaining_.store(count, std::memory_order_release);
+    if (count == 0) fire_ready();
+  }
+
+  void dependence_satisfied() {
+    if (deps_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      fire_ready();
+    }
+  }
+
+  /// Blocking wait for completion from a non-pool thread.
+  void wait_blocking() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return finished(); });
+  }
+
+  [[nodiscard]] std::exception_ptr error() const noexcept {
+    // Only read after finished(); release/acquire on status_ orders it.
+    return error_;
+  }
+
+  /// Rethrows the failure/cancellation, if any. Requires finished().
+  void throw_if_failed() const {
+    const TaskStatus s = status();
+    if (s == TaskStatus::kFailed) std::rethrow_exception(error_);
+    if (s == TaskStatus::kCancelled) throw TaskCancelled{};
+  }
+
+ protected:
+  /// The executing job calls these.
+  void mark_scheduled() noexcept {
+    status_.store(TaskStatus::kScheduled, std::memory_order_release);
+  }
+
+  /// Returns false if cancellation won and the body must not run.
+  bool begin_running() noexcept {
+    if (cancel_requested_.load(std::memory_order_acquire)) return false;
+    started_.store(true, std::memory_order_release);
+    status_.store(TaskStatus::kRunning, std::memory_order_release);
+    return true;
+  }
+
+  void finish(TaskStatus terminal, std::exception_ptr error) {
+    PARC_DCHECK(terminal == TaskStatus::kDone ||
+                terminal == TaskStatus::kFailed ||
+                terminal == TaskStatus::kCancelled);
+    std::vector<std::function<void()>> continuations;
+    std::vector<std::shared_ptr<TaskStateBase>> dependents;
+    {
+      std::unique_lock lock(mutex_);
+      error_ = std::move(error);
+      status_.store(terminal, std::memory_order_release);
+      continuations.swap(continuations_);
+      dependents.swap(dependents_);
+      cv_.notify_all();
+    }
+    // Outside the lock (CP.22: never call unknown code holding a lock).
+    for (auto& fn : continuations) fn();
+    for (auto& d : dependents) d->dependence_satisfied();
+  }
+
+ private:
+  void fire_ready() {
+    // Moving out prevents a double fire and drops the closure's captures.
+    std::function<void()> ready;
+    ready.swap(on_ready_);
+    PARC_CHECK_MSG(ready != nullptr, "dependence countdown fired twice");
+    ready();
+  }
+
+  std::atomic<TaskStatus> status_{TaskStatus::kCreated};
+  std::atomic<bool> cancel_requested_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::size_t> deps_remaining_{0};
+  std::function<void()> on_ready_;
+
+  mutable std::mutex mutex_;  // guards continuations_, dependents_, error_
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> continuations_;
+  std::vector<std::shared_ptr<TaskStateBase>> dependents_;
+  std::exception_ptr error_;
+
+  template <typename>
+  friend class TaskBody;
+};
+
+/// Typed result slot + body execution glue.
+template <typename T>
+class TaskState final : public TaskStateBase {
+ public:
+  [[nodiscard]] const T& value() const {
+    PARC_CHECK(status() == TaskStatus::kDone);
+    return *value_;
+  }
+
+  void run_body(const std::function<T()>& body) {
+    if (!begin_running()) {
+      finish(TaskStatus::kCancelled, nullptr);
+      return;
+    }
+    try {
+      value_.emplace(body());
+      finish(TaskStatus::kDone, nullptr);
+    } catch (...) {
+      finish(TaskStatus::kFailed, std::current_exception());
+    }
+  }
+
+  void mark_scheduled_public() noexcept { mark_scheduled(); }
+
+  /// Direct completion, used by aggregate tasks (multi-tasks) whose result
+  /// is assembled outside a single body.
+  void complete_value(T v) {
+    value_.emplace(std::move(v));
+    finish(TaskStatus::kDone, nullptr);
+  }
+  void complete_error(std::exception_ptr e) {
+    finish(TaskStatus::kFailed, std::move(e));
+  }
+  void complete_cancelled() { finish(TaskStatus::kCancelled, nullptr); }
+
+ private:
+  std::optional<T> value_;
+};
+
+template <>
+class TaskState<void> final : public TaskStateBase {
+ public:
+  void run_body(const std::function<void()>& body) {
+    if (!begin_running()) {
+      finish(TaskStatus::kCancelled, nullptr);
+      return;
+    }
+    try {
+      body();
+      finish(TaskStatus::kDone, nullptr);
+    } catch (...) {
+      finish(TaskStatus::kFailed, std::current_exception());
+    }
+  }
+
+  void mark_scheduled_public() noexcept { mark_scheduled(); }
+
+  /// Direct completion, used by aggregate tasks (multi-tasks).
+  void complete_value() { finish(TaskStatus::kDone, nullptr); }
+  void complete_error(std::exception_ptr e) {
+    finish(TaskStatus::kFailed, std::move(e));
+  }
+  void complete_cancelled() { finish(TaskStatus::kCancelled, nullptr); }
+};
+
+/// Identity of the task currently executing on this thread (cancellation
+/// checks, diagnostics). Set by the runtime around body execution.
+class CurrentTask {
+ public:
+  [[nodiscard]] static TaskStateBase* get() noexcept { return current_; }
+
+  class Scope {
+   public:
+    explicit Scope(TaskStateBase* state) noexcept : prev_(current_) {
+      current_ = state;
+    }
+    ~Scope() { current_ = prev_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TaskStateBase* prev_;
+  };
+
+ private:
+  static thread_local TaskStateBase* current_;
+};
+
+/// True when the currently running task has been asked to cancel.
+/// Long-running task bodies poll this (cooperative cancellation).
+[[nodiscard]] inline bool cancellation_requested() noexcept {
+  const TaskStateBase* t = CurrentTask::get();
+  return t != nullptr && t->cancel_requested();
+}
+
+}  // namespace parc::ptask

@@ -1,0 +1,212 @@
+#include "sched/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parc::sched {
+
+namespace {
+// Identity of the calling thread within a pool. Plain thread_locals: a
+// thread belongs to at most one pool for its lifetime.
+thread_local WorkStealingPool* t_pool = nullptr;
+thread_local int t_worker = -1;
+}  // namespace
+
+std::size_t default_concurrency() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(hc == 0 ? 1 : hc, 2);
+}
+
+WorkStealingPool* WorkStealingPool::current_pool() noexcept { return t_pool; }
+int WorkStealingPool::current_worker() noexcept { return t_worker; }
+
+WorkStealingPool::WorkStealingPool(Config cfg) : cfg_(std::move(cfg)) {
+  PARC_CHECK(cfg_.num_threads >= 1);
+  workers_.reserve(cfg_.num_threads);
+  for (std::size_t i = 0; i < cfg_.num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(0x5157c0de + i));
+  }
+  threads_.reserve(cfg_.num_threads);
+  for (std::size_t i = 0; i < cfg_.num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::scoped_lock lock(park_mutex_);
+    park_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+  // Drain anything submitted after the workers left. Running (rather than
+  // discarding) keeps the contract that every submitted job eventually
+  // executes, so external waiters cannot hang on destruction.
+  while (try_run_one()) {
+  }
+}
+
+void WorkStealingPool::signal_work() {
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    // Locking before notify pairs with the waiter's epoch check under the
+    // same mutex and closes the lost-wakeup window.
+    std::scoped_lock lock(park_mutex_);
+    park_cv_.notify_one();
+  }
+}
+
+void WorkStealingPool::submit(std::function<void()> fn) {
+  PARC_CHECK(fn != nullptr);
+  auto* job = new Job{std::move(fn)};
+  if (t_pool == this && t_worker >= 0) {
+    workers_[static_cast<std::size_t>(t_worker)]->deque.push(job);
+  } else {
+    std::scoped_lock lock(inject_mutex_);
+    injected_.push_back(job);
+  }
+  signal_work();
+}
+
+WorkStealingPool::Job* WorkStealingPool::pop_injected() {
+  std::scoped_lock lock(inject_mutex_);
+  if (injected_.empty()) return nullptr;
+  Job* job = injected_.front();
+  injected_.pop_front();
+  return job;
+}
+
+WorkStealingPool::Job* WorkStealingPool::steal_from_others(
+    std::size_t self_or_npos, Rng& rng) {
+  const std::size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  const std::size_t start = static_cast<std::size_t>(rng.below(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = (start + k) % n;
+    if (v == self_or_npos) continue;
+    if (Job* job = workers_[v]->deque.steal()) return job;
+  }
+  return nullptr;
+}
+
+WorkStealingPool::Job* WorkStealingPool::find_job(std::size_t self_or_npos) {
+  if (self_or_npos != static_cast<std::size_t>(-1)) {
+    if (Job* job = workers_[self_or_npos]->deque.pop()) return job;
+  }
+  if (Job* job = pop_injected()) return job;
+  if (self_or_npos != static_cast<std::size_t>(-1)) {
+    Worker& w = *workers_[self_or_npos];
+    if (Job* job = steal_from_others(self_or_npos, w.rng)) {
+      ++w.stolen;
+      return job;
+    }
+    return nullptr;
+  }
+  // External thread: deterministic rotating start, thief-side only.
+  const std::size_t n = workers_.size();
+  const std::size_t start = external_cursor_.fetch_add(1) % std::max<std::size_t>(n, 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (Job* job = workers_[(start + k) % n]->deque.steal()) return job;
+  }
+  return nullptr;
+}
+
+void WorkStealingPool::run_job(Job* job) {
+  // Jobs are noexcept by contract: the runtimes above catch user exceptions
+  // and store them into task state before the job returns. A throw escaping
+  // here means a runtime bug, so let it terminate loudly.
+  job->fn();
+  delete job;
+}
+
+void WorkStealingPool::worker_loop(std::size_t index) {
+  t_pool = this;
+  t_worker = static_cast<int>(index);
+  Worker& self = *workers_[index];
+  while (!stop_.load(std::memory_order_acquire)) {
+    Job* job = nullptr;
+    for (std::size_t sweep = 0; sweep < cfg_.sweeps_before_park && !job;
+         ++sweep) {
+      job = find_job(index);
+      if (!job && sweep + 1 < cfg_.sweeps_before_park) std::this_thread::yield();
+    }
+    if (job) {
+      run_job(job);
+      ++self.executed;
+      continue;
+    }
+    // Park protocol: snapshot the epoch, then re-scan once. A submit that
+    // lands after the snapshot bumps the epoch (so the wait predicate is
+    // already true); one that landed before it is found by the re-scan.
+    const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
+    if (Job* late = find_job(index)) {
+      run_job(late);
+      ++self.executed;
+      continue;
+    }
+    std::unique_lock lock(park_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    ++self.parked;
+    park_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             work_epoch_.load(std::memory_order_acquire) != seen;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  t_pool = nullptr;
+  t_worker = -1;
+}
+
+bool WorkStealingPool::try_run_one() {
+  const std::size_t self =
+      (t_pool == this && t_worker >= 0) ? static_cast<std::size_t>(t_worker)
+                                        : static_cast<std::size_t>(-1);
+  Job* job = find_job(self);
+  if (!job) return false;
+  run_job(job);
+  if (self != static_cast<std::size_t>(-1)) ++workers_[self]->executed;
+  return true;
+}
+
+void WorkStealingPool::help_while(const std::function<bool()>& keep_waiting) {
+  std::size_t idle_spins = 0;
+  while (keep_waiting()) {
+    if (try_run_one()) {
+      helped_.fetch_add(1, std::memory_order_relaxed);
+      idle_spins = 0;
+      continue;
+    }
+    // Nothing runnable: the condition must be waiting on a job currently
+    // executing elsewhere. Yield, escalating to a short sleep to avoid
+    // burning a core on oversubscribed hosts.
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+WorkStealingPool::Stats WorkStealingPool::stats() const {
+  Stats s;
+  for (const auto& w : workers_) {
+    s.executed += w->executed;
+    s.stolen += w->stolen;
+    s.parked += w->parked;
+  }
+  s.helped = helped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t WorkStealingPool::pending_approx() const {
+  std::size_t n;
+  {
+    std::scoped_lock lock(inject_mutex_);
+    n = injected_.size();
+  }
+  for (const auto& w : workers_) n += w->deque.size_approx();
+  return n;
+}
+
+}  // namespace parc::sched

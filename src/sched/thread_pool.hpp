@@ -1,0 +1,155 @@
+// Work-stealing thread pool: the execution engine under both the
+// ParallelTask runtime (parc::ptask) and the Pyjama runtime (parc::pj).
+//
+// Design (all per C++ Core Guidelines CP rules):
+//  - one Chase–Lev deque per worker; a worker pushes spawned jobs to its own
+//    deque and pops LIFO (work-first, good locality), thieves steal FIFO;
+//  - a mutex-protected injection queue for jobs submitted from non-worker
+//    threads (the main thread, the GUI event thread);
+//  - workers park on a condition variable when repeated steal sweeps fail;
+//    every enqueue bumps an epoch and notifies under the same mutex, so
+//    wake-ups cannot be missed;
+//  - blocking waits never block a worker thread: waiters call help_while(),
+//    executing pending jobs until their condition holds. This is what makes
+//    nested task waits (recursive quicksort!) and the project-6 "task-safe"
+//    collections deadlock-free on a bounded pool;
+//  - threads are joined in the destructor (never detached, CP.26).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/chase_lev_deque.hpp"
+#include "support/rng.hpp"
+
+namespace parc::sched {
+
+/// Number of workers to use when the caller does not say: the hardware
+/// concurrency, but at least 2 so that parallel semantics are exercised even
+/// on single-core containers like CI runners.
+[[nodiscard]] std::size_t default_concurrency() noexcept;
+
+class WorkStealingPool {
+ public:
+  struct Config {
+    std::size_t num_threads = default_concurrency();
+    /// Steal sweeps over all victims before a worker parks.
+    std::size_t sweeps_before_park = 4;
+    std::string name = "parc";
+  };
+
+  struct Stats {
+    std::uint64_t executed = 0;   ///< jobs run to completion
+    std::uint64_t stolen = 0;     ///< jobs obtained by stealing
+    std::uint64_t parked = 0;     ///< times a worker went to sleep
+    std::uint64_t helped = 0;     ///< jobs run inside help_while()
+  };
+
+  WorkStealingPool() : WorkStealingPool(Config{}) {}
+  explicit WorkStealingPool(Config cfg);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueue a job. Called from worker threads (goes to the local deque) or
+  /// any other thread (goes to the injection queue).
+  void submit(std::function<void()> fn);
+
+  /// Run one pending job on the calling thread, if any is available.
+  /// Returns false when nothing was found. Safe from any thread.
+  bool try_run_one();
+
+  /// Cooperatively wait: run pending jobs while `keep_waiting()` is true.
+  /// The calling thread (worker or external) donates itself to the pool for
+  /// the duration, so waiting can never starve the pool.
+  void help_while(const std::function<bool()>& keep_waiting);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Pool that the calling thread belongs to, or nullptr.
+  [[nodiscard]] static WorkStealingPool* current_pool() noexcept;
+  /// Worker index of the calling thread within its pool, or -1.
+  [[nodiscard]] static int current_worker() noexcept;
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Approximate number of queued-but-unstarted jobs (stats/tests only).
+  [[nodiscard]] std::size_t pending_approx() const;
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+  };
+
+  struct Worker {
+    explicit Worker(std::uint64_t seed) : rng(seed) {}
+    ChaseLevDeque<Job> deque;
+    Rng rng;
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t parked = 0;
+  };
+
+  void worker_loop(std::size_t index);
+  Job* find_job(std::size_t self_or_npos);
+  Job* steal_from_others(std::size_t self_or_npos, Rng& rng);
+  Job* pop_injected();
+  void signal_work();
+  void run_job(Job* job);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex inject_mutex_;
+  std::deque<Job*> injected_;  // guarded by inject_mutex_
+
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> helped_{0};
+
+  // For external (non-worker) threads taking jobs: rotate steal start.
+  std::atomic<std::size_t> external_cursor_{0};
+};
+
+/// A count-up/count-down completion latch that waits by helping the pool.
+/// Used by runtimes to implement join points (taskgroup / parallel-for end).
+class TaskLatch {
+ public:
+  explicit TaskLatch(WorkStealingPool& pool) : pool_(pool) {}
+
+  void add(std::size_t n = 1) noexcept {
+    outstanding_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void done() noexcept {
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  [[nodiscard]] bool idle() const noexcept {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  }
+  /// Blocks (cooperatively) until the count returns to zero.
+  void wait() {
+    pool_.help_while([this] { return !idle(); });
+  }
+
+ private:
+  WorkStealingPool& pool_;
+  std::atomic<std::size_t> outstanding_{0};
+};
+
+}  // namespace parc::sched

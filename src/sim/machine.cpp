@@ -1,0 +1,182 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace parc::sim {
+
+TaskDag::NodeId TaskDag::add_task(double cost,
+                                  const std::vector<NodeId>& deps) {
+  PARC_CHECK(cost >= 0.0);
+  const NodeId id = costs_.size();
+  costs_.push_back(cost);
+  dependents_.emplace_back();
+  dep_counts_.push_back(deps.size());
+  total_work_ += cost;
+  for (NodeId d : deps) {
+    PARC_CHECK_MSG(d < id, "dependences must be added before dependents");
+    dependents_[d].push_back(id);
+  }
+  return id;
+}
+
+double TaskDag::critical_path() const {
+  // Nodes are topologically ordered by construction.
+  std::vector<double> finish(costs_.size(), 0.0);
+  double span = 0.0;
+  for (NodeId id = 0; id < costs_.size(); ++id) {
+    finish[id] += costs_[id];
+    span = std::max(span, finish[id]);
+    for (NodeId child : dependents_[id]) {
+      finish[child] = std::max(finish[child], finish[id]);
+    }
+  }
+  return span;
+}
+
+MachineParams parc_64core() {
+  return MachineParams{64, 2e-6, "PARC 64-core (4x Opteron 6272)"};
+}
+MachineParams parc_16core() {
+  return MachineParams{16, 1.5e-6, "PARC 16-core (4x Xeon E7340)"};
+}
+MachineParams parc_8core() {
+  return MachineParams{8, 1.5e-6, "PARC 8-core (2x Xeon E5320)"};
+}
+
+SimOutcome simulate(const TaskDag& dag, const MachineParams& machine) {
+  PARC_CHECK(machine.cores >= 1);
+  SimOutcome out;
+  out.core_busy_s.assign(machine.cores, 0.0);
+  if (dag.size() == 0) return out;
+
+  // Ready tasks keyed by the time they become ready; FIFO within a time.
+  struct ReadyTask {
+    double ready_at;
+    std::size_t seq;
+    TaskDag::NodeId id;
+    bool operator>(const ReadyTask& o) const {
+      if (ready_at != o.ready_at) return ready_at > o.ready_at;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<ReadyTask, std::vector<ReadyTask>, std::greater<>>
+      ready;
+  // Cores keyed by free time; index breaks ties deterministically.
+  struct Core {
+    double free_at;
+    std::size_t index;
+    bool operator>(const Core& o) const {
+      if (free_at != o.free_at) return free_at > o.free_at;
+      return index > o.index;
+    }
+  };
+  std::priority_queue<Core, std::vector<Core>, std::greater<>> cores;
+  for (std::size_t c = 0; c < machine.cores; ++c) cores.push(Core{0.0, c});
+
+  std::vector<std::size_t> pending(dag.size());
+  std::vector<double> ready_time(dag.size(), 0.0);
+  std::size_t seq = 0;
+  for (TaskDag::NodeId id = 0; id < dag.size(); ++id) {
+    pending[id] = dag.dependency_count(id);
+    if (pending[id] == 0) ready.push(ReadyTask{0.0, seq++, id});
+  }
+
+  double makespan = 0.0;
+  while (!ready.empty()) {
+    const ReadyTask task = ready.top();
+    ready.pop();
+    Core core = cores.top();
+    cores.pop();
+    const double start = std::max(task.ready_at, core.free_at);
+    const double finish =
+        start + dag.cost(task.id) + machine.per_task_overhead_s;
+    out.core_busy_s[core.index] += finish - start;
+    core.free_at = finish;
+    cores.push(core);
+    makespan = std::max(makespan, finish);
+    for (TaskDag::NodeId child : dag.dependents(task.id)) {
+      ready_time[child] = std::max(ready_time[child], finish);
+      if (--pending[child] == 0) {
+        ready.push(ReadyTask{ready_time[child], seq++, child});
+      }
+    }
+  }
+
+  out.makespan_s = makespan;
+  out.speedup = makespan > 0.0 ? dag.total_work() / makespan : 0.0;
+  out.efficiency = out.speedup / static_cast<double>(machine.cores);
+  return out;
+}
+
+std::vector<SpeedupPoint> speedup_curve(
+    const TaskDag& dag, const std::vector<std::size_t>& core_counts,
+    double per_task_overhead_s) {
+  std::vector<SpeedupPoint> curve;
+  curve.reserve(core_counts.size());
+  for (std::size_t p : core_counts) {
+    const auto outcome =
+        simulate(dag, MachineParams{p, per_task_overhead_s, "sweep"});
+    curve.push_back(SpeedupPoint{p, outcome.speedup, outcome.efficiency});
+  }
+  return curve;
+}
+
+TaskDag fork_join_dag(const std::vector<double>& costs) {
+  TaskDag dag;
+  for (double c : costs) dag.add_task(c);
+  return dag;
+}
+
+TaskDag divide_conquer_dag(std::size_t elements, std::size_t cutoff,
+                           double cost_per_element, double spawn_overhead_s) {
+  PARC_CHECK(cutoff >= 1);
+  TaskDag dag;
+  // Recursive expansion mirroring quicksort: a partition node costs
+  // O(elements) (the partition pass), then two halves proceed in parallel.
+  auto build = [&](auto&& self, std::size_t elems,
+                   const std::vector<TaskDag::NodeId>& deps)
+      -> TaskDag::NodeId {
+    if (elems <= cutoff) {
+      // Leaf: sort the run sequentially, n log n-ish ≈ linear for model.
+      return dag.add_task(cost_per_element * static_cast<double>(elems), deps);
+    }
+    const auto partition = dag.add_task(
+        cost_per_element * static_cast<double>(elems) + spawn_overhead_s,
+        deps);
+    const auto left = self(self, elems / 2, {partition});
+    const auto right = self(self, elems - elems / 2, {partition});
+    // Join node (zero cost) so callers can depend on the subtree finishing.
+    return dag.add_task(0.0, {left, right});
+  };
+  build(build, elements, {});
+  return dag;
+}
+
+TaskDag barrier_rounds_dag(std::size_t iters, std::size_t tasks_per_round,
+                           double task_cost_s) {
+  TaskDag dag;
+  std::vector<TaskDag::NodeId> previous;
+  for (std::size_t round = 0; round < iters; ++round) {
+    std::vector<TaskDag::NodeId> current;
+    current.reserve(tasks_per_round);
+    for (std::size_t t = 0; t < tasks_per_round; ++t) {
+      current.push_back(dag.add_task(task_cost_s, previous));
+    }
+    previous = std::move(current);
+  }
+  return dag;
+}
+
+TaskDag amdahl_dag(double serial_s, std::size_t parallel_tasks,
+                   double parallel_each_s) {
+  TaskDag dag;
+  const auto serial = dag.add_task(serial_s);
+  for (std::size_t i = 0; i < parallel_tasks; ++i) {
+    dag.add_task(parallel_each_s, {serial});
+  }
+  return dag;
+}
+
+}  // namespace parc::sim

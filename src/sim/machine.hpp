@@ -1,0 +1,122 @@
+// Deterministic machine model (the 1-core-container substitution).
+//
+// The paper's students measured scaling on the PARC lab's 64-, 16- and
+// 8-core machines. This container has one core, so real speedup cannot be
+// measured here. Instead, workloads are recorded as a task DAG (per-task
+// costs + dependences) and replayed on a simulated P-core machine with
+// greedy list scheduling — work-conserving, like the real work-stealing
+// runtime. The simulator is exact for the model and reproduces the *shape*
+// of every scaling result: near-linear speedup until the work/span bound,
+// Amdahl saturation, and the crossovers between strategies.
+//
+// Validity anchors: makespan ≥ work/P, makespan ≥ span (critical path), and
+// greedy scheduling guarantees makespan ≤ work/P + span (Graham's bound);
+// tests assert all three.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parc::sim {
+
+/// Directed acyclic task graph; nodes are added in topological order
+/// (dependences must already exist).
+class TaskDag {
+ public:
+  using NodeId = std::size_t;
+
+  /// Add a task with execution cost (seconds) and dependences.
+  NodeId add_task(double cost, const std::vector<NodeId>& deps = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return costs_.size(); }
+  [[nodiscard]] double cost(NodeId id) const { return costs_[id]; }
+  [[nodiscard]] const std::vector<NodeId>& dependents(NodeId id) const {
+    return dependents_[id];
+  }
+  [[nodiscard]] std::size_t dependency_count(NodeId id) const {
+    return dep_counts_[id];
+  }
+
+  /// Total work T1 = Σ cost.
+  [[nodiscard]] double total_work() const noexcept { return total_work_; }
+
+  /// Span T∞ = longest cost-weighted path.
+  [[nodiscard]] double critical_path() const;
+
+  /// Average parallelism T1 / T∞.
+  [[nodiscard]] double parallelism() const {
+    const double span = critical_path();
+    return span > 0.0 ? total_work() / span : 0.0;
+  }
+
+ private:
+  std::vector<double> costs_;
+  std::vector<std::vector<NodeId>> dependents_;
+  std::vector<std::size_t> dep_counts_;
+  double total_work_ = 0.0;
+};
+
+struct MachineParams {
+  std::size_t cores = 4;
+  /// Fixed scheduling overhead added to every task (dispatch cost).
+  double per_task_overhead_s = 0.0;
+  std::string name = "machine";
+};
+
+/// The three shared-memory systems of §III-B.
+[[nodiscard]] MachineParams parc_64core();  ///< 4× AMD Opteron 6272
+[[nodiscard]] MachineParams parc_16core();  ///< 4× Xeon E7340
+[[nodiscard]] MachineParams parc_8core();   ///< 2× Xeon E5320
+
+struct SimOutcome {
+  double makespan_s = 0.0;
+  double speedup = 0.0;      ///< total_work / makespan
+  double efficiency = 0.0;   ///< speedup / cores
+  std::vector<double> core_busy_s;  ///< per-core busy time
+};
+
+/// Replay the DAG on the machine with greedy list scheduling (ready tasks
+/// dispatched FIFO to the earliest-free core). Deterministic.
+[[nodiscard]] SimOutcome simulate(const TaskDag& dag,
+                                  const MachineParams& machine);
+
+/// Speedup at each core count (same DAG, same overheads).
+struct SpeedupPoint {
+  std::size_t cores;
+  double speedup;
+  double efficiency;
+};
+[[nodiscard]] std::vector<SpeedupPoint> speedup_curve(
+    const TaskDag& dag, const std::vector<std::size_t>& core_counts,
+    double per_task_overhead_s = 0.0);
+
+// ---------------------------------------------------------------------------
+// DAG builders for the canonical workload shapes.
+// ---------------------------------------------------------------------------
+
+/// Flat fork-join: n independent tasks with the given costs.
+[[nodiscard]] TaskDag fork_join_dag(const std::vector<double>& costs);
+
+/// Binary divide-and-conquer (quicksort shape): internal nodes cost
+/// `split_cost(level, span_elems)`, leaves cost `leaf_cost(elems)`; the two
+/// children of a node depend on it, and a join chain mirrors the recursion.
+[[nodiscard]] TaskDag divide_conquer_dag(std::size_t elements,
+                                         std::size_t cutoff,
+                                         double cost_per_element,
+                                         double spawn_overhead_s = 0.0);
+
+/// Iterative barrier loop (Jacobi/PageRank shape): `iters` rounds of
+/// `tasks_per_round` equal tasks, every round depending on the whole
+/// previous round.
+[[nodiscard]] TaskDag barrier_rounds_dag(std::size_t iters,
+                                         std::size_t tasks_per_round,
+                                         double task_cost_s);
+
+/// Amdahl shape: serial prefix + parallel body (for teaching plots).
+[[nodiscard]] TaskDag amdahl_dag(double serial_s, std::size_t parallel_tasks,
+                                 double parallel_each_s);
+
+}  // namespace parc::sim

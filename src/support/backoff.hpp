@@ -1,0 +1,65 @@
+// Spin/backoff utilities shared by the lock and runtime implementations.
+//
+// Spinning briefly before yielding wins when the owner is running on
+// another core; on oversubscribed or single-core hosts the yield is what
+// lets the owner finish at all — ExponentialBackoff encodes that
+// escalation once instead of ad-hoc counters at every spin site.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace parc {
+
+/// Destructive-interference padding: align hot atomics to this to keep
+/// unrelated writers off each other's cache line.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+class ExponentialBackoff {
+ public:
+  /// `spins_before_yield`: busy iterations (doubling per round) before the
+  /// policy escalates to std::this_thread::yield().
+  explicit constexpr ExponentialBackoff(std::size_t spins_before_yield = 64)
+      : limit_(spins_before_yield) {}
+
+  /// One wait step: spin while cheap, yield once the budget is burnt.
+  void pause() noexcept {
+    if (count_ < limit_) {
+      for (std::size_t i = 0; i < (std::size_t{1} << round_); ++i) {
+        cpu_relax();
+      }
+      count_ += std::size_t{1} << round_;
+      if (round_ < 6) ++round_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Reset after a successful acquisition (next contention starts cheap).
+  void reset() noexcept {
+    count_ = 0;
+    round_ = 0;
+  }
+
+  [[nodiscard]] bool yielding() const noexcept { return count_ >= limit_; }
+
+  /// Architecture pause hint (PAUSE on x86, YIELD on ARM, no-op elsewhere).
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    // Plain compiler barrier: prevents the spin from being optimised into
+    // a single cached load.
+    asm volatile("" ::: "memory");
+#endif
+  }
+
+ private:
+  std::size_t limit_;
+  std::size_t count_ = 0;
+  std::size_t round_ = 0;
+};
+
+}  // namespace parc

@@ -1,0 +1,39 @@
+// Lightweight runtime contract checks.
+//
+// PARC_CHECK is always on (cheap invariants on API boundaries); PARC_DCHECK
+// compiles away in release builds and is used on hot paths. Violations
+// terminate: a broken invariant in a concurrent runtime is not recoverable,
+// and throwing across scheduler threads would mask the original fault.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "parc: check failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace parc
+
+#define PARC_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::parc::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PARC_CHECK_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) ::parc::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARC_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define PARC_DCHECK(expr) PARC_CHECK(expr)
+#endif

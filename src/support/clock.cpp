@@ -1,0 +1,22 @@
+#include "support/clock.hpp"
+
+#include <atomic>
+
+namespace parc {
+
+std::uint64_t spin_work(std::uint64_t iterations) noexcept {
+  // A SplitMix-style mixing loop: cheap, data-dependent, not elidable
+  // because the result is returned (callers typically feed it into a
+  // benchmark::DoNotOptimize-style sink or an accumulator).
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x += i;
+  }
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  return x;
+}
+
+}  // namespace parc

@@ -1,0 +1,92 @@
+// Real and virtual time sources.
+//
+// Stopwatch wraps steady_clock for wall measurements. VirtualClock is the
+// discrete-event time source used by the network simulator and the machine
+// model: time only advances when a component explicitly schedules it, which
+// is what makes those experiments deterministic on any host.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parc {
+
+/// Wall-clock stopwatch (steady_clock, ns resolution).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  void reset() { start_ = Now(); }
+
+  [[nodiscard]] double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(Now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_us() const { return elapsed_ns() / 1e3; }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_ns() / 1e6; }
+  [[nodiscard]] double elapsed_s() const { return elapsed_ns() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Now() { return Clock::now(); }
+  Clock::time_point start_;
+};
+
+/// Discrete-event virtual clock. Components schedule (time, key) wake-ups
+/// and the owner advances time to the earliest one. Single-threaded by
+/// design: the simulators that use it run their event loop on one thread and
+/// model parallelism explicitly.
+class VirtualClock {
+ public:
+  using Time = double;  // seconds in simulated time
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule a wake-up; keys identify the waiter to the caller.
+  void schedule(Time at, std::uint64_t key) {
+    PARC_CHECK_MSG(at >= now_, "cannot schedule in the simulated past");
+    queue_.push(Event{at, seq_++, key});
+  }
+
+  [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
+
+  /// Pop the earliest event, advancing now(). Ties break in schedule order
+  /// so runs are reproducible.
+  std::uint64_t advance() {
+    PARC_CHECK(!queue_.empty());
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    return ev.key;
+  }
+
+  /// Earliest pending time (requires has_pending()).
+  [[nodiscard]] Time next_time() const {
+    PARC_CHECK(!queue_.empty());
+    return queue_.top().at;
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::uint64_t key;
+    bool operator>(const Event& o) const noexcept {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+/// Busy-spin for a given number of iterations of a data-dependent loop the
+/// optimiser cannot elide. Used by workload generators to create CPU work
+/// with a controllable cost.
+std::uint64_t spin_work(std::uint64_t iterations) noexcept;
+
+}  // namespace parc

@@ -1,0 +1,198 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace parc {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_valid_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::min() const {
+  PARC_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  PARC_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Summary::mean() const {
+  PARC_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(samples_.size() - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::percentile(double p) const {
+  PARC_CHECK(!samples_.empty());
+  PARC_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Summary::ci95_half_width() const {
+  if (samples_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+std::string Summary::describe() const {
+  if (empty()) return "(no samples)";
+  std::ostringstream os;
+  os << format_double(mean(), 3) << " ±" << format_double(ci95_half_width(), 3)
+     << " [min " << format_double(min(), 3) << ", p50 "
+     << format_double(median(), 3) << ", p99 "
+     << format_double(percentile(99.0), 3) << ", max "
+     << format_double(max(), 3) << "] n=" << count();
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  PARC_CHECK(hi > lo);
+  PARC_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  PARC_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  PARC_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_high(std::size_t i) const {
+  return bucket_low(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) * width);
+    os << "[" << format_double(bucket_low(i), 2) << ", "
+       << format_double(bucket_high(i), 2) << ") " << std::string(
+           static_cast<std::size_t>(std::max(bar, 1)), '#')
+       << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  PARC_CHECK(xs.size() == ys.size());
+  PARC_CHECK(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    syy += ys[i] * ys[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  PARC_CHECK(xs.size() == ys.size());
+  PARC_CHECK(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    fit.slope = 0.0;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  return fit;
+}
+
+}  // namespace parc

@@ -1,0 +1,114 @@
+// Descriptive statistics for benchmark and simulation results.
+//
+// Summary collects samples and reports the moments/percentiles the bench
+// tables print; Histogram buckets latencies for the responsiveness probes.
+// Everything is plain value types — no hidden global state (CP.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parc {
+
+/// Order statistics + moments over a sample set.
+class Summary {
+ public:
+  Summary() = default;
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  /// Half-width of the 95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_half_width() const;
+
+  /// "mean ± ci [min, p50, p99, max]" — the standard row suffix in tables.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt cache
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket linear histogram over [lo, hi); out-of-range samples clamp
+/// into the first/last bucket so counts are never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] double bucket_low(std::size_t i) const;
+  [[nodiscard]] double bucket_high(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// ASCII bar rendering, one line per non-empty bucket.
+  [[nodiscard]] std::string render(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Online mean/variance (Welford) for hot paths that cannot afford to keep
+/// every sample.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation of two equal-length series (used by the course
+/// module to sanity-check grade components).
+[[nodiscard]] double pearson_correlation(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+/// Simple least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+}  // namespace parc

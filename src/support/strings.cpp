@@ -1,0 +1,105 @@
+#include "support/strings.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace parc {
+
+std::string format_double(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return std::string(buf.data());
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int since_sep = static_cast<int>(digits.size() % 3);
+  if (since_sep == 0) since_sep = 3;
+  for (char c : digits) {
+    if (since_sep == 0) {
+      out.push_back(',');
+      since_sep = 3;
+    }
+    out.push_back(c);
+    --since_sep;
+  }
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return format_double(v, unit == 0 ? 0 : 1) + " " + kUnits[unit];
+}
+
+std::string format_duration_ns(double ns) {
+  if (ns < 1e3) return format_double(ns, 0) + " ns";
+  if (ns < 1e6) return format_double(ns / 1e3, 2) + " us";
+  if (ns < 1e9) return format_double(ns / 1e6, 2) + " ms";
+  return format_double(ns / 1e9, 2) + " s";
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << delim;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string repeat(std::string_view s, std::size_t n) {
+  std::string out;
+  out.reserve(s.size() * n);
+  for (std::size_t i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+}  // namespace parc

@@ -1,0 +1,44 @@
+// Small string formatting helpers shared by tables, logs and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parc {
+
+/// Fixed-precision double ("12.345"); trims a trailing ".000" only when
+/// precision is 0.
+[[nodiscard]] std::string format_double(double value, int precision);
+
+/// Thousands-separated integer ("1,234,567").
+[[nodiscard]] std::string format_count(std::uint64_t value);
+
+/// Human bytes ("1.5 MiB").
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Human duration from nanoseconds ("1.20 ms").
+[[nodiscard]] std::string format_duration_ns(double ns);
+
+/// Left/right padding to a field width.
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+/// Split on a delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a delimiter.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view delim);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Repeat a string n times.
+[[nodiscard]] std::string repeat(std::string_view s, std::size_t n);
+
+}  // namespace parc

@@ -1,0 +1,108 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace parc {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::columns(std::initializer_list<std::string> names) {
+  return columns(std::vector<std::string>(names));
+}
+
+Table& Table::columns(std::vector<std::string> names) {
+  PARC_CHECK_MSG(rows_.empty(), "set columns before adding rows");
+  columns_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  PARC_CHECK_MSG(cells.size() == columns_.size(),
+                 "row width != column count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(const char* s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+  cells_.push_back(format_double(v, precision));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t v) {
+  cells_.push_back(format_count(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(int v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() { table_.row(std::move(cells_)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+  os << "\n== " << title_ << " ==\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << pad_right(columns_[c], widths[c]) << (c + 1 < columns_.size() ? " | " : "");
+  }
+  os << "\n" << repeat("-", total) << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << pad_right(r[c], widths[c]) << (c + 1 < r.size() ? " | " : "");
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << csv_escape(columns_[c]) << (c + 1 < columns_.size() ? "," : "");
+  }
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << csv_escape(r[c]) << (c + 1 < r.size() ? "," : "");
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace parc

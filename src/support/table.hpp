@@ -1,0 +1,63 @@
+// ASCII table / CSV emission for bench binaries.
+//
+// Every bench target prints the paper artifact it regenerates as a Table:
+// fixed column set, row-per-configuration, aligned ASCII to stdout plus an
+// optional CSV dump for downstream plotting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace parc {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  Table& columns(std::initializer_list<std::string> names);
+  Table& columns(std::vector<std::string> names);
+
+  /// Append a row; cell count must match the column count.
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles/ints in place.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(const char* s);
+    RowBuilder& cell(double v, int precision = 3);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(int v);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+    friend class Table;
+  };
+  [[nodiscard]] RowBuilder add_row() { return RowBuilder(*this); }
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Aligned ASCII rendering with a title banner and column rule.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parc

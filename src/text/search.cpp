@@ -1,0 +1,237 @@
+#include "text/search.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+
+#include "ptask/ptask.hpp"
+#include "support/check.hpp"
+#include "support/clock.hpp"
+
+namespace parc::text {
+
+std::vector<std::size_t> find_all_literal(std::string_view haystack,
+                                          std::string_view needle) {
+  std::vector<std::size_t> hits;
+  const std::size_t n = haystack.size();
+  const std::size_t m = needle.size();
+  PARC_CHECK(m >= 1);
+  if (m > n) return hits;
+
+  // Boyer–Moore–Horspool bad-character skip table.
+  std::array<std::size_t, 256> skip;
+  skip.fill(m);
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    skip[static_cast<unsigned char>(needle[i])] = m - 1 - i;
+  }
+
+  std::size_t pos = 0;
+  while (pos + m <= n) {
+    if (haystack[pos + m - 1] == needle[m - 1] &&
+        haystack.compare(pos, m, needle) == 0) {
+      hits.push_back(pos);
+      pos += 1;  // overlapping matches allowed
+    } else {
+      pos += skip[static_cast<unsigned char>(haystack[pos + m - 1])];
+    }
+  }
+  return hits;
+}
+
+namespace {
+
+/// Convert byte offsets to (line, column) in one forward pass.
+std::vector<Match> offsets_to_matches(const std::string& content,
+                                      std::size_t file_index,
+                                      const std::vector<std::size_t>& offsets) {
+  std::vector<Match> out;
+  out.reserve(offsets.size());
+  std::size_t line = 1;
+  std::size_t line_start = 0;
+  std::size_t oi = 0;
+  for (std::size_t i = 0; i <= content.size() && oi < offsets.size(); ++i) {
+    while (oi < offsets.size() && offsets[oi] < i) {
+      ++oi;  // defensive; offsets are sorted so this should not trigger
+    }
+    if (oi < offsets.size() && offsets[oi] == i) {
+      out.push_back(Match{file_index, line, i - line_start});
+      ++oi;
+    }
+    if (i < content.size() && content[i] == '\n') {
+      ++line;
+      line_start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Match> search_file_literal(const TextFile& file,
+                                       std::size_t file_index,
+                                       std::string_view needle) {
+  return offsets_to_matches(file.content, file_index,
+                            find_all_literal(file.content, needle));
+}
+
+std::vector<Match> search_file_regex(const TextFile& file,
+                                     std::size_t file_index,
+                                     const std::regex& pattern) {
+  std::vector<Match> out;
+  std::size_t line = 1;
+  std::size_t start = 0;
+  const std::string& c = file.content;
+  while (start <= c.size()) {
+    std::size_t end = c.find('\n', start);
+    if (end == std::string::npos) end = c.size();
+    const char* begin_ptr = c.data() + start;
+    const char* end_ptr = c.data() + end;
+    for (std::cregex_iterator it(begin_ptr, end_ptr, pattern), last;
+         it != last; ++it) {
+      out.push_back(Match{file_index, line,
+                          static_cast<std::size_t>(it->position(0))});
+    }
+    ++line;
+    start = end + 1;
+    if (end == c.size()) break;
+  }
+  return out;
+}
+
+std::vector<Match> search_corpus_seq(const Corpus& corpus,
+                                     std::string_view needle) {
+  std::vector<Match> all;
+  for (std::size_t i = 0; i < corpus.files.size(); ++i) {
+    auto m = search_file_literal(corpus.files[i], i, needle);
+    all.insert(all.end(), m.begin(), m.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+namespace {
+
+template <typename PerFile>
+std::vector<Match> parallel_corpus_search(
+    const Corpus& corpus, ptask::Runtime& rt,
+    const std::function<void(const std::vector<Match>&)>& on_batch,
+    PerFile&& per_file) {
+  std::mutex batch_mutex;
+  std::vector<Match> all;  // guarded by batch_mutex
+  auto task = ptask::run_multi(rt, corpus.files.size(), [&](std::size_t i) {
+    auto matches = per_file(corpus.files[i], i);
+    if (matches.empty()) return;
+    {
+      std::scoped_lock lock(batch_mutex);
+      all.insert(all.end(), matches.begin(), matches.end());
+    }
+    if (on_batch) on_batch(matches);
+  });
+  task.get();
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+std::vector<Match> search_corpus_ptask(
+    const Corpus& corpus, std::string_view needle, ptask::Runtime& rt,
+    const std::function<void(const std::vector<Match>&)>& on_batch) {
+  return parallel_corpus_search(
+      corpus, rt, on_batch, [&](const TextFile& f, std::size_t i) {
+        return search_file_literal(f, i, needle);
+      });
+}
+
+std::vector<Match> search_corpus_regex_ptask(
+    const Corpus& corpus, const std::string& pattern, ptask::Runtime& rt,
+    const std::function<void(const std::vector<Match>&)>& on_batch) {
+  const std::regex re(pattern, std::regex::optimize);
+  return parallel_corpus_search(
+      corpus, rt, on_batch, [&](const TextFile& f, std::size_t i) {
+        return search_file_regex(f, i, re);
+      });
+}
+
+std::string to_string(PdfGranularity g) {
+  switch (g) {
+    case PdfGranularity::kPerDocument: return "per-document";
+    case PdfGranularity::kPerPage: return "per-page";
+    case PdfGranularity::kPerChunk: return "per-chunk";
+  }
+  return "?";
+}
+
+PdfSearchResult search_pdfs_seq(const GeneratedPdfLibrary& lib,
+                                std::string_view needle) {
+  PdfSearchResult result;
+  Stopwatch sw;
+  for (std::size_t d = 0; d < lib.documents.size(); ++d) {
+    const auto& doc = lib.documents[d];
+    for (std::size_t p = 0; p < doc.pages.size(); ++p) {
+      if (!find_all_literal(doc.pages[p], needle).empty()) {
+        result.matches.push_back(PageMatch{d, p});
+        result.delivery_ms.push_back(sw.elapsed_ms());
+      }
+    }
+  }
+  result.wall_ms = sw.elapsed_ms();
+  return result;
+}
+
+PdfSearchResult search_pdfs_ptask(const GeneratedPdfLibrary& lib,
+                                  std::string_view needle,
+                                  PdfGranularity granularity,
+                                  ptask::Runtime& rt,
+                                  std::size_t chunk_pages) {
+  PARC_CHECK(chunk_pages >= 1);
+  PdfSearchResult result;
+  std::mutex mutex;  // guards result.matches / delivery_ms
+  Stopwatch sw;
+
+  // Flatten (doc, page) work units, then group by granularity.
+  struct Unit {
+    std::size_t doc;
+    std::size_t first_page;
+    std::size_t last_page;  // exclusive
+  };
+  std::vector<Unit> units;
+  for (std::size_t d = 0; d < lib.documents.size(); ++d) {
+    const std::size_t pages = lib.documents[d].pages.size();
+    switch (granularity) {
+      case PdfGranularity::kPerDocument:
+        units.push_back(Unit{d, 0, pages});
+        break;
+      case PdfGranularity::kPerPage:
+        for (std::size_t p = 0; p < pages; ++p) {
+          units.push_back(Unit{d, p, p + 1});
+        }
+        break;
+      case PdfGranularity::kPerChunk:
+        for (std::size_t p = 0; p < pages; p += chunk_pages) {
+          units.push_back(Unit{d, p, std::min(p + chunk_pages, pages)});
+        }
+        break;
+    }
+  }
+
+  auto task = ptask::run_multi(rt, units.size(), [&](std::size_t ui) {
+    const Unit& u = units[ui];
+    const auto& doc = lib.documents[u.doc];
+    for (std::size_t p = u.first_page; p < u.last_page; ++p) {
+      if (!find_all_literal(doc.pages[p], needle).empty()) {
+        std::scoped_lock lock(mutex);
+        result.matches.push_back(PageMatch{u.doc, p});
+        result.delivery_ms.push_back(sw.elapsed_ms());
+      }
+    }
+  });
+  task.get();
+  result.wall_ms = sw.elapsed_ms();
+  std::sort(result.matches.begin(), result.matches.end());
+  std::sort(result.delivery_ms.begin(), result.delivery_ms.end());
+  return result;
+}
+
+}  // namespace parc::text

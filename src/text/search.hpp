@@ -1,0 +1,100 @@
+// String search engines (projects 4 & 7): Boyer–Moore–Horspool literal
+// search, regex search, and parallel folder-search drivers with incremental
+// result delivery — the "matches appear while the search is running" UX the
+// paper describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gui/event_loop.hpp"
+#include "pj/schedule.hpp"
+#include "ptask/runtime.hpp"
+#include "text/vfs.hpp"
+
+namespace parc::text {
+
+struct Match {
+  std::size_t file_index;
+  std::size_t line;    ///< 1-based
+  std::size_t column;  ///< 0-based byte offset within the line
+
+  bool operator==(const Match&) const = default;
+  auto operator<=>(const Match&) const = default;
+};
+
+/// All occurrences of `needle` in `haystack` (byte offsets), BMH skip table.
+[[nodiscard]] std::vector<std::size_t> find_all_literal(
+    std::string_view haystack, std::string_view needle);
+
+/// Matches of a literal needle in one file, with line/column resolution.
+[[nodiscard]] std::vector<Match> search_file_literal(const TextFile& file,
+                                                     std::size_t file_index,
+                                                     std::string_view needle);
+
+/// Regex matches in one file (first match per position, multiline input
+/// split on '\n').
+[[nodiscard]] std::vector<Match> search_file_regex(const TextFile& file,
+                                                   std::size_t file_index,
+                                                   const std::regex& pattern);
+
+/// Sequential whole-corpus search (reference).
+[[nodiscard]] std::vector<Match> search_corpus_seq(const Corpus& corpus,
+                                                   std::string_view needle);
+
+/// Parallel corpus search: a ParallelTask multi-task over files; per-file
+/// result batches are delivered through `on_batch` *as they are found*
+/// (called on the completing worker; hop to an EDT yourself if needed).
+/// Blocks until the search completes; returns all matches sorted.
+[[nodiscard]] std::vector<Match> search_corpus_ptask(
+    const Corpus& corpus, std::string_view needle, ptask::Runtime& rt,
+    const std::function<void(const std::vector<Match>&)>& on_batch = nullptr);
+
+/// Regex variant of the parallel corpus search.
+[[nodiscard]] std::vector<Match> search_corpus_regex_ptask(
+    const Corpus& corpus, const std::string& pattern, ptask::Runtime& rt,
+    const std::function<void(const std::vector<Match>&)>& on_batch = nullptr);
+
+// ---------------------------------------------------------------------------
+// Project 7: paged-document search with selectable granularity.
+// ---------------------------------------------------------------------------
+
+enum class PdfGranularity {
+  kPerDocument,  ///< one task per document
+  kPerPage,      ///< one task per page
+  kPerChunk,     ///< one task per fixed-size page chunk
+};
+
+[[nodiscard]] std::string to_string(PdfGranularity g);
+
+struct PageMatch {
+  std::size_t doc_index;
+  std::size_t page_index;
+
+  bool operator==(const PageMatch&) const = default;
+  auto operator<=>(const PageMatch&) const = default;
+};
+
+struct PdfSearchResult {
+  std::vector<PageMatch> matches;  ///< sorted (doc, page)
+  double wall_ms = 0.0;
+  /// Wall time at which the k-th match was delivered (ms from start) —
+  /// the "intermittent updates" metric: lower first-result latency is the
+  /// point of finer granularity.
+  std::vector<double> delivery_ms;
+};
+
+[[nodiscard]] PdfSearchResult search_pdfs_seq(const GeneratedPdfLibrary& lib,
+                                              std::string_view needle);
+
+[[nodiscard]] PdfSearchResult search_pdfs_ptask(const GeneratedPdfLibrary& lib,
+                                                std::string_view needle,
+                                                PdfGranularity granularity,
+                                                ptask::Runtime& rt,
+                                                std::size_t chunk_pages = 8);
+
+}  // namespace parc::text

@@ -1,0 +1,5 @@
+// Umbrella header for the text-search substrate (parc::text).
+#pragma once
+
+#include "text/search.hpp"  // IWYU pragma: export
+#include "text/vfs.hpp"     // IWYU pragma: export

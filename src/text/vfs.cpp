@@ -1,0 +1,162 @@
+#include "text/vfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace parc::text {
+
+namespace {
+
+/// Synthetic vocabulary: pronounceable CVCV... words, none of which can
+/// collide with a user needle containing characters outside the pattern.
+std::vector<std::string> make_vocabulary(std::size_t size, Rng& rng) {
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwz";
+  static constexpr char kVowels[] = "aeiou";
+  std::vector<std::string> vocab;
+  vocab.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t syllables = 2 + rng.below(3);
+    std::string w;
+    for (std::size_t s = 0; s < syllables; ++s) {
+      w.push_back(kConsonants[rng.below(sizeof(kConsonants) - 1)]);
+      w.push_back(kVowels[rng.below(sizeof(kVowels) - 1)]);
+    }
+    vocab.push_back(std::move(w));
+  }
+  return vocab;
+}
+
+std::string make_path(Rng& rng, std::size_t depth, std::size_t index) {
+  static constexpr const char* kFolders[] = {"src",  "docs",  "notes",
+                                             "data", "tests", "reports"};
+  std::string path;
+  for (std::size_t d = 0; d < depth; ++d) {
+    path += kFolders[rng.below(std::size(kFolders))];
+    path += '/';
+  }
+  path += "file_" + std::to_string(index) + ".txt";
+  return path;
+}
+
+/// Sample a word count log-normally with the requested mean.
+std::size_t sample_word_count(Rng& rng, std::size_t mean) {
+  const double mu = std::log(static_cast<double>(mean)) - 0.5;
+  const auto n = static_cast<std::size_t>(rng.lognormal(mu, 1.0));
+  return std::max<std::size_t>(n, 16);
+}
+
+}  // namespace
+
+GeneratedCorpus make_corpus(const CorpusOptions& opts, std::uint64_t seed) {
+  PARC_CHECK(opts.num_files >= 1);
+  PARC_CHECK(!opts.needle.empty());
+  Rng rng(seed);
+  const auto vocab = make_vocabulary(4096, rng);
+  // The vocabulary is lowercase CVCV; verify the needle cannot be generated
+  // accidentally by checking it is not any vocab word (multi-word needles
+  // can't collide because word boundaries are spaces).
+  for (const auto& w : vocab) {
+    PARC_CHECK_MSG(w != opts.needle, "needle collides with vocabulary");
+  }
+
+  GeneratedCorpus out;
+  out.corpus.files.reserve(opts.num_files);
+  for (std::size_t fi = 0; fi < opts.num_files; ++fi) {
+    const std::size_t words = sample_word_count(rng, opts.mean_words_per_file);
+    std::string content;
+    content.reserve(words * 8);
+    std::size_t line = 1;
+    std::size_t col = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> planted;  // line, col
+
+    const bool plant = rng.chance(opts.needle_file_fraction);
+    std::size_t to_plant =
+        plant ? 1 + rng.below(opts.max_needles_per_file) : 0;
+    // Positions (word indices) where needles go, spread uniformly.
+    std::vector<std::size_t> plant_at;
+    for (std::size_t k = 0; k < to_plant; ++k) {
+      plant_at.push_back(rng.below(words));
+    }
+    std::sort(plant_at.begin(), plant_at.end());
+    plant_at.erase(std::unique(plant_at.begin(), plant_at.end()),
+                   plant_at.end());
+
+    std::size_t next_plant = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      const bool is_needle =
+          next_plant < plant_at.size() && plant_at[next_plant] == w;
+      const std::string& token =
+          is_needle ? opts.needle
+                    : vocab[rng.zipf(vocab.size(), 1.1)];
+      if (is_needle) {
+        planted.emplace_back(line, col);
+        ++next_plant;
+      }
+      content += token;
+      col += token.size();
+      // ~12 words per line.
+      if (w % 12 == 11) {
+        content.push_back('\n');
+        ++line;
+        col = 0;
+      } else {
+        content.push_back(' ');
+        ++col;
+      }
+    }
+    content.push_back('\n');
+
+    for (const auto& [l, c] : planted) {
+      out.needles.push_back(PlantedNeedle{fi, l, c});
+    }
+    out.corpus.files.push_back(
+        TextFile{make_path(rng, opts.folder_depth, fi), std::move(content)});
+  }
+  return out;
+}
+
+GeneratedPdfLibrary make_pdf_library(const PdfLibraryOptions& opts,
+                                     std::uint64_t seed) {
+  PARC_CHECK(opts.num_documents >= 1);
+  Rng rng(seed);
+  const auto vocab = make_vocabulary(2048, rng);
+  for (const auto& w : vocab) {
+    PARC_CHECK_MSG(w != opts.needle, "needle collides with vocabulary");
+  }
+
+  GeneratedPdfLibrary out;
+  out.documents.reserve(opts.num_documents);
+  for (std::size_t di = 0; di < opts.num_documents; ++di) {
+    PagedDocument doc;
+    doc.name = "doc_" + std::to_string(di) + ".pdf";
+    // Pareto page counts: a few "books", many short papers.
+    const auto pages = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(opts.mean_pages) *
+               (rng.pareto(1.0, 2.2) - 0.5)));
+    doc.pages.reserve(pages);
+    for (std::size_t pi = 0; pi < pages; ++pi) {
+      std::string page;
+      page.reserve(opts.words_per_page * 8);
+      const bool plant = rng.chance(opts.needle_page_fraction);
+      const std::size_t plant_word =
+          plant ? rng.below(opts.words_per_page) : opts.words_per_page;
+      for (std::size_t w = 0; w < opts.words_per_page; ++w) {
+        if (w == plant_word) {
+          page += opts.needle;
+        } else {
+          page += vocab[rng.zipf(vocab.size(), 1.1)];
+        }
+        page.push_back(w % 15 == 14 ? '\n' : ' ');
+      }
+      if (plant) out.needles.push_back(PlantedPageNeedle{di, pi});
+      doc.pages.push_back(std::move(page));
+    }
+    out.documents.push_back(std::move(doc));
+  }
+  return out;
+}
+
+}  // namespace parc::text

@@ -1,0 +1,95 @@
+// Virtual file system + deterministic text corpus generator.
+//
+// Replaces the real folders of text files / PDFs the students searched
+// (substitution: removes disk nondeterminism, keeps the skewed file-size
+// distribution that makes granularity choices matter). Needles are planted
+// at generator-known locations so search results have an exact oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parc::text {
+
+struct TextFile {
+  std::string path;     ///< folder-style path, e.g. "docs/a/report_17.txt"
+  std::string content;  ///< newline-separated text
+};
+
+struct Corpus {
+  std::vector<TextFile> files;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : files) n += f.content.size();
+    return n;
+  }
+};
+
+struct CorpusOptions {
+  std::size_t num_files = 256;
+  /// Words per file drawn log-normally around this mean (heavy tail).
+  std::size_t mean_words_per_file = 2000;
+  /// The needle string planted into a fraction of files.
+  std::string needle = "concurrency";
+  double needle_file_fraction = 0.25;
+  /// Max needles planted per chosen file.
+  std::size_t max_needles_per_file = 4;
+  /// Folder tree depth for generated paths.
+  std::size_t folder_depth = 3;
+};
+
+struct PlantedNeedle {
+  std::size_t file_index;
+  std::size_t line;    ///< 1-based line number
+  std::size_t column;  ///< 0-based byte offset in the line
+};
+
+struct GeneratedCorpus {
+  Corpus corpus;
+  std::vector<PlantedNeedle> needles;  ///< ground truth, sorted by file/line
+};
+
+/// Build a corpus with Zipf-frequency synthetic words and planted needles.
+/// Deterministic in `seed`. The vocabulary never contains the needle, so
+/// the planted occurrences are exactly the true matches.
+[[nodiscard]] GeneratedCorpus make_corpus(const CorpusOptions& opts,
+                                          std::uint64_t seed);
+
+/// Paged document ("PDF") library for project 7: page = text block;
+/// documents have Pareto-distributed page counts.
+struct PagedDocument {
+  std::string name;
+  std::vector<std::string> pages;
+};
+
+struct PdfLibraryOptions {
+  std::size_t num_documents = 64;
+  std::size_t mean_pages = 24;
+  std::size_t words_per_page = 300;
+  std::string needle = "parallel";
+  double needle_page_fraction = 0.05;
+};
+
+struct PlantedPageNeedle {
+  std::size_t doc_index;
+  std::size_t page_index;
+};
+
+struct GeneratedPdfLibrary {
+  std::vector<PagedDocument> documents;
+  std::vector<PlantedPageNeedle> needles;
+  [[nodiscard]] std::size_t total_pages() const noexcept {
+    std::size_t n = 0;
+    for (const auto& d : documents) n += d.pages.size();
+    return n;
+  }
+};
+
+[[nodiscard]] GeneratedPdfLibrary make_pdf_library(
+    const PdfLibraryOptions& opts, std::uint64_t seed);
+
+}  // namespace parc::text

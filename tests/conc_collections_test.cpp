@@ -1,0 +1,351 @@
+// Locked collections, striped map, queues: sequential semantics plus
+// multi-threaded exactly-once / linearizability-style stress checks,
+// parameterised over lock types.
+#include "conc/conc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace parc::conc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock-type parameterised coarse collections.
+// ---------------------------------------------------------------------------
+
+template <typename Lock>
+class LockedCollectionsTest : public ::testing::Test {};
+
+using LockTypes = ::testing::Types<std::mutex, TicketLock, SpinLock>;
+TYPED_TEST_SUITE(LockedCollectionsTest, LockTypes);
+
+TYPED_TEST(LockedCollectionsTest, VectorConcurrentPushKeepsEverything) {
+  LockedVector<int, TypeParam> vec;
+  constexpr int kThreads = 4;
+  constexpr int kEach = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i) vec.push_back(t * kEach + i);
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto snapshot = vec.snapshot();
+  ASSERT_EQ(snapshot.size(), static_cast<std::size_t>(kThreads * kEach));
+  std::sort(snapshot.begin(), snapshot.end());
+  for (int i = 0; i < kThreads * kEach; ++i) {
+    ASSERT_EQ(snapshot[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TYPED_TEST(LockedCollectionsTest, SetConcurrentInsertExactlyOneWinner) {
+  LockedSet<int, TypeParam> set;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 1000;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int k = 0; k < kKeys; ++k) {
+        if (set.insert(k)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(wins.load(), kKeys);  // each key inserted exactly once
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(kKeys));
+}
+
+TYPED_TEST(LockedCollectionsTest, MapGetOrComputeComputesOnce) {
+  LockedMap<int, int, TypeParam> map;
+  constexpr int kThreads = 4;
+  std::atomic<int> computes{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int k = 0; k < 100; ++k) {
+        const int v = map.get_or_compute(k, [&] {
+          computes.fetch_add(1);
+          return k * 7;
+        });
+        ASSERT_EQ(v, k * 7);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(computes.load(), 100);  // compute-if-absent is atomic
+}
+
+TYPED_TEST(LockedCollectionsTest, DequeBothEndsBalance) {
+  LockedDeque<int, TypeParam> deque;
+  constexpr int kItems = 4000;
+  std::atomic<int> popped{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      if (i % 2 == 0) {
+        deque.push_back(i);
+      } else {
+        deque.push_front(i);
+      }
+    }
+  });
+  std::thread consumer([&] {
+    while (popped.load() < kItems) {
+      if (auto v = deque.pop_front()) {
+        popped.fetch_add(1);
+      } else if (auto w = deque.pop_back()) {
+        popped.fetch_add(1);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_EQ(deque.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Basic semantics (single-threaded).
+// ---------------------------------------------------------------------------
+
+TEST(LockedVector, AtOutOfRangeIsNullopt) {
+  LockedVector<int> v;
+  v.push_back(5);
+  EXPECT_EQ(v.at(0), 5);
+  EXPECT_FALSE(v.at(1).has_value());
+}
+
+TEST(LockedVector, WithComposesAtomically) {
+  LockedVector<int> v;
+  v.push_back(1);
+  const int doubled = v.with([](std::vector<int>& data) {
+    data.push_back(2);
+    return data.front() * 2;
+  });
+  EXPECT_EQ(doubled, 2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(LockedSet, EraseAndContains) {
+  LockedSet<std::string> s;
+  EXPECT_TRUE(s.insert("a"));
+  EXPECT_FALSE(s.insert("a"));
+  EXPECT_TRUE(s.contains("a"));
+  EXPECT_TRUE(s.erase("a"));
+  EXPECT_FALSE(s.erase("a"));
+  EXPECT_FALSE(s.contains("a"));
+}
+
+TEST(LockedMap, PutGetErase) {
+  LockedMap<std::string, int> m;
+  m.put("x", 1);
+  m.put("x", 2);  // overwrite
+  EXPECT_EQ(m.get("x"), 2);
+  EXPECT_FALSE(m.get("y").has_value());
+  EXPECT_TRUE(m.erase("x"));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Striped map.
+// ---------------------------------------------------------------------------
+
+TEST(StripedHashMap, StripesRoundedToPowerOfTwo) {
+  StripedHashMap<int, int> m(10);
+  EXPECT_EQ(m.stripe_count(), 16u);
+}
+
+TEST(StripedHashMap, BasicOperations) {
+  StripedHashMap<int, std::string> m(8);
+  m.put(1, "one");
+  m.put(2, "two");
+  EXPECT_EQ(m.get(1), "one");
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(StripedHashMap, UpdateIsAtomicPerKey) {
+  StripedHashMap<int, std::uint64_t> m(16);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        m.update(i % 10, 1, [](std::uint64_t v) { return v + 1; });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::uint64_t total = 0;
+  for (int k = 0; k < 10; ++k) total += *m.get(k);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(StripedHashMap, ConcurrentDisjointKeysAllSurvive) {
+  StripedHashMap<int, int> m(32);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 3000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i) m.put(t * kEach + i, i);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kThreads * kEach));
+}
+
+// ---------------------------------------------------------------------------
+// Queues.
+// ---------------------------------------------------------------------------
+
+TEST(MichaelScottQueue, FifoOrderSingleThread) {
+  MichaelScottQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 10; ++i) q.enqueue(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.try_dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_dequeue().has_value());
+}
+
+TEST(MichaelScottQueue, MpmcExactlyOnce) {
+  MichaelScottQueue<int> q;
+  constexpr int kProducers = 2, kConsumers = 2, kEach = 10000;
+  std::vector<std::atomic<int>> seen(kProducers * kEach);
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i) q.enqueue(p * kEach + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kEach) {
+        if (auto v = q.try_dequeue()) {
+          seen[static_cast<std::size_t>(*v)].fetch_add(1);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& s : seen) ASSERT_EQ(s.load(), 1);
+}
+
+TEST(MpmcRing, CapacityRoundsUpAndBounds) {
+  MpmcRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_enqueue(i));
+  EXPECT_FALSE(ring.try_enqueue(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.try_dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);  // FIFO
+  }
+  EXPECT_FALSE(ring.try_dequeue().has_value());
+}
+
+TEST(MpmcRing, MpmcExactlyOnceUnderContention) {
+  MpmcRing<int> ring(64);
+  constexpr int kProducers = 2, kConsumers = 2, kEach = 20000;
+  std::vector<std::atomic<int>> seen(kProducers * kEach);
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i) {
+        while (!ring.try_enqueue(p * kEach + i)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kEach) {
+        if (auto v = ring.try_dequeue()) {
+          seen[static_cast<std::size_t>(*v)].fetch_add(1);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& s : seen) ASSERT_EQ(s.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Locks.
+// ---------------------------------------------------------------------------
+
+TEST(TicketLock, MutualExclusionCounter) {
+  TicketLock lock;
+  long counter = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::scoped_lock guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLock, MutualExclusionCounter) {
+  SpinLock lock;
+  long counter = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::scoped_lock guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(TicketLock, TryLockFailsWhenHeld) {
+  TicketLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace parc::conc

@@ -1,0 +1,182 @@
+// Project 6's thesis as executable tests: a thread-safe blocking queue
+// deadlocks inside a bounded task pool where the task-safe queue does not.
+#include "conc/task_safe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace parc::conc {
+namespace {
+
+TEST(ThreadSafeBlockingQueue, BasicPutTake) {
+  ThreadSafeBlockingQueue<int> q(4);
+  q.put(1);
+  q.put(2);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.take(), 1);
+  EXPECT_EQ(q.take(), 2);
+}
+
+TEST(ThreadSafeBlockingQueue, TakeForTimesOutWhenEmpty) {
+  ThreadSafeBlockingQueue<int> q(4);
+  const auto v = q.take_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(ThreadSafeBlockingQueue, PutBlocksAtCapacity) {
+  ThreadSafeBlockingQueue<int> q(1);
+  q.put(1);
+  std::atomic<bool> second_done{false};
+  std::thread producer([&] {
+    q.put(2);  // blocks until the consumer takes
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load());
+  EXPECT_EQ(q.take(), 1);
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+  EXPECT_EQ(q.take(), 2);
+}
+
+TEST(TaskSafety, ThreadSafeQueueStallsInsideBoundedPool) {
+  // One pool worker. The consumer task blocks in take(); the producer task
+  // sits queued behind it forever. take_for observes the stall instead of
+  // hanging the test.
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{1, 4, "t"});
+  ThreadSafeBlockingQueue<int> queue(4);
+  std::atomic<bool> consumer_got{false};
+  std::atomic<bool> consumer_done{false};
+  pool.submit([&] {
+    const auto v = queue.take_for(std::chrono::milliseconds(300));
+    consumer_got.store(v.has_value());
+    consumer_done.store(true);
+  });
+  pool.submit([&] { queue.put(42); });  // starves behind the consumer
+  while (!consumer_done.load()) std::this_thread::yield();
+  // The deadlock manifests as the timeout: the element never arrived while
+  // the consumer occupied the only worker.
+  EXPECT_FALSE(consumer_got.load());
+}
+
+TEST(TaskSafety, TaskSafeQueueCompletesInTheSameScenario) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{1, 4, "t"});
+  TaskSafeQueue<int> queue(pool);
+  std::atomic<int> got{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    got.store(queue.take());  // helping wait runs the producer below
+    done.store(true);
+  });
+  pool.submit([&] { queue.put(42); });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(TaskSafeQueue, ProducerConsumerPipelineExactlyOnce) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{2, 4, "t"});
+  TaskSafeQueue<int> queue(pool);
+  constexpr int kItems = 2000;
+  std::atomic<long> sum{0};
+  std::atomic<int> taken{0};
+  std::atomic<bool> producers_done{false};
+  pool.submit([&] {
+    for (int i = 1; i <= kItems; ++i) queue.put(i);
+    producers_done.store(true);
+  });
+  pool.submit([&] {
+    for (int i = 0; i < kItems; ++i) {
+      sum.fetch_add(queue.take());
+      taken.fetch_add(1);
+    }
+  });
+  pool.help_while([&] { return taken.load() < kItems; });
+  EXPECT_EQ(sum.load(), static_cast<long>(kItems) * (kItems + 1) / 2);
+  EXPECT_TRUE(producers_done.load());
+}
+
+TEST(TaskSafeQueue, FifoAndTryTake) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{2, 4, "t"});
+  TaskSafeQueue<int> queue(pool);
+  queue.put(1);
+  queue.put(2);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(*queue.try_take(), 1);
+  EXPECT_EQ(*queue.try_take(), 2);
+  EXPECT_FALSE(queue.try_take().has_value());
+}
+
+TEST(TaskSafeQueue, ConsumerNestedInsideHelpedProducerStillCompletes) {
+  // The scenario that motivates the unbounded design: one worker, consumer
+  // submitted first. The consumer's take() helps and runs the producer
+  // nested on its own stack; because put() never blocks, the nested
+  // producer always completes and the consumer drains.
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{1, 4, "t"});
+  TaskSafeQueue<int> queue(pool);
+  std::atomic<long> sum{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    for (int i = 0; i < 100; ++i) sum.fetch_add(queue.take());
+    done.store(true);
+  });
+  pool.submit([&] {
+    for (int i = 1; i <= 100; ++i) queue.put(i);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(TaskSafeLatch, BlocksUntilAllCountdowns) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{2, 4, "t"});
+  TaskSafeLatch latch(pool, 10);
+  std::atomic<int> fired{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      fired.fetch_add(1);
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  EXPECT_EQ(fired.load(), 10);
+  EXPECT_TRUE(latch.ready());
+}
+
+TEST(TaskSafeBarrier, MorePartiesThanWorkersStillPasses) {
+  // 8 parties on a 2-worker pool: a cv-barrier would deadlock; helping
+  // lets queued parties reach the barrier.
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{2, 4, "t"});
+  TaskSafeBarrier barrier(pool, 8);
+  std::atomic<int> passed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      barrier.arrive_and_wait();
+      passed.fetch_add(1);
+    });
+  }
+  pool.help_while([&] { return passed.load() < 8; });
+  EXPECT_EQ(passed.load(), 8);
+}
+
+TEST(TaskSafeBarrier, CyclicReuseAcrossRounds) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{2, 4, "t"});
+  TaskSafeBarrier barrier(pool, 4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> done{0};
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&] {
+        barrier.arrive_and_wait();
+        total.fetch_add(1);
+        done.fetch_add(1);
+      });
+    }
+    pool.help_while([&] { return done.load() < 4; });
+  }
+  EXPECT_EQ(total.load(), 20);
+}
+
+}  // namespace
+}  // namespace parc::conc

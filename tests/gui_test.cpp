@@ -1,0 +1,267 @@
+// EventLoop / widgets / responsiveness probe tests.
+#include "gui/gui.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace parc::gui {
+namespace {
+
+TEST(EventLoop, ServicesEventsInFifoOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    loop.post([&order, i] { order.push_back(i); });
+  }
+  loop.post_and_wait([] {});
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, IsEventThreadDetection) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.is_event_thread());
+  std::atomic<bool> inside{false};
+  loop.post_and_wait([&] { inside.store(loop.is_event_thread()); });
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(EventLoop, PostAndWaitFromEdtAborts) {
+  // The loop must be constructed inside the death statement: a forked death
+  // test only carries the calling thread, so a parent-owned loop would have
+  // no dispatch thread in the child.
+  EXPECT_DEATH(
+      {
+        EventLoop inner;
+        inner.post_and_wait([&] { inner.post_and_wait([] {}); });
+      },
+      "deadlock");
+}
+
+TEST(EventLoop, RecordsLatencies) {
+  EventLoop loop;
+  for (int i = 0; i < 10; ++i) loop.post([] {});
+  loop.post_and_wait([] {});
+  EXPECT_GE(loop.latency_samples_ms().size(), 10u);
+  EXPECT_GE(loop.events_serviced(), 10u);
+  loop.reset_metrics();
+  EXPECT_TRUE(loop.latency_samples_ms().empty());
+}
+
+TEST(EventLoop, LatencyReflectsEdtBlockage) {
+  EventLoop loop;
+  // A long event followed by a probe: the probe's latency must include the
+  // long event's runtime.
+  loop.post([] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+  loop.post_and_wait([] {});
+  const auto samples = loop.latency_samples_ms();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_GE(samples.back(), 40.0);
+}
+
+TEST(EventLoop, ShutdownDrainsQueuedEvents) {
+  std::atomic<int> count{0};
+  {
+    EventLoop loop;
+    for (int i = 0; i < 50; ++i) {
+      loop.post([&] { count.fetch_add(1); });
+    }
+  }  // destructor shuts down and services the backlog
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(EventLoop, PostAfterShutdownAborts) {
+  EventLoop loop;
+  loop.shutdown();
+  EXPECT_DEATH(loop.post([] {}), "shutdown");
+}
+
+TEST(EventLoop, DrainWaitsForQueueEmpty) {
+  EventLoop loop;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    loop.post([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      count.fetch_add(1);
+    });
+  }
+  loop.drain();
+  EXPECT_GE(count.load(), 19);  // last event may still be executing
+}
+
+TEST(EventLoop, PostDelayedRunsAfterDelay) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<double> elapsed_ms{0.0};
+  loop.post_delayed(
+      [&] {
+        elapsed_ms.store(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+        ran.store(true);
+      },
+      std::chrono::milliseconds(30));
+  EXPECT_FALSE(ran.load());
+  while (!ran.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(elapsed_ms.load(), 25.0);
+}
+
+TEST(EventLoop, DelayedEventsOrderByDeadline) {
+  EventLoop loop;
+  std::mutex m;
+  std::vector<int> order;  // guarded by m
+  loop.post_delayed(
+      [&] {
+        std::scoped_lock lock(m);
+        order.push_back(2);
+      },
+      std::chrono::milliseconds(40));
+  loop.post_delayed(
+      [&] {
+        std::scoped_lock lock(m);
+        order.push_back(1);
+      },
+      std::chrono::milliseconds(10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  loop.post_and_wait([] {});
+  std::scoped_lock lock(m);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, ImmediateEventsRunBeforePendingDelays) {
+  EventLoop loop;
+  std::atomic<bool> immediate_ran{false};
+  std::atomic<bool> delayed_ran{false};
+  loop.post_delayed([&] { delayed_ran.store(true); },
+                    std::chrono::milliseconds(100));
+  loop.post([&] { immediate_ran.store(true); });
+  loop.post_and_wait([] {});
+  EXPECT_TRUE(immediate_ran.load());
+  EXPECT_FALSE(delayed_ran.load());
+}
+
+TEST(Debouncer, BurstCollapsesToOneAction) {
+  EventLoop loop;
+  Debouncer debounce(loop, std::chrono::milliseconds(20));
+  std::atomic<int> fired{0};
+  std::atomic<int> last_value{0};
+  for (int i = 1; i <= 10; ++i) {
+    debounce.trigger([&, i] {
+      fired.fetch_add(1);
+      last_value.store(i);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Wait for the action rather than a fixed sleep: on a loaded single-core
+  // host the dispatch thread itself may start late.
+  for (int spin = 0; spin < 2000 && fired.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  loop.post_and_wait([] {});
+  EXPECT_EQ(fired.load(), 1);       // only the last trigger fires
+  EXPECT_EQ(last_value.load(), 10);
+  EXPECT_EQ(debounce.fired(), 1u);
+}
+
+TEST(Debouncer, SeparatedTriggersEachFire) {
+  EventLoop loop;
+  Debouncer debounce(loop, std::chrono::milliseconds(5));
+  std::atomic<int> fired{0};
+  for (int i = 0; i < 3; ++i) {
+    debounce.trigger([&] { fired.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  loop.post_and_wait([] {});
+  EXPECT_EQ(fired.load(), 3);
+}
+
+TEST(DroppedFrames, FractionComputation) {
+  EXPECT_DOUBLE_EQ(dropped_frame_fraction({}, 16.67), 0.0);
+  EXPECT_DOUBLE_EQ(dropped_frame_fraction({1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(dropped_frame_fraction({1.0, 20.0, 30.0, 2.0}), 0.5);
+}
+
+TEST(ListModel, EdtConfinementEnforced) {
+  EventLoop loop;
+  ListModel<int> model(loop);
+  EXPECT_DEATH(model.append(1), "event-dispatch");
+  loop.post_and_wait([&] {
+    model.append(1);
+    model.append(2);
+    EXPECT_EQ(model.size(), 2u);
+    EXPECT_EQ(model.at(0), 1);
+    EXPECT_EQ(model.revision(), 2u);
+  });
+  EXPECT_EQ(model.snapshot(), (std::vector<int>{1, 2}));
+}
+
+TEST(ListModel, ClearResetsContents) {
+  EventLoop loop;
+  ListModel<int> model(loop);
+  loop.post_and_wait([&] {
+    model.append(7);
+    model.clear();
+    EXPECT_EQ(model.size(), 0u);
+  });
+}
+
+TEST(ProgressModel, ThreadSafeAdvance) {
+  ProgressModel progress(1000);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) progress.advance();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(progress.done(), 1000u);
+  EXPECT_TRUE(progress.complete());
+  EXPECT_DOUBLE_EQ(progress.fraction(), 1.0);
+}
+
+TEST(ProgressModel, ZeroTotalIsComplete) {
+  ProgressModel progress(0);
+  EXPECT_DOUBLE_EQ(progress.fraction(), 1.0);
+  EXPECT_TRUE(progress.complete());
+}
+
+TEST(TextModel, EdtConfinedSetGet) {
+  EventLoop loop;
+  TextModel text(loop);
+  loop.post_and_wait([&] {
+    text.set("searching...");
+    EXPECT_EQ(text.get(), "searching...");
+  });
+  EXPECT_EQ(text.snapshot(), "searching...");
+  EXPECT_DEATH(text.set("off thread"), "event-dispatch");
+}
+
+TEST(ResponsivenessProbe, PostsProbesWhileRunning) {
+  EventLoop loop;
+  {
+    ResponsivenessProbe probe(loop, std::chrono::microseconds(500));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    probe.stop();
+    EXPECT_GE(probe.probes_posted(), 5u);
+  }
+  loop.post_and_wait([] {});
+  EXPECT_GE(loop.latency_samples_ms().size(), 5u);
+}
+
+TEST(ResponsivenessProbe, LatencyLowOnIdleLoop) {
+  EventLoop loop;
+  ResponsivenessProbe probe(loop, std::chrono::microseconds(500));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  probe.stop();
+  loop.post_and_wait([] {});
+  const auto s = loop.latency_summary_ms();
+  // An idle EDT services probes almost immediately.
+  EXPECT_LT(s.median(), 10.0);
+}
+
+}  // namespace
+}  // namespace parc::gui

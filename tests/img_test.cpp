@@ -1,0 +1,229 @@
+// Image generation / resize filters / PPM round-trip / thumbnail pipeline.
+#include "img/ppm.hpp"
+#include "img/thumbnails.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+namespace parc::img {
+namespace {
+
+TEST(Image, GenerationIsDeterministic) {
+  const auto a = generate_image(64, 48, 42);
+  const auto b = generate_image(64, 48, 42);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  const auto c = generate_image(64, 48, 43);
+  EXPECT_NE(a.content_hash(), c.content_hash());
+}
+
+TEST(Image, DimensionsAndPixelAccess) {
+  auto img = generate_image(10, 20, 1);
+  EXPECT_EQ(img.width(), 10u);
+  EXPECT_EQ(img.height(), 20u);
+  EXPECT_EQ(img.pixels().size(), 200u);
+  img.at(3, 4) = Pixel{1, 2, 3, 4};
+  EXPECT_EQ(img.at(3, 4), (Pixel{1, 2, 3, 4}));
+}
+
+TEST(Image, LuminanceNontrivial) {
+  const auto img = generate_image(128, 128, 7);
+  const double lum = img.mean_luminance();
+  EXPECT_GT(lum, 20.0);
+  EXPECT_LT(lum, 235.0);
+}
+
+class ResizeFilterTest : public ::testing::TestWithParam<Filter> {};
+
+TEST_P(ResizeFilterTest, OutputDimensionsMatch) {
+  const auto src = generate_image(97, 61, 3);
+  const auto dst = resize(src, 32, 24, GetParam());
+  EXPECT_EQ(dst.width(), 32u);
+  EXPECT_EQ(dst.height(), 24u);
+}
+
+TEST_P(ResizeFilterTest, ConstantImageStaysConstant) {
+  Image src(50, 50);
+  for (std::uint32_t y = 0; y < 50; ++y) {
+    for (std::uint32_t x = 0; x < 50; ++x) {
+      src.at(x, y) = Pixel{100, 150, 200, 255};
+    }
+  }
+  const auto dst = resize(src, 17, 13, GetParam());
+  for (std::uint32_t y = 0; y < dst.height(); ++y) {
+    for (std::uint32_t x = 0; x < dst.width(); ++x) {
+      const Pixel& p = dst.at(x, y);
+      ASSERT_NEAR(p.r, 100, 1);
+      ASSERT_NEAR(p.g, 150, 1);
+      ASSERT_NEAR(p.b, 200, 1);
+    }
+  }
+}
+
+TEST_P(ResizeFilterTest, MeanLuminanceRoughlyPreserved) {
+  const auto src = generate_image(256, 256, 9);
+  const auto dst = resize(src, 64, 64, GetParam());
+  EXPECT_NEAR(dst.mean_luminance(), src.mean_luminance(),
+              src.mean_luminance() * 0.1 + 3.0);
+}
+
+TEST_P(ResizeFilterTest, UpscaleWorks) {
+  const auto src = generate_image(16, 16, 5);
+  const auto dst = resize(src, 64, 64, GetParam());
+  EXPECT_EQ(dst.width(), 64u);
+  EXPECT_NEAR(dst.mean_luminance(), src.mean_luminance(),
+              src.mean_luminance() * 0.15 + 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, ResizeFilterTest,
+                         ::testing::Values(Filter::kBox, Filter::kBilinear,
+                                           Filter::kBicubic),
+                         [](const ::testing::TestParamInfo<Filter>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(FitWithin, PreservesAspect) {
+  const auto landscape = fit_within(400, 200, 100);
+  EXPECT_EQ(landscape.width, 100u);
+  EXPECT_EQ(landscape.height, 50u);
+  const auto portrait = fit_within(200, 400, 100);
+  EXPECT_EQ(portrait.width, 50u);
+  EXPECT_EQ(portrait.height, 100u);
+  const auto square = fit_within(300, 300, 64);
+  EXPECT_EQ(square.width, 64u);
+  EXPECT_EQ(square.height, 64u);
+}
+
+TEST(FitWithin, ExtremeAspectNeverZero) {
+  const auto e = fit_within(10000, 3, 64);
+  EXPECT_GE(e.height, 1u);
+}
+
+TEST(ImageFolder, DeterministicAndWithinBounds) {
+  const auto folder = make_image_folder(20, 32, 256, 99);
+  EXPECT_EQ(folder.images.size(), 20u);
+  for (const auto& img : folder.images) {
+    EXPECT_GE(img.width(), 32u);
+    EXPECT_LE(img.width(), 256u);
+    EXPECT_GE(img.height(), 32u);
+    EXPECT_LE(img.height(), 256u);
+  }
+  const auto again = make_image_folder(20, 32, 256, 99);
+  EXPECT_EQ(folder.total_pixels(), again.total_pixels());
+}
+
+TEST(Ppm, RoundTripPreservesRgb) {
+  const auto original = generate_image(37, 21, 8);
+  std::stringstream buffer;
+  write_ppm(original, buffer);
+  const auto back = read_ppm(buffer);
+  ASSERT_EQ(back.width(), original.width());
+  ASSERT_EQ(back.height(), original.height());
+  for (std::uint32_t y = 0; y < original.height(); ++y) {
+    for (std::uint32_t x = 0; x < original.width(); ++x) {
+      const Pixel& a = original.at(x, y);
+      const Pixel& b = back.at(x, y);
+      ASSERT_EQ(a.r, b.r);
+      ASSERT_EQ(a.g, b.g);
+      ASSERT_EQ(a.b, b.b);
+    }
+  }
+}
+
+TEST(Ppm, HeaderHasExpectedShape) {
+  const auto img = generate_image(4, 2, 1);
+  std::stringstream buffer;
+  write_ppm(img, buffer);
+  std::string magic, dims;
+  buffer >> magic;
+  EXPECT_EQ(magic, "P6");
+}
+
+TEST(Ppm, CommentsInHeaderAreSkipped) {
+  std::stringstream buffer;
+  buffer << "P6\n# a comment\n2 1\n255\n";
+  buffer.write("\x01\x02\x03\x04\x05\x06", 6);
+  const auto img = read_ppm(buffer);
+  EXPECT_EQ(img.width(), 2u);
+  EXPECT_EQ(img.at(1, 0).b, 6);
+}
+
+TEST(Ppm, RejectsWrongMagic) {
+  std::stringstream buffer;
+  buffer << "P3\n2 2\n255\n";
+  EXPECT_DEATH((void)read_ppm(buffer), "P6");
+}
+
+TEST(Ppm, RejectsTruncatedPixels) {
+  std::stringstream buffer;
+  buffer << "P6\n4 4\n255\nxx";
+  EXPECT_DEATH((void)read_ppm(buffer), "truncated");
+}
+
+TEST(Ppm, FileRoundTrip) {
+  const auto original = generate_image(16, 16, 3);
+  const std::string path = "/tmp/parc_ppm_test.ppm";
+  save_ppm(original, path);
+  const auto back = load_ppm(path);
+  EXPECT_EQ(back.content_hash() != 0, true);
+  EXPECT_EQ(back.width(), 16u);
+  EXPECT_EQ(back.at(5, 5).r, original.at(5, 5).r);
+}
+
+class ThumbnailStrategyTest
+    : public ::testing::TestWithParam<ThumbnailStrategy> {};
+
+TEST_P(ThumbnailStrategyTest, DeliversAllThumbnailsToModel) {
+  ptask::Runtime rt(ptask::Runtime::Config{2, {}});
+  gui::EventLoop loop;
+  gui::ListModel<Image> gallery(loop);
+  const auto folder = make_image_folder(12, 16, 64, 3);
+  const auto run = render_gallery(folder, 32, Filter::kBilinear, GetParam(),
+                                  loop, gallery, rt);
+  EXPECT_EQ(run.thumbnails, 12u);
+  const auto items = gallery.snapshot();
+  ASSERT_EQ(items.size(), 12u);
+  for (const auto& thumb : items) {
+    EXPECT_LE(thumb.width(), 32u);
+    EXPECT_LE(thumb.height(), 32u);
+    EXPECT_GE(std::max(thumb.width(), thumb.height()), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ThumbnailStrategyTest,
+    ::testing::Values(ThumbnailStrategy::kOnEventThread,
+                      ThumbnailStrategy::kSingleWorker,
+                      ThumbnailStrategy::kThreadPerImage,
+                      ThumbnailStrategy::kPTaskMulti),
+    [](const ::testing::TestParamInfo<ThumbnailStrategy>& info) {
+      std::string name = to_string(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(ThumbnailPipeline, OffEdtStrategiesKeepThumbnailContentEqual) {
+  // Any strategy must produce the same set of thumbnail hashes.
+  ptask::Runtime rt(ptask::Runtime::Config{2, {}});
+  const auto folder = make_image_folder(8, 16, 48, 5);
+  auto hashes_for = [&](ThumbnailStrategy s) {
+    gui::EventLoop loop;
+    gui::ListModel<Image> gallery(loop);
+    render_gallery(folder, 24, Filter::kBox, s, loop, gallery, rt);
+    std::vector<std::uint64_t> hashes;
+    for (const auto& t : gallery.snapshot()) hashes.push_back(t.content_hash());
+    std::sort(hashes.begin(), hashes.end());
+    return hashes;
+  };
+  const auto a = hashes_for(ThumbnailStrategy::kSingleWorker);
+  const auto b = hashes_for(ThumbnailStrategy::kPTaskMulti);
+  const auto c = hashes_for(ThumbnailStrategy::kThreadPerImage);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace parc::img

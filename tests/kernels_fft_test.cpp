@@ -1,0 +1,137 @@
+// FFT: known transforms, inverse round-trip property, seq/parallel
+// agreement across schedules and thread counts.
+#include "kernels/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace parc::kernels {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+double max_diff(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(Fft, IsPowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(3);
+  EXPECT_DEATH(fft_seq(v), "power of two");
+}
+
+TEST(Fft, DcSignalTransformsToImpulse) {
+  std::vector<Complex> v(8, Complex(1.0, 0.0));
+  fft_seq(v);
+  EXPECT_NEAR(v[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(v[k]), 0.0, 1e-12) << k;
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  constexpr std::size_t kN = 64;
+  std::vector<Complex> v(kN);
+  constexpr double kFreq = 5.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    v[i] = Complex(std::cos(2.0 * M_PI * kFreq * static_cast<double>(i) /
+                            static_cast<double>(kN)),
+                   0.0);
+  }
+  fft_seq(v);
+  const auto spectrum = power_spectrum(v);
+  // Energy concentrated in bins 5 and 59 (conjugate pair).
+  EXPECT_NEAR(spectrum[5], kN / 2.0, 1e-9);
+  EXPECT_NEAR(spectrum[kN - 5], kN / 2.0, 1e-9);
+  for (std::size_t k = 0; k < kN; ++k) {
+    if (k != 5 && k != kN - 5) {
+      EXPECT_LT(spectrum[k], 1e-9) << k;
+    }
+  }
+}
+
+TEST(Fft, ForwardInverseRoundTripIsIdentity) {
+  for (std::size_t n : {2u, 16u, 256u, 4096u}) {
+    auto original = random_signal(n, 42 + n);
+    auto copy = original;
+    fft_seq(copy);
+    fft_seq(copy, /*inverse=*/true);
+    EXPECT_LT(max_diff(original, copy), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Fft, ParallelMatchesSequential) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    auto a = random_signal(1024, 7);
+    auto b = a;
+    fft_seq(a);
+    fft_pj(b, threads);
+    EXPECT_LT(max_diff(a, b), 1e-12) << "threads=" << threads;
+  }
+}
+
+TEST(Fft, ParallelRoundTripHelper) {
+  const auto original = random_signal(512, 99);
+  const auto back = fft_roundtrip(original, 4);
+  EXPECT_LT(max_diff(original, back), 1e-9);
+}
+
+TEST(Fft, ParallelWorksAcrossSchedules) {
+  auto reference = random_signal(256, 3);
+  auto expected = reference;
+  fft_seq(expected);
+  for (const auto schedule :
+       {pj::Schedule::kStatic, pj::Schedule::kDynamic, pj::Schedule::kGuided}) {
+    auto v = reference;
+    fft_pj(v, 3, false, {schedule, 2});
+    EXPECT_LT(max_diff(expected, v), 1e-12)
+        << to_string(schedule);
+  }
+}
+
+TEST(Fft, TrivialSizes) {
+  std::vector<Complex> one{Complex(3.0, 1.0)};
+  fft_seq(one);
+  EXPECT_NEAR(one[0].real(), 3.0, 1e-15);
+  std::vector<Complex> empty;
+  fft_seq(empty);  // no-op, no crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Fft, LinearityProperty) {
+  const auto x = random_signal(128, 11);
+  const auto y = random_signal(128, 13);
+  std::vector<Complex> sum(128);
+  for (std::size_t i = 0; i < 128; ++i) sum[i] = x[i] + y[i];
+  auto fx = x, fy = y, fsum = sum;
+  fft_seq(fx);
+  fft_seq(fy);
+  fft_seq(fsum);
+  double err = 0.0;
+  for (std::size_t i = 0; i < 128; ++i) {
+    err = std::max(err, std::abs(fsum[i] - (fx[i] + fy[i])));
+  }
+  EXPECT_LT(err, 1e-9);
+}
+
+}  // namespace
+}  // namespace parc::kernels

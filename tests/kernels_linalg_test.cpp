@@ -1,0 +1,212 @@
+// Linear algebra: GEMM variants against the naive oracle, LU reconstruction
+// and solve residuals, SpMV seq/parallel agreement.
+#include "kernels/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parc::kernels {
+namespace {
+
+TEST(Matrix, BasicsAndIdentity) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(0, 1), 0.0);
+}
+
+TEST(Matrix, RandomIsDeterministic) {
+  const auto a = Matrix::random(5, 5, 42);
+  const auto b = Matrix::random(5, 5, 42);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+  const auto c = Matrix::random(5, 5, 43);
+  EXPECT_GT(a.max_abs_diff(c), 0.0);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  const auto a = Matrix::random(16, 16, 1);
+  const auto c = gemm_seq(a, Matrix::identity(16));
+  EXPECT_LT(c.max_abs_diff(a), 1e-12);
+}
+
+TEST(Gemm, KnownSmallProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const auto c = gemm_seq(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Gemm, BlockedMatchesNaive) {
+  const auto a = Matrix::random(37, 53, 2);   // awkward sizes on purpose
+  const auto b = Matrix::random(53, 41, 3);
+  const auto naive = gemm_seq(a, b);
+  for (std::size_t block : {8u, 16u, 64u, 100u}) {
+    EXPECT_LT(gemm_blocked(a, b, block).max_abs_diff(naive), 1e-12)
+        << "block=" << block;
+  }
+}
+
+TEST(Gemm, ParallelMatchesNaiveAcrossConfigs) {
+  const auto a = Matrix::random(48, 48, 4);
+  const auto b = Matrix::random(48, 48, 5);
+  const auto naive = gemm_seq(a, b);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    for (const auto schedule : {pj::Schedule::kStatic, pj::Schedule::kDynamic}) {
+      EXPECT_LT(gemm_pj(a, b, threads, {schedule, 4}).max_abs_diff(naive),
+                1e-12);
+    }
+  }
+}
+
+TEST(Gemm, CollapsedMatchesNaive) {
+  // Including a wide-short matrix where rows < threads: the case collapse
+  // exists for.
+  const auto a = Matrix::random(3, 64, 6);
+  const auto b = Matrix::random(64, 96, 7);
+  const auto naive = gemm_seq(a, b);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    EXPECT_LT(
+        gemm_pj_collapsed(a, b, threads, {pj::Schedule::kDynamic, 32})
+            .max_abs_diff(naive),
+        1e-12);
+  }
+}
+
+TEST(Gemm, DimensionMismatchAborts) {
+  const auto a = Matrix::random(4, 5, 1);
+  const auto b = Matrix::random(4, 5, 1);
+  EXPECT_DEATH((void)gemm_seq(a, b), "");
+}
+
+Matrix reconstruct_from_lu(const LuResult& lu) {
+  const std::size_t n = lu.lu.rows();
+  // PA = LU  →  A = Pᵀ L U; rebuild row perm[i] of A from row i of L·U.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+        const double l = (k == i) ? 1.0 : lu.lu.at(i, k);
+        const double u = lu.lu.at(k, j);
+        acc += l * u;
+      }
+      a.at(lu.perm[i], j) = acc;
+    }
+  }
+  return a;
+}
+
+TEST(Lu, ReconstructsOriginalMatrix) {
+  const auto a = Matrix::random(24, 24, 6);
+  const auto lu = lu_decompose_seq(a);
+  const auto rebuilt = reconstruct_from_lu(lu);
+  EXPECT_LT(rebuilt.max_abs_diff(a), 1e-9);
+}
+
+TEST(Lu, ParallelMatchesSequential) {
+  const auto a = Matrix::random(32, 32, 7);
+  const auto seq = lu_decompose_seq(a);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const auto par = lu_decompose_pj(a, threads);
+    EXPECT_LT(par.lu.max_abs_diff(seq.lu), 1e-9) << threads;
+    EXPECT_EQ(par.perm, seq.perm);
+    EXPECT_EQ(par.sign, seq.sign);
+  }
+}
+
+TEST(Lu, SolveRecoversKnownSolution) {
+  constexpr std::size_t kN = 20;
+  const auto a = Matrix::random(kN, kN, 8);
+  std::vector<double> x_true(kN);
+  for (std::size_t i = 0; i < kN; ++i) x_true[i] = static_cast<double>(i) - 10.0;
+  // b = A · x_true
+  std::vector<double> b(kN, 0.0);
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kN; ++j) b[i] += a.at(i, j) * x_true[j];
+  }
+  const auto lu = lu_decompose_seq(a);
+  const auto x = lu_solve(lu, b);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-8) << i;
+  }
+}
+
+TEST(Lu, SingularMatrixAborts) {
+  Matrix a(3, 3, 0.0);  // all zeros
+  EXPECT_DEATH((void)lu_decompose_seq(a), "singular");
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto lu = lu_decompose_seq(a);
+  const auto x = lu_solve(lu, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Spmv, RandomMatrixSeqVsParallel) {
+  const auto a = CsrMatrix::random(200, 150, 0.05, 9);
+  std::vector<double> x(150);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i % 13) - 6.0;
+  }
+  const auto y_seq = spmv_seq(a, x);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    for (const auto schedule : {pj::Schedule::kStatic, pj::Schedule::kGuided}) {
+      const auto y_par = spmv_pj(a, x, threads, {schedule, 0});
+      ASSERT_EQ(y_par.size(), y_seq.size());
+      for (std::size_t i = 0; i < y_seq.size(); ++i) {
+        ASSERT_NEAR(y_par[i], y_seq[i], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Spmv, CsrStructureIsValid) {
+  const auto a = CsrMatrix::random(100, 100, 0.1, 10);
+  EXPECT_EQ(a.row_offsets.size(), 101u);
+  EXPECT_EQ(a.row_offsets.front(), 0u);
+  EXPECT_EQ(a.row_offsets.back(), a.values.size());
+  EXPECT_EQ(a.col_index.size(), a.values.size());
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    EXPECT_LE(a.row_offsets[r], a.row_offsets[r + 1]);
+    for (std::size_t k = a.row_offsets[r]; k < a.row_offsets[r + 1]; ++k) {
+      EXPECT_LT(a.col_index[k], a.cols);
+    }
+  }
+}
+
+TEST(Spmv, EmptyRowsYieldZero) {
+  CsrMatrix m;
+  m.rows = 3;
+  m.cols = 3;
+  m.row_offsets = {0, 0, 1, 1};
+  m.col_index = {1};
+  m.values = {5.0};
+  const auto y = spmv_seq(m, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+}  // namespace
+}  // namespace parc::kernels

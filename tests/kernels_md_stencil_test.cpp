@@ -1,0 +1,150 @@
+// Molecular dynamics: force symmetry, momentum conservation, seq/parallel
+// agreement. Stencil: convergence, boundary invariance, bit-identical
+// parallel sweeps.
+#include "kernels/moldyn.hpp"
+#include "kernels/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parc::kernels {
+namespace {
+
+TEST(MolDyn, SystemConstructionIsDeterministic) {
+  const auto a = make_md_system(64, 42);
+  const auto b = make_md_system(64, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.pos[i].x, b.pos[i].x);
+    ASSERT_DOUBLE_EQ(a.vel[i].z, b.vel[i].z);
+  }
+}
+
+TEST(MolDyn, InitialMomentumIsZero) {
+  const auto sys = make_md_system(100, 7);
+  EXPECT_LT(net_momentum(sys), 1e-10);
+}
+
+TEST(MolDyn, ParticlesInsideBox) {
+  const auto sys = make_md_system(125, 9);
+  for (const auto& p : sys.pos) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, sys.box);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, sys.box);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, sys.box);
+  }
+}
+
+TEST(MolDyn, ForcesSumToZero) {
+  auto sys = make_md_system(80, 3);
+  compute_forces_seq(sys);
+  Vec3 net{};
+  for (const auto& f : sys.force) net += f;
+  // Newton's third law with minimum image: total force ~0.
+  EXPECT_LT(std::sqrt(net.norm2()), 1e-8);
+}
+
+TEST(MolDyn, ParallelForcesMatchSequential) {
+  auto a = make_md_system(96, 5);
+  auto b = make_md_system(96, 5);
+  const double pe_seq = compute_forces_seq(a);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const double pe_par = compute_forces_pj(b, threads);
+    EXPECT_NEAR(pe_par, pe_seq, std::abs(pe_seq) * 1e-12 + 1e-12);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a.force[i].x, b.force[i].x, 1e-10);
+      ASSERT_NEAR(a.force[i].y, b.force[i].y, 1e-10);
+      ASSERT_NEAR(a.force[i].z, b.force[i].z, 1e-10);
+    }
+  }
+}
+
+TEST(MolDyn, MomentumConservedOverRun) {
+  auto sys = make_md_system(64, 11);
+  compute_forces_seq(sys);
+  for (int step = 0; step < 50; ++step) {
+    verlet_step(sys, [](MdSystem& s) { return compute_forces_seq(s); });
+  }
+  EXPECT_LT(net_momentum(sys), 1e-8);
+}
+
+TEST(MolDyn, EnergyApproximatelyConservedForSmallDt) {
+  auto sys = make_md_system(64, 13);
+  sys.dt = 0.0005;
+  const double pe0 = compute_forces_seq(sys);
+  const double e0 = pe0 + kinetic_energy(sys);
+  double pe = pe0;
+  for (int step = 0; step < 100; ++step) {
+    pe = verlet_step(sys, [](MdSystem& s) { return compute_forces_seq(s); });
+  }
+  const double e1 = pe + kinetic_energy(sys);
+  // Velocity Verlet drifts slowly; 100 small steps keep |ΔE| well under 5%.
+  EXPECT_LT(std::abs(e1 - e0), 0.05 * std::abs(e0) + 0.5);
+}
+
+TEST(MolDyn, ParallelRunMatchesSequentialRun) {
+  auto a = make_md_system(48, 17);
+  auto b = make_md_system(48, 17);
+  compute_forces_seq(a);
+  compute_forces_pj(b, 4);
+  for (int step = 0; step < 10; ++step) {
+    verlet_step(a, [](MdSystem& s) { return compute_forces_seq(s); });
+    verlet_step(b, [](MdSystem& s) { return compute_forces_pj(s, 4); });
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.pos[i].x, b.pos[i].x, 1e-8);
+    ASSERT_NEAR(a.vel[i].y, b.vel[i].y, 1e-8);
+  }
+}
+
+TEST(Stencil, HeatGridHasHotTopEdge) {
+  const auto g = make_heat_grid(10, 10, 100.0);
+  for (std::size_t c = 0; c < 10; ++c) EXPECT_DOUBLE_EQ(g.at(0, c), 100.0);
+  EXPECT_DOUBLE_EQ(g.at(5, 5), 0.0);
+}
+
+TEST(Stencil, ResidualDecreasesWithIterations) {
+  auto g1 = make_heat_grid(32, 32);
+  auto g2 = make_heat_grid(32, 32);
+  const double r_few = jacobi_seq(g1, 5);
+  const double r_many = jacobi_seq(g2, 200);
+  EXPECT_LT(r_many, r_few);
+}
+
+TEST(Stencil, HeatFlowsDownward) {
+  auto g = make_heat_grid(16, 16, 100.0);
+  jacobi_seq(g, 300);
+  // Interior near the hot edge is warmer than near the cold edge.
+  EXPECT_GT(g.at(1, 8), g.at(14, 8));
+  EXPECT_GT(g.at(1, 8), 1.0);
+}
+
+TEST(Stencil, BoundaryUntouched) {
+  auto g = make_heat_grid(16, 16, 100.0);
+  jacobi_seq(g, 100);
+  for (std::size_t c = 0; c < 16; ++c) {
+    EXPECT_DOUBLE_EQ(g.at(0, c), 100.0);
+    EXPECT_DOUBLE_EQ(g.at(15, c), 0.0);
+  }
+}
+
+TEST(Stencil, ParallelBitIdenticalToSequential) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    for (const auto schedule : {pj::Schedule::kStatic, pj::Schedule::kDynamic,
+                                pj::Schedule::kGuided}) {
+      auto a = make_heat_grid(24, 40);
+      auto b = make_heat_grid(24, 40);
+      const double ra = jacobi_seq(a, 50);
+      const double rb = jacobi_pj(b, 50, threads, {schedule, 2});
+      ASSERT_DOUBLE_EQ(ra, rb);
+      for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        ASSERT_DOUBLE_EQ(a.cells[i], b.cells[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parc::kernels

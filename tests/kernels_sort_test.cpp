@@ -1,0 +1,114 @@
+// Quicksort variants: correctness against std::sort over every input shape,
+// strategy and size, as a parameterized sweep, plus edge cases.
+#include "kernels/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace parc::kernels {
+namespace {
+
+ptask::Runtime& test_runtime() {
+  static ptask::Runtime rt(ptask::Runtime::Config{4, {}});
+  return rt;
+}
+
+enum class Strategy { kSeq, kPTask, kPj, kThreads };
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kSeq: return "seq";
+    case Strategy::kPTask: return "ptask";
+    case Strategy::kPj: return "pj";
+    case Strategy::kThreads: return "threads";
+  }
+  return "?";
+}
+
+const char* kind_name(InputKind k) {
+  switch (k) {
+    case InputKind::kUniform: return "uniform";
+    case InputKind::kSorted: return "sorted";
+    case InputKind::kReverse: return "reverse";
+    case InputKind::kFewUniques: return "fewuniq";
+    case InputKind::kConstant: return "constant";
+  }
+  return "?";
+}
+
+void run_sort(Strategy s, std::vector<std::int64_t>& data) {
+  switch (s) {
+    case Strategy::kSeq: quicksort_seq(data); break;
+    case Strategy::kPTask: quicksort_ptask(data, test_runtime(), 512); break;
+    case Strategy::kPj: quicksort_pj(data, 3, 512); break;
+    case Strategy::kThreads: quicksort_threads(data, 3, 512); break;
+  }
+}
+
+using SortParam = std::tuple<Strategy, InputKind, std::size_t>;
+
+class QuicksortSweep : public ::testing::TestWithParam<SortParam> {};
+
+TEST_P(QuicksortSweep, AgreesWithStdSort) {
+  const auto strategy = std::get<0>(GetParam());
+  const auto kind = std::get<1>(GetParam());
+  const auto n = std::get<2>(GetParam());
+  auto data = make_sort_input(n, kind, 0xC0FFEE + n);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  run_sort(strategy, data);
+  ASSERT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesKindsSizes, QuicksortSweep,
+    ::testing::Combine(
+        ::testing::Values(Strategy::kSeq, Strategy::kPTask, Strategy::kPj,
+                          Strategy::kThreads),
+        ::testing::Values(InputKind::kUniform, InputKind::kSorted,
+                          InputKind::kReverse, InputKind::kFewUniques,
+                          InputKind::kConstant),
+        ::testing::Values<std::size_t>(0, 1, 2, 33, 1000, 50000)),
+    [](const ::testing::TestParamInfo<SortParam>& info) {
+      return std::string(strategy_name(std::get<0>(info.param))) + "_" +
+             kind_name(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Quicksort, PTaskTinyCutoffStillCorrect) {
+  auto data = make_sort_input(20000, InputKind::kUniform, 5);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  quicksort_ptask(data, test_runtime(), 64);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(Quicksort, StableAcrossRepeatedRuns) {
+  // Same seed, same data, every strategy: deterministic results.
+  for (int rep = 0; rep < 3; ++rep) {
+    auto data = make_sort_input(5000, InputKind::kFewUniques, 77);
+    quicksort_ptask(data, test_runtime(), 256);
+    auto expected = make_sort_input(5000, InputKind::kFewUniques, 77);
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(data, expected);
+  }
+}
+
+TEST(MakeSortInput, ShapesAreAsLabelled) {
+  const auto sorted = make_sort_input(100, InputKind::kSorted, 1);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  const auto reverse = make_sort_input(100, InputKind::kReverse, 1);
+  EXPECT_TRUE(std::is_sorted(reverse.rbegin(), reverse.rend()));
+  const auto constant = make_sort_input(100, InputKind::kConstant, 1);
+  EXPECT_TRUE(std::all_of(constant.begin(), constant.end(),
+                          [](std::int64_t v) { return v == 42; }));
+  const auto few = make_sort_input(1000, InputKind::kFewUniques, 1);
+  std::set<std::int64_t> uniq(few.begin(), few.end());
+  EXPECT_LE(uniq.size(), 16u);
+}
+
+}  // namespace
+}  // namespace parc::kernels

@@ -1,0 +1,181 @@
+// Web-fetch simulation: conservation properties, latency-hiding shape,
+// bandwidth ceiling, and the real-time downloader agreement.
+#include "net/downloader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parc::net {
+namespace {
+
+NetParams fast_params() {
+  NetParams p;
+  p.mean_latency_s = 0.05;
+  p.mean_page_bytes = 100e3;
+  p.bandwidth_bps = 10e6;
+  p.per_connection_overhead_s = 0.002;
+  return p;
+}
+
+TEST(MakePageSet, DeterministicAndPositive) {
+  const auto params = fast_params();
+  const auto a = make_page_set(100, params, 42);
+  const auto b = make_page_set(100, params, 42);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i].latency_s, b[i].latency_s);
+    ASSERT_GT(a[i].size_bytes, 0.0);
+    ASSERT_GE(a[i].latency_s, 0.0);
+  }
+}
+
+TEST(SimulateFetch, OneConnectionIsSerial) {
+  const auto params = fast_params();
+  const auto pages = make_page_set(50, params, 7);
+  const auto result = simulate_fetch(pages, 1, params);
+  // Serial: makespan equals the sum of each page's latency + transfer.
+  double expected = 0.0;
+  for (const auto& p : pages) {
+    expected +=
+        p.latency_s + params.per_connection_overhead_s +
+        p.size_bytes / params.bandwidth_bps;
+  }
+  EXPECT_NEAR(result.makespan_s, expected, expected * 1e-9);
+}
+
+TEST(SimulateFetch, MoreConnectionsNeverSlowerUntilSaturation) {
+  const auto params = fast_params();
+  const auto pages = make_page_set(200, params, 11);
+  double prev = simulate_fetch(pages, 1, params).makespan_s;
+  for (std::size_t c : {2u, 4u, 8u, 16u}) {
+    const double cur = simulate_fetch(pages, c, params).makespan_s;
+    EXPECT_LE(cur, prev * 1.0001) << c;
+    prev = cur;
+  }
+}
+
+TEST(SimulateFetch, BandwidthLowerBoundHolds) {
+  const auto params = fast_params();
+  const auto pages = make_page_set(300, params, 13);
+  double total_bytes = 0.0;
+  for (const auto& p : pages) total_bytes += p.size_bytes;
+  const double floor_s = total_bytes / params.bandwidth_bps;
+  for (std::size_t c : {1u, 8u, 64u, 256u}) {
+    const auto r = simulate_fetch(pages, c, params);
+    EXPECT_GE(r.makespan_s, floor_s * 0.999) << c;
+  }
+}
+
+TEST(SimulateFetch, ThroughputKneesAtBandwidthBound) {
+  // Latency-dominated regime: going 1 → 8 connections must give a large
+  // speedup; 64 → 256 must give almost none (already bandwidth-bound).
+  NetParams params = fast_params();
+  params.mean_latency_s = 0.2;            // strongly latency-bound at first
+  const auto pages = make_page_set(400, params, 17);
+  const double t1 = simulate_fetch(pages, 1, params).makespan_s;
+  const double t8 = simulate_fetch(pages, 8, params).makespan_s;
+  const double t64 = simulate_fetch(pages, 64, params).makespan_s;
+  const double t256 = simulate_fetch(pages, 256, params).makespan_s;
+  EXPECT_GT(t1 / t8, 4.0);          // big win while latency-bound
+  EXPECT_LT(t64 / t256, 1.3);       // diminishing past the knee
+}
+
+TEST(SimulateFetch, UtilisationApproachesOneWhenSaturated) {
+  const auto params = fast_params();
+  const auto pages = make_page_set(300, params, 19);
+  const auto r = simulate_fetch(pages, 128, params);
+  EXPECT_GT(r.bandwidth_utilisation, 0.5);
+  EXPECT_LE(r.bandwidth_utilisation, 1.0 + 1e-9);
+}
+
+TEST(SimulateFetch, StatisticsAreConsistent) {
+  const auto params = fast_params();
+  const auto pages = make_page_set(64, params, 23);
+  const auto r = simulate_fetch(pages, 4, params);
+  EXPECT_GT(r.mean_page_s, 0.0);
+  EXPECT_GE(r.p95_page_s, r.mean_page_s * 0.5);
+  EXPECT_NEAR(r.throughput_pages_s, 64.0 / r.makespan_s, 1e-9);
+}
+
+TEST(SimulateFetch, HostsAssignedWithinRange) {
+  NetParams params = fast_params();
+  params.num_hosts = 8;
+  const auto pages = make_page_set(200, params, 41);
+  for (const auto& p : pages) ASSERT_LT(p.host, 8u);
+  // Zipf skew: host 0 most popular.
+  std::size_t host0 = 0;
+  for (const auto& p : pages) host0 += (p.host == 0);
+  EXPECT_GT(host0, 200u / 8);
+}
+
+TEST(SimulateFetch, PerHostCapLimitsThroughput) {
+  // One popular host, many connections: capping connections-per-host must
+  // slow the fetch versus uncapped, and a cap of 1 serialises that host.
+  NetParams params = fast_params();
+  params.num_hosts = 1;  // everything on one host
+  params.mean_latency_s = 0.2;  // latency-bound → caps bite hard
+  const auto pages = make_page_set(100, params, 43);
+
+  NetParams uncapped = params;
+  uncapped.per_host_cap = 0;
+  NetParams six = params;
+  six.per_host_cap = 6;
+  NetParams one = params;
+  one.per_host_cap = 1;
+
+  const double t_uncapped = simulate_fetch(pages, 64, uncapped).makespan_s;
+  const double t_six = simulate_fetch(pages, 64, six).makespan_s;
+  const double t_one = simulate_fetch(pages, 64, one).makespan_s;
+  EXPECT_LT(t_uncapped, t_six);
+  EXPECT_LT(t_six, t_one);
+  // Cap 1 on a single host equals the serial bound regardless of the
+  // client's 64 connections.
+  const double serial = simulate_fetch(pages, 1, uncapped).makespan_s;
+  EXPECT_NEAR(t_one, serial, serial * 1e-6);
+}
+
+TEST(SimulateFetch, CapsAcrossManyHostsStillComplete) {
+  NetParams params = fast_params();
+  params.num_hosts = 16;
+  params.per_host_cap = 2;
+  const auto pages = make_page_set(300, params, 47);
+  const auto r = simulate_fetch(pages, 32, params);
+  EXPECT_GT(r.makespan_s, 0.0);
+  EXPECT_NEAR(r.throughput_pages_s, 300.0 / r.makespan_s, 1e-9);
+}
+
+TEST(SimWebServer, FetchReturnsPageBytes) {
+  const auto params = fast_params();
+  auto pages = make_page_set(5, params, 29);
+  SimWebServer server(pages, params, 0.001);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(server.fetch(i), pages[i].size_bytes);
+  }
+}
+
+TEST(Downloader, FetchesEveryPageOnce) {
+  ptask::Runtime rt(ptask::Runtime::Config{2, {}});
+  const auto params = fast_params();
+  const auto pages = make_page_set(40, params, 31);
+  double expected_bytes = 0.0;
+  for (const auto& p : pages) expected_bytes += p.size_bytes;
+  SimWebServer server(pages, params, 0.0005);
+  const auto run = download_all(server, 8, rt);
+  EXPECT_EQ(run.pages, 40u);
+  EXPECT_NEAR(run.bytes, expected_bytes, 1e-6);
+}
+
+TEST(Downloader, ConcurrentBeatsSequentialInRealTime) {
+  ptask::Runtime rt(ptask::Runtime::Config{2, {}});
+  NetParams params = fast_params();
+  params.mean_latency_s = 0.1;  // latency-bound: concurrency pays even on 1 core
+  const auto pages = make_page_set(30, params, 37);
+  SimWebServer server(pages, params, 0.02);
+  const auto seq = download_sequential(server);
+  const auto par = download_all(server, 16, rt);
+  EXPECT_LT(par.wall_ms, seq.wall_ms * 0.6);
+}
+
+}  // namespace
+}  // namespace parc::net

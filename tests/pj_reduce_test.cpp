@@ -1,0 +1,261 @@
+// Reductions: builtin scalar set, object reductions (sets, maps, vectors,
+// top-k, histograms), determinism and schedule-invariance properties.
+#include "pj/pj.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace parc::pj {
+namespace {
+
+TEST(Reduce, SumOfIntegers) {
+  constexpr std::int64_t kN = 100000;
+  const auto sum = reduce(4, 0, kN, SumReducer<std::int64_t>{},
+                          [](std::int64_t i, std::int64_t& acc) { acc += i; });
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(Reduce, ProductReducer) {
+  const auto product =
+      reduce(3, 1, 11, ProductReducer<long>{},
+             [](std::int64_t i, long& acc) { acc *= i; });
+  EXPECT_EQ(product, 3628800L);  // 10!
+}
+
+TEST(Reduce, MinAndMax) {
+  std::vector<int> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(((i * 7919) % 4099) - 2000);
+  const auto mn = reduce(4, 0, 1000, MinReducer<int>{},
+                         [&](std::int64_t i, int& acc) {
+                           acc = std::min(acc, data[static_cast<std::size_t>(i)]);
+                         });
+  const auto mx = reduce(4, 0, 1000, MaxReducer<int>{},
+                         [&](std::int64_t i, int& acc) {
+                           acc = std::max(acc, data[static_cast<std::size_t>(i)]);
+                         });
+  EXPECT_EQ(mn, *std::min_element(data.begin(), data.end()));
+  EXPECT_EQ(mx, *std::max_element(data.begin(), data.end()));
+}
+
+TEST(Reduce, LogicalReducers) {
+  const bool all_even =
+      reduce(4, 0, 100, LogicalAndReducer{},
+             [](std::int64_t i, bool& acc) { acc = acc && (i * 2) % 2 == 0; });
+  EXPECT_TRUE(all_even);
+  const bool any_42 =
+      reduce(4, 0, 100, LogicalOrReducer{},
+             [](std::int64_t i, bool& acc) { acc = acc || i == 42; });
+  EXPECT_TRUE(any_42);
+  const bool any_1000 =
+      reduce(4, 0, 100, LogicalOrReducer{},
+             [](std::int64_t i, bool& acc) { acc = acc || i == 1000; });
+  EXPECT_FALSE(any_1000);
+}
+
+TEST(Reduce, BitReducers) {
+  const auto ors = reduce(4, 0, 64, BitOrReducer<std::uint64_t>{},
+                          [](std::int64_t i, std::uint64_t& acc) {
+                            acc |= (std::uint64_t{1} << i);
+                          });
+  EXPECT_EQ(ors, ~std::uint64_t{0});
+  const auto xors = reduce(4, 0, 64, BitXorReducer<std::uint64_t>{},
+                           [](std::int64_t i, std::uint64_t& acc) {
+                             acc ^= (std::uint64_t{1} << i);
+                           });
+  EXPECT_EQ(xors, ~std::uint64_t{0});
+  const auto ands = reduce(4, 0, 16, BitAndReducer<std::uint32_t>{},
+                           [](std::int64_t, std::uint32_t& acc) {
+                             acc &= 0xFFFF0000u;
+                           });
+  EXPECT_EQ(ands, 0xFFFF0000u);
+}
+
+TEST(Reduce, SetUnionCollectsAllElements) {
+  constexpr std::int64_t kN = 5000;
+  const auto result =
+      reduce(4, 0, kN, SetUnionReducer<std::int64_t>{},
+             [](std::int64_t i, std::set<std::int64_t>& acc) {
+               acc.insert(i % 997);  // duplicates collapse
+             },
+             {Schedule::kDynamic, 64});
+  EXPECT_EQ(result.size(), 997u);
+  EXPECT_TRUE(result.contains(0));
+  EXPECT_TRUE(result.contains(996));
+}
+
+TEST(Reduce, MapMergeCombinesCollidingKeys) {
+  constexpr std::int64_t kN = 10000;
+  const auto result = reduce(
+      4, 0, kN, MapMergeReducer<int, std::int64_t>{},
+      [](std::int64_t i, std::map<int, std::int64_t>& acc) {
+        acc[static_cast<int>(i % 10)] += 1;
+      });
+  ASSERT_EQ(result.size(), 10u);
+  for (const auto& [k, v] : result) EXPECT_EQ(v, kN / 10) << "key " << k;
+}
+
+TEST(Reduce, MapMergeWithCustomValueCombine) {
+  struct KeepMax {
+    std::int64_t operator()(std::int64_t a, std::int64_t b) const {
+      return std::max(a, b);
+    }
+  };
+  const auto result = reduce(
+      4, 0, 1000, MapMergeReducer<int, std::int64_t, KeepMax>{},
+      [](std::int64_t i, std::map<int, std::int64_t>& acc) {
+        const int key = static_cast<int>(i % 7);
+        auto [it, inserted] = acc.try_emplace(key, i);
+        if (!inserted) it->second = std::max(it->second, i);
+      });
+  ASSERT_EQ(result.size(), 7u);
+  // Max value for key k is the largest i < 1000 with i % 7 == k.
+  for (const auto& [k, v] : result) {
+    EXPECT_GE(v, 993);
+    EXPECT_EQ(v % 7, k);
+  }
+}
+
+TEST(Reduce, VectorConcatKeepsAllElements) {
+  constexpr std::int64_t kN = 3000;
+  auto result = reduce(4, 0, kN, VectorConcatReducer<std::int64_t>{},
+                       [](std::int64_t i, std::vector<std::int64_t>& acc) {
+                         if (i % 3 == 0) acc.push_back(i);
+                       });
+  EXPECT_EQ(result.size(), static_cast<std::size_t>(kN / 3));
+  std::sort(result.begin(), result.end());
+  for (std::size_t j = 0; j < result.size(); ++j) {
+    ASSERT_EQ(result[j], static_cast<std::int64_t>(j * 3));
+  }
+}
+
+TEST(Reduce, VectorConcatStaticScheduleIsOrderPreserving) {
+  // With the default static block partition, thread t holds a contiguous
+  // block and partials are combined in thread order → global order.
+  constexpr std::int64_t kN = 1000;
+  const auto result = reduce(
+      4, 0, kN, VectorConcatReducer<std::int64_t>{},
+      [](std::int64_t i, std::vector<std::int64_t>& acc) { acc.push_back(i); },
+      {Schedule::kStatic, 0});
+  ASSERT_EQ(result.size(), static_cast<std::size_t>(kN));
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Reduce, TopKKeepsSmallest) {
+  const TopKReducer<int> top5(5);
+  const auto result =
+      reduce(4, 0, 10000, top5, [&](std::int64_t i, std::vector<int>& acc) {
+        // Insert a scrambled value.
+        top5.insert(acc, static_cast<int>((i * 7919) % 10007));
+      });
+  ASSERT_EQ(result.size(), 5u);
+  // Must be the 5 smallest of the inserted multiset, ascending.
+  std::vector<int> all;
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    all.push_back(static_cast<int>((i * 7919) % 10007));
+  }
+  std::sort(all.begin(), all.end());
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(result[static_cast<std::size_t>(j)], all[static_cast<std::size_t>(j)]);
+  }
+}
+
+TEST(Reduce, HistogramCountsEveryIndex) {
+  const HistogramReducer hist(16);
+  const auto result = reduce(
+      4, 0, 16000, hist,
+      [&](std::int64_t i, std::vector<std::uint64_t>& acc) {
+        hist.count(acc, static_cast<std::size_t>(i % 16));
+      },
+      {Schedule::kGuided, 8});
+  ASSERT_EQ(result.size(), 16u);
+  for (auto c : result) EXPECT_EQ(c, 1000u);
+}
+
+TEST(Reduce, LambdaReducerAdHoc) {
+  // Longest string: a reduction OpenMP cannot express on scalars.
+  const std::vector<std::string> words = {"a", "ccc", "bb", "ffffff", "dd"};
+  auto reducer = make_reducer(std::string{}, [](std::string& into,
+                                                std::string&& from) {
+    if (from.size() > into.size()) into = std::move(from);
+  });
+  const auto longest = reduce(
+      3, 0, static_cast<std::int64_t>(words.size()), reducer,
+      [&](std::int64_t i, std::string& acc) {
+        const auto& w = words[static_cast<std::size_t>(i)];
+        if (w.size() > acc.size()) acc = w;
+      });
+  EXPECT_EQ(longest, "ffffff");
+}
+
+// ---------------------------------------------------------------------------
+// Property: the reduction result is invariant under schedule and thread
+// count for associative+commutative integer ops.
+// ---------------------------------------------------------------------------
+
+using ReduceParam = std::tuple<Schedule, std::size_t>;
+
+class ReduceInvariance : public ::testing::TestWithParam<ReduceParam> {};
+
+TEST_P(ReduceInvariance, SumInvariantAcrossConfigurations) {
+  const auto [schedule, threads] = GetParam();
+  constexpr std::int64_t kN = 37777;
+  const auto sum = reduce(
+      threads, 0, kN, SumReducer<std::int64_t>{},
+      [](std::int64_t i, std::int64_t& acc) { acc += i * i; },
+      {schedule, 0});
+  // Closed form for sum of squares.
+  EXPECT_EQ(sum, (kN - 1) * kN * (2 * kN - 1) / 6);
+}
+
+TEST_P(ReduceInvariance, SetUnionInvariantAcrossConfigurations) {
+  const auto [schedule, threads] = GetParam();
+  const auto result = reduce(
+      threads, 0, 2048, SetUnionReducer<int>{},
+      [](std::int64_t i, std::set<int>& acc) {
+        acc.insert(static_cast<int>(i / 2));
+      },
+      {schedule, 32});
+  EXPECT_EQ(result.size(), 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ReduceInvariance,
+    ::testing::Combine(::testing::Values(Schedule::kStatic, Schedule::kDynamic,
+                                         Schedule::kGuided),
+                       ::testing::Values<std::size_t>(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<ReduceParam>& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ReduceInTeam, AllThreadsGetTheResult) {
+  std::vector<std::int64_t> seen(4, -1);
+  region(4, [&](Team& team) {
+    const auto r = reduce_in_team(
+        team, 0, 1000, SumReducer<std::int64_t>{},
+        [](std::int64_t i, std::int64_t& acc) { acc += i; });
+    seen[static_cast<std::size_t>(team.thread_num())] = r;
+  });
+  for (auto v : seen) EXPECT_EQ(v, 499500);
+}
+
+TEST(Reduce, EmptyRangeYieldsIdentity) {
+  const auto sum = reduce(4, 10, 10, SumReducer<int>{},
+                          [](std::int64_t, int& acc) { acc += 1; });
+  EXPECT_EQ(sum, 0);
+  const auto set = reduce(4, 0, 0, SetUnionReducer<int>{},
+                          [](std::int64_t, std::set<int>&) {});
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace parc::pj

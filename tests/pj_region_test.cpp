@@ -1,0 +1,252 @@
+// Pyjama regions and synchronisation constructs: team identity, barrier,
+// critical, single, master, sections, ordered, exception propagation,
+// GUI-aware regions.
+#include "pj/pj.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace parc::pj {
+namespace {
+
+TEST(Region, AllThreadsParticipateWithDistinctIds) {
+  constexpr std::size_t kThreads = 4;
+  std::mutex m;
+  std::set<int> ids;  // guarded by m
+  region(kThreads, [&](Team& team) {
+    EXPECT_EQ(team.num_threads(), static_cast<int>(kThreads));
+    std::scoped_lock lock(m);
+    ids.insert(team.thread_num());
+  });
+  EXPECT_EQ(ids.size(), kThreads);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<int>(kThreads) - 1);
+}
+
+TEST(Region, SingleThreadTeamWorks) {
+  int ran = 0;
+  region(1, [&](Team& team) {
+    EXPECT_EQ(team.thread_num(), 0);
+    team.barrier();
+    team.single([&] { ++ran; });
+    team.master([&] { ++ran; });
+    ++ran;
+  });
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Region, CallingThreadIsThreadZero) {
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> checked{false};
+  region(3, [&](Team& team) {
+    if (team.thread_num() == 0) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      checked.store(true);
+    }
+  });
+  EXPECT_TRUE(checked.load());
+}
+
+TEST(Region, BarrierSynchronisesPhases) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPhases = 10;
+  std::vector<std::atomic<int>> phase_counts(kPhases);
+  for (auto& c : phase_counts) c.store(0);
+  region(kThreads, [&](Team& team) {
+    for (int p = 0; p < kPhases; ++p) {
+      // Before the barrier, earlier phases must be fully populated.
+      for (int q = 0; q < p; ++q) {
+        ASSERT_EQ(phase_counts[static_cast<std::size_t>(q)].load(),
+                  static_cast<int>(kThreads));
+      }
+      phase_counts[static_cast<std::size_t>(p)].fetch_add(1);
+      team.barrier();
+    }
+  });
+  for (auto& c : phase_counts) EXPECT_EQ(c.load(), static_cast<int>(kThreads));
+}
+
+TEST(Region, CriticalIsMutuallyExclusive) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kIters = 2000;
+  long counter = 0;  // unsynchronised on purpose; critical protects it
+  region(kThreads, [&](Team& team) {
+    for (int i = 0; i < kIters; ++i) {
+      team.critical([&] { ++counter; });
+    }
+  });
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Region, NamedCriticalsAreIndependentLocks) {
+  // Two named criticals must be able to interleave: thread A holding "a"
+  // must not block thread B entering "b". We run pairs and just verify both
+  // totals; a shared lock would still pass this, so additionally check
+  // concurrency via a flag visible while inside "a".
+  std::atomic<bool> inside_a{false};
+  std::atomic<bool> b_ran_while_a{false};
+  region(2, [&](Team& team) {
+    if (team.thread_num() == 0) {
+      team.critical("a", [&] {
+        inside_a.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        inside_a.store(false);
+      });
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      team.critical("b", [&] {
+        if (inside_a.load()) b_ran_while_a.store(true);
+      });
+    }
+  });
+  EXPECT_TRUE(b_ran_while_a.load());
+}
+
+TEST(Region, SingleRunsExactlyOncePerEncounter) {
+  constexpr std::size_t kThreads = 4;
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  region(kThreads, [&](Team& team) {
+    team.single([&] { first.fetch_add(1); });
+    team.single([&] { second.fetch_add(1); });
+  });
+  EXPECT_EQ(first.load(), 1);
+  EXPECT_EQ(second.load(), 1);
+}
+
+TEST(Region, SingleBarrierPublishesSideEffects) {
+  constexpr std::size_t kThreads = 4;
+  std::vector<int> shared;  // written only inside single
+  std::atomic<int> ok{0};
+  region(kThreads, [&](Team& team) {
+    team.single([&] { shared.assign(100, 7); });
+    // After single's implicit barrier every thread sees the write.
+    if (shared.size() == 100 && shared[99] == 7) ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), static_cast<int>(kThreads));
+}
+
+TEST(Region, MasterRunsOnlyOnThreadZero) {
+  std::atomic<int> runs{0};
+  std::atomic<int> master_tid{-1};
+  region(4, [&](Team& team) {
+    team.master([&] {
+      runs.fetch_add(1);
+      master_tid.store(team.thread_num());
+    });
+  });
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(master_tid.load(), 0);
+}
+
+TEST(Region, SectionsDistributeAllBodies) {
+  std::atomic<int> mask{0};
+  region(3, [&](Team& team) {
+    team.sections({
+        [&] { mask.fetch_or(1); },
+        [&] { mask.fetch_or(2); },
+        [&] { mask.fetch_or(4); },
+        [&] { mask.fetch_or(8); },
+        [&] { mask.fetch_or(16); },
+    });
+  });
+  EXPECT_EQ(mask.load(), 31);
+}
+
+TEST(Region, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      region(4,
+             [&](Team& team) {
+               if (team.thread_num() == 2) throw std::runtime_error("t2");
+             }),
+      std::runtime_error);
+}
+
+TEST(Region, ThreadNumOutsideTeamAborts) {
+  Team team(1);
+  EXPECT_DEATH((void)team.thread_num(), "outside this team");
+}
+
+TEST(Region, CurrentTeamVisibleInside) {
+  EXPECT_EQ(Team::current(), nullptr);
+  region(2, [&](Team& team) { EXPECT_EQ(Team::current(), &team); });
+  EXPECT_EQ(Team::current(), nullptr);
+}
+
+TEST(Ordered, RunsIterationsInOrder) {
+  constexpr int kN = 64;
+  OrderedContext ordered(0);
+  std::vector<int> log;
+  region(4, [&](Team& team) {
+    for_loop(
+        team, 0, kN,
+        [&](std::int64_t i) {
+          ordered.run_ordered(i, [&] { log.push_back(static_cast<int>(i)); });
+        },
+        {Schedule::kDynamic, 1});
+  });
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(log[static_cast<std::size_t>(i)], i);
+}
+
+TEST(GuiRegion, CompletionDeliveredThroughDispatcher) {
+  std::atomic<int> dispatched{0};
+  set_event_dispatcher([&](std::function<void()> fn) {
+    dispatched.fetch_add(1);
+    fn();
+  });
+  std::atomic<bool> completed{false};
+  std::atomic<int> work{0};
+  auto handle = gui_region(
+      3, [&](Team&) { work.fetch_add(1); },
+      [&](std::exception_ptr e) {
+        EXPECT_EQ(e, nullptr);
+        completed.store(true);
+      });
+  handle.wait();
+  EXPECT_TRUE(completed.load());
+  EXPECT_EQ(work.load(), 3);
+  EXPECT_GE(dispatched.load(), 1);
+  set_event_dispatcher(nullptr);
+}
+
+TEST(GuiRegion, ErrorReachesCompletionHandler) {
+  std::atomic<bool> got_error{false};
+  auto handle = gui_region(
+      2, [&](Team& team) {
+        if (team.thread_num() == 1) throw std::runtime_error("gui fail");
+      },
+      [&](std::exception_ptr e) { got_error.store(e != nullptr); });
+  handle.wait();
+  EXPECT_TRUE(got_error.load());
+}
+
+TEST(GuiRegion, DestructorJoins) {
+  std::atomic<bool> done{false};
+  {
+    auto handle = gui_region(2, [&](Team&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }, [&](std::exception_ptr) { done.store(true); });
+  }  // destructor must join
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Settings, DefaultNumThreadsIsConfigurable) {
+  const auto original = default_num_threads();
+  set_default_num_threads(3);
+  EXPECT_EQ(default_num_threads(), 3u);
+  std::atomic<int> seen{0};
+  region([&](Team& team) { seen.store(team.num_threads()); });
+  EXPECT_EQ(seen.load(), 3);
+  set_default_num_threads(original);
+}
+
+}  // namespace
+}  // namespace parc::pj

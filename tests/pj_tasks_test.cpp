@@ -1,0 +1,147 @@
+// pj::task / pj::taskwait: deferred execution, nesting, implicit region-end
+// taskwait, exception funnelling, single-producer patterns.
+#include "pj/pj.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace parc::pj {
+namespace {
+
+TEST(PjTasks, TasksRunAndTaskwaitBlocks) {
+  std::atomic<int> done{0};
+  region(2, [&](Team& team) {
+    team.single([&] {
+      for (int i = 0; i < 100; ++i) {
+        task(team, [&] { done.fetch_add(1); });
+      }
+    });
+    taskwait(team);
+    EXPECT_EQ(done.load(), 100);
+  });
+}
+
+TEST(PjTasks, ImplicitTaskwaitAtRegionEnd) {
+  std::atomic<int> done{0};
+  region(2, [&](Team& team) {
+    team.single([&] {
+      for (int i = 0; i < 50; ++i) {
+        task(team, [&] { done.fetch_add(1); });
+      }
+    });
+    // no explicit taskwait
+  });
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(PjTasks, NestedTasks) {
+  std::atomic<int> done{0};
+  region(2, [&](Team& team) {
+    team.single([&] {
+      task(team, [&] {
+        done.fetch_add(1);
+        for (int i = 0; i < 10; ++i) {
+          task(team, [&] { done.fetch_add(1); });
+        }
+      });
+    });
+  });
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(PjTasks, EveryTeamThreadMaySpawn) {
+  std::atomic<int> done{0};
+  region(4, [&](Team& team) {
+    for (int i = 0; i < 10; ++i) {
+      task(team, [&] { done.fetch_add(1); });
+    }
+    taskwait(team);
+  });
+  EXPECT_EQ(done.load(), 40);
+}
+
+TEST(PjTasks, RecursiveDivideAndConquer) {
+  // Tree-sum via nested tasks with per-node accumulation.
+  std::atomic<long> sum{0};
+  std::function<void(Team&, int, int)> tree_sum =
+      [&](Team& team, int lo, int hi) {
+        if (hi - lo <= 16) {
+          long acc = 0;
+          for (int i = lo; i < hi; ++i) acc += i;
+          sum.fetch_add(acc);
+          return;
+        }
+        const int mid = lo + (hi - lo) / 2;
+        task(team, [&, lo, mid] { tree_sum(team, lo, mid); });
+        tree_sum(team, mid, hi);
+      };
+  region(2, [&](Team& team) {
+    team.single([&] { tree_sum(team, 0, 10000); });
+    taskwait(team);
+  });
+  EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+TEST(PjTasks, TaskExceptionReachesRegionCaller) {
+  EXPECT_THROW(
+      region(2,
+             [&](Team& team) {
+               team.single([&] {
+                 task(team, [] { throw std::runtime_error("task boom"); });
+               });
+             }),
+      std::runtime_error);
+}
+
+TEST(PjTasks, TaskwaitRethrowsInsideRegion) {
+  std::atomic<bool> caught{false};
+  region(2, [&](Team& team) {
+    team.single([&] {
+      task(team, [] { throw std::logic_error("early"); });
+      try {
+        taskwait(team);
+      } catch (const std::logic_error&) {
+        caught.store(true);
+      }
+    });
+  });
+  EXPECT_TRUE(caught.load());
+}
+
+TEST(PjTasks, OutstandingCounterTracks) {
+  region(1, [&](Team& team) {
+    EXPECT_EQ(tasks_outstanding(team), 0u);
+    std::atomic<bool> release{false};
+    task(team, [&] {
+      while (!release.load()) std::this_thread::yield();
+    });
+    EXPECT_GE(tasks_outstanding(team), 1u);
+    release.store(true);
+    taskwait(team);
+    EXPECT_EQ(tasks_outstanding(team), 0u);
+  });
+}
+
+TEST(PjTasks, TaskwaitWithNoTasksIsFree) {
+  region(2, [&](Team& team) {
+    taskwait(team);  // must not touch (or create) the pool
+    SUCCEED();
+  });
+}
+
+TEST(PjTasks, ManySmallTasksComplete) {
+  std::atomic<int> done{0};
+  region(4, [&](Team& team) {
+    team.single([&] {
+      for (int i = 0; i < 5000; ++i) {
+        task(team, [&] { done.fetch_add(1); });
+      }
+    });
+  });
+  EXPECT_EQ(done.load(), 5000);
+}
+
+}  // namespace
+}  // namespace parc::pj

@@ -1,0 +1,149 @@
+// Multi-task (TASK(n)) semantics: expansion, result ordering, exceptions,
+// cancellation, interactive-pool elasticity.
+#include "ptask/ptask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace parc::ptask {
+namespace {
+
+Runtime& test_runtime() {
+  static Runtime rt(Runtime::Config{4, {}});
+  return rt;
+}
+
+TEST(MultiTask, VoidBodiesAllRun) {
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  auto t = run_multi(test_runtime(), kN,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  t.get();
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(MultiTask, ValueResultsAreIndexOrdered) {
+  auto t = run_multi(test_runtime(), 100,
+                     [](std::size_t i) { return static_cast<int>(i) * 3; });
+  const std::vector<int>& out = t.get();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(MultiTask, ZeroCopiesCompletesImmediately) {
+  auto tv = run_multi(test_runtime(), 0, [](std::size_t) {});
+  EXPECT_TRUE(tv.ready());
+  tv.get();
+  auto ti = run_multi(test_runtime(), 0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(ti.ready());
+  EXPECT_TRUE(ti.get().empty());
+}
+
+TEST(MultiTask, SingleCopy) {
+  auto t = run_multi(test_runtime(), 1, [](std::size_t i) { return i + 41; });
+  ASSERT_EQ(t.get().size(), 1u);
+  EXPECT_EQ(t.get()[0], 41u);
+}
+
+TEST(MultiTask, FirstExceptionWins) {
+  auto t = run_multi(test_runtime(), 50, [](std::size_t i) -> int {
+    if (i % 7 == 3) throw std::runtime_error("multi boom");
+    return static_cast<int>(i);
+  });
+  EXPECT_THROW(t.get(), std::runtime_error);
+  EXPECT_EQ(t.status(), TaskStatus::kFailed);
+}
+
+TEST(MultiTask, ExceptionDoesNotStopSiblings) {
+  std::atomic<int> ran{0};
+  auto t = run_multi(test_runtime(), 64, [&](std::size_t i) {
+    ran.fetch_add(1);
+    if (i == 0) throw std::runtime_error("one bad copy");
+  });
+  EXPECT_THROW(t.get(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(MultiTask, CancellationSkipsUnstartedCopies) {
+  Runtime rt(Runtime::Config{1, {}});
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  auto blocker = run(rt, [&] {
+    while (!release.load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+  });
+  auto t = run_multi(rt, 32, [&](std::size_t) { ran.fetch_add(1); });
+  t.cancel();
+  release.store(true);
+  blocker.get();
+  EXPECT_THROW(t.get(), TaskCancelled);
+  EXPECT_EQ(ran.load(), 0);  // none started: all were queued behind blocker
+}
+
+TEST(MultiTask, ResultsSurviveLargeN) {
+  constexpr std::size_t kN = 2000;
+  auto t = run_multi(test_runtime(), kN,
+                     [](std::size_t i) { return static_cast<long>(i); });
+  const auto& out = t.get();
+  const long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, static_cast<long>(kN * (kN - 1) / 2));
+}
+
+TEST(CachedThreadPool, ReusesIdleThreads) {
+  CachedThreadPool pool(CachedThreadPool::Config{8, std::chrono::milliseconds(500)});
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> batch{0};
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&] {
+        count.fetch_add(1);
+        batch.fetch_add(1);
+      });
+    }
+    while (batch.load() < 4) std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 20);
+  // 4 concurrent jobs per round, reused across rounds: never needs > 8.
+  EXPECT_LE(pool.peak_thread_count(), 8u);
+}
+
+TEST(CachedThreadPool, CapQueuesExcessJobs) {
+  CachedThreadPool pool(CachedThreadPool::Config{2, std::chrono::milliseconds(500)});
+  std::atomic<int> done{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      while (!release.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 6; ++i) {
+    pool.submit([&] { done.fetch_add(1); });
+  }
+  EXPECT_LE(pool.thread_count(), 2u);
+  release.store(true);
+  while (done.load() < 8) std::this_thread::yield();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(CachedThreadPool, IdleThreadsRetire) {
+  CachedThreadPool pool(CachedThreadPool::Config{8, std::chrono::milliseconds(30)});
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran.store(true); });
+  while (!ran.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(pool.thread_count(), 0u);
+}
+
+}  // namespace
+}  // namespace parc::ptask

@@ -1,0 +1,261 @@
+// ParallelTask runtime: spawning, results, exceptions, dependences,
+// notify handlers, cancellation, interactive tasks.
+#include "ptask/ptask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace parc::ptask {
+namespace {
+
+Runtime& test_runtime() {
+  static Runtime rt(Runtime::Config{4, {}});
+  return rt;
+}
+
+TEST(PTask, RunReturnsValue) {
+  auto t = run(test_runtime(), [] { return 6 * 7; });
+  EXPECT_EQ(t.get(), 42);
+  EXPECT_TRUE(t.ready());
+  EXPECT_EQ(t.status(), TaskStatus::kDone);
+}
+
+TEST(PTask, CancellationRequestedFalseOutsideTasks) {
+  EXPECT_FALSE(cancellation_requested());
+}
+
+TEST(PTask, RunVoidTask) {
+  std::atomic<bool> ran{false};
+  auto t = run(test_runtime(), [&] { ran.store(true); });
+  t.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(PTask, GetIsIdempotent) {
+  auto t = run(test_runtime(), [] { return std::string("hello"); });
+  EXPECT_EQ(t.get(), "hello");
+  EXPECT_EQ(t.get(), "hello");  // value persists in the shared state
+}
+
+TEST(PTask, ExceptionPropagatesThroughGet) {
+  auto t = run(test_runtime(), []() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(t.get(), std::runtime_error);
+  EXPECT_EQ(t.status(), TaskStatus::kFailed);
+  // Rethrow is repeatable.
+  EXPECT_THROW(t.get(), std::runtime_error);
+}
+
+TEST(PTask, ManyConcurrentTasks) {
+  std::vector<TaskID<int>> tasks;
+  tasks.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    tasks.push_back(run(test_runtime(), [i] { return i * i; }));
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(tasks[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(PTask, NestedSpawnsAndWaitsDoNotDeadlock) {
+  std::function<long(int)> fib = [&](int n) -> long {
+    if (n < 2) return n;
+    auto left = run(test_runtime(), [&, n] { return fib(n - 1); });
+    const long right = fib(n - 2);
+    return left.get() + right;
+  };
+  EXPECT_EQ(fib(18), 2584);
+}
+
+TEST(PTask, DependenceOrdersExecution) {
+  std::atomic<int> step{0};
+  auto a = run(test_runtime(), [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    step.store(1);
+    return 10;
+  });
+  auto b = run_after(
+      test_runtime(),
+      [&] {
+        // Must observe a's side effect: dependence means a finished.
+        EXPECT_EQ(step.load(), 1);
+        return 20;
+      },
+      a);
+  EXPECT_EQ(b.get(), 20);
+}
+
+TEST(PTask, DependenceOnFinishedTaskStillRuns) {
+  auto a = run(test_runtime(), [] { return 1; });
+  a.get();
+  auto b = run_after(test_runtime(), [] { return 2; }, a);
+  EXPECT_EQ(b.get(), 2);
+}
+
+TEST(PTask, DiamondDependenceGraph) {
+  std::atomic<int> order{0};
+  auto source = run(test_runtime(), [&] { return order.fetch_add(1); });
+  auto left = run_after(test_runtime(), [&] { return order.fetch_add(1); },
+                        source);
+  auto right = run_after(test_runtime(), [&] { return order.fetch_add(1); },
+                         source);
+  auto sink =
+      run_after(test_runtime(), [&] { return order.fetch_add(1); }, left,
+                right);
+  EXPECT_EQ(sink.get(), 3);    // last of the four
+  EXPECT_EQ(source.get(), 0);  // first
+}
+
+TEST(PTask, NotifyInlineFiresOnCompletion) {
+  std::atomic<int> notified{0};
+  auto t = run(test_runtime(), [] { return 5; });
+  t.notify_inline([&](const int& v) { notified.store(v); });
+  t.wait();
+  // Continuation runs as part of completion or immediately if already done.
+  for (int i = 0; i < 100 && notified.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(notified.load(), 5);
+}
+
+TEST(PTask, NotifyAfterCompletionRunsImmediately) {
+  auto t = run(test_runtime(), [] { return 9; });
+  t.get();
+  std::atomic<int> notified{0};
+  t.notify_inline([&](const int& v) { notified.store(v); });
+  EXPECT_EQ(notified.load(), 9);
+}
+
+TEST(PTask, NotifyGoesThroughRegisteredDispatcher) {
+  Runtime rt(Runtime::Config{2, {}});
+  std::atomic<int> via_edt{0};
+  // A fake EDT: tags deliveries so we can prove the hop happened.
+  rt.set_event_dispatcher([&](std::function<void()> fn) {
+    via_edt.fetch_add(1);
+    fn();
+  });
+  std::atomic<int> got{0};
+  auto t = run(rt, [] { return 3; });
+  t.notify([&](const int& v) { got.store(v); });
+  t.wait();
+  for (int i = 0; i < 200 && got.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(got.load(), 3);
+  EXPECT_GE(via_edt.load(), 1);
+}
+
+TEST(PTask, OnErrorDeliversException) {
+  std::atomic<bool> caught{false};
+  auto t = run(test_runtime(), [] { throw std::logic_error("bad"); });
+  t.on_error([&](std::exception_ptr e) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::logic_error&) {
+      caught.store(true);
+    }
+  });
+  t.wait();
+  for (int i = 0; i < 200 && !caught.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(caught.load());
+}
+
+TEST(PTask, CancelBeforeStartSkipsBody) {
+  // Block the 1-worker pool so the victim task cannot start.
+  Runtime rt(Runtime::Config{1, {}});
+  std::atomic<bool> release{false};
+  std::atomic<bool> victim_ran{false};
+  auto blocker = run(rt, [&] {
+    while (!release.load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+  });
+  auto victim = run(rt, [&] { victim_ran.store(true); });
+  EXPECT_TRUE(victim.cancel());
+  release.store(true);
+  blocker.get();
+  EXPECT_THROW(victim.get(), TaskCancelled);
+  EXPECT_FALSE(victim_ran.load());
+  EXPECT_EQ(victim.status(), TaskStatus::kCancelled);
+}
+
+TEST(PTask, RunningTaskSeesCancellationRequest) {
+  std::atomic<bool> observed{false};
+  std::atomic<bool> started{false};
+  auto t = run(test_runtime(), [&] {
+    started.store(true);
+    while (!cancellation_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    observed.store(true);
+  });
+  while (!started.load()) std::this_thread::yield();
+  t.cancel();
+  t.get();  // completes normally: body exited voluntarily
+  EXPECT_TRUE(observed.load());
+}
+
+TEST(PTask, InteractiveTasksRunOffComputePool) {
+  Runtime rt(Runtime::Config{1, {}});
+  // Saturate the single compute worker...
+  std::atomic<bool> release{false};
+  auto blocker = run(rt, [&] {
+    while (!release.load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+  });
+  // ...and prove an interactive task still makes progress.
+  auto io = run_interactive(rt, [] { return 123; });
+  EXPECT_EQ(io.get(), 123);
+  release.store(true);
+  blocker.get();
+}
+
+TEST(PTask, TaskGroupWaitsForAll) {
+  std::atomic<int> count{0};
+  TaskGroup group(test_runtime());
+  for (int i = 0; i < 64; ++i) {
+    group.run([&] { count.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(PTask, TaskGroupPropagatesFirstException) {
+  TaskGroup group(test_runtime());
+  group.run([] {});
+  group.run([] { throw std::runtime_error("in group"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // After the throw the group is reusable and clean.
+  group.run([] {});
+  group.wait();
+}
+
+TEST(PTask, ParallelInvokeRunsAll) {
+  std::atomic<int> mask{0};
+  parallel_invoke(
+      test_runtime(), [&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); },
+      [&] { mask.fetch_or(4); });
+  EXPECT_EQ(mask.load(), 7);
+}
+
+TEST(PTask, GlobalRuntimeWorks) {
+  auto t = run([] { return 1; });
+  EXPECT_EQ(t.get(), 1);
+}
+
+TEST(PTask, InvalidTaskIdChecks) {
+  TaskID<int> empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.ready());
+}
+
+}  // namespace
+}  // namespace parc::ptask

@@ -1,0 +1,133 @@
+// Chase–Lev deque: single-owner semantics plus owner/thief stress tests
+// checking that every pushed element is consumed exactly once.
+#include "sched/chase_lev_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace parc::sched {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+};
+
+TEST(ChaseLevDeque, PopFromEmptyIsNull) {
+  ChaseLevDeque<Item> d;
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(ChaseLevDeque, OwnerPopsLifo) {
+  ChaseLevDeque<Item> d;
+  Item a(1), b(2), c(3);
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.pop()->value, 3);
+  EXPECT_EQ(d.pop()->value, 2);
+  EXPECT_EQ(d.pop()->value, 1);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(ChaseLevDeque, ThiefStealsFifo) {
+  ChaseLevDeque<Item> d;
+  Item a(1), b(2), c(3);
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.steal()->value, 1);
+  EXPECT_EQ(d.steal()->value, 2);
+  EXPECT_EQ(d.steal()->value, 3);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(ChaseLevDeque, MixedPopAndSteal) {
+  ChaseLevDeque<Item> d;
+  Item a(1), b(2), c(3);
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.steal()->value, 1);  // oldest
+  EXPECT_EQ(d.pop()->value, 3);    // newest
+  EXPECT_EQ(d.pop()->value, 2);    // last one, owner wins
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<Item> d(8);
+  std::vector<std::unique_ptr<Item>> items;
+  for (int i = 0; i < 1000; ++i) {
+    items.push_back(std::make_unique<Item>(i));
+    d.push(items.back().get());
+  }
+  EXPECT_EQ(d.size_approx(), 1000u);
+  for (int i = 999; i >= 0; --i) {
+    Item* it = d.pop();
+    ASSERT_NE(it, nullptr);
+    ASSERT_EQ(it->value, i);
+  }
+}
+
+TEST(ChaseLevDequeStress, EveryItemConsumedExactlyOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<Item> d;
+  std::vector<std::unique_ptr<Item>> items;
+  items.reserve(kItems);
+  for (int i = 0; i < kItems; ++i) items.push_back(std::make_unique<Item>(i));
+
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done_producing{false};
+
+  auto consume = [&](Item* it) {
+    seen[static_cast<std::size_t>(it->value)].fetch_add(1);
+    consumed.fetch_add(1);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (consumed.load() < kItems) {
+        if (Item* it = d.steal()) {
+          consume(it);
+        } else if (done_producing.load() && d.empty_approx() &&
+                   consumed.load() >= kItems) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner interleaves pushes and pops.
+  for (int i = 0; i < kItems; ++i) {
+    d.push(items[static_cast<std::size_t>(i)].get());
+    if (i % 3 == 0) {
+      if (Item* it = d.pop()) consume(it);
+    }
+  }
+  done_producing.store(true);
+  while (Item* it = d.pop()) consume(it);
+  for (auto& t : thieves) t.join();
+  // Anything left (shouldn't be) would be a lost item.
+  while (Item* it = d.pop()) consume(it);
+
+  EXPECT_EQ(consumed.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace parc::sched

@@ -1,0 +1,168 @@
+// Machine model: work/span accounting, Graham-bound property sweeps,
+// saturation shapes, DAG builders.
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace parc::sim {
+namespace {
+
+TEST(TaskDag, WorkAndSpanAccounting) {
+  TaskDag dag;
+  const auto a = dag.add_task(2.0);
+  const auto b = dag.add_task(3.0, {a});
+  const auto c = dag.add_task(1.0, {a});
+  dag.add_task(4.0, {b, c});
+  EXPECT_DOUBLE_EQ(dag.total_work(), 10.0);
+  EXPECT_DOUBLE_EQ(dag.critical_path(), 9.0);  // a→b→sink
+  EXPECT_NEAR(dag.parallelism(), 10.0 / 9.0, 1e-12);
+}
+
+TEST(TaskDag, ForwardDependenceAborts) {
+  TaskDag dag;
+  dag.add_task(1.0);
+  EXPECT_DEATH(dag.add_task(1.0, {5}), "before");
+}
+
+TEST(Simulate, SingleCoreEqualsWork) {
+  TaskDag dag = fork_join_dag({1.0, 2.0, 3.0, 4.0});
+  const auto out = simulate(dag, MachineParams{1, 0.0, "one"});
+  EXPECT_DOUBLE_EQ(out.makespan_s, 10.0);
+  EXPECT_DOUBLE_EQ(out.speedup, 1.0);
+}
+
+TEST(Simulate, IndependentTasksScalePerfectly) {
+  std::vector<double> costs(64, 1.0);
+  TaskDag dag = fork_join_dag(costs);
+  for (std::size_t p : {2u, 4u, 8u, 64u}) {
+    const auto out = simulate(dag, MachineParams{p, 0.0, "p"});
+    EXPECT_NEAR(out.speedup, static_cast<double>(p), 1e-9) << p;
+    EXPECT_NEAR(out.efficiency, 1.0, 1e-9);
+  }
+}
+
+TEST(Simulate, SpeedupCappedBySpan) {
+  // A pure chain cannot speed up at all.
+  TaskDag dag;
+  TaskDag::NodeId prev = dag.add_task(1.0);
+  for (int i = 0; i < 9; ++i) prev = dag.add_task(1.0, {prev});
+  const auto out = simulate(dag, MachineParams{16, 0.0, "chain"});
+  EXPECT_DOUBLE_EQ(out.makespan_s, 10.0);
+  EXPECT_DOUBLE_EQ(out.speedup, 1.0);
+}
+
+TEST(Simulate, EmptyDag) {
+  TaskDag dag;
+  const auto out = simulate(dag, MachineParams{4, 0.0, "empty"});
+  EXPECT_DOUBLE_EQ(out.makespan_s, 0.0);
+}
+
+TEST(Simulate, PerTaskOverheadCounts) {
+  TaskDag dag = fork_join_dag({1.0, 1.0});
+  const auto out = simulate(dag, MachineParams{1, 0.5, "oh"});
+  EXPECT_DOUBLE_EQ(out.makespan_s, 3.0);
+}
+
+TEST(Simulate, DeterministicAcrossRuns) {
+  const TaskDag dag = divide_conquer_dag(100000, 1000, 1e-7, 1e-6);
+  const auto a = simulate(dag, parc_16core());
+  const auto b = simulate(dag, parc_16core());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+// Property sweep: lower bounds and Graham's bound hold for every DAG shape
+// and core count.
+using SimParam = std::tuple<int, std::size_t>;  // shape id, cores
+
+class GrahamBound : public ::testing::TestWithParam<SimParam> {};
+
+TaskDag shape_for(int id) {
+  switch (id) {
+    case 0: return fork_join_dag(std::vector<double>(37, 0.7));
+    case 1: {
+      std::vector<double> skewed;
+      for (int i = 1; i <= 25; ++i) skewed.push_back(0.1 * i);
+      return fork_join_dag(skewed);
+    }
+    case 2: return divide_conquer_dag(10000, 250, 1e-4, 0.0);
+    case 3: return barrier_rounds_dag(8, 12, 0.3);
+    case 4: return amdahl_dag(5.0, 40, 0.5);
+  }
+  return fork_join_dag({1.0});
+}
+
+TEST_P(GrahamBound, BoundsHold) {
+  const auto [shape, cores] = GetParam();
+  const TaskDag dag = shape_for(shape);
+  const auto out = simulate(dag, MachineParams{cores, 0.0, "sweep"});
+  const double work = dag.total_work();
+  const double span = dag.critical_path();
+  const double p = static_cast<double>(cores);
+  EXPECT_GE(out.makespan_s, work / p - 1e-9);       // work lower bound
+  EXPECT_GE(out.makespan_s, span - 1e-9);           // span lower bound
+  EXPECT_LE(out.makespan_s, work / p + span + 1e-9); // Graham's bound
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndCores, GrahamBound,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values<std::size_t>(1, 2, 3, 8, 64)),
+    [](const ::testing::TestParamInfo<SimParam>& info) {
+      return "shape" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SpeedupCurve, MonotoneUntilSaturation) {
+  const TaskDag dag = divide_conquer_dag(1 << 20, 1 << 12, 1e-8, 0.0);
+  const auto curve = speedup_curve(dag, {1, 2, 4, 8, 16, 32, 64});
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].speedup, curve[i - 1].speedup - 1e-9);
+  }
+  EXPECT_NEAR(curve[0].speedup, 1.0, 1e-9);
+  // Saturates at the DAG's parallelism.
+  EXPECT_LE(curve.back().speedup, dag.parallelism() + 1e-9);
+}
+
+TEST(AmdahlDag, MatchesAmdahlFormula) {
+  // serial s, parallel n×e: T1 = s + n·e, Tp = s + ceil(n/p)·e.
+  const TaskDag dag = amdahl_dag(2.0, 32, 0.25);
+  const auto out = simulate(dag, MachineParams{8, 0.0, "amdahl"});
+  EXPECT_NEAR(out.makespan_s, 2.0 + 4 * 0.25, 1e-9);
+  const double expected_speedup = (2.0 + 32 * 0.25) / (2.0 + 1.0);
+  EXPECT_NEAR(out.speedup, expected_speedup, 1e-9);
+}
+
+TEST(BarrierRoundsDag, SpanIsIterationChain) {
+  const TaskDag dag = barrier_rounds_dag(5, 10, 0.2);
+  EXPECT_DOUBLE_EQ(dag.total_work(), 10.0);
+  EXPECT_DOUBLE_EQ(dag.critical_path(), 1.0);  // 5 rounds × 0.2
+}
+
+TEST(DivideConquerDag, WorkMatchesRecurrence) {
+  // cutoff = elements: single leaf.
+  const TaskDag leaf_only = divide_conquer_dag(1000, 1000, 1e-3, 0.0);
+  EXPECT_NEAR(leaf_only.total_work(), 1.0, 1e-12);
+  // One split: partition(1000) + two leaves(500) + join(0).
+  const TaskDag one_split = divide_conquer_dag(1000, 500, 1e-3, 0.0);
+  EXPECT_NEAR(one_split.total_work(), 1.0 + 1.0, 1e-12);
+}
+
+TEST(Machines, PresetsMatchPaperInventory) {
+  EXPECT_EQ(parc_64core().cores, 64u);
+  EXPECT_EQ(parc_16core().cores, 16u);
+  EXPECT_EQ(parc_8core().cores, 8u);
+}
+
+TEST(Simulate, CoreBusyAccountingConsistent) {
+  const TaskDag dag = fork_join_dag(std::vector<double>(10, 1.0));
+  const auto out = simulate(dag, MachineParams{4, 0.0, "busy"});
+  double busy = 0.0;
+  for (double b : out.core_busy_s) busy += b;
+  EXPECT_NEAR(busy, dag.total_work(), 1e-9);
+}
+
+}  // namespace
+}  // namespace parc::sim

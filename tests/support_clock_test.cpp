@@ -1,0 +1,87 @@
+// Stopwatch sanity, VirtualClock ordering semantics, backoff escalation.
+#include "support/backoff.hpp"
+#include "support/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace parc {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.elapsed_ms(), 5.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 5.0);
+}
+
+TEST(Stopwatch, UnitsAreConsistent) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double ns = sw.elapsed_ns();
+  EXPECT_NEAR(sw.elapsed_us(), ns / 1e3, ns * 0.5);
+  EXPECT_NEAR(sw.elapsed_s(), ns / 1e9, ns);
+}
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  EXPECT_FALSE(clock.has_pending());
+}
+
+TEST(VirtualClock, AdvancesToEarliestEvent) {
+  VirtualClock clock;
+  clock.schedule(5.0, 1);
+  clock.schedule(2.0, 2);
+  clock.schedule(8.0, 3);
+  EXPECT_EQ(clock.advance(), 2u);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  EXPECT_EQ(clock.advance(), 1u);
+  EXPECT_EQ(clock.advance(), 3u);
+  EXPECT_DOUBLE_EQ(clock.now(), 8.0);
+  EXPECT_FALSE(clock.has_pending());
+}
+
+TEST(VirtualClock, TiesBreakInScheduleOrder) {
+  VirtualClock clock;
+  clock.schedule(1.0, 10);
+  clock.schedule(1.0, 20);
+  clock.schedule(1.0, 30);
+  EXPECT_EQ(clock.advance(), 10u);
+  EXPECT_EQ(clock.advance(), 20u);
+  EXPECT_EQ(clock.advance(), 30u);
+}
+
+TEST(VirtualClock, NextTimePeeksWithoutAdvancing) {
+  VirtualClock clock;
+  clock.schedule(3.5, 7);
+  EXPECT_DOUBLE_EQ(clock.next_time(), 3.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(VirtualClock, SchedulingInThePastAborts) {
+  VirtualClock clock;
+  clock.schedule(2.0, 1);
+  clock.advance();
+  EXPECT_DEATH(clock.schedule(1.0, 2), "past");
+}
+
+TEST(SpinWork, IsDeterministicAndNonTrivial) {
+  EXPECT_EQ(spin_work(1000), spin_work(1000));
+  EXPECT_NE(spin_work(1000), spin_work(1001));
+}
+
+TEST(ExponentialBackoff, EscalatesToYieldingThenResets) {
+  ExponentialBackoff backoff(16);
+  EXPECT_FALSE(backoff.yielding());
+  for (int i = 0; i < 10; ++i) backoff.pause();
+  EXPECT_TRUE(backoff.yielding());
+  backoff.pause();  // yielding path executes without incident
+  backoff.reset();
+  EXPECT_FALSE(backoff.yielding());
+}
+
+}  // namespace
+}  // namespace parc

@@ -1,0 +1,128 @@
+// Unit tests for Summary/Histogram/OnlineStats and the fitting helpers.
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parc {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(Summary, SortCacheInvalidatesOnAdd) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);  // after a cached sort, adding must invalidate
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, DescribeMentionsCount) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_NE(s.describe().find("n=2"), std::string::npos);
+}
+
+TEST(Histogram, CountsAndClamps) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bucket 0
+  h.add(9.5);    // bucket 9
+  h.add(-4.0);   // clamps to bucket 0
+  h.add(100.0);  // clamps to bucket 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  for (std::size_t i = 1; i < 9; ++i) EXPECT_EQ(h.bucket(i), 0u);
+}
+
+TEST(Histogram, BucketBoundsTile) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(3), 75.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(3), 100.0);
+}
+
+TEST(Histogram, RenderSkipsEmptyBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1.0);
+  const std::string out = h.render();
+  // Exactly one line: one non-empty bucket.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(OnlineStats, MatchesBatchSummary) {
+  Summary batch;
+  OnlineStats online;
+  const double xs[] = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  for (double x : xs) {
+    batch.add(x);
+    online.add(x);
+  }
+  EXPECT_NEAR(batch.mean(), online.mean(), 1e-12);
+  EXPECT_NEAR(batch.variance(), online.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(batch.min(), online.min());
+  EXPECT_DOUBLE_EQ(batch.max(), online.max());
+}
+
+TEST(PearsonCorrelation, PerfectAndInverse) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> up{2, 4, 6, 8, 10};
+  std::vector<double> down{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSeriesIsZero) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> flat{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson_correlation(xs, flat), 0.0);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 + 2.0 * x);
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateXGivesMeanIntercept) {
+  std::vector<double> xs{2, 2, 2};
+  std::vector<double> ys{1, 2, 3};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace parc

@@ -1,0 +1,88 @@
+// Table rendering and CSV emission tests.
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace parc {
+namespace {
+
+TEST(Table, PrintsTitleColumnsAndRows) {
+  Table t("Demo Table");
+  t.columns({"name", "value"});
+  t.add_row().cell("alpha").cell(1.5, 1);
+  t.add_row().cell("beta").cell(std::uint64_t{1234567});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo Table"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("1,234,567"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("csv");
+  t.columns({"a", "b"});
+  t.row({"plain", "has,comma"});
+  t.row({"has\"quote", "x"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t("bad");
+  t.columns({"only"});
+  EXPECT_DEATH(t.row({"a", "b"}), "row width");
+}
+
+TEST(Strings, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567890), "1,234,567,890");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(1024ull * 1024 * 3), "3.0 MiB");
+}
+
+TEST(Strings, FormatDurationPicksUnit) {
+  EXPECT_EQ(format_duration_ns(500), "500 ns");
+  EXPECT_EQ(format_duration_ns(2500), "2.50 us");
+  EXPECT_EQ(format_duration_ns(3.2e6), "3.20 ms");
+  EXPECT_EQ(format_duration_ns(7.5e9), "7.50 s");
+}
+
+TEST(Strings, PadHelpers) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(Strings, SplitAndJoinRoundTrip) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Strings, MiscHelpers) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(starts_with("benchmark", "bench"));
+  EXPECT_FALSE(starts_with("ben", "bench"));
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("x", 0), "");
+}
+
+}  // namespace
+}  // namespace parc

@@ -1,0 +1,184 @@
+// Corpus generation oracle, BMH/regex search, parallel search agreement,
+// PDF granularity searches.
+#include "text/text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+namespace parc::text {
+namespace {
+
+ptask::Runtime& test_runtime() {
+  static ptask::Runtime rt(ptask::Runtime::Config{4, {}});
+  return rt;
+}
+
+TEST(FindAllLiteral, BasicOccurrences) {
+  const auto hits = find_all_literal("abracadabra", "abra");
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 7}));
+}
+
+TEST(FindAllLiteral, OverlappingMatches) {
+  const auto hits = find_all_literal("aaaa", "aa");
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(FindAllLiteral, NoMatchAndLongNeedle) {
+  EXPECT_TRUE(find_all_literal("short", "longerneedle").empty());
+  EXPECT_TRUE(find_all_literal("abc", "xyz").empty());
+}
+
+TEST(FindAllLiteral, SingleCharNeedle) {
+  const auto hits = find_all_literal("banana", "a");
+  EXPECT_EQ(hits, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(FindAllLiteral, EmptyNeedleAborts) {
+  EXPECT_DEATH((void)find_all_literal("abc", ""), "");
+}
+
+TEST(SearchFileLiteral, LineAndColumnResolution) {
+  TextFile f{"a.txt", "first line\nneedle here\nand a needle\n"};
+  const auto matches = search_file_literal(f, 7, "needle");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (Match{7, 2, 0}));
+  EXPECT_EQ(matches[1], (Match{7, 3, 6}));
+}
+
+TEST(SearchFileRegex, FindsPatternPerLine) {
+  TextFile f{"a.txt", "abc123\nxyz\n456def\n"};
+  const std::regex digits("[0-9]+");
+  const auto matches = search_file_regex(f, 0, digits);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].line, 1u);
+  EXPECT_EQ(matches[0].column, 3u);
+  EXPECT_EQ(matches[1].line, 3u);
+  EXPECT_EQ(matches[1].column, 0u);
+}
+
+TEST(Corpus, GenerationMatchesOracle) {
+  CorpusOptions opts;
+  opts.num_files = 64;
+  opts.needle = "concurrency";
+  const auto gen = make_corpus(opts, 123);
+  EXPECT_EQ(gen.corpus.files.size(), 64u);
+  // The planted needles are exactly the true matches.
+  const auto found = search_corpus_seq(gen.corpus, opts.needle);
+  ASSERT_EQ(found.size(), gen.needles.size());
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    EXPECT_EQ(found[i].file_index, gen.needles[i].file_index);
+    EXPECT_EQ(found[i].line, gen.needles[i].line);
+    EXPECT_EQ(found[i].column, gen.needles[i].column);
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusOptions opts;
+  opts.num_files = 16;
+  const auto a = make_corpus(opts, 5);
+  const auto b = make_corpus(opts, 5);
+  EXPECT_EQ(a.corpus.total_bytes(), b.corpus.total_bytes());
+  EXPECT_EQ(a.needles.size(), b.needles.size());
+  const auto c = make_corpus(opts, 6);
+  EXPECT_NE(a.corpus.total_bytes(), c.corpus.total_bytes());
+}
+
+TEST(Corpus, PathsFormFolderTree) {
+  CorpusOptions opts;
+  opts.num_files = 8;
+  opts.folder_depth = 2;
+  const auto gen = make_corpus(opts, 9);
+  for (const auto& f : gen.corpus.files) {
+    EXPECT_EQ(std::count(f.path.begin(), f.path.end(), '/'), 2);
+    EXPECT_NE(f.path.find(".txt"), std::string::npos);
+  }
+}
+
+TEST(ParallelSearch, MatchesSequential) {
+  CorpusOptions opts;
+  opts.num_files = 128;
+  const auto gen = make_corpus(opts, 77);
+  const auto seq = search_corpus_seq(gen.corpus, opts.needle);
+  const auto par = search_corpus_ptask(gen.corpus, opts.needle, test_runtime());
+  EXPECT_EQ(par, seq);
+}
+
+TEST(ParallelSearch, BatchCallbackDeliversEverything) {
+  CorpusOptions opts;
+  opts.num_files = 64;
+  const auto gen = make_corpus(opts, 31);
+  std::atomic<std::size_t> via_batches{0};
+  const auto par = search_corpus_ptask(
+      gen.corpus, opts.needle, test_runtime(),
+      [&](const std::vector<Match>& batch) {
+        via_batches.fetch_add(batch.size());
+      });
+  EXPECT_EQ(via_batches.load(), par.size());
+  EXPECT_EQ(par.size(), gen.needles.size());
+}
+
+TEST(ParallelSearch, RegexAgreesWithLiteralForLiteralPattern) {
+  CorpusOptions opts;
+  opts.num_files = 48;
+  const auto gen = make_corpus(opts, 13);
+  const auto literal =
+      search_corpus_ptask(gen.corpus, opts.needle, test_runtime());
+  const auto regex =
+      search_corpus_regex_ptask(gen.corpus, opts.needle, test_runtime());
+  EXPECT_EQ(regex, literal);
+}
+
+TEST(PdfLibrary, GenerationOracleHolds) {
+  PdfLibraryOptions opts;
+  opts.num_documents = 32;
+  const auto lib = make_pdf_library(opts, 55);
+  EXPECT_EQ(lib.documents.size(), 32u);
+  const auto result = search_pdfs_seq(lib, opts.needle);
+  ASSERT_EQ(result.matches.size(), lib.needles.size());
+  for (std::size_t i = 0; i < result.matches.size(); ++i) {
+    EXPECT_EQ(result.matches[i].doc_index, lib.needles[i].doc_index);
+    EXPECT_EQ(result.matches[i].page_index, lib.needles[i].page_index);
+  }
+}
+
+TEST(PdfLibrary, PageCountsAreSkewed) {
+  PdfLibraryOptions opts;
+  opts.num_documents = 64;
+  const auto lib = make_pdf_library(opts, 21);
+  std::size_t max_pages = 0, min_pages = SIZE_MAX;
+  for (const auto& d : lib.documents) {
+    max_pages = std::max(max_pages, d.pages.size());
+    min_pages = std::min(min_pages, d.pages.size());
+  }
+  EXPECT_GT(max_pages, min_pages * 3);
+}
+
+class PdfGranularityTest : public ::testing::TestWithParam<PdfGranularity> {};
+
+TEST_P(PdfGranularityTest, AllGranularitiesFindTheSameMatches) {
+  PdfLibraryOptions opts;
+  opts.num_documents = 24;
+  const auto lib = make_pdf_library(opts, 8);
+  const auto seq = search_pdfs_seq(lib, opts.needle);
+  const auto par =
+      search_pdfs_ptask(lib, opts.needle, GetParam(), test_runtime());
+  EXPECT_EQ(par.matches, seq.matches);
+  EXPECT_EQ(par.delivery_ms.size(), par.matches.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGranularities, PdfGranularityTest,
+    ::testing::Values(PdfGranularity::kPerDocument, PdfGranularity::kPerPage,
+                      PdfGranularity::kPerChunk),
+    [](const ::testing::TestParamInfo<PdfGranularity>& info) {
+      std::string name = to_string(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace parc::text
