@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the plain build + full ctest pass that every PR must keep
+# green, plus a ThreadSanitizer pass over the concurrency-bearing suites
+# (scheduler, ptask runtime, conc collections) — the code where a data race
+# is a correctness bug, not a flake.
+#
+# Usage: scripts/tier1.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build}"
+
+echo "== tier-1: plain build + full ctest =="
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j"$(nproc)"
+ctest --test-dir "${PREFIX}" --output-on-failure -j2
+
+echo "== tier-1: ThreadSanitizer (sched / ptask / conc suites) =="
+TSAN_SUITES=(
+  sched_deque_test sched_pool_test sched_task_cell_test sched_mpsc_test
+  ptask_test ptask_multi_test ptask_pipeline_test ptask_graph_test
+  conc_collections_test conc_tasksafe_test conc_cow_test
+)
+cmake -B "${PREFIX}-tsan" -S . -DPARC_SANITIZE=thread \
+  -DPARC_BUILD_BENCH=OFF -DPARC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${PREFIX}-tsan" -j"$(nproc)" --target "${TSAN_SUITES[@]}"
+
+fail=0
+for t in "${TSAN_SUITES[@]}"; do
+  # TSan reports do not always fail the exit code (e.g. under gtest's
+  # exception guards), so grep the output as well.
+  if out=$("${PREFIX}-tsan/tests/${t}" 2>&1) \
+      && ! grep -qE "ThreadSanitizer|FAILED" <<<"${out}"; then
+    echo "tsan ${t}: PASS"
+  else
+    echo "tsan ${t}: FAIL"
+    grep -E "WARNING: ThreadSanitizer|SUMMARY|FAILED" <<<"${out}" | head -10
+    fail=1
+  fi
+done
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "tier-1: TSAN FAILURES"
+  exit 1
+fi
+echo "tier-1: ALL GREEN"

@@ -27,7 +27,7 @@ class MichaelScottQueue {
   ~MichaelScottQueue() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n->next;
+      Node* next = n->next.load(std::memory_order_relaxed);
       delete n;
       n = next;
     }
@@ -39,13 +39,15 @@ class MichaelScottQueue {
   void enqueue(T v) {
     auto* node = new Node(std::move(v));
     std::scoped_lock lock(tail_mutex_);
-    tail_->next = node;
+    // Release-publish: when the queue is short, head_->next and tail_->next
+    // are the same field, and the dequeuer reads it under the *other* lock.
+    tail_->next.store(node, std::memory_order_release);
     tail_ = node;
   }
 
   [[nodiscard]] std::optional<T> try_dequeue() {
     std::scoped_lock lock(head_mutex_);
-    Node* first = head_->next;
+    Node* first = head_->next.load(std::memory_order_acquire);
     if (first == nullptr) return std::nullopt;
     std::optional<T> out(std::move(*first->value));
     delete head_;
@@ -56,7 +58,7 @@ class MichaelScottQueue {
 
   [[nodiscard]] bool empty() const {
     std::scoped_lock lock(head_mutex_);
-    return head_->next == nullptr;
+    return head_->next.load(std::memory_order_acquire) == nullptr;
   }
 
  private:
@@ -64,7 +66,8 @@ class MichaelScottQueue {
     Node() = default;
     explicit Node(T v) : value(std::make_unique<T>(std::move(v))) {}
     std::unique_ptr<T> value;
-    Node* next = nullptr;
+    std::atomic<Node*> next{nullptr};  // written under tail lock, read under
+                                       // head lock — cross-lock publication
   };
 
   mutable std::mutex head_mutex_;  // guards head_

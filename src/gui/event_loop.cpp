@@ -48,10 +48,10 @@ void EventLoop::post_and_wait(std::function<void()> event) {
   bool done = false;
   post([&, event = std::move(event)] {
     event();
-    {
-      std::scoped_lock lock(done_mutex);
-      done = true;
-    }
+    // Notify while holding the lock: the waiter owns done_cv/done_mutex on
+    // its stack, so notifying after unlock could touch a destroyed cv.
+    std::scoped_lock lock(done_mutex);
+    done = true;
     done_cv.notify_one();
   });
   std::unique_lock lock(done_mutex);

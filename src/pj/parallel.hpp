@@ -105,6 +105,13 @@ template <typename F>
 void parallel_for(std::size_t num_threads, std::int64_t begin,
                   std::int64_t end, F&& body, ForOptions opts = {}) {
   if (begin >= end) return;
+  if (num_threads == 1) {
+    // Degenerate team: no fork, no barriers, no chunk dispenser. Every
+    // schedule degenerates to in-order iteration on a team of one, so this
+    // is observably identical and skips the whole team setup cost.
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   region(num_threads, [&](Team& team) {
     for_loop(team, begin, end, body, opts, /*nowait=*/true);
   });

@@ -1,5 +1,11 @@
 #include "pj/tasks.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "pj/settings.hpp"
 #include "support/check.hpp"
 
@@ -24,6 +30,46 @@ void task(Team& team, std::function<void()> body) {
     }
     TaskAccounting::finished(team);
   });
+}
+
+void taskloop(Team& team, std::int64_t begin, std::int64_t end,
+              std::function<void(std::int64_t)> body,
+              std::size_t num_tasks) {
+  PARC_CHECK(body != nullptr);
+  if (begin >= end) return;
+  auto& pool = task_pool();
+  const auto span_len = static_cast<std::size_t>(end - begin);
+  if (num_tasks == 0) num_tasks = pool.worker_count() * 4;
+  num_tasks = std::max<std::size_t>(1, std::min(num_tasks, span_len));
+
+  // Chunk closures share one copy of the (type-erased) body; the closure
+  // itself — team ref, shared_ptr, two bounds — fits a TaskCell's inline
+  // buffer, so the per-chunk submit cost stays allocation-free.
+  auto shared_body =
+      std::make_shared<const std::function<void(std::int64_t)>>(
+          std::move(body));
+  auto make_chunk = [&team, &shared_body](std::int64_t b, std::int64_t e) {
+    return [&team, body = shared_body, b, e] {
+      try {
+        for (std::int64_t i = b; i < e; ++i) (*body)(i);
+      } catch (...) {
+        TaskAccounting::store_error(team, std::current_exception());
+      }
+      TaskAccounting::finished(team);
+    };
+  };
+  using ChunkJob = decltype(make_chunk(0, 0));
+  std::vector<ChunkJob> chunks;
+  chunks.reserve(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const auto b = begin + static_cast<std::int64_t>(span_len * t / num_tasks);
+    const auto e =
+        begin + static_cast<std::int64_t>(span_len * (t + 1) / num_tasks);
+    if (b == e) continue;
+    TaskAccounting::started(team);
+    chunks.push_back(make_chunk(b, e));
+  }
+  pool.submit_bulk(std::span<ChunkJob>(chunks));
 }
 
 void taskwait(Team& team) {

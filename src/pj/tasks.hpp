@@ -14,6 +14,8 @@
 // waits, so tasks can spawn nested tasks without deadlock.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "pj/team.hpp"
@@ -25,6 +27,15 @@ namespace parc::pj {
 /// any number of times; tasks may spawn further tasks (bind them to the
 /// same team).
 void task(Team& team, std::function<void()> body);
+
+/// OpenMP 4.5 `taskloop`: split [begin, end) into `num_tasks` chunks (0 =
+/// four per pool worker) and run each chunk as a deferred task bound to
+/// `team`. All chunks enter the pool as one batch — workers are woken once
+/// for the whole loop, not once per chunk. Synchronise with taskwait(team)
+/// (also implicit at region end); `body(i)` runs once per iteration.
+void taskloop(Team& team, std::int64_t begin, std::int64_t end,
+              std::function<void(std::int64_t)> body,
+              std::size_t num_tasks = 0);
 
 /// Wait until every task bound to `team` has completed (including tasks
 /// spawned by tasks). The calling thread executes pending tasks while it

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "support/backoff.hpp"
 #include "support/check.hpp"
 
 namespace parc::pj {
@@ -173,8 +174,10 @@ class Team {
   std::shared_ptr<void> workshare_slot_;  // guarded by slot_mutex_
 
   // Deferred-task accounting for pj::task / pj::taskwait (tasks.hpp).
+  // Padded: every task start/finish on every pool worker hits this counter,
+  // and it must not share a line with the mutexes above.
   friend class TaskAccounting;
-  std::atomic<std::size_t> tasks_outstanding_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tasks_outstanding_{0};
   std::mutex task_error_mutex_;
   std::exception_ptr task_error_;  // guarded by task_error_mutex_
 };

@@ -24,10 +24,12 @@ namespace parc::ptask {
 
 namespace detail {
 
-template <typename R>
-std::function<void()> make_job(std::shared_ptr<TaskState<R>> state,
-                               std::function<R()> body) {
-  return [state = std::move(state), body = std::move(body)] {
+/// Binds a task body to its state. Returns the lambda itself (not a
+/// std::function): the pool's TaskCell stores small closures inline, so
+/// keeping the concrete type avoids a type-erasure allocation per spawn.
+template <typename R, typename F>
+auto make_job(std::shared_ptr<TaskState<R>> state, F body) {
+  return [state = std::move(state), body = std::move(body)]() mutable {
     CurrentTask::Scope scope(state.get());
     state->run_body(body);
   };
@@ -54,8 +56,7 @@ TaskID<R> spawn(Runtime& rt, F&& body,
                 std::vector<std::shared_ptr<TaskStateBase>> deps,
                 bool interactive) {
   auto state = std::make_shared<TaskState<R>>();
-  std::function<R()> fn = std::forward<F>(body);
-  auto job = make_job<R>(state, std::move(fn));
+  auto job = make_job<R>(state, std::forward<F>(body));
   auto submit = [state, job = std::move(job), &rt, interactive]() mutable {
     state->mark_scheduled_public();
     if (interactive) {
@@ -134,8 +135,10 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
   auto shared = std::make_shared<Shared>();
   shared->remaining.store(n);
   shared->body = std::forward<F>(f);
-  for (std::size_t i = 0; i < n; ++i) {
-    rt.pool().submit([shared, agg, i] {
+  // One batched submission: n cells enqueued, workers woken once — the
+  // wakeup cost of a TASK(n) no longer scales with n.
+  rt.pool().submit_n(n, [&shared, &agg](std::size_t i) {
+    return [shared, agg, i] {
       if (!agg->cancel_requested()) {
         CurrentTask::Scope scope(agg.get());
         try {
@@ -155,8 +158,8 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
           agg->complete_value();
         }
       }
-    });
-  }
+    };
+  });
   return TaskID<void>(std::move(agg), &rt);
 }
 
@@ -181,8 +184,8 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
   shared->remaining.store(n);
   shared->slots.resize(n);
   shared->body = std::forward<F>(f);
-  for (std::size_t i = 0; i < n; ++i) {
-    rt.pool().submit([shared, agg, i] {
+  rt.pool().submit_n(n, [&shared, &agg](std::size_t i) {
+    return [shared, agg, i] {
       if (!agg->cancel_requested()) {
         CurrentTask::Scope scope(agg.get());
         try {
@@ -205,8 +208,8 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
           agg->complete_value(std::move(out));
         }
       }
-    });
-  }
+    };
+  });
   return TaskID<std::vector<R>>(std::move(agg), &rt);
 }
 

@@ -184,7 +184,11 @@ class TaskState final : public TaskStateBase {
     return *value_;
   }
 
-  void run_body(const std::function<T()>& body) {
+  /// Templated on the callable so spawn sites avoid a std::function
+  /// conversion (and its potential allocation) per task. Takes an lvalue
+  /// reference: mutable lambdas are legal task bodies.
+  template <typename F>
+  void run_body(F& body) {
     if (!begin_running()) {
       finish(TaskStatus::kCancelled, nullptr);
       return;
@@ -217,7 +221,11 @@ class TaskState final : public TaskStateBase {
 template <>
 class TaskState<void> final : public TaskStateBase {
  public:
-  void run_body(const std::function<void()>& body) {
+  /// Templated on the callable so spawn sites avoid a std::function
+  /// conversion (and its potential allocation) per task. Takes an lvalue
+  /// reference: mutable lambdas are legal task bodies.
+  template <typename F>
+  void run_body(F& body) {
     if (!begin_running()) {
       finish(TaskStatus::kCancelled, nullptr);
       return;

@@ -19,9 +19,29 @@
 #include <memory>
 #include <vector>
 
+#include "support/backoff.hpp"
 #include "support/check.hpp"
 
+// ThreadSanitizer does not model standalone std::atomic_thread_fence, so the
+// published fence-based orderings produce false positives under TSan. When
+// compiling instrumented, strengthen the per-atomic orderings to carry the
+// same happens-before edges directly (slower, but only in sanitizer builds).
+#if defined(__SANITIZE_THREAD__)
+#define PARC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARC_TSAN 1
+#endif
+#endif
+#ifndef PARC_TSAN
+#define PARC_TSAN 0
+#endif
+
 namespace parc::sched {
+
+namespace detail {
+inline constexpr bool kTsanBuild = PARC_TSAN != 0;
+}  // namespace detail
 
 template <typename T>
 class ChaseLevDeque {
@@ -46,17 +66,27 @@ class ChaseLevDeque {
       ring = grow(ring, t, b);
     }
     ring->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    if constexpr (detail::kTsanBuild) {
+      bottom_.store(b + 1, std::memory_order_release);
+    } else {
+      std::atomic_thread_fence(std::memory_order_release);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
   }
 
   /// Owner only. Pops the most recently pushed element; nullptr if empty.
   T* pop() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Ring* ring = buffer_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    std::int64_t t;
+    if constexpr (detail::kTsanBuild) {
+      bottom_.store(b, std::memory_order_seq_cst);
+      t = top_.load(std::memory_order_seq_cst);
+    } else {
+      bottom_.store(b, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      t = top_.load(std::memory_order_relaxed);
+    }
     if (t > b) {
       // Deque was empty; restore.
       bottom_.store(b + 1, std::memory_order_relaxed);
@@ -76,9 +106,16 @@ class ChaseLevDeque {
 
   /// Any thread. Steals the oldest element; nullptr if empty or lost a race.
   T* steal() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    std::int64_t t;
+    std::int64_t b;
+    if constexpr (detail::kTsanBuild) {
+      t = top_.load(std::memory_order_seq_cst);
+      b = bottom_.load(std::memory_order_seq_cst);
+    } else {
+      t = top_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      b = bottom_.load(std::memory_order_acquire);
+    }
     if (t >= b) return nullptr;
     Ring* ring = buffer_.load(std::memory_order_consume);
     T* item = ring->get(t);
@@ -129,9 +166,11 @@ class ChaseLevDeque {
     return bigger;
   }
 
-  alignas(64) std::atomic<std::int64_t> top_;
-  alignas(64) std::atomic<std::int64_t> bottom_;
-  alignas(64) std::atomic<Ring*> buffer_;
+  // top_ is hammered by thieves, bottom_ by the owner: separate lines, and
+  // buffer_/retired_ (owner-mostly) keep off both.
+  alignas(kCacheLineSize) std::atomic<std::int64_t> top_;
+  alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_;
+  alignas(kCacheLineSize) std::atomic<Ring*> buffer_;
   std::vector<Ring*> retired_;  // owner-only; freed in destructor
 };
 

@@ -1,0 +1,102 @@
+// Intrusive multi-producer single-consumer queue (Dmitry Vyukov's
+// non-intrusive MPSC algorithm, adapted to link through the node itself).
+//
+// Producers push with one atomic exchange + one store — wait-free, no CAS
+// loop, no lock — which is what lets external threads (the GUI event thread,
+// the main thread) inject work into the pool without ever contending a
+// mutex. The consumer side is single-threaded by contract; the pool
+// serialises poppers with a try-lock so that a busy consumer makes others
+// skip to stealing instead of blocking (see WorkStealingPool::pop_injected).
+//
+// Progress caveat inherited from the algorithm: a fully-linked element can
+// be momentarily unpoppable while *another* producer sits between its
+// exchange and its link store. try_pop() then returns nullptr as if empty.
+// This cannot lose work: that producer has not signalled yet, and its
+// signal_work() after the link completes re-wakes any consumer that parked
+// in the window.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "support/backoff.hpp"
+
+namespace parc::sched {
+
+/// T must expose `std::atomic<T*> next` and be default-constructible (for
+/// the embedded stub node).
+template <typename T>
+class MpscIntrusiveQueue {
+ public:
+  MpscIntrusiveQueue() : head_(&stub_), tail_(&stub_) {
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+  }
+
+  MpscIntrusiveQueue(const MpscIntrusiveQueue&) = delete;
+  MpscIntrusiveQueue& operator=(const MpscIntrusiveQueue&) = delete;
+
+  /// Any thread. Wait-free: one exchange, one store.
+  void push(T* node) noexcept {
+    link_back(node);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consumer only (callers must serialise). Returns nullptr when empty or
+  /// when the front element's producer has not finished linking yet.
+  T* try_pop() noexcept {
+    T* tail = tail_;
+    T* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty (or push in flight)
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return tail;
+    }
+    // `tail` looks like the last element. If head agrees, re-insert the stub
+    // behind it so the list is never left empty, then detach `tail`.
+    if (tail != head_.load(std::memory_order_acquire)) {
+      return nullptr;  // a producer is mid-push; it will signal when linked
+    }
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    link_back(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return tail;
+    }
+    return nullptr;  // raced with a concurrent push; retry later
+  }
+
+  /// Racy element count (park heuristics and stats only). May transiently
+  /// over- or under-report around concurrent push/pop.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::ptrdiff_t n = count_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept {
+    return count_.load(std::memory_order_relaxed) <= 0;
+  }
+
+ private:
+  void link_back(T* node) noexcept {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    T* prev = head_.exchange(node, std::memory_order_acq_rel);
+    // The window between these two lines is the in-flight state documented
+    // above; release pairs with the consumer's acquire load of `next`.
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  alignas(kCacheLineSize) std::atomic<T*> head_;  // producers (back of queue)
+  alignas(kCacheLineSize) T* tail_;               // consumer (front of queue)
+  alignas(kCacheLineSize) std::atomic<std::ptrdiff_t> count_{0};
+  T stub_;
+};
+
+}  // namespace parc::sched

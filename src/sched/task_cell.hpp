@@ -1,0 +1,133 @@
+// TaskCell: a recyclable, small-buffer-optimised job slot for the
+// work-stealing pool.
+//
+// The seed scheduler paid one `new Job{std::function}` per submission — two
+// heap allocations for any capture larger than the libstdc++ SBO (16 bytes)
+// — and that constant is multiplied into every spawn the runtimes make. A
+// TaskCell instead stores the callable inline when it fits in
+// `kInlineBytes` (6 pointers — enough for the chunk/task closures the
+// ptask and pj runtimes generate) and falls back to a single heap block
+// otherwise. Cells themselves are never freed on the fast path: the pool
+// recycles them through per-worker freelists backed by slabs, so a
+// worker-local submit of a small capture touches the heap zero times.
+//
+// The embedded `next` pointer doubles as the intrusive link for both the
+// MPSC injection queue and the freelists (a cell is never in two lists at
+// once: queued, executing, or free are mutually exclusive states).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace parc::sched {
+
+class TaskCell {
+ public:
+  /// Captures up to this size (and max_align_t alignment) are stored inline.
+  static constexpr std::size_t kInlineBytes = 6 * sizeof(void*);
+
+  TaskCell() = default;
+  ~TaskCell() { clear(); }
+
+  TaskCell(const TaskCell&) = delete;
+  TaskCell& operator=(const TaskCell&) = delete;
+
+  /// True when callables of type F avoid the heap fallback.
+  template <typename F>
+  [[nodiscard]] static constexpr bool stores_inline() noexcept {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t);
+  }
+
+  /// Store a callable. The cell must be empty. Move-only callables are fine
+  /// on both paths (the seed's std::function required copyability).
+  template <typename F>
+  void emplace(F&& fn) {
+    PARC_DCHECK(!armed());
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<F>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      run_ = &run_inline<Fn>;
+      drop_ = &drop_inline<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(fn));
+      run_ = &run_heap<Fn>;
+      drop_ = &drop_heap<Fn>;
+    }
+  }
+
+  /// Run and destroy the stored callable, leaving the cell empty and ready
+  /// for re-use. Jobs are noexcept by pool contract.
+  void invoke() {
+    PARC_DCHECK(armed());
+    Thunk run = run_;
+    run_ = nullptr;
+    drop_ = nullptr;
+    run(this);
+  }
+
+  /// Destroy the stored callable without running it (discard paths/tests).
+  void clear() noexcept {
+    if (drop_ != nullptr) {
+      Thunk drop = drop_;
+      run_ = nullptr;
+      drop_ = nullptr;
+      drop(this);
+    }
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return run_ != nullptr; }
+
+  /// Intrusive link: MPSC injection queue while queued externally, freelist
+  /// chain while recycled. Only the list that currently owns the cell
+  /// touches it.
+  std::atomic<TaskCell*> next{nullptr};
+
+  /// Set once at allocation by the pool: slab cells are recycled through
+  /// freelists, individually `new`ed cells (external submitters that have no
+  /// freelist) are deleted after execution.
+  bool slab_owned = false;
+
+ private:
+  using Thunk = void (*)(TaskCell*);
+
+  template <typename Fn>
+  static void run_inline(TaskCell* cell) {
+    Fn* fn = std::launder(reinterpret_cast<Fn*>(cell->storage_));
+    (*fn)();
+    fn->~Fn();
+  }
+
+  template <typename Fn>
+  static void drop_inline(TaskCell* cell) noexcept {
+    std::launder(reinterpret_cast<Fn*>(cell->storage_))->~Fn();
+  }
+
+  template <typename Fn>
+  static void run_heap(TaskCell* cell) {
+    std::unique_ptr<Fn> fn(static_cast<Fn*>(cell->heap_));
+    cell->heap_ = nullptr;
+    (*fn)();
+  }
+
+  template <typename Fn>
+  static void drop_heap(TaskCell* cell) noexcept {
+    delete static_cast<Fn*>(cell->heap_);
+    cell->heap_ = nullptr;
+  }
+
+  Thunk run_ = nullptr;
+  Thunk drop_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    void* heap_;
+  };
+};
+
+}  // namespace parc::sched

@@ -11,6 +11,14 @@ namespace {
 // thread belongs to at most one pool for its lifetime.
 thread_local WorkStealingPool* t_pool = nullptr;
 thread_local int t_worker = -1;
+
+// Cells handed to each worker per slab allocation. Slabs are allocated only
+// when a worker's freelist and the shared return stack are both empty, so
+// steady-state submission never touches the allocator.
+constexpr std::size_t kSlabCells = 64;
+// Above this, a worker's freelist spills back to the shared return stack so
+// a pure-producer / pure-consumer pair cannot strand unbounded cells.
+constexpr std::size_t kMaxLocalFree = 512;
 }  // namespace
 
 std::size_t default_concurrency() noexcept {
@@ -45,79 +53,157 @@ WorkStealingPool::~WorkStealingPool() {
   // executes, so external waiters cannot hang on destruction.
   while (try_run_one()) {
   }
+  // Cells are owned by slabs_ (freed with the vector) or were individually
+  // heap-allocated and deleted after their run; nothing else to reclaim.
 }
 
-void WorkStealingPool::signal_work() {
+// --------------------------------------------------------------------------
+// Cell recycling.
+// --------------------------------------------------------------------------
+
+TaskCell* WorkStealingPool::acquire_cell() {
+  if (t_pool == this && t_worker >= 0) {
+    Worker& w = *workers_[static_cast<std::size_t>(t_worker)];
+    if (w.free_head == nullptr) refill_freelist(w);
+    TaskCell* cell = w.free_head;
+    w.free_head = cell->next.load(std::memory_order_relaxed);
+    --w.free_count;
+    return cell;
+  }
+  // External submitters have no freelist; one allocation, freed after the
+  // run. Still an improvement over the seed (which also took a mutex).
+  return new TaskCell;  // slab_owned stays false
+}
+
+void WorkStealingPool::refill_freelist(Worker& w) {
+  PARC_DCHECK(w.free_head == nullptr);
+  // First drain the shared return stack: cells recycled by thieves and
+  // external helpers come back here. Taking the whole list at once makes
+  // the pop ABA-free (no interior CAS).
+  if (TaskCell* list = arena_free_.exchange(nullptr, std::memory_order_acquire)) {
+    std::size_t n = 0;
+    for (TaskCell* c = list; c != nullptr;
+         c = c->next.load(std::memory_order_relaxed)) {
+      ++n;
+    }
+    w.free_head = list;
+    w.free_count = n;
+    return;
+  }
+  std::scoped_lock lock(arena_mutex_);
+  auto slab = std::make_unique<TaskCell[]>(kSlabCells);
+  for (std::size_t i = 0; i < kSlabCells; ++i) {
+    slab[i].slab_owned = true;
+    slab[i].next.store(i + 1 < kSlabCells ? &slab[i + 1] : nullptr,
+                       std::memory_order_relaxed);
+  }
+  w.free_head = &slab[0];
+  w.free_count = kSlabCells;
+  slabs_.push_back(std::move(slab));
+}
+
+void WorkStealingPool::release_cell(TaskCell* cell) {
+  if (!cell->slab_owned) {
+    delete cell;
+    return;
+  }
+  if (t_pool == this && t_worker >= 0) {
+    Worker& w = *workers_[static_cast<std::size_t>(t_worker)];
+    if (w.free_count < kMaxLocalFree) {
+      cell->next.store(w.free_head, std::memory_order_relaxed);
+      w.free_head = cell;
+      ++w.free_count;
+      return;
+    }
+  }
+  // Thief overflow or external helper: lock-free push onto the shared
+  // return stack (push-only CAS + wholesale exchange on pop = no ABA).
+  TaskCell* old = arena_free_.load(std::memory_order_relaxed);
+  do {
+    cell->next.store(old, std::memory_order_relaxed);
+  } while (!arena_free_.compare_exchange_weak(
+      old, cell, std::memory_order_release, std::memory_order_relaxed));
+}
+
+void WorkStealingPool::enqueue_cell(TaskCell* cell) {
+  if (t_pool == this && t_worker >= 0) {
+    workers_[static_cast<std::size_t>(t_worker)]->deque.push(cell);
+  } else {
+    injected_.push(cell);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Finding and running work.
+// --------------------------------------------------------------------------
+
+void WorkStealingPool::signal_work(std::size_t jobs) {
   work_epoch_.fetch_add(1, std::memory_order_release);
-  if (sleepers_.load(std::memory_order_acquire) > 0) {
-    // Locking before notify pairs with the waiter's epoch check under the
-    // same mutex and closes the lost-wakeup window.
-    std::scoped_lock lock(park_mutex_);
+  // No parked worker: skip the CV (and its mutex) entirely. See the header
+  // comment for why this cannot lose a wakeup.
+  if (sleepers_.load(std::memory_order_acquire) == 0) return;
+  std::scoped_lock lock(park_mutex_);
+  if (jobs > 1) {
+    park_cv_.notify_all();
+  } else {
     park_cv_.notify_one();
   }
 }
 
-void WorkStealingPool::submit(std::function<void()> fn) {
-  PARC_CHECK(fn != nullptr);
-  auto* job = new Job{std::move(fn)};
-  if (t_pool == this && t_worker >= 0) {
-    workers_[static_cast<std::size_t>(t_worker)]->deque.push(job);
-  } else {
-    std::scoped_lock lock(inject_mutex_);
-    injected_.push_back(job);
-  }
-  signal_work();
+TaskCell* WorkStealingPool::pop_injected() {
+  if (injected_.empty_approx()) return nullptr;
+  // Serialise MPSC consumers without blocking: if another thread is already
+  // draining, this caller just moves on to stealing.
+  if (inject_pop_lock_.test_and_set(std::memory_order_acquire)) return nullptr;
+  TaskCell* cell = injected_.try_pop();
+  inject_pop_lock_.clear(std::memory_order_release);
+  return cell;
 }
 
-WorkStealingPool::Job* WorkStealingPool::pop_injected() {
-  std::scoped_lock lock(inject_mutex_);
-  if (injected_.empty()) return nullptr;
-  Job* job = injected_.front();
-  injected_.pop_front();
-  return job;
-}
-
-WorkStealingPool::Job* WorkStealingPool::steal_from_others(
-    std::size_t self_or_npos, Rng& rng) {
+TaskCell* WorkStealingPool::steal_from_others(std::size_t self_or_npos,
+                                              Rng& rng) {
   const std::size_t n = workers_.size();
   if (n == 0) return nullptr;
   const std::size_t start = static_cast<std::size_t>(rng.below(n));
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t v = (start + k) % n;
     if (v == self_or_npos) continue;
-    if (Job* job = workers_[v]->deque.steal()) return job;
+    if (TaskCell* cell = workers_[v]->deque.steal()) return cell;
   }
   return nullptr;
 }
 
-WorkStealingPool::Job* WorkStealingPool::find_job(std::size_t self_or_npos) {
+TaskCell* WorkStealingPool::find_job(std::size_t self_or_npos) {
   if (self_or_npos != static_cast<std::size_t>(-1)) {
-    if (Job* job = workers_[self_or_npos]->deque.pop()) return job;
+    if (TaskCell* cell = workers_[self_or_npos]->deque.pop()) return cell;
   }
-  if (Job* job = pop_injected()) return job;
+  if (TaskCell* cell = pop_injected()) return cell;
   if (self_or_npos != static_cast<std::size_t>(-1)) {
     Worker& w = *workers_[self_or_npos];
-    if (Job* job = steal_from_others(self_or_npos, w.rng)) {
-      ++w.stolen;
-      return job;
+    if (TaskCell* cell = steal_from_others(self_or_npos, w.rng)) {
+      w.stolen.fetch_add(1, std::memory_order_relaxed);
+      return cell;
     }
     return nullptr;
   }
-  // External thread: deterministic rotating start, thief-side only.
+  // External thread: deterministic rotating start, thief-side only. Relaxed
+  // RMW: the cursor only spreads steal attempts, it synchronises nothing.
   const std::size_t n = workers_.size();
-  const std::size_t start = external_cursor_.fetch_add(1) % std::max<std::size_t>(n, 1);
+  const std::size_t start =
+      external_cursor_.fetch_add(1, std::memory_order_relaxed) %
+      std::max<std::size_t>(n, 1);
   for (std::size_t k = 0; k < n; ++k) {
-    if (Job* job = workers_[(start + k) % n]->deque.steal()) return job;
+    if (TaskCell* cell = workers_[(start + k) % n]->deque.steal()) return cell;
   }
   return nullptr;
 }
 
-void WorkStealingPool::run_job(Job* job) {
+void WorkStealingPool::run_cell(TaskCell* cell) {
   // Jobs are noexcept by contract: the runtimes above catch user exceptions
   // and store them into task state before the job returns. A throw escaping
   // here means a runtime bug, so let it terminate loudly.
-  job->fn();
-  delete job;
+  cell->invoke();
+  release_cell(cell);
 }
 
 void WorkStealingPool::worker_loop(std::size_t index) {
@@ -125,29 +211,31 @@ void WorkStealingPool::worker_loop(std::size_t index) {
   t_worker = static_cast<int>(index);
   Worker& self = *workers_[index];
   while (!stop_.load(std::memory_order_acquire)) {
-    Job* job = nullptr;
-    for (std::size_t sweep = 0; sweep < cfg_.sweeps_before_park && !job;
+    TaskCell* cell = nullptr;
+    for (std::size_t sweep = 0; sweep < cfg_.sweeps_before_park && !cell;
          ++sweep) {
-      job = find_job(index);
-      if (!job && sweep + 1 < cfg_.sweeps_before_park) std::this_thread::yield();
+      cell = find_job(index);
+      if (!cell && sweep + 1 < cfg_.sweeps_before_park) {
+        std::this_thread::yield();
+      }
     }
-    if (job) {
-      run_job(job);
-      ++self.executed;
+    if (cell) {
+      run_cell(cell);
+      self.executed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     // Park protocol: snapshot the epoch, then re-scan once. A submit that
     // lands after the snapshot bumps the epoch (so the wait predicate is
     // already true); one that landed before it is found by the re-scan.
     const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
-    if (Job* late = find_job(index)) {
-      run_job(late);
-      ++self.executed;
+    if (TaskCell* late = find_job(index)) {
+      run_cell(late);
+      self.executed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock lock(park_mutex_);
     sleepers_.fetch_add(1, std::memory_order_acq_rel);
-    ++self.parked;
+    self.parked.fetch_add(1, std::memory_order_relaxed);
     park_cv_.wait(lock, [&] {
       return stop_.load(std::memory_order_acquire) ||
              work_epoch_.load(std::memory_order_acquire) != seen;
@@ -162,49 +250,44 @@ bool WorkStealingPool::try_run_one() {
   const std::size_t self =
       (t_pool == this && t_worker >= 0) ? static_cast<std::size_t>(t_worker)
                                         : static_cast<std::size_t>(-1);
-  Job* job = find_job(self);
-  if (!job) return false;
-  run_job(job);
-  if (self != static_cast<std::size_t>(-1)) ++workers_[self]->executed;
+  TaskCell* cell = find_job(self);
+  if (!cell) return false;
+  run_cell(cell);
+  if (self != static_cast<std::size_t>(-1)) {
+    workers_[self]->executed.fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
 void WorkStealingPool::help_while(const std::function<bool()>& keep_waiting) {
-  std::size_t idle_spins = 0;
+  // Spin → yield → doubling sleep: nothing runnable means the condition is
+  // waiting on a job executing elsewhere; escalate instead of burning a
+  // core on oversubscribed hosts, and restart cheap after each helped job.
+  ExponentialBackoff backoff(/*spins_before_yield=*/64,
+                             /*yields_before_sleep=*/32);
   while (keep_waiting()) {
     if (try_run_one()) {
       helped_.fetch_add(1, std::memory_order_relaxed);
-      idle_spins = 0;
+      backoff.reset();
       continue;
     }
-    // Nothing runnable: the condition must be waiting on a job currently
-    // executing elsewhere. Yield, escalating to a short sleep to avoid
-    // burning a core on oversubscribed hosts.
-    if (++idle_spins < 64) {
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
+    backoff.pause();
   }
 }
 
 WorkStealingPool::Stats WorkStealingPool::stats() const {
   Stats s;
   for (const auto& w : workers_) {
-    s.executed += w->executed;
-    s.stolen += w->stolen;
-    s.parked += w->parked;
+    s.executed += w->executed.load(std::memory_order_relaxed);
+    s.stolen += w->stolen.load(std::memory_order_relaxed);
+    s.parked += w->parked.load(std::memory_order_relaxed);
   }
   s.helped = helped_.load(std::memory_order_relaxed);
   return s;
 }
 
 std::size_t WorkStealingPool::pending_approx() const {
-  std::size_t n;
-  {
-    std::scoped_lock lock(inject_mutex_);
-    n = injected_.size();
-  }
+  std::size_t n = injected_.size_approx();
   for (const auto& w : workers_) n += w->deque.size_approx();
   return n;
 }

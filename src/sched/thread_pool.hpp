@@ -4,30 +4,50 @@
 // Design (all per C++ Core Guidelines CP rules):
 //  - one Chase–Lev deque per worker; a worker pushes spawned jobs to its own
 //    deque and pops LIFO (work-first, good locality), thieves steal FIFO;
-//  - a mutex-protected injection queue for jobs submitted from non-worker
-//    threads (the main thread, the GUI event thread);
+//  - jobs live in recyclable small-buffer TaskCells (task_cell.hpp) drawn
+//    from per-worker freelists backed by slabs: a worker-local submit of a
+//    small capture performs zero heap allocations;
+//  - a lock-free Vyukov MPSC queue for jobs submitted from non-worker
+//    threads (the main thread, the GUI event thread); consumers serialise
+//    with a try-lock so a failed local pop never blocks on a mutex;
 //  - workers park on a condition variable when repeated steal sweeps fail;
-//    every enqueue bumps an epoch and notifies under the same mutex, so
-//    wake-ups cannot be missed;
+//    bulk submissions (submit_bulk / submit_n) bump the epoch and notify
+//    once per batch, not once per job;
 //  - blocking waits never block a worker thread: waiters call help_while(),
 //    executing pending jobs until their condition holds. This is what makes
 //    nested task waits (recursive quicksort!) and the project-6 "task-safe"
 //    collections deadlock-free on a bounded pool;
 //  - threads are joined in the destructor (never detached, CP.26).
+//
+// Wakeup ordering contract (signal_work / park): a submitter fully
+// publishes the job (deque push or completed MPSC link), then increments
+// `work_epoch_` (release) and, only if `sleepers_ > 0`, takes `park_mutex_`
+// and notifies. A parking worker snapshots the epoch, re-scans every queue,
+// and then waits on the CV with the predicate `epoch != snapshot`. Any
+// submission that the re-scan could have missed must have bumped the epoch
+// after the snapshot, so the predicate is already true and the wait returns
+// immediately; the `sleepers_ > 0` fast path is safe because `sleepers_` is
+// incremented under `park_mutex_` before the CV wait re-checks the
+// predicate under that same mutex.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sched/chase_lev_deque.hpp"
+#include "sched/mpsc_queue.hpp"
+#include "sched/task_cell.hpp"
+#include "support/backoff.hpp"
 #include "support/rng.hpp"
 
 namespace parc::sched {
@@ -60,9 +80,47 @@ class WorkStealingPool {
   WorkStealingPool(const WorkStealingPool&) = delete;
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
-  /// Enqueue a job. Called from worker threads (goes to the local deque) or
-  /// any other thread (goes to the injection queue).
-  void submit(std::function<void()> fn);
+  /// Enqueue a job. Called from worker threads (goes to the local deque,
+  /// allocation-free for captures up to TaskCell::kInlineBytes) or any
+  /// other thread (goes to the lock-free injection queue).
+  template <typename F>
+  void submit(F&& fn) {
+    if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
+      PARC_CHECK(static_cast<bool>(fn));
+    }
+    TaskCell* cell = acquire_cell();
+    cell->emplace(std::forward<F>(fn));
+    enqueue_cell(cell);
+    signal_work(1);
+  }
+
+  /// Enqueue a batch of jobs (moved from), waking workers once for the
+  /// whole batch instead of once per job. Used by the runtimes' chunked
+  /// fan-out (pj::taskloop, ptask::run_multi).
+  template <typename F>
+  void submit_bulk(std::span<F> fns) {
+    if (fns.empty()) return;
+    for (F& fn : fns) {
+      TaskCell* cell = acquire_cell();
+      cell->emplace(std::move(fn));
+      enqueue_cell(cell);
+    }
+    signal_work(fns.size());
+  }
+
+  /// Enqueue `count` jobs produced by `factory(i)` for i in [0, count) —
+  /// the no-intermediate-storage spelling of submit_bulk for generated
+  /// closures. One wakeup for the whole batch.
+  template <typename Factory>
+  void submit_n(std::size_t count, Factory&& factory) {
+    if (count == 0) return;
+    for (std::size_t i = 0; i < count; ++i) {
+      TaskCell* cell = acquire_cell();
+      cell->emplace(factory(i));
+      enqueue_cell(cell);
+    }
+    signal_work(count);
+  }
 
   /// Run one pending job on the calling thread, if any is available.
   /// Returns false when nothing was found. Safe from any thread.
@@ -88,43 +146,62 @@ class WorkStealingPool {
   [[nodiscard]] std::size_t pending_approx() const;
 
  private:
-  struct Job {
-    std::function<void()> fn;
-  };
-
-  struct Worker {
+  /// Per-worker state, cache-line padded so one worker's deque activity and
+  /// stat counters never false-share with a neighbour's.
+  struct alignas(kCacheLineSize) Worker {
     explicit Worker(std::uint64_t seed) : rng(seed) {}
-    ChaseLevDeque<Job> deque;
+    ChaseLevDeque<TaskCell> deque;
     Rng rng;
-    std::uint64_t executed = 0;
-    std::uint64_t stolen = 0;
-    std::uint64_t parked = 0;
+    // Stat counters are written by the owning worker and read by stats()
+    // from arbitrary threads: relaxed atomics (counts, not synchronisation).
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> parked{0};
+    // Owner-only cell freelist, chained through TaskCell::next.
+    TaskCell* free_head = nullptr;
+    std::size_t free_count = 0;
   };
 
   void worker_loop(std::size_t index);
-  Job* find_job(std::size_t self_or_npos);
-  Job* steal_from_others(std::size_t self_or_npos, Rng& rng);
-  Job* pop_injected();
-  void signal_work();
-  void run_job(Job* job);
+  TaskCell* find_job(std::size_t self_or_npos);
+  TaskCell* steal_from_others(std::size_t self_or_npos, Rng& rng);
+  TaskCell* pop_injected();
+  void signal_work(std::size_t jobs);
+  void run_cell(TaskCell* cell);
+
+  // Cell recycling (see task_cell.hpp for the lifecycle).
+  TaskCell* acquire_cell();
+  void release_cell(TaskCell* cell);
+  void refill_freelist(Worker& w);
+  void enqueue_cell(TaskCell* cell);
 
   Config cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  mutable std::mutex inject_mutex_;
-  std::deque<Job*> injected_;  // guarded by inject_mutex_
+  // External-submission path: lock-free producers; consumers serialise via
+  // the try-lock below (failing it means "someone else is draining — go
+  // steal instead"), so no pop ever blocks.
+  MpscIntrusiveQueue<TaskCell> injected_;
+  alignas(kCacheLineSize) std::atomic_flag inject_pop_lock_{};
+
+  // Slab arena backing the recycled cells. The mutex guards slab creation
+  // only (rare); cross-thread cell returns go through the lock-free
+  // `arena_free_` Treiber stack, drained wholesale by refill_freelist.
+  std::mutex arena_mutex_;
+  std::vector<std::unique_ptr<TaskCell[]>> slabs_;  // guarded by arena_mutex_
+  alignas(kCacheLineSize) std::atomic<TaskCell*> arena_free_{nullptr};
 
   std::mutex park_mutex_;
   std::condition_variable park_cv_;
-  std::atomic<std::uint64_t> work_epoch_{0};
-  std::atomic<int> sleepers_{0};
-  std::atomic<bool> stop_{false};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> work_epoch_{0};
+  alignas(kCacheLineSize) std::atomic<int> sleepers_{0};
+  alignas(kCacheLineSize) std::atomic<bool> stop_{false};
 
-  std::atomic<std::uint64_t> helped_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> helped_{0};
 
   // For external (non-worker) threads taking jobs: rotate steal start.
-  std::atomic<std::size_t> external_cursor_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> external_cursor_{0};
 };
 
 /// A count-up/count-down completion latch that waits by helping the pool.

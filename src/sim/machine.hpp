@@ -71,6 +71,11 @@ struct MachineParams {
 [[nodiscard]] MachineParams parc_16core();  ///< 4× Xeon E7340
 [[nodiscard]] MachineParams parc_8core();   ///< 2× Xeon E5320
 
+/// The machine this repo actually runs on, with per-task overhead measured
+/// by bench_sched_overhead (native TaskCell scheduler, not the paper's JVM
+/// runtimes). Use for "what would this DAG cost here" sanity studies.
+[[nodiscard]] MachineParams parc_host();
+
 struct SimOutcome {
   double makespan_s = 0.0;
   double speedup = 0.0;      ///< total_work / makespan

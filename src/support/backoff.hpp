@@ -6,7 +6,9 @@
 // escalation once instead of ad-hoc counters at every spin site.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <limits>
 #include <thread>
 
 namespace parc {
@@ -17,12 +19,23 @@ inline constexpr std::size_t kCacheLineSize = 64;
 
 class ExponentialBackoff {
  public:
+  /// Sentinel for `yields_before_sleep`: never escalate past yielding.
+  static constexpr std::size_t kNeverSleep =
+      std::numeric_limits<std::size_t>::max();
+
   /// `spins_before_yield`: busy iterations (doubling per round) before the
   /// policy escalates to std::this_thread::yield().
-  explicit constexpr ExponentialBackoff(std::size_t spins_before_yield = 64)
-      : limit_(spins_before_yield) {}
+  /// `yields_before_sleep`: yields (doubling per round) before escalating
+  /// further to a short sleep — for long cooperative waits (help_while)
+  /// where an unbounded yield loop would still burn a core on
+  /// oversubscribed hosts. Locks keep the default (never sleep).
+  explicit constexpr ExponentialBackoff(
+      std::size_t spins_before_yield = 64,
+      std::size_t yields_before_sleep = kNeverSleep)
+      : limit_(spins_before_yield), yield_limit_(yields_before_sleep) {}
 
-  /// One wait step: spin while cheap, yield once the budget is burnt.
+  /// One wait step: spin while cheap, yield once the budget is burnt, and
+  /// (if configured) sleep with doubling duration once yields are burnt too.
   void pause() noexcept {
     if (count_ < limit_) {
       for (std::size_t i = 0; i < (std::size_t{1} << round_); ++i) {
@@ -30,8 +43,12 @@ class ExponentialBackoff {
       }
       count_ += std::size_t{1} << round_;
       if (round_ < 6) ++round_;
-    } else {
+    } else if (yields_ < yield_limit_) {
+      ++yields_;
       std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+      if (sleep_us_ < kMaxSleepUs) sleep_us_ *= 2;
     }
   }
 
@@ -39,6 +56,8 @@ class ExponentialBackoff {
   void reset() noexcept {
     count_ = 0;
     round_ = 0;
+    yields_ = 0;
+    sleep_us_ = kMinSleepUs;
   }
 
   [[nodiscard]] bool yielding() const noexcept { return count_ >= limit_; }
@@ -57,9 +76,15 @@ class ExponentialBackoff {
   }
 
  private:
+  static constexpr std::size_t kMinSleepUs = 25;
+  static constexpr std::size_t kMaxSleepUs = 400;
+
   std::size_t limit_;
+  std::size_t yield_limit_;
   std::size_t count_ = 0;
   std::size_t round_ = 0;
+  std::size_t yields_ = 0;
+  std::size_t sleep_us_ = kMinSleepUs;
 };
 
 }  // namespace parc

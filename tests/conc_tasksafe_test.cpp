@@ -55,11 +55,18 @@ TEST(TaskSafety, ThreadSafeQueueStallsInsideBoundedPool) {
     consumer_got.store(v.has_value());
     consumer_done.store(true);
   });
-  pool.submit([&] { queue.put(42); });  // starves behind the consumer
+  std::atomic<bool> producer_done{false};
+  pool.submit([&] {  // starves behind the consumer
+    queue.put(42);
+    producer_done.store(true);
+  });
   while (!consumer_done.load()) std::this_thread::yield();
   // The deadlock manifests as the timeout: the element never arrived while
   // the consumer occupied the only worker.
   EXPECT_FALSE(consumer_got.load());
+  // The consumer's timeout frees the worker and the starved producer finally
+  // runs; let its put() finish before `queue` leaves scope.
+  while (!producer_done.load()) std::this_thread::yield();
 }
 
 TEST(TaskSafety, TaskSafeQueueCompletesInTheSameScenario) {

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace parc::pj {
 namespace {
@@ -141,6 +143,52 @@ TEST(PjTasks, ManySmallTasksComplete) {
     });
   });
   EXPECT_EQ(done.load(), 5000);
+}
+
+TEST(PjTasks, TaskloopCoversEveryIterationOnce) {
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  region(2, [&](Team& team) {
+    team.single([&] {
+      taskloop(team, 0, kN,
+               [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+    });
+    taskwait(team);
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(PjTasks, TaskloopExplicitChunkCountAndEmptyRange) {
+  std::atomic<int> count{0};
+  region(2, [&](Team& team) {
+    team.single([&] {
+      taskloop(team, 5, 5, [&](std::int64_t) { count.fetch_add(1); });
+      taskloop(team, 0, 100, [&](std::int64_t) { count.fetch_add(1); },
+               /*num_tasks=*/7);
+      // More chunks requested than iterations: clamps, still exact.
+      taskloop(team, 0, 3, [&](std::int64_t) { count.fetch_add(1); },
+               /*num_tasks=*/64);
+    });
+    taskwait(team);
+  });
+  EXPECT_EQ(count.load(), 103);
+}
+
+TEST(PjTasks, TaskloopExceptionReachesTaskwait) {
+  EXPECT_THROW(
+      region(2,
+             [&](Team& team) {
+               team.single([&] {
+                 taskloop(team, 0, 16, [&](std::int64_t i) {
+                   if (i == 7) throw std::runtime_error("boom");
+                 });
+               });
+               taskwait(team);
+             }),
+      std::runtime_error);
 }
 
 }  // namespace

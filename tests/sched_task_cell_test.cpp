@@ -1,0 +1,169 @@
+// TaskCell: inline vs. heap storage selection, move-only callables,
+// destruction on both paths (with and without running), and re-use.
+#include "sched/task_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+namespace parc::sched {
+namespace {
+
+TEST(TaskCell, StartsEmpty) {
+  TaskCell cell;
+  EXPECT_FALSE(cell.armed());
+}
+
+TEST(TaskCell, SmallCaptureStaysInline) {
+  int a = 1, b = 2, c = 3;
+  auto fn = [&a, &b, &c] { a = b + c; };
+  static_assert(TaskCell::stores_inline<decltype(fn)>());
+  TaskCell cell;
+  cell.emplace(fn);
+  EXPECT_TRUE(cell.armed());
+  cell.invoke();
+  EXPECT_FALSE(cell.armed());
+  EXPECT_EQ(a, 5);
+}
+
+TEST(TaskCell, LargeCaptureUsesHeapAndRuns) {
+  struct Big {
+    char bytes[128];
+  };
+  Big big{};
+  big.bytes[0] = 42;
+  int out = 0;
+  auto fn = [big, &out] { out = big.bytes[0]; };
+  static_assert(!TaskCell::stores_inline<decltype(fn)>());
+  TaskCell cell;
+  cell.emplace(std::move(fn));
+  cell.invoke();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(TaskCell, MoveOnlyFunctorInline) {
+  auto ptr = std::make_unique<int>(7);
+  int out = 0;
+  auto fn = [p = std::move(ptr), &out] { out = *p; };
+  static_assert(TaskCell::stores_inline<decltype(fn)>());
+  TaskCell cell;
+  cell.emplace(std::move(fn));
+  cell.invoke();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(TaskCell, MoveOnlyFunctorHeap) {
+  struct Pad {
+    char bytes[100];
+  };
+  auto ptr = std::make_unique<int>(9);
+  int out = 0;
+  auto fn = [p = std::move(ptr), pad = Pad{}, &out] { out = *p; };
+  static_assert(!TaskCell::stores_inline<decltype(fn)>());
+  TaskCell cell;
+  cell.emplace(std::move(fn));
+  cell.invoke();
+  EXPECT_EQ(out, 9);
+}
+
+// A callable that counts live instances, padded to force either path.
+template <std::size_t Pad>
+struct Counted {
+  explicit Counted(int* live) : live_(live) { ++*live_; }
+  Counted(const Counted& o) : live_(o.live_) { ++*live_; }
+  Counted(Counted&& o) noexcept : live_(o.live_) { ++*live_; }
+  ~Counted() { --*live_; }
+  void operator()() const {}
+  int* live_;
+  char pad_[Pad]{};
+};
+
+TEST(TaskCell, ClearDestroysInlineWithoutRunning) {
+  using Fn = Counted<8>;
+  static_assert(TaskCell::stores_inline<Fn>());
+  int live = 0;
+  {
+    TaskCell cell;
+    cell.emplace(Fn(&live));
+    EXPECT_EQ(live, 1);
+    cell.clear();
+    EXPECT_EQ(live, 0);
+    EXPECT_FALSE(cell.armed());
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(TaskCell, ClearDestroysHeapWithoutRunning) {
+  using Fn = Counted<128>;
+  static_assert(!TaskCell::stores_inline<Fn>());
+  int live = 0;
+  {
+    TaskCell cell;
+    cell.emplace(Fn(&live));
+    EXPECT_EQ(live, 1);
+    cell.clear();
+    EXPECT_EQ(live, 0);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(TaskCell, DestructorReleasesUnranCallable) {
+  int live = 0;
+  {
+    TaskCell cell;
+    cell.emplace(Counted<8>(&live));
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+  {
+    TaskCell cell;
+    cell.emplace(Counted<128>(&live));
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(TaskCell, InvokeDestroysCallableOnBothPaths) {
+  int live = 0;
+  TaskCell cell;
+  cell.emplace(Counted<8>(&live));
+  cell.invoke();
+  EXPECT_EQ(live, 0);
+  cell.emplace(Counted<128>(&live));
+  cell.invoke();
+  EXPECT_EQ(live, 0);
+}
+
+TEST(TaskCell, ReusableAcrossManyCycles) {
+  TaskCell cell;
+  int total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    // Alternate inline and heap to exercise both recycling paths.
+    if (i % 2 == 0) {
+      cell.emplace([&total, i] { total += i; });
+    } else {
+      char pad[96] = {};
+      cell.emplace([&total, i, pad] { total += i + pad[0]; });
+    }
+    cell.invoke();
+  }
+  EXPECT_EQ(total, 999 * 1000 / 2);
+}
+
+TEST(TaskCell, BoundarySizeIsInline) {
+  struct Exact {
+    char bytes[TaskCell::kInlineBytes];
+    void operator()() const {}
+  };
+  struct Over {
+    char bytes[TaskCell::kInlineBytes + 1];
+    void operator()() const {}
+  };
+  static_assert(TaskCell::stores_inline<Exact>());
+  static_assert(!TaskCell::stores_inline<Over>());
+}
+
+}  // namespace
+}  // namespace parc::sched
