@@ -3,17 +3,84 @@
 // the PARC lab's three machines with the deterministic machine model.
 //
 //   $ ./kernels_tour
+//   $ ./kernels_tour --trace tour.json   # record the run with parc::obs:
+//                                        # tour.json loads in Perfetto,
+//                                        # tour.json.dag.txt is the recorded
+//                                        # task DAG, and the critical-path
+//                                        # report prints at the end
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "kernels/kernels.hpp"
+#include "obs/obs.hpp"
+#include "ptask/ptask.hpp"
 #include "sim/machine.hpp"
 #include "support/clock.hpp"
 #include "support/table.hpp"
 
 using namespace parc;
 
-int main() {
+namespace {
+
+/// A small ParallelTask dependence chain (scale → sum over halves → join)
+/// so a traced tour also carries dependsOn edges, not just pj task sets.
+double ptask_dependence_demo() {
+  auto& rt = ptask::Runtime::global();
+  auto data = ptask::run(rt, [] {
+    std::vector<double> xs(1 << 16);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = static_cast<double>(i % 97) * 0.25;
+    }
+    return xs;
+  });
+  auto lo = ptask::run_after(
+      rt,
+      [data] {
+        const auto& xs = data.get();
+        double s = 0;
+        for (std::size_t i = 0; i < xs.size() / 2; ++i) s += xs[i];
+        return s;
+      },
+      data);
+  auto hi = ptask::run_after(
+      rt,
+      [data] {
+        const auto& xs = data.get();
+        double s = 0;
+        for (std::size_t i = xs.size() / 2; i < xs.size(); ++i) s += xs[i];
+        return s;
+      },
+      data);
+  auto total = ptask::run_after(
+      rt, [lo, hi] { return lo.get() + hi.get(); }, lo, hi);
+  return total.get();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty() && !obs::kTraceCompiled) {
+    std::fprintf(stderr,
+                 "--trace requires a build with -DPARC_TRACE=ON "
+                 "(tracing is compiled out)\n");
+    return 2;
+  }
+  std::unique_ptr<obs::TraceSession> session;
+  if (!trace_path.empty()) session = std::make_unique<obs::TraceSession>();
   Table table("Computational kernels: sequential vs Pyjama (4 threads)");
   table.columns({"kernel", "seq ms", "pj ms", "agrees"});
 
@@ -91,5 +158,30 @@ int main() {
   std::printf(
       "\n(1-core container: the wall-clock columns show overhead, not "
       "speedup; the machine-model table shows the scaling shape.)\n");
+
+  if (session) {
+    ptask_dependence_demo();
+    const obs::TraceDump dump = session->end();
+    {
+      std::ofstream os(trace_path);
+      obs::write_chrome_trace(dump, os);
+    }
+    const obs::RecordedGraph graph = obs::extract_task_graph(dump);
+    {
+      std::ofstream os(trace_path + ".dag.txt");
+      graph.write(os);
+    }
+    const obs::CriticalPathReport report = obs::critical_path(graph);
+    std::printf(
+        "\ntrace: %zu events on %zu threads (%llu dropped) -> %s\n"
+        "recorded DAG: %zu tasks, %zu edges -> %s.dag.txt\n"
+        "critical path: T1 = %.3f ms, Tinf = %.3f ms, parallelism = %.2f\n"
+        "achievable speedup: P=4 -> %.2fx, P=16 -> %.2fx\n",
+        dump.total_events(), dump.tracks.size(),
+        static_cast<unsigned long long>(dump.total_dropped()),
+        trace_path.c_str(), report.tasks, report.edges, trace_path.c_str(),
+        report.work_s * 1e3, report.span_s * 1e3, report.parallelism(),
+        report.speedup_bound(4), report.speedup_bound(16));
+  }
   return 0;
 }

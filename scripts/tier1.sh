@@ -2,7 +2,9 @@
 # Tier-1 gate: the plain build + full ctest pass that every PR must keep
 # green, plus a ThreadSanitizer pass over the concurrency-bearing suites
 # (scheduler, ptask runtime, conc collections) — the code where a data race
-# is a correctness bug, not a flake.
+# is a correctness bug, not a flake — and an AddressSanitizer(+UBSan) pass
+# over the full test suite, which is what keeps the TaskCell/slab recycling
+# and the obs trace buffers honest about lifetimes.
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]
 set -euo pipefail
@@ -18,6 +20,7 @@ ctest --test-dir "${PREFIX}" --output-on-failure -j2
 echo "== tier-1: ThreadSanitizer (sched / ptask / conc suites) =="
 TSAN_SUITES=(
   sched_deque_test sched_pool_test sched_task_cell_test sched_mpsc_test
+  sched_stats_test obs_trace_test obs_roundtrip_test
   ptask_test ptask_multi_test ptask_pipeline_test ptask_graph_test
   conc_collections_test conc_tasksafe_test conc_cow_test
 )
@@ -43,4 +46,14 @@ if [[ "${fail}" -ne 0 ]]; then
   echo "tier-1: TSAN FAILURES"
   exit 1
 fi
+
+echo "== tier-1: AddressSanitizer (full test suite) =="
+cmake -B "${PREFIX}-asan" -S . -DPARC_SANITIZE=address \
+  -DPARC_BUILD_BENCH=OFF -DPARC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${PREFIX}-asan" -j"$(nproc)"
+# halt_on_error makes any ASan/UBSan report fail the test's exit code, so
+# ctest itself is the gate (no output grepping needed as with TSan).
+ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "${PREFIX}-asan" --output-on-failure -j2
+
 echo "tier-1: ALL GREEN"

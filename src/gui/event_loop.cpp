@@ -1,5 +1,7 @@
 #include "gui/event_loop.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace parc::gui {
@@ -10,6 +12,11 @@ EventLoop::~EventLoop() { shutdown(); }
 
 void EventLoop::post(std::function<void()> event) {
   PARC_CHECK(event != nullptr);
+  if (obs::tracing()) [[unlikely]] {
+    // The posting side of a worker→EDT handoff; the matching kEdtRunBegin
+    // happens on the event thread when the event is serviced.
+    obs::emit(obs::EventKind::kEdtPost, 0, 0);
+  }
   {
     std::scoped_lock lock(mutex_);
     PARC_CHECK_MSG(!stopping_, "post() after EventLoop::shutdown()");
@@ -77,10 +84,15 @@ void EventLoop::shutdown() {
     stopping_ = true;
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) {
+    thread_.join();
+    obs::Counters::global().add("gui.edt.events",
+                                serviced_.load(std::memory_order_relaxed));
+  }
 }
 
 void EventLoop::loop() {
+  obs::label_thread("edt");
   for (;;) {
     Event ev;
     {
@@ -95,8 +107,12 @@ void EventLoop::loop() {
         } else {
           // Plain timed wait, deadline recomputed every lap: a notify for a
           // newly posted *earlier* delayed event must shorten the sleep (a
-          // predicate wait would sleep through to the old deadline).
-          cv_.wait_until(lock, delayed_.top().due);
+          // predicate wait would sleep through to the old deadline). The
+          // deadline is copied out first — wait_until keeps a reference and
+          // re-reads it after re-locking, by which point a concurrent
+          // post_delayed may have reallocated the queue's storage.
+          const Clock::time_point due = delayed_.top().due;
+          cv_.wait_until(lock, due);
         }
       }
       if (queue_.empty()) {
@@ -114,7 +130,13 @@ void EventLoop::loop() {
       latencies_ms_.push_back(latency_ms);
       if (queue_.empty()) idle_cv_.notify_all();
     }
-    ev.fn();
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kEdtRunBegin, 0, 0);
+      ev.fn();
+      obs::emit(obs::EventKind::kEdtRunEnd, 0, 0);
+    } else {
+      ev.fn();
+    }
     serviced_.fetch_add(1, std::memory_order_relaxed);
   }
 }

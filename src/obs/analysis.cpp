@@ -1,0 +1,142 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace parc::obs {
+
+namespace {
+
+/// Dense index of each task id within a start-ordered task vector.
+std::unordered_map<std::uint64_t, std::size_t> index_tasks(
+    const std::vector<RecordedTask>& tasks) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(tasks.size());
+  for (std::size_t k = 0; k < tasks.size(); ++k) index.emplace(tasks[k].id, k);
+  return index;
+}
+
+/// Dependence lists keyed by successor index; edges with unknown endpoints
+/// or non-topological direction are skipped (they cannot occur in a trace
+/// recorded from a real run, where a successor starts after its
+/// predecessor finishes).
+std::vector<std::vector<std::size_t>> index_edges(const RecordedGraph& graph) {
+  const auto index = index_tasks(graph.tasks);
+  std::vector<std::vector<std::size_t>> preds(graph.tasks.size());
+  for (const auto& [from, to] : graph.edges) {
+    const auto f = index.find(from);
+    const auto t = index.find(to);
+    if (f == index.end() || t == index.end()) continue;
+    if (f->second >= t->second) continue;
+    preds[t->second].push_back(f->second);
+  }
+  return preds;
+}
+
+}  // namespace
+
+RecordedGraph extract_task_graph(const TraceDump& dump) {
+  RecordedGraph graph;
+  std::unordered_map<std::uint64_t, RecordedTask> tasks;
+  std::unordered_set<std::uint64_t> edge_seen;
+  for (const auto& track : dump.tracks) {
+    for (const Event& e : track.events) {
+      switch (e.kind) {
+        case EventKind::kTaskSpawn: {
+          RecordedTask& t = tasks[e.id];
+          t.id = e.id;
+          t.parent = e.arg;
+          break;
+        }
+        case EventKind::kTaskStart: {
+          RecordedTask& t = tasks[e.id];
+          t.id = e.id;
+          t.start_ns = e.t_ns;
+          t.started = true;
+          break;
+        }
+        case EventKind::kTaskFinish: {
+          RecordedTask& t = tasks[e.id];
+          t.id = e.id;
+          t.finish_ns = e.t_ns;
+          t.finished = true;
+          break;
+        }
+        case EventKind::kDepEdge: {
+          // Dedupe (a diamond's join edge is recorded once per spawn call,
+          // but re-traced sessions could replay): key on the id pair.
+          const std::uint64_t key = e.id * 0x9e3779b97f4a7c15ull ^ e.arg;
+          if (edge_seen.insert(key).second) {
+            graph.edges.emplace_back(e.id, e.arg);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  graph.tasks.reserve(tasks.size());
+  for (auto& [id, task] : tasks) graph.tasks.push_back(task);
+  // Start-time order is topological: a successor can only start after its
+  // predecessor finished. Never-started tasks sort last (by id, stable).
+  std::sort(graph.tasks.begin(), graph.tasks.end(),
+            [](const RecordedTask& a, const RecordedTask& b) {
+              if (a.started != b.started) return a.started;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.id < b.id;
+            });
+  return graph;
+}
+
+sim::TaskDag RecordedGraph::to_dag() const {
+  const auto preds = index_edges(*this);
+  sim::TaskDag dag;
+  std::vector<sim::TaskDag::NodeId> deps;
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    deps.assign(preds[k].begin(), preds[k].end());
+    dag.add_task(tasks[k].cost_s(), deps);
+  }
+  return dag;
+}
+
+void RecordedGraph::write(std::ostream& os) const {
+  const auto preds = index_edges(*this);
+  os << "# parc::obs task DAG: " << tasks.size() << " tasks, " << edges.size()
+     << " edges\n";
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    os << "task " << k << " cost_s " << tasks[k].cost_s() << " deps "
+       << preds[k].size();
+    for (const std::size_t p : preds[k]) os << ' ' << p;
+    os << '\n';
+  }
+}
+
+CriticalPathReport critical_path(const RecordedGraph& graph) {
+  CriticalPathReport report;
+  report.tasks = graph.tasks.size();
+  report.edges = graph.edges.size();
+  const auto preds = index_edges(graph);
+  // Longest cost-weighted path, processed in the (topological) task order.
+  std::vector<double> finish(graph.tasks.size(), 0.0);
+  for (std::size_t k = 0; k < graph.tasks.size(); ++k) {
+    double ready = 0.0;
+    for (const std::size_t p : preds[k]) ready = std::max(ready, finish[p]);
+    const double cost = graph.tasks[k].cost_s();
+    finish[k] = ready + cost;
+    report.work_s += cost;
+    report.span_s = std::max(report.span_s, finish[k]);
+  }
+  return report;
+}
+
+double CriticalPathReport::speedup_bound(std::size_t cores) const noexcept {
+  if (cores == 0 || work_s <= 0.0) return 0.0;
+  const double bound =
+      std::max(work_s / static_cast<double>(cores), span_s);
+  return bound > 0.0 ? work_s / bound : 0.0;
+}
+
+}  // namespace parc::obs

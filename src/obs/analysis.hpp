@@ -1,0 +1,80 @@
+// Post-run trace analysis: reconstruct the task graph a run actually
+// executed, hand it to the deterministic machine model for replay, and
+// report its work/span profile.
+//
+// This closes the loop the ROADMAP promised: `parc::sim` replays "recorded
+// task DAGs", and obs is what records them. A traced ptask dependence graph
+// round-trips — extract_task_graph → to_dag → sim::simulate — and the
+// critical-path analyzer's T1/T∞ agree with the simulator's P=1 / P=∞
+// schedules (asserted in obs_roundtrip_test).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/machine.hpp"
+
+namespace parc::obs {
+
+/// One task reconstructed from kTaskSpawn/Start/Finish events.
+struct RecordedTask {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;    ///< spawning task's id (0 = spawned at root)
+  std::uint64_t start_ns = 0;
+  std::uint64_t finish_ns = 0;
+  bool started = false;
+  bool finished = false;
+
+  /// Measured body cost; 0 for tasks that never ran (cancelled) or whose
+  /// start/finish fell outside the session window.
+  [[nodiscard]] double cost_s() const noexcept {
+    return (started && finished && finish_ns > start_ns)
+               ? static_cast<double>(finish_ns - start_ns) * 1e-9
+               : 0.0;
+  }
+};
+
+/// A run's task graph: tasks in start-time (hence topological) order plus
+/// the recorded dependence edges between their obs ids.
+struct RecordedGraph {
+  std::vector<RecordedTask> tasks;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;  ///< pred → succ
+
+  /// Convert to the exact structure sim::machine replays. Task k of the
+  /// returned DAG is tasks[k]; edges whose endpoints were not both recorded
+  /// (e.g. a dependence on a task finished before the session began) are
+  /// dropped, as are edges that would violate topological order.
+  [[nodiscard]] sim::TaskDag to_dag() const;
+
+  /// Human/sim-readable dump: one `task <k> cost_s <c> deps <n> <k...>` line
+  /// per task, mirroring exactly the add_task() calls to_dag() makes.
+  void write(std::ostream& os) const;
+};
+
+/// Scan every track of `dump` for task-layer events and rebuild the graph.
+[[nodiscard]] RecordedGraph extract_task_graph(const TraceDump& dump);
+
+/// Work/span profile of a recorded run.
+struct CriticalPathReport {
+  double work_s = 0.0;  ///< T1: total measured task cost
+  double span_s = 0.0;  ///< T∞: longest cost-weighted dependence path
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+
+  /// Average parallelism T1/T∞ (0 when nothing was recorded).
+  [[nodiscard]] double parallelism() const noexcept {
+    return span_s > 0.0 ? work_s / span_s : 0.0;
+  }
+  /// Achievable speedup on P cores: T1 / max(T1/P, T∞) — the work and span
+  /// laws, which greedy scheduling approaches within 2x (Graham).
+  [[nodiscard]] double speedup_bound(std::size_t cores) const noexcept;
+};
+
+/// Longest-path analysis over the recorded graph (independent of sim; the
+/// round-trip test cross-checks the two).
+[[nodiscard]] CriticalPathReport critical_path(const RecordedGraph& graph);
+
+}  // namespace parc::obs

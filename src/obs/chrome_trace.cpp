@@ -1,0 +1,171 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace parc::obs {
+
+namespace {
+
+struct KindInfo {
+  const char* ph;    ///< trace-event phase: B, E, or i
+  const char* name;  ///< event name stem (id appended for span kinds)
+  const char* cat;
+  bool with_id;      ///< append "#<id>" to the name
+};
+
+KindInfo kind_info(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobEnqueue:   return {"i", "enqueue", "sched", false};
+    case EventKind::kExecBegin:    return {"B", "job", "sched", true};
+    case EventKind::kExecEnd:      return {"E", "job", "sched", true};
+    case EventKind::kSteal:        return {"i", "steal", "sched", false};
+    case EventKind::kPark:         return {"i", "park", "sched", false};
+    case EventKind::kUnpark:       return {"i", "unpark", "sched", false};
+    case EventKind::kTaskSpawn:    return {"i", "spawn", "task", true};
+    case EventKind::kTaskReady:    return {"i", "ready", "task", true};
+    case EventKind::kTaskStart:    return {"B", "task", "task", true};
+    case EventKind::kTaskFinish:   return {"E", "task", "task", true};
+    case EventKind::kDepEdge:      return {"i", "dep", "task", false};
+    case EventKind::kRegionBegin:  return {"B", "region", "pj", true};
+    case EventKind::kRegionEnd:    return {"E", "region", "pj", true};
+    case EventKind::kBarrierBegin: return {"B", "barrier", "pj", false};
+    case EventKind::kBarrierEnd:   return {"E", "barrier", "pj", false};
+    case EventKind::kEdtPost:      return {"i", "post", "gui", false};
+    case EventKind::kEdtHop:       return {"i", "edt-hop", "gui", false};
+    case EventKind::kEdtRunBegin:  return {"B", "event", "gui", true};
+    case EventKind::kEdtRunEnd:    return {"E", "event", "gui", true};
+  }
+  return {"i", "unknown", "obs", false};
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Microsecond timestamp with ns precision, as trace-event "ts" expects.
+void append_ts(std::string& out, std::uint64_t t_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u",
+                t_ns / 1000, static_cast<unsigned>(t_ns % 1000));
+  out += buf;
+}
+
+struct Anchor {
+  std::uint32_t tid = 0;
+  std::uint64_t t_ns = 0;
+  bool set = false;
+};
+
+}  // namespace
+
+void write_chrome_trace(const TraceDump& dump, std::ostream& os) {
+  std::string out;
+  out.reserve(256 + dump.total_events() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Thread-name metadata so Perfetto shows "ptask-w0", "edt", ...
+  for (const auto& track : dump.tracks) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+    out += std::to_string(track.tid);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, track.name);
+    out += "\"}}";
+  }
+
+  // First pass: anchor each task id's start/finish so dependence edges can
+  // be drawn as flow events between the right (track, time) points.
+  std::unordered_map<std::uint64_t, Anchor> starts;
+  std::unordered_map<std::uint64_t, Anchor> finishes;
+  for (const auto& track : dump.tracks) {
+    for (const Event& e : track.events) {
+      if (e.kind == EventKind::kTaskStart) {
+        starts[e.id] = Anchor{track.tid, e.t_ns, true};
+      } else if (e.kind == EventKind::kTaskFinish) {
+        finishes[e.id] = Anchor{track.tid, e.t_ns, true};
+      }
+    }
+  }
+
+  std::uint64_t flow_id = 0;
+  for (const auto& track : dump.tracks) {
+    for (const Event& e : track.events) {
+      const KindInfo info = kind_info(e.kind);
+      comma();
+      out += "{\"ph\":\"";
+      out += info.ph;
+      out += "\",\"name\":\"";
+      out += info.name;
+      if (info.with_id) {
+        out += '#';
+        out += std::to_string(e.id);
+      }
+      out += "\",\"cat\":\"";
+      out += info.cat;
+      out += "\",\"ts\":";
+      append_ts(out, e.t_ns);
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(track.tid);
+      if (info.ph[0] == 'i') out += ",\"s\":\"t\"";
+      out += ",\"args\":{\"id\":";
+      out += std::to_string(e.id);
+      out += ",\"arg\":";
+      out += std::to_string(e.arg);
+      out += "}}";
+
+      // A dependence edge additionally emits a flow arrow when both ends
+      // were recorded (predecessor finish → successor start).
+      if (e.kind == EventKind::kDepEdge) {
+        const auto from = finishes.find(e.id);
+        const auto to = starts.find(e.arg);
+        if (from != finishes.end() && to != starts.end()) {
+          const std::uint64_t fid = flow_id++;
+          comma();
+          out += "{\"ph\":\"s\",\"name\":\"dep\",\"cat\":\"dep\",\"id\":";
+          out += std::to_string(fid);
+          out += ",\"ts\":";
+          append_ts(out, from->second.t_ns);
+          out += ",\"pid\":1,\"tid\":";
+          out += std::to_string(from->second.tid);
+          out += "}";
+          comma();
+          out += "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"dep\",\"cat\":\"dep\",\"id\":";
+          out += std::to_string(fid);
+          out += ",\"ts\":";
+          append_ts(out, to->second.t_ns);
+          out += ",\"pid\":1,\"tid\":";
+          out += std::to_string(to->second.tid);
+          out += "}";
+        }
+      }
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  os << out;
+}
+
+}  // namespace parc::obs

@@ -1,0 +1,25 @@
+// Chrome trace-event JSON export: turns a TraceDump into a file that loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping:
+//  - every recorded thread becomes a named track (metadata "M" events);
+//  - paired kinds (ExecBegin/End, TaskStart/Finish, RegionBegin/End,
+//    BarrierBegin/End, EdtRunBegin/End) become duration events ("B"/"E"),
+//    which nest naturally per track — a ptask task span sits inside the
+//    scheduler job span that ran it;
+//  - dependence edges become flow events ("s" at the predecessor's finish,
+//    "f" at the successor's start) so Perfetto draws the task-graph arrows;
+//  - everything else (spawn, ready, steal, park, EDT hops) becomes a
+//    thread-scoped instant event ("i").
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/trace.hpp"
+
+namespace parc::obs {
+
+/// Write `dump` as trace-event JSON ({"traceEvents": [...]}) to `os`.
+void write_chrome_trace(const TraceDump& dump, std::ostream& os);
+
+}  // namespace parc::obs

@@ -1,0 +1,51 @@
+#include "obs/counters.hpp"
+
+namespace parc::obs {
+
+Counters& Counters::global() {
+  static auto* instance = new Counters();  // immortal by design
+  return *instance;
+}
+
+std::atomic<std::uint64_t>& Counters::get(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  return *it->second;
+}
+
+void Counters::add(std::string_view name, std::uint64_t delta) {
+  get(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counters::value(std::string_view name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counters::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->load(std::memory_order_relaxed));
+  }
+  return out;  // std::map iterates name-sorted
+}
+
+void Counters::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace parc::obs

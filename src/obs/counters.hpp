@@ -1,0 +1,55 @@
+// parc::obs counters: a process-wide registry of named monotonic counters.
+//
+// Complements the event trace: events answer "when/what happened", counters
+// answer "how many, cheaply, always". Counter objects are plain relaxed
+// atomics with stable addresses — subsystems look their counter up once
+// (mutex-guarded map, cold) and then tick it lock-free forever. Snapshots
+// are name-sorted so reports and tests are deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace parc::obs {
+
+class Counters {
+ public:
+  /// The process-wide registry (immortal, like the runtimes' global pools).
+  [[nodiscard]] static Counters& global();
+
+  /// Look up (creating if absent) the counter with this name. The returned
+  /// reference is valid for the registry's lifetime — cache it, then tick
+  /// with fetch_add(1, std::memory_order_relaxed).
+  [[nodiscard]] std::atomic<std::uint64_t>& get(std::string_view name);
+
+  /// One-shot convenience for cold paths (does the lookup every call).
+  void add(std::string_view name, std::uint64_t delta);
+
+  /// Current value, 0 if the counter does not exist.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  /// Name-sorted copy of every counter.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const;
+
+  /// Zero every counter (tests / between experiment phases). Registered
+  /// references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // unique_ptr: map rebalancing must not move the atomics out from under
+  // cached references.
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
+           std::less<>>
+      counters_;  // guarded by mutex_
+};
+
+}  // namespace parc::obs

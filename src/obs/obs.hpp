@@ -1,0 +1,16 @@
+// Umbrella header for parc::obs — tracing, counters, and trace analysis.
+//
+//   obs::TraceSession session;          // start recording (lock-free hooks
+//   ... run ptask / pj / pool work ...  //  in both runtimes light up)
+//   auto dump = session.end();          // collect per-thread event tracks
+//
+//   obs::write_chrome_trace(dump, file);        // open in Perfetto
+//   auto graph = obs::extract_task_graph(dump); // recorded dependence graph
+//   auto report = obs::critical_path(graph);    // T1, T∞, speedup bounds
+//   sim::simulate(graph.to_dag(), machine);     // replay on a modelled host
+#pragma once
+
+#include "obs/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"

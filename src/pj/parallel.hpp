@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "pj/schedule.hpp"
 #include "pj/settings.hpp"
 #include "pj/tasks.hpp"
@@ -33,8 +34,16 @@ void region(std::size_t num_threads, F&& body) {
   std::mutex error_mutex;
   std::exception_ptr first_error;  // guarded by error_mutex
 
+  // One region id shared by every member's begin/end pair, so a viewer can
+  // correlate the fork/join across team threads.
+  const std::uint64_t region_id = obs::tracing() ? obs::next_id() : 0;
+
   auto member = [&](int index) {
     Team::MembershipScope scope(team, index);
+    if (obs::tracing() && region_id != 0) [[unlikely]] {
+      obs::emit(obs::EventKind::kRegionBegin, region_id,
+                static_cast<std::uint64_t>(num_threads));
+    }
     try {
       body(team);
     } catch (...) {
@@ -48,6 +57,10 @@ void region(std::size_t num_threads, F&& body) {
     } catch (...) {
       std::scoped_lock lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
+    }
+    if (obs::tracing() && region_id != 0) [[unlikely]] {
+      obs::emit(obs::EventKind::kRegionEnd, region_id,
+                static_cast<std::uint64_t>(index));
     }
   };
 

@@ -6,10 +6,25 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "pj/settings.hpp"
 #include "support/check.hpp"
 
 namespace parc::pj {
+
+namespace {
+/// Fresh obs task id with spawn + ready events (pj tasks go from created to
+/// queued in one step, so both fire at submit time). 0 while untraced.
+std::uint64_t trace_task_spawn() {
+  if (obs::tracing()) [[unlikely]] {
+    const std::uint64_t id = obs::next_id();
+    obs::emit(obs::EventKind::kTaskSpawn, id, 0);
+    obs::emit(obs::EventKind::kTaskReady, id, 0);
+    return id;
+  }
+  return 0;
+}
+}  // namespace
 
 sched::WorkStealingPool& task_pool() {
   // Immortal, like ptask::Runtime::global(): deferred tasks must never race
@@ -22,11 +37,18 @@ sched::WorkStealingPool& task_pool() {
 void task(Team& team, std::function<void()> body) {
   PARC_CHECK(body != nullptr);
   TaskAccounting::started(team);
-  task_pool().submit([&team, body = std::move(body)] {
+  // The id capture keeps the closure within TaskCell::kInlineBytes.
+  task_pool().submit([&team, body = std::move(body), tid = trace_task_spawn()] {
+    if (obs::tracing() && tid != 0) [[unlikely]] {
+      obs::emit(obs::EventKind::kTaskStart, tid, 0);
+    }
     try {
       body();
     } catch (...) {
       TaskAccounting::store_error(team, std::current_exception());
+    }
+    if (obs::tracing() && tid != 0) [[unlikely]] {
+      obs::emit(obs::EventKind::kTaskFinish, tid, 0);
     }
     TaskAccounting::finished(team);
   });
@@ -49,11 +71,19 @@ void taskloop(Team& team, std::int64_t begin, std::int64_t end,
       std::make_shared<const std::function<void(std::int64_t)>>(
           std::move(body));
   auto make_chunk = [&team, &shared_body](std::int64_t b, std::int64_t e) {
-    return [&team, body = shared_body, b, e] {
+    // With the trace id the closure sits at exactly TaskCell::kInlineBytes,
+    // so chunk submission stays allocation-free.
+    return [&team, body = shared_body, b, e, tid = trace_task_spawn()] {
+      if (obs::tracing() && tid != 0) [[unlikely]] {
+        obs::emit(obs::EventKind::kTaskStart, tid, 0);
+      }
       try {
         for (std::int64_t i = b; i < e; ++i) (*body)(i);
       } catch (...) {
         TaskAccounting::store_error(team, std::current_exception());
+      }
+      if (obs::tracing() && tid != 0) [[unlikely]] {
+        obs::emit(obs::EventKind::kTaskFinish, tid, 0);
       }
       TaskAccounting::finished(team);
     };

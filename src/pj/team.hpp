@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/backoff.hpp"
 #include "support/check.hpp"
 
@@ -86,7 +87,20 @@ class Team {
   }
 
   /// Block until every team member arrives (OpenMP `barrier`).
-  void barrier() { barrier_.arrive_and_wait(); }
+  void barrier() {
+    if (obs::tracing()) [[unlikely]] {
+      // Begin/end pair per member thread: the gap between them is the time
+      // this thread spent blocked waiting for the team (load imbalance).
+      const auto team_id = reinterpret_cast<std::uintptr_t>(this);
+      obs::emit(obs::EventKind::kBarrierBegin, team_id,
+                static_cast<std::uint64_t>(thread_num()));
+      barrier_.arrive_and_wait();
+      obs::emit(obs::EventKind::kBarrierEnd, team_id,
+                static_cast<std::uint64_t>(thread_num()));
+      return;
+    }
+    barrier_.arrive_and_wait();
+  }
 
   /// OpenMP `critical` (unnamed): one global mutual-exclusion region across
   /// the whole process, exactly like OpenMP's unnamed critical.

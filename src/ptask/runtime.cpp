@@ -1,11 +1,10 @@
 #include "ptask/runtime.hpp"
 
+#include "obs/trace.hpp"
 #include "ptask/task_state.hpp"
 #include "support/check.hpp"
 
 namespace parc::ptask {
-
-thread_local TaskStateBase* CurrentTask::current_ = nullptr;
 
 Runtime::Runtime(Config cfg)
     : pool_(std::make_unique<sched::WorkStealingPool>(
@@ -33,6 +32,13 @@ void Runtime::dispatch_to_edt(std::function<void()> fn) {
     post = edt_post_;
   }
   if (post) {
+    if (obs::tracing()) [[unlikely]] {
+      // The hop a completion handler takes from the finishing worker to the
+      // GUI event thread — the `notify` half of Parallel Task's GUI story.
+      const TaskStateBase* task = CurrentTask::get();
+      obs::emit(obs::EventKind::kEdtHop, task != nullptr ? task->obs_id : 0,
+                0);
+    }
     post(std::move(fn));
   } else {
     fn();

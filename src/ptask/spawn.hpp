@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "ptask/task_id.hpp"
 
 namespace parc::ptask {
@@ -31,8 +32,41 @@ template <typename R, typename F>
 auto make_job(std::shared_ptr<TaskState<R>> state, F body) {
   return [state = std::move(state), body = std::move(body)]() mutable {
     CurrentTask::Scope scope(state.get());
+    // Lifecycle trace events are emitted inside run_body: the finish event
+    // must land before finish() unblocks waiters (see trace_body_finish).
     state->run_body(body);
   };
+}
+
+/// Trace a task's creation: a fresh obs id, a spawn event carrying the
+/// spawning task's id (0 at top level), and one dependence edge per dep.
+/// No-op (id stays 0) while no trace session is live.
+inline void trace_spawn(
+    TaskStateBase& state,
+    const std::vector<std::shared_ptr<TaskStateBase>>& deps) {
+  if (obs::tracing()) [[unlikely]] {
+    state.obs_id = obs::next_id();
+    const TaskStateBase* parent = CurrentTask::get();
+    obs::emit(obs::EventKind::kTaskSpawn, state.obs_id,
+              parent != nullptr ? parent->obs_id : 0);
+    for (const auto& dep : deps) {
+      if (dep != nullptr && dep->obs_id != 0) {
+        obs::emit(obs::EventKind::kDepEdge, dep->obs_id, state.obs_id);
+      }
+    }
+  }
+}
+
+/// Per-body trace id for a multi-task: spawn + ready events parented to the
+/// aggregate handle, emitted at submit time. Returns 0 while untraced.
+inline std::uint64_t trace_multi_body(const TaskStateBase& agg) {
+  if (obs::tracing()) [[unlikely]] {
+    const std::uint64_t id = obs::next_id();
+    obs::emit(obs::EventKind::kTaskSpawn, id, agg.obs_id);
+    obs::emit(obs::EventKind::kTaskReady, id, 0);
+    return id;
+  }
+  return 0;
 }
 
 /// Wire dependences with a +1 registration hold so the task cannot fire
@@ -56,8 +90,12 @@ TaskID<R> spawn(Runtime& rt, F&& body,
                 std::vector<std::shared_ptr<TaskStateBase>> deps,
                 bool interactive) {
   auto state = std::make_shared<TaskState<R>>();
+  trace_spawn(*state, deps);
   auto job = make_job<R>(state, std::forward<F>(body));
   auto submit = [state, job = std::move(job), &rt, interactive]() mutable {
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kTaskReady, state->obs_id, 0);
+    }
     state->mark_scheduled_public();
     if (interactive) {
       rt.interactive_pool().submit(std::move(job));
@@ -135,10 +173,16 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
   auto shared = std::make_shared<Shared>();
   shared->remaining.store(n);
   shared->body = std::forward<F>(f);
+  detail::trace_spawn(*agg, {});
   // One batched submission: n cells enqueued, workers woken once — the
   // wakeup cost of a TASK(n) no longer scales with n.
   rt.pool().submit_n(n, [&shared, &agg](std::size_t i) {
-    return [shared, agg, i] {
+    // The extra id capture keeps the closure at exactly
+    // TaskCell::kInlineBytes, so multi-task bodies still store inline.
+    return [shared, agg, i, tid = detail::trace_multi_body(*agg)] {
+      if (obs::tracing() && tid != 0) [[unlikely]] {
+        obs::emit(obs::EventKind::kTaskStart, tid, 0);
+      }
       if (!agg->cancel_requested()) {
         CurrentTask::Scope scope(agg.get());
         try {
@@ -148,6 +192,9 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
           if (!shared->first_error)
             shared->first_error = std::current_exception();
         }
+      }
+      if (obs::tracing() && tid != 0) [[unlikely]] {
+        obs::emit(obs::EventKind::kTaskFinish, tid, 0);
       }
       if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (agg->cancel_requested()) {
@@ -184,8 +231,12 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
   shared->remaining.store(n);
   shared->slots.resize(n);
   shared->body = std::forward<F>(f);
+  detail::trace_spawn(*agg, {});
   rt.pool().submit_n(n, [&shared, &agg](std::size_t i) {
-    return [shared, agg, i] {
+    return [shared, agg, i, tid = detail::trace_multi_body(*agg)] {
+      if (obs::tracing() && tid != 0) [[unlikely]] {
+        obs::emit(obs::EventKind::kTaskStart, tid, 0);
+      }
       if (!agg->cancel_requested()) {
         CurrentTask::Scope scope(agg.get());
         try {
@@ -195,6 +246,9 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
           if (!shared->first_error)
             shared->first_error = std::current_exception();
         }
+      }
+      if (obs::tracing() && tid != 0) [[unlikely]] {
+        obs::emit(obs::EventKind::kTaskFinish, tid, 0);
       }
       if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (agg->cancel_requested()) {

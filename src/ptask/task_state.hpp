@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace parc::ptask {
@@ -41,6 +42,11 @@ class TaskCancelled : public std::exception {
 class TaskStateBase : public std::enable_shared_from_this<TaskStateBase> {
  public:
   virtual ~TaskStateBase() = default;
+
+  /// obs trace id (0 = spawned with no live trace session). Written once at
+  /// spawn before the task can be scheduled, read by the runtime's task
+  /// lifecycle and dependence-edge trace events.
+  std::uint64_t obs_id = 0;
 
   [[nodiscard]] TaskStatus status() const noexcept {
     return status_.load(std::memory_order_acquire);
@@ -150,6 +156,21 @@ class TaskStateBase : public std::enable_shared_from_this<TaskStateBase> {
     for (auto& d : dependents) d->dependence_satisfied();
   }
 
+  /// Trace hooks around the body. The finish event must be emitted *before*
+  /// finish() publishes completion: a waiter that returns from wait() may
+  /// immediately end the trace session, and the task's lifecycle has to be
+  /// fully recorded by then.
+  void trace_body_start() const noexcept {
+    if (obs::tracing() && obs_id != 0) [[unlikely]] {
+      obs::emit(obs::EventKind::kTaskStart, obs_id, 0);
+    }
+  }
+  void trace_body_finish() const noexcept {
+    if (obs::tracing() && obs_id != 0) [[unlikely]] {
+      obs::emit(obs::EventKind::kTaskFinish, obs_id, 0);
+    }
+  }
+
  private:
   void fire_ready() {
     // Moving out prevents a double fire and drops the closure's captures.
@@ -193,10 +214,13 @@ class TaskState final : public TaskStateBase {
       finish(TaskStatus::kCancelled, nullptr);
       return;
     }
+    trace_body_start();
     try {
       value_.emplace(body());
+      trace_body_finish();
       finish(TaskStatus::kDone, nullptr);
     } catch (...) {
+      trace_body_finish();
       finish(TaskStatus::kFailed, std::current_exception());
     }
   }
@@ -230,10 +254,13 @@ class TaskState<void> final : public TaskStateBase {
       finish(TaskStatus::kCancelled, nullptr);
       return;
     }
+    trace_body_start();
     try {
       body();
+      trace_body_finish();
       finish(TaskStatus::kDone, nullptr);
     } catch (...) {
+      trace_body_finish();
       finish(TaskStatus::kFailed, std::current_exception());
     }
   }
@@ -268,7 +295,10 @@ class CurrentTask {
   };
 
  private:
-  static thread_local TaskStateBase* current_;
+  // inline + constant-initialized: accesses from other TUs go straight to
+  // the TLS slot instead of through a lazy-init wrapper function (which
+  // GCC's UBSan mis-flags as a possible null store under -fsanitize).
+  static inline thread_local TaskStateBase* current_ = nullptr;
 };
 
 /// True when the currently running task has been asked to cancel.

@@ -94,6 +94,10 @@ class TaskCell {
   /// freelist) are deleted after execution.
   bool slab_owned = false;
 
+  /// obs trace id of the stored job (0 = untraced). Stamped on submit while
+  /// a trace session is live, read by the pool's exec/steal trace events.
+  std::uint64_t trace_id = 0;
+
  private:
   using Thunk = void (*)(TaskCell*);
 

@@ -1,7 +1,9 @@
 #include "sched/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/counters.hpp"
 #include "support/check.hpp"
 
 namespace parc::sched {
@@ -55,6 +57,13 @@ WorkStealingPool::~WorkStealingPool() {
   }
   // Cells are owned by slabs_ (freed with the vector) or were individually
   // heap-allocated and deleted after their run; nothing else to reclaim.
+  const Stats s = stats();
+  auto& counters = obs::Counters::global();
+  counters.add("sched.pool.executed", s.executed);
+  counters.add("sched.pool.stolen", s.stolen);
+  counters.add("sched.pool.parked", s.parked);
+  counters.add("sched.pool.helped", s.helped);
+  counters.add("sched.pool.steal_fails", s.steal_fails);
 }
 
 // --------------------------------------------------------------------------
@@ -127,9 +136,26 @@ void WorkStealingPool::release_cell(TaskCell* cell) {
 
 void WorkStealingPool::enqueue_cell(TaskCell* cell) {
   if (t_pool == this && t_worker >= 0) {
-    workers_[static_cast<std::size_t>(t_worker)]->deque.push(cell);
+    Worker& w = *workers_[static_cast<std::size_t>(t_worker)];
+    w.deque.push(cell);
+    if (obs::tracing()) [[unlikely]] {
+      // Queue-depth high-water, sampled only while a trace session is live:
+      // size_approx on the idle fast path would cost two loads we promised
+      // not to pay. Owner-only write, so a relaxed read-modify-store is fine.
+      const auto depth = static_cast<std::uint64_t>(w.deque.size_approx());
+      if (depth > w.deque_hw.load(std::memory_order_relaxed)) {
+        w.deque_hw.store(depth, std::memory_order_relaxed);
+      }
+    }
   } else {
     injected_.push(cell);
+    if (obs::tracing()) [[unlikely]] {
+      const auto depth = static_cast<std::uint64_t>(injected_.size_approx());
+      std::uint64_t hw = injected_hw_.load(std::memory_order_relaxed);
+      while (depth > hw && !injected_hw_.compare_exchange_weak(
+                               hw, depth, std::memory_order_relaxed)) {
+      }
+    }
   }
 }
 
@@ -168,7 +194,13 @@ TaskCell* WorkStealingPool::steal_from_others(std::size_t self_or_npos,
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t v = (start + k) % n;
     if (v == self_or_npos) continue;
-    if (TaskCell* cell = workers_[v]->deque.steal()) return cell;
+    if (TaskCell* cell = workers_[v]->deque.steal()) {
+      if (obs::tracing()) [[unlikely]] {
+        obs::emit(obs::EventKind::kSteal, cell->trace_id,
+                  static_cast<std::uint64_t>(v));
+      }
+      return cell;
+    }
   }
   return nullptr;
 }
@@ -202,6 +234,16 @@ void WorkStealingPool::run_cell(TaskCell* cell) {
   // Jobs are noexcept by contract: the runtimes above catch user exceptions
   // and store them into task state before the job returns. A throw escaping
   // here means a runtime bug, so let it terminate loudly.
+  if (obs::tracing()) [[unlikely]] {
+    // Capture the id before invoke(): the cell may be recycled (and even
+    // re-stamped by a nested submit) the moment the job returns.
+    const std::uint64_t id = cell->trace_id;
+    obs::emit(obs::EventKind::kExecBegin, id, 0);
+    cell->invoke();
+    release_cell(cell);
+    obs::emit(obs::EventKind::kExecEnd, id, 0);
+    return;
+  }
   cell->invoke();
   release_cell(cell);
 }
@@ -209,14 +251,16 @@ void WorkStealingPool::run_cell(TaskCell* cell) {
 void WorkStealingPool::worker_loop(std::size_t index) {
   t_pool = this;
   t_worker = static_cast<int>(index);
+  obs::label_thread(cfg_.name + "-w" + std::to_string(index));
   Worker& self = *workers_[index];
   while (!stop_.load(std::memory_order_acquire)) {
     TaskCell* cell = nullptr;
     for (std::size_t sweep = 0; sweep < cfg_.sweeps_before_park && !cell;
          ++sweep) {
       cell = find_job(index);
-      if (!cell && sweep + 1 < cfg_.sweeps_before_park) {
-        std::this_thread::yield();
+      if (!cell) {
+        self.steal_fails.fetch_add(1, std::memory_order_relaxed);
+        if (sweep + 1 < cfg_.sweeps_before_park) std::this_thread::yield();
       }
     }
     if (cell) {
@@ -233,6 +277,9 @@ void WorkStealingPool::worker_loop(std::size_t index) {
       self.executed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kPark, index, 0);
+    }
     std::unique_lock lock(park_mutex_);
     sleepers_.fetch_add(1, std::memory_order_acq_rel);
     self.parked.fetch_add(1, std::memory_order_relaxed);
@@ -241,6 +288,10 @@ void WorkStealingPool::worker_loop(std::size_t index) {
              work_epoch_.load(std::memory_order_acquire) != seen;
     });
     sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+    lock.unlock();
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kUnpark, index, 0);
+    }
   }
   t_pool = nullptr;
   t_worker = -1;
@@ -281,8 +332,12 @@ WorkStealingPool::Stats WorkStealingPool::stats() const {
     s.executed += w->executed.load(std::memory_order_relaxed);
     s.stolen += w->stolen.load(std::memory_order_relaxed);
     s.parked += w->parked.load(std::memory_order_relaxed);
+    s.steal_fails += w->steal_fails.load(std::memory_order_relaxed);
+    s.deque_high_water = std::max(
+        s.deque_high_water, w->deque_hw.load(std::memory_order_relaxed));
   }
   s.helped = helped_.load(std::memory_order_relaxed);
+  s.injected_high_water = injected_hw_.load(std::memory_order_relaxed);
   return s;
 }
 

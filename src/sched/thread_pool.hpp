@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sched/chase_lev_deque.hpp"
 #include "sched/mpsc_queue.hpp"
 #include "sched/task_cell.hpp"
@@ -67,10 +68,16 @@ class WorkStealingPool {
   };
 
   struct Stats {
-    std::uint64_t executed = 0;   ///< jobs run to completion
-    std::uint64_t stolen = 0;     ///< jobs obtained by stealing
-    std::uint64_t parked = 0;     ///< times a worker went to sleep
-    std::uint64_t helped = 0;     ///< jobs run inside help_while()
+    std::uint64_t executed = 0;     ///< jobs run to completion
+    std::uint64_t stolen = 0;       ///< jobs obtained by stealing
+    std::uint64_t parked = 0;       ///< times a worker went to sleep
+    std::uint64_t helped = 0;       ///< jobs run inside help_while()
+    std::uint64_t steal_fails = 0;  ///< worker sweeps that found no job
+    /// Queue-depth high-water marks. Sampled on the enqueue path only while
+    /// an obs trace session is live (the sample costs a size_approx, which
+    /// the idle fast path must not pay); 0 if never traced.
+    std::uint64_t deque_high_water = 0;     ///< max local deque depth
+    std::uint64_t injected_high_water = 0;  ///< max injection queue depth
   };
 
   WorkStealingPool() : WorkStealingPool(Config{}) {}
@@ -90,6 +97,7 @@ class WorkStealingPool {
     }
     TaskCell* cell = acquire_cell();
     cell->emplace(std::forward<F>(fn));
+    stamp_cell(cell);
     enqueue_cell(cell);
     signal_work(1);
   }
@@ -103,6 +111,7 @@ class WorkStealingPool {
     for (F& fn : fns) {
       TaskCell* cell = acquire_cell();
       cell->emplace(std::move(fn));
+      stamp_cell(cell);
       enqueue_cell(cell);
     }
     signal_work(fns.size());
@@ -117,6 +126,7 @@ class WorkStealingPool {
     for (std::size_t i = 0; i < count; ++i) {
       TaskCell* cell = acquire_cell();
       cell->emplace(factory(i));
+      stamp_cell(cell);
       enqueue_cell(cell);
     }
     signal_work(count);
@@ -157,10 +167,24 @@ class WorkStealingPool {
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> stolen{0};
     std::atomic<std::uint64_t> parked{0};
+    std::atomic<std::uint64_t> steal_fails{0};
+    std::atomic<std::uint64_t> deque_hw{0};  ///< sampled only while tracing
     // Owner-only cell freelist, chained through TaskCell::next.
     TaskCell* free_head = nullptr;
     std::size_t free_count = 0;
   };
+
+  /// Give the freshly emplaced job an obs trace id and record its enqueue.
+  /// One relaxed load + predicted-untaken branch when no session is live;
+  /// compiles to the plain `trace_id = 0` store at PARC_TRACE=OFF.
+  void stamp_cell(TaskCell* cell) noexcept {
+    if (obs::tracing()) [[unlikely]] {
+      cell->trace_id = obs::next_id();
+      obs::emit(obs::EventKind::kJobEnqueue, cell->trace_id, 0);
+    } else {
+      cell->trace_id = 0;
+    }
+  }
 
   void worker_loop(std::size_t index);
   TaskCell* find_job(std::size_t self_or_npos);
@@ -199,6 +223,7 @@ class WorkStealingPool {
   alignas(kCacheLineSize) std::atomic<bool> stop_{false};
 
   alignas(kCacheLineSize) std::atomic<std::uint64_t> helped_{0};
+  std::atomic<std::uint64_t> injected_hw_{0};  ///< sampled only while tracing
 
   // For external (non-worker) threads taking jobs: rotate steal start.
   alignas(kCacheLineSize) std::atomic<std::size_t> external_cursor_{0};

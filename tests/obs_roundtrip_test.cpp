@@ -1,0 +1,187 @@
+// The obs↔sim round trip: trace a real ptask dependence graph, extract the
+// recorded DAG, replay it on the deterministic machine model, and check the
+// critical-path analyzer against the simulator — T1 must equal the P=1
+// makespan and T∞ the makespan with unbounded cores (zero overheads), which
+// is what "the exporter emits the exact format sim::machine consumes" means
+// operationally.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "pj/pj.hpp"
+#include "ptask/ptask.hpp"
+#include "support/clock.hpp"
+
+namespace parc::obs {
+namespace {
+
+/// Busy-spin for roughly `us` microseconds: measurable, scheduler-visible
+/// cost that does not depend on sleep granularity.
+void spin_for_us(double us) {
+  Stopwatch sw;
+  while (sw.elapsed_us() < us) {
+  }
+}
+
+TEST(ObsRoundTrip, DiamondGraphSurvivesExtractReplayAnalysis) {
+  if (!kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  auto& rt = ptask::Runtime::global();
+  TraceDump dump;
+  {
+    TraceSession session;
+    //      a
+    //     / \.
+    //    b   c
+    //     \ /
+    //      d
+    auto a = ptask::run(rt, [] { spin_for_us(2000); });
+    auto b = ptask::run_after(rt, [] { spin_for_us(4000); }, a);
+    auto c = ptask::run_after(rt, [] { spin_for_us(4000); }, a);
+    auto d = ptask::run_after(rt, [] { spin_for_us(2000); }, b, c);
+    d.wait();
+    dump = session.end();
+  }
+
+  const RecordedGraph graph = extract_task_graph(dump);
+  ASSERT_EQ(graph.tasks.size(), 4u);
+  ASSERT_EQ(graph.edges.size(), 4u);
+  for (const RecordedTask& t : graph.tasks) {
+    EXPECT_TRUE(t.started);
+    EXPECT_TRUE(t.finished);
+    EXPECT_GT(t.cost_s(), 0.0);
+  }
+  // Start-time order is topological: a first, d last.
+  EXPECT_GE(graph.tasks[3].start_ns, graph.tasks[0].finish_ns);
+
+  const CriticalPathReport report = critical_path(graph);
+  EXPECT_EQ(report.tasks, 4u);
+  EXPECT_EQ(report.edges, 4u);
+  double sum = 0.0;
+  for (const RecordedTask& t : graph.tasks) sum += t.cost_s();
+  EXPECT_DOUBLE_EQ(report.work_s, sum);
+  // The span follows the a → max(b, c) → d chain; every cost is ≥ its spin
+  // budget, so the span must be at least 2+4+2 ms and below the total work.
+  EXPECT_GE(report.span_s, 0.008 - 1e-9);
+  EXPECT_LT(report.span_s, report.work_s);
+  EXPECT_GT(report.parallelism(), 1.0);
+
+  // Replay on the machine model. P=1: the makespan is exactly the work.
+  const sim::TaskDag dag = graph.to_dag();
+  ASSERT_EQ(dag.size(), 4u);
+  const auto serial = sim::simulate(dag, {1, 0.0, "p1"});
+  EXPECT_NEAR(serial.makespan_s, report.work_s, report.work_s * 1e-9);
+  // P ≥ graph width: the makespan collapses to the span.
+  const auto wide = sim::simulate(dag, {64, 0.0, "pinf"});
+  EXPECT_NEAR(wide.makespan_s, report.span_s, report.span_s * 1e-9);
+  // The analyzer's span must agree with the DAG's own longest path.
+  EXPECT_NEAR(dag.critical_path(), report.span_s, report.span_s * 1e-9);
+
+  // Work/span laws: the simulated speedup never exceeds the analyzer's
+  // bound at any core count.
+  for (const std::size_t cores : {1u, 2u, 3u, 8u}) {
+    const auto out = sim::simulate(dag, {cores, 0.0, "p"});
+    EXPECT_LE(out.speedup, report.speedup_bound(cores) * (1.0 + 1e-9))
+        << "cores = " << cores;
+  }
+}
+
+TEST(ObsRoundTrip, DagTextDumpMirrorsToDag) {
+  if (!kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  auto& rt = ptask::Runtime::global();
+  TraceDump dump;
+  {
+    TraceSession session;
+    auto a = ptask::run(rt, [] { spin_for_us(500); });
+    auto b = ptask::run_after(rt, [] { spin_for_us(500); }, a);
+    b.wait();
+    dump = session.end();
+  }
+  const RecordedGraph graph = extract_task_graph(dump);
+  ASSERT_EQ(graph.tasks.size(), 2u);
+  std::ostringstream os;
+  graph.write(os);
+  const std::string text = os.str();
+  // Header + one line per task, with task 1 depending on task 0.
+  EXPECT_NE(text.find("2 tasks, 1 edges"), std::string::npos);
+  EXPECT_NE(text.find("task 0 cost_s"), std::string::npos);
+  EXPECT_NE(text.find("deps 1 0"), std::string::npos);
+}
+
+TEST(ObsRoundTrip, MultiTaskBodiesRecordAsChildrenOfTheAggregate) {
+  if (!kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  auto& rt = ptask::Runtime::global();
+  constexpr std::size_t kBodies = 6;
+  TraceDump dump;
+  {
+    TraceSession session;
+    auto agg = ptask::run_multi(rt, kBodies,
+                                [](std::size_t) { spin_for_us(300); });
+    agg.wait();
+    dump = session.end();
+  }
+  const RecordedGraph graph = extract_task_graph(dump);
+  // The aggregate handle plus one task per body.
+  ASSERT_EQ(graph.tasks.size(), kBodies + 1);
+  std::uint64_t agg_id = 0;
+  for (const RecordedTask& t : graph.tasks) {
+    if (!t.started) agg_id = t.id;  // the aggregate never runs a body
+  }
+  ASSERT_NE(agg_id, 0u);
+  std::size_t children = 0;
+  for (const RecordedTask& t : graph.tasks) {
+    if (t.parent == agg_id) {
+      ++children;
+      EXPECT_TRUE(t.started);
+      EXPECT_TRUE(t.finished);
+    }
+  }
+  EXPECT_EQ(children, kBodies);
+  // An unstarted aggregate contributes zero cost, so replay still works.
+  const auto out = sim::simulate(graph.to_dag(), {2, 0.0, "p2"});
+  EXPECT_GT(out.makespan_s, 0.0);
+}
+
+TEST(ObsRoundTrip, PjTaskloopTraceReplaysThroughTheSimulator) {
+  if (!kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  // The pj runtime records flat (edge-free) task sets; the round trip is
+  // extract → fork-join replay, and the bound check still applies.
+  TraceDump dump;
+  {
+    TraceSession session;
+    std::atomic<int> sum{0};
+    pj::region(2, [&](pj::Team& team) {
+      team.master([&] {
+        pj::taskloop(
+            team, 0, 64,
+            [&](std::int64_t) {
+              spin_for_us(100);
+              sum.fetch_add(1, std::memory_order_relaxed);
+            },
+            /*num_tasks=*/8);
+      });
+      team.barrier();
+    });
+    EXPECT_EQ(sum.load(), 64);
+    dump = session.end();
+  }
+  EXPECT_GT(dump.count_kind(EventKind::kRegionBegin), 0u);
+  EXPECT_GT(dump.count_kind(EventKind::kBarrierBegin), 0u);
+  const RecordedGraph graph = extract_task_graph(dump);
+  ASSERT_EQ(graph.tasks.size(), 8u);
+  EXPECT_TRUE(graph.edges.empty());
+  const CriticalPathReport report = critical_path(graph);
+  // Independent chunks: the span is the single most expensive chunk.
+  double max_cost = 0.0;
+  for (const RecordedTask& t : graph.tasks) {
+    max_cost = std::max(max_cost, t.cost_s());
+  }
+  EXPECT_DOUBLE_EQ(report.span_s, max_cost);
+  const auto wide = sim::simulate(graph.to_dag(), {8, 0.0, "p8"});
+  EXPECT_NEAR(wide.makespan_s, report.span_s, report.span_s * 1e-9);
+}
+
+}  // namespace
+}  // namespace parc::obs

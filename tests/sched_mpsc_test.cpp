@@ -113,8 +113,11 @@ TEST(MpscIntrusiveQueue, MultiProducerStressDeliversEachNodeOnce) {
 TEST(WorkStealingPool, MultiProducerInjectionExecutesEachJobOnce) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 2000;
-  WorkStealingPool pool(WorkStealingPool::Config{2, 4, "t"});
+  // Declared before the pool: the pool's destructor joins the workers, so
+  // the slots outlive every job (the jobs' relaxed increments carry no
+  // happens-before into this thread's teardown on their own).
   std::vector<std::atomic<int>> runs(kProducers * kPerProducer);
+  WorkStealingPool pool(WorkStealingPool::Config{2, 4, "t"});
   for (auto& r : runs) r.store(0);
   std::atomic<bool> go{false};
 
