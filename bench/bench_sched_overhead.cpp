@@ -8,8 +8,10 @@
 // operator-new hook — that the worker-local submit path performs zero heap
 // allocations for small captures once the cell freelists are warm. The
 // per-spawn numbers feed parc::sim's MachineParams::per_task_overhead_s.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +25,7 @@
 #include "bench_util.hpp"
 #include "obs/trace.hpp"
 #include "sched/chase_lev_deque.hpp"
+#include "sched/completion.hpp"
 #include "sched/mpsc_queue.hpp"
 #include "sched/task_cell.hpp"
 #include "sched/thread_pool.hpp"
@@ -267,6 +270,182 @@ double measure_parked_wakeup(WorkStealingPool& pool, std::size_t rounds) {
   return total_us / static_cast<double>(rounds);
 }
 
+// --- completion core: seed (mutex+cv TaskState) vs sched::Completion ------
+//
+// The seed's TaskState carried a std::mutex + std::condition_variable + a
+// dependents vector per task; the task-graph refactor replaces all three
+// with one Completion word (done bit | parked-waiter count) and a sealed
+// Treiber continuation list. These measure the three costs that refactor
+// targets: the no-waiter complete (every task pays it), the notify-one-
+// dependent hand-off, and the per-edge dependency decrement.
+
+struct SeedCompletionState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<std::function<void()>> dependents;
+
+  void add_dependent(std::function<void()> fn) {
+    std::unique_lock lock(mutex);
+    if (done) {
+      lock.unlock();
+      fn();
+      return;
+    }
+    dependents.push_back(std::move(fn));
+  }
+  void complete() {
+    std::vector<std::function<void()>> fire;
+    {
+      std::scoped_lock lock(mutex);
+      done = true;
+      fire.swap(dependents);
+    }
+    cv.notify_all();
+    for (auto& fn : fire) fn();
+  }
+  void wait() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return done; });
+  }
+};
+
+// No-waiter complete: construct + finish, the cost every task pays even when
+// nobody blocks on it. Fresh object per iteration on both sides — the seed
+// also constructed its mutex/cv per TaskState.
+double measure_seed_complete_cycle(std::size_t iters) {
+  Stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) {
+    SeedCompletionState s;
+    s.complete();
+    g_sink = g_sink + (s.done ? 1 : 0);
+  }
+  return sw.elapsed_ns() / static_cast<double>(iters);
+}
+
+double measure_core_complete_cycle(std::size_t iters) {
+  Stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) {
+    Completion c;
+    c.complete();
+    g_sink = g_sink + (c.completed() ? 1 : 0);
+  }
+  return sw.elapsed_ns() / static_cast<double>(iters);
+}
+
+// Notify hand-off: one registered dependent dispatched at completion. Both
+// sides heap-allocate the continuation (std::function vs FnNode); the win
+// is losing the lock round-trips around registration and the swap.
+double measure_seed_notify_one(std::size_t iters) {
+  std::uint64_t ran = 0;
+  Stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) {
+    SeedCompletionState s;
+    s.add_dependent([&ran] { ++ran; });
+    s.complete();
+  }
+  const double ns = sw.elapsed_ns() / static_cast<double>(iters);
+  PARC_CHECK(ran == iters);
+  g_sink = g_sink + ran;
+  return ns;
+}
+
+double measure_core_notify_one(std::size_t iters) {
+  std::uint64_t ran = 0;
+  Stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) {
+    Completion c;
+    c.add_continuation([&ran]() noexcept { ++ran; });
+    c.complete();
+  }
+  const double ns = sw.elapsed_ns() / static_cast<double>(iters);
+  PARC_CHECK(ran == iters);
+  g_sink = g_sink + ran;
+  return ns;
+}
+
+// Dependency resolution, ns per edge: what each dependsOn edge costs the
+// predecessor at finish time. Seed = mutex-guarded counter decrement; core
+// = DependencyCounter::satisfy (one fetch_sub). The registration hold (+1)
+// keeps the fire out of the measured window on both sides.
+
+// Escape hatch: publishing the state's address to a volatile global means
+// the opaque pthread lock/unlock calls could observe it, so the compiler
+// must keep `remaining` in memory across the critical section — as it had
+// to for the seed's shared TaskState — instead of caching it in a register.
+volatile void* g_escape = nullptr;
+
+struct SeedDepState {
+  std::mutex mutex;
+  std::size_t remaining = 0;
+};
+
+double measure_seed_dependency_edge(std::size_t iters) {
+  auto state = std::make_unique<SeedDepState>();
+  state->remaining = iters + 1;
+  g_escape = state.get();
+  std::uint64_t fired = 0;
+  Stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::scoped_lock lock(state->mutex);
+    if (--state->remaining == 0) ++fired;
+  }
+  const double ns = sw.elapsed_ns() / static_cast<double>(iters);
+  PARC_CHECK(fired == 0);
+  g_sink = g_sink + state->remaining;
+  g_escape = nullptr;
+  return ns;
+}
+
+double measure_core_dependency_edge(std::size_t iters) {
+  DependencyCounter deps;
+  std::uint64_t fired = 0;
+  deps.init(iters + 1, [&fired] { ++fired; });
+  Stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) deps.satisfy();
+  const double ns = sw.elapsed_ns() / static_cast<double>(iters);
+  deps.satisfy();  // release the registration hold; fires outside the window
+  PARC_CHECK(fired == 1);
+  g_sink = g_sink + fired;
+  return ns;
+}
+
+// Parked-join wakeup: complete() → a parked waiter returning from wait().
+// The waiter gets 2 ms to pass its spin phase and park, so this measures
+// the futex (resp. condition-variable) wake path, not the spin path.
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Median, not mean: each round is one sample of an OS wake path, and a
+// single descheduled round on a 1-core container can be 100x the typical
+// latency — the median is the number a student can reproduce.
+template <typename State>
+double measure_join_wakeup_us(std::size_t rounds) {
+  std::vector<double> samples;
+  samples.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    State state;
+    std::atomic<std::int64_t> woke_at{0};
+    std::thread waiter([&] {
+      state.wait();
+      woke_at.store(now_ns(), std::memory_order_release);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const std::int64_t t0 = now_ns();
+    state.complete();
+    waiter.join();
+    samples.push_back(
+        static_cast<double>(woke_at.load(std::memory_order_acquire) - t0) /
+        1000.0);
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
 // --- google-benchmark micros ----------------------------------------------
 
 void BM_SeedJobCycle(benchmark::State& state) {
@@ -307,6 +486,28 @@ void BM_MpscPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_MpscPushPop);
 
+void BM_SeedCompletionNotify(benchmark::State& state) {
+  std::uint64_t ran = 0;
+  for (auto _ : state) {
+    SeedCompletionState s;
+    s.add_dependent([&ran] { ++ran; });
+    s.complete();
+  }
+  benchmark::DoNotOptimize(ran);
+}
+BENCHMARK(BM_SeedCompletionNotify);
+
+void BM_CoreCompletionNotify(benchmark::State& state) {
+  std::uint64_t ran = 0;
+  for (auto _ : state) {
+    Completion c;
+    c.add_continuation([&ran]() noexcept { ++ran; });
+    c.complete();
+  }
+  benchmark::DoNotOptimize(ran);
+}
+BENCHMARK(BM_CoreCompletionNotify);
+
 }  // namespace
 }  // namespace parc::sched
 
@@ -343,6 +544,50 @@ int main(int argc, char** argv) {
       .cell(push_pop, 1)
       .cell("-");
   table.add_row().cell("deque steal").cell("-").cell(steal, 1).cell("-");
+
+  // Completion core (ISSUE 3): seed mutex+cv TaskState vs sched::Completion.
+  // glibc skips mutex atomics entirely while a process is single-threaded,
+  // which would flatter the seed numbers: the seed runtime always had pool
+  // workers alive. A parked keeper thread (zero CPU: futex wait) restores
+  // the multi-threaded lock paths for the measured window.
+  std::atomic<std::uint32_t> keeper_flag{0};
+  std::thread keeper([&keeper_flag] { keeper_flag.wait(0); });
+
+  const double seed_complete = measure_seed_complete_cycle(kIters);
+  const double core_complete = measure_core_complete_cycle(kIters);
+  table.add_row()
+      .cell("completion: construct+complete, no waiter")
+      .cell(seed_complete, 1)
+      .cell(core_complete, 1)
+      .cell(seed_complete / core_complete, 2);
+
+  const double seed_notify = measure_seed_notify_one(kIters);
+  const double core_notify = measure_core_notify_one(kIters);
+  table.add_row()
+      .cell("completion: notify one dependent")
+      .cell(seed_notify, 1)
+      .cell(core_notify, 1)
+      .cell(seed_notify / core_notify, 2);
+
+  const double seed_edge = measure_seed_dependency_edge(kIters);
+  const double core_edge = measure_core_dependency_edge(kIters);
+  table.add_row()
+      .cell("dependency resolution, ns/edge")
+      .cell(seed_edge, 1)
+      .cell(core_edge, 1)
+      .cell(seed_edge / core_edge, 2);
+
+  const double seed_join_us = measure_join_wakeup_us<SeedCompletionState>(50);
+  const double core_join_us = measure_join_wakeup_us<Completion>(50);
+  table.add_row()
+      .cell("parked join wakeup latency (us)")
+      .cell(seed_join_us, 1)
+      .cell(core_join_us, 1)
+      .cell(seed_join_us / core_join_us, 2);
+
+  keeper_flag.store(1);
+  keeper_flag.notify_one();
+  keeper.join();
 
   {
     // One worker: keeps the submit→run cycle on a single deque so the
@@ -433,6 +678,14 @@ int main(int argc, char** argv) {
         .add("worker_local_submit", local.ns_per_job)
         .add("external_submit", external)
         .add("parked_wakeup", wakeup_us * 1000.0)
+        .add("seed_complete_cycle", seed_complete)
+        .add("core_complete_cycle", core_complete)
+        .add("seed_notify_one", seed_notify)
+        .add("core_notify_one", core_notify)
+        .add("seed_dependency_edge", seed_edge)
+        .add("core_dependency_edge", core_edge)
+        .add("seed_join_wakeup", seed_join_us * 1000.0)
+        .add("core_join_wakeup", core_join_us * 1000.0)
         .add("trace_gate_idle", gate_ns);
     if (obs::kTraceCompiled) {
       report.add("worker_local_submit_traced", traced_ns);

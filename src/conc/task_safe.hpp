@@ -21,6 +21,7 @@
 #include <mutex>
 #include <optional>
 
+#include "sched/task_graph.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/check.hpp"
 
@@ -139,57 +140,42 @@ class TaskSafeQueue {
   std::deque<T> data_;  // guarded by mutex_
 };
 
-/// Task-safe countdown latch.
+/// Task-safe countdown latch: a thin shell over the shared sched::JoinLatch
+/// (project 6's classes ride the same completion core as the runtimes).
 class TaskSafeLatch {
  public:
   TaskSafeLatch(sched::WorkStealingPool& pool, std::size_t count)
-      : pool_(pool), count_(count) {}
-
-  void count_down() noexcept {
-    count_.fetch_sub(1, std::memory_order_acq_rel);
+      : pool_(pool) {
+    join_.add(count);
   }
 
-  [[nodiscard]] bool ready() const noexcept {
-    return count_.load(std::memory_order_acquire) == 0;
-  }
+  void count_down() noexcept { join_.done(); }
 
-  void wait() {
-    pool_.help_while([this] { return !ready(); });
-  }
+  [[nodiscard]] bool ready() const noexcept { return join_.idle(); }
+
+  /// Waits by helping the pool: counted-down-by tasks that have not started
+  /// yet can run on this thread.
+  void wait() { join_.wait(&pool_); }
 
  private:
   sched::WorkStealingPool& pool_;
-  std::atomic<std::size_t> count_;
+  sched::JoinLatch join_;
 };
 
 /// Task-safe cyclic barrier: parties arriving from *tasks* help the pool
 /// while waiting, so sibling tasks that have not started yet can reach the
 /// barrier too (a cv-barrier inside a bounded pool would deadlock whenever
-/// parties > workers).
+/// parties > workers). Now the shared sched::Barrier with an explicit help
+/// pool.
 class TaskSafeBarrier {
  public:
   TaskSafeBarrier(sched::WorkStealingPool& pool, std::size_t parties)
-      : pool_(pool), parties_(parties) {
-    PARC_CHECK(parties >= 1);
-  }
+      : barrier_(parties, &pool) {}
 
-  void arrive_and_wait() {
-    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
-    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
-      arrived_.store(0, std::memory_order_relaxed);
-      generation_.fetch_add(1, std::memory_order_acq_rel);
-      return;
-    }
-    pool_.help_while([&] {
-      return generation_.load(std::memory_order_acquire) == gen;
-    });
-  }
+  void arrive_and_wait() { barrier_.arrive_and_wait(); }
 
  private:
-  sched::WorkStealingPool& pool_;
-  const std::size_t parties_;
-  std::atomic<std::size_t> arrived_{0};
-  std::atomic<std::uint64_t> generation_{0};
+  sched::Barrier barrier_;
 };
 
 }  // namespace parc::conc

@@ -2,6 +2,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "sched/completion.hpp"
 #include "support/check.hpp"
 
 namespace parc::gui {
@@ -50,19 +51,15 @@ void EventLoop::promote_due_locked(Clock::time_point now) {
 void EventLoop::post_and_wait(std::function<void()> event) {
   PARC_CHECK_MSG(!is_event_thread(),
                  "post_and_wait from the event thread would deadlock");
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  bool done = false;
-  post([&, event = std::move(event)] {
+  // Stack lifetime is safe: complete()'s final access to the Completion is
+  // the publishing RMW the waiter acquires through, so the waiter cannot
+  // return (and destroy `done`) while the EDT still touches it.
+  sched::Completion done;
+  post([&done, event = std::move(event)] {
     event();
-    // Notify while holding the lock: the waiter owns done_cv/done_mutex on
-    // its stack, so notifying after unlock could touch a destroyed cv.
-    std::scoped_lock lock(done_mutex);
-    done = true;
-    done_cv.notify_one();
+    done.complete();
   });
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done; });
+  done.wait();
 }
 
 bool EventLoop::is_event_thread() const noexcept {

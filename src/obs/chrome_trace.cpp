@@ -38,6 +38,11 @@ KindInfo kind_info(EventKind kind) {
     case EventKind::kEdtHop:       return {"i", "edt-hop", "gui", false};
     case EventKind::kEdtRunBegin:  return {"B", "event", "gui", true};
     case EventKind::kEdtRunEnd:    return {"E", "event", "gui", true};
+    case EventKind::kWaiterPark:   return {"B", "join-wait", "sync", true};
+    case EventKind::kWaiterWake:   return {"E", "join-wait", "sync", true};
+    case EventKind::kWaiterHelp:   return {"i", "help", "sync", false};
+    case EventKind::kContinuationRun:
+      return {"i", "continuation", "sync", true};
   }
   return {"i", "unknown", "obs", false};
 }

@@ -65,6 +65,11 @@ enum class EventKind : std::uint8_t {
   kEdtHop,       ///< id = completing task id — handler dispatched to EDT
   kEdtRunBegin,  ///< id = event sequence number — EDT started servicing
   kEdtRunEnd,    ///< id = event sequence number — EDT finished servicing
+  // Completion core (sched::Completion / JoinLatch / Barrier waiters).
+  kWaiterPark,      ///< id = join identity — waiter parked on a futex word
+  kWaiterWake,      ///< id = join identity — parked waiter resumed
+  kWaiterHelp,      ///< id = helped job id — a waiter ran a pool job
+  kContinuationRun, ///< id = completed identity — continuation executed
 };
 
 /// Fixed-slot trace record: 32 bytes, written once, never reused.

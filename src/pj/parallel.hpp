@@ -11,13 +11,13 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "pj/schedule.hpp"
+#include "sched/completion.hpp"
 #include "pj/settings.hpp"
 #include "pj/tasks.hpp"
 #include "pj/team.hpp"
@@ -31,8 +31,7 @@ template <typename F>
 void region(std::size_t num_threads, F&& body) {
   PARC_CHECK(num_threads >= 1);
   Team team(num_threads);
-  std::mutex error_mutex;
-  std::exception_ptr first_error;  // guarded by error_mutex
+  sched::FirstError first_error;  // lock-free first-failure capture
 
   // One region id shared by every member's begin/end pair, so a viewer can
   // correlate the fork/join across team threads.
@@ -47,16 +46,14 @@ void region(std::size_t num_threads, F&& body) {
     try {
       body(team);
     } catch (...) {
-      std::scoped_lock lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+      first_error.capture(std::current_exception());
     }
     // OpenMP's region-end barrier completes deferred tasks; runs even when
     // the body threw so no task can outlive the team.
     try {
       taskwait(team);
     } catch (...) {
-      std::scoped_lock lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+      first_error.capture(std::current_exception());
     }
     if (obs::tracing() && region_id != 0) [[unlikely]] {
       obs::emit(obs::EventKind::kRegionEnd, region_id,
@@ -72,7 +69,7 @@ void region(std::size_t num_threads, F&& body) {
   member(0);
   for (auto& t : threads) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (auto err = first_error.take()) std::rethrow_exception(err);
 }
 
 /// Region with the process default team size.

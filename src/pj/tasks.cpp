@@ -103,10 +103,9 @@ void taskloop(Team& team, std::int64_t begin, std::int64_t end,
 }
 
 void taskwait(Team& team) {
-  if (TaskAccounting::outstanding(team) != 0) {
-    task_pool().help_while(
-        [&team] { return TaskAccounting::outstanding(team) != 0; });
-  }
+  // Helps the task pool until the team's JoinLatch drains: a team thread
+  // waiting here runs the very tasks it is waiting for.
+  TaskAccounting::wait_idle(team, task_pool());
   // The first caller to observe a task failure rethrows it (Pyjama's
   // documented propagation; OpenMP leaves it undefined).
   if (auto error = TaskAccounting::take_error(team)) {

@@ -18,7 +18,7 @@ Team::~Team() {
   // A deferred task outliving its team would touch a destroyed object;
   // OpenMP puts an implicit taskwait at the region end, and pj::region does
   // the same — this check catches tasks spawned outside that machinery.
-  PARC_CHECK_MSG(tasks_outstanding_.load(std::memory_order_acquire) == 0,
+  PARC_CHECK_MSG(tasks_.outstanding() == 0,
                  "team destroyed with unfinished pj::task tasks");
 }
 
@@ -62,12 +62,7 @@ void Team::sections(const std::vector<std::function<void()>>& bodies,
   const auto tid = static_cast<std::size_t>(thread_num());
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     const std::uint64_t site = single_seq_[tid]++;
-    bool mine;
-    {
-      std::scoped_lock lock(single_mutex_);
-      mine = single_claimed_.insert(site).second;
-    }
-    if (mine) bodies[i]();
+    if (claim_site(site)) bodies[i]();
   }
   if (!nowait) barrier();
 }

@@ -2,73 +2,54 @@
 // OpenMP synchronisation constructs as member functions — barrier, critical
 // (named and unnamed, global like OpenMP's), single (with implicit barrier),
 // master, and an ordered helper for loops.
+//
+// Synchronisation rides the sched completion core: the barrier is the
+// sense-reversing atomic sched::Barrier (helps the caller's pool or parks
+// on a futex word — never blocks a pooled worker on a cv), `ordered` is a
+// parking sched::Sequencer ticket, `single`/`sections` claim sites with one
+// CAS on a monotonic high-water mark, and deferred-task accounting is a
+// sched::JoinLatch with built-in lock-free first-error capture. No
+// condition_variable appears anywhere in the team's hot paths.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "sched/task_graph.hpp"
 #include "support/backoff.hpp"
 #include "support/check.hpp"
 
 namespace parc::pj {
 
-/// Sense-reversing cyclic barrier for a fixed team size.
-class Barrier {
- public:
-  explicit Barrier(std::size_t parties) : parties_(parties), waiting_(0) {
-    PARC_CHECK(parties >= 1);
-  }
-
-  void arrive_and_wait() {
-    std::unique_lock lock(mutex_);
-    const std::uint64_t gen = generation_;
-    if (++waiting_ == parties_) {
-      waiting_ = 0;
-      ++generation_;
-      cv_.notify_all();
-      return;
-    }
-    cv_.wait(lock, [&] { return generation_ != gen; });
-  }
-
-  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
-
- private:
-  const std::size_t parties_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t waiting_;          // guarded by mutex_
-  std::uint64_t generation_ = 0; // guarded by mutex_
-};
+/// Sense-reversing cyclic barrier for a fixed team size. An arrival from a
+/// pool worker helps drain the pool (so a team scheduled onto fewer workers
+/// than parties still completes); other threads spin then futex-park.
+using Barrier = sched::Barrier;
 
 /// Ticket-order helper implementing OpenMP `ordered` semantics for loops
 /// executed with chunk size 1: iteration i's ordered section runs only after
-/// iterations 0..i-1 have completed theirs.
+/// iterations 0..i-1 have completed theirs. Waiting parks (never helps: a
+/// helped job could nest a later iteration's ordered wait on this thread's
+/// stack and deadlock the ticket sequence).
 class OrderedContext {
  public:
-  explicit OrderedContext(std::int64_t first) : next_(first) {}
+  explicit OrderedContext(std::int64_t first) : seq_(first) {}
 
   template <typename F>
   void run_ordered(std::int64_t iteration, F&& body) {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return next_ == iteration; });
-    body();  // still holding the lock: ordered sections are serial anyway
-    ++next_;
-    cv_.notify_all();
+    seq_.wait_for(iteration);
+    body();  // ordered sections are serial by construction
+    seq_.advance();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::int64_t next_;  // guarded by mutex_
+  sched::Sequencer seq_;
 };
 
 class Team {
@@ -124,12 +105,7 @@ class Team {
   void single(F&& body, bool nowait = false) {
     const auto tid = static_cast<std::size_t>(thread_num());
     const std::uint64_t site = single_seq_[tid]++;
-    bool mine;
-    {
-      std::scoped_lock lock(single_mutex_);
-      mine = single_claimed_.insert(site).second;
-    }
-    if (mine) body();
+    if (claim_site(site)) body();
     if (!nowait) barrier();
   }
 
@@ -174,50 +150,58 @@ class Team {
   }
 
  private:
+  /// Lock-free claim of single/sections site `site`: one CAS on a monotonic
+  /// high-water mark, replacing the old mutex + claimed-set. Valid because
+  /// every team thread passes the same claim sites in the same order (an
+  /// OpenMP requirement), so the high-water mark always equals the largest
+  /// site any thread has passed — a thread claiming `site` either advances
+  /// the mark (it is first: the section is its) or observes it already past.
+  [[nodiscard]] bool claim_site(std::uint64_t site) noexcept {
+    std::uint64_t expected = site;
+    return single_hwm_.compare_exchange_strong(expected, site + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire);
+  }
+
   /// Registry of named critical mutexes; process-global like OpenMP.
   static std::mutex& critical_mutex(const std::string& name);
 
   const std::size_t size_;
   Barrier barrier_;
 
-  std::mutex single_mutex_;
-  std::set<std::uint64_t> single_claimed_;  // guarded by single_mutex_
-  std::vector<std::uint64_t> single_seq_;   // one slot per thread, own-slot access
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> single_hwm_{0};
+  std::vector<std::uint64_t> single_seq_;  // one slot per thread, own-slot access
 
   mutable std::mutex slot_mutex_;
   std::shared_ptr<void> workshare_slot_;  // guarded by slot_mutex_
 
-  // Deferred-task accounting for pj::task / pj::taskwait (tasks.hpp).
-  // Padded: every task start/finish on every pool worker hits this counter,
-  // and it must not share a line with the mutexes above.
+  // Deferred-task accounting for pj::task / pj::taskwait (tasks.hpp): a
+  // JoinLatch (count + park epoch + first-error slot), cache-line padded
+  // internally so task start/finish traffic never false-shares with the
+  // members above.
   friend class TaskAccounting;
-  alignas(kCacheLineSize) std::atomic<std::size_t> tasks_outstanding_{0};
-  std::mutex task_error_mutex_;
-  std::exception_ptr task_error_;  // guarded by task_error_mutex_
+  sched::JoinLatch tasks_;
 };
 
 /// Internal handle used by the task layer to tick the team's counter and
-/// funnel task-body exceptions back to taskwait.
+/// funnel task-body exceptions back to taskwait. Thin forwarding onto the
+/// team's sched::JoinLatch.
 class TaskAccounting {
  public:
-  static void started(Team& team) noexcept {
-    team.tasks_outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  }
-  static void finished(Team& team) noexcept {
-    team.tasks_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-  }
+  static void started(Team& team) noexcept { team.tasks_.add(); }
+  static void finished(Team& team) noexcept { team.tasks_.done(); }
   static std::size_t outstanding(const Team& team) noexcept {
-    return team.tasks_outstanding_.load(std::memory_order_acquire);
+    return team.tasks_.outstanding();
   }
-  static void store_error(Team& team, std::exception_ptr e) {
-    std::scoped_lock lock(team.task_error_mutex_);
-    if (!team.task_error_) team.task_error_ = std::move(e);
+  static void store_error(Team& team, std::exception_ptr e) noexcept {
+    team.tasks_.capture_error(std::move(e));
   }
-  [[nodiscard]] static std::exception_ptr take_error(Team& team) {
-    std::scoped_lock lock(team.task_error_mutex_);
-    std::exception_ptr e = team.task_error_;
-    team.task_error_ = nullptr;
-    return e;
+  [[nodiscard]] static std::exception_ptr take_error(Team& team) noexcept {
+    return team.tasks_.take_error();
+  }
+  /// Wait for all deferred tasks, helping `pool` drain (taskwait).
+  static void wait_idle(Team& team, sched::WorkStealingPool& pool) {
+    team.tasks_.wait(&pool);
   }
 };
 

@@ -12,7 +12,6 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -20,6 +19,7 @@
 
 #include "obs/trace.hpp"
 #include "ptask/task_id.hpp"
+#include "sched/task_graph.hpp"
 
 namespace parc::ptask {
 
@@ -166,8 +166,7 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
   }
   struct Shared {
     std::atomic<std::size_t> remaining;
-    std::mutex mutex;
-    std::exception_ptr first_error;  // guarded by mutex
+    sched::FirstError error;  // lock-free first-failure capture
     std::function<void(std::size_t)> body;
   };
   auto shared = std::make_shared<Shared>();
@@ -188,9 +187,7 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
         try {
           shared->body(i);
         } catch (...) {
-          std::scoped_lock lock(shared->mutex);
-          if (!shared->first_error)
-            shared->first_error = std::current_exception();
+          shared->error.capture(std::current_exception());
         }
       }
       if (obs::tracing() && tid != 0) [[unlikely]] {
@@ -199,8 +196,8 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
       if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (agg->cancel_requested()) {
           agg->complete_cancelled();
-        } else if (shared->first_error) {
-          agg->complete_error(shared->first_error);
+        } else if (auto err = shared->error.take()) {
+          agg->complete_error(std::move(err));
         } else {
           agg->complete_value();
         }
@@ -222,8 +219,7 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
   }
   struct Shared {
     std::atomic<std::size_t> remaining;
-    std::mutex mutex;
-    std::exception_ptr first_error;  // guarded by mutex
+    sched::FirstError error;  // lock-free first-failure capture
     std::vector<std::optional<R>> slots;
     std::function<R(std::size_t)> body;
   };
@@ -242,9 +238,7 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
         try {
           shared->slots[i].emplace(shared->body(i));
         } catch (...) {
-          std::scoped_lock lock(shared->mutex);
-          if (!shared->first_error)
-            shared->first_error = std::current_exception();
+          shared->error.capture(std::current_exception());
         }
       }
       if (obs::tracing() && tid != 0) [[unlikely]] {
@@ -253,8 +247,8 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
       if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (agg->cancel_requested()) {
           agg->complete_cancelled();
-        } else if (shared->first_error) {
-          agg->complete_error(shared->first_error);
+        } else if (auto err = shared->error.take()) {
+          agg->complete_error(std::move(err));
         } else {
           std::vector<R> out;
           out.reserve(shared->slots.size());
@@ -283,52 +277,48 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  ~TaskGroup() {
-    // Late safety net only: callers are expected to wait() themselves.
-    wait_nothrow();
+  /// Late safety net only: callers are expected to wait() themselves. Must
+  /// never throw — destructors routinely run during the unwinding of some
+  /// other exception, and rethrowing a task failure there would terminate.
+  /// Any error still captured at this point is intentionally dropped.
+  ~TaskGroup() noexcept {
+    try {
+      wait_nothrow();
+    } catch (...) {
+      // Helping the pool can surface foreign exceptions (a non-group job
+      // that throws through try_run_one); swallow rather than terminate.
+    }
   }
 
   template <typename F>
   void run(F&& f) {
-    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    join_.add();
     rt_.pool().submit(
         [this, body = std::function<void()>(std::forward<F>(f))] {
           try {
             body();
           } catch (...) {
-            std::scoped_lock lock(mutex_);
-            if (!first_error_) first_error_ = std::current_exception();
+            join_.capture_error(std::current_exception());
           }
-          outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+          join_.done();
         });
   }
 
   /// Wait for all tasks spawned so far; rethrows the first failure.
   void wait() {
     wait_nothrow();
-    std::exception_ptr err;
-    {
-      std::scoped_lock lock(mutex_);
-      err = std::exchange(first_error_, nullptr);
-    }
-    if (err) std::rethrow_exception(err);
+    if (auto err = join_.take_error()) std::rethrow_exception(err);
   }
 
   [[nodiscard]] std::size_t outstanding() const noexcept {
-    return outstanding_.load(std::memory_order_acquire);
+    return join_.outstanding();
   }
 
  private:
-  void wait_nothrow() {
-    rt_.pool().help_while([this] {
-      return outstanding_.load(std::memory_order_acquire) != 0;
-    });
-  }
+  void wait_nothrow() { join_.wait(&rt_.pool()); }
 
   Runtime& rt_;
-  std::atomic<std::size_t> outstanding_{0};
-  std::mutex mutex_;
-  std::exception_ptr first_error_;  // guarded by mutex_
+  sched::JoinLatch join_;
 };
 
 /// Run the given callables in parallel and wait for all of them.

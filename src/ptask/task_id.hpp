@@ -22,8 +22,8 @@ namespace parc::ptask {
 namespace detail {
 
 /// Cooperative wait shared by all handle types: a thread belonging to the
-/// runtime's compute pool helps (runs queued tasks); any other thread blocks
-/// on the task's condition variable.
+/// runtime's compute pool helps (runs queued tasks); any other thread spins
+/// briefly then parks on the task's completion word (sched::Completion).
 inline void wait_on(Runtime& rt, TaskStateBase& state) {
   if (sched::WorkStealingPool::current_pool() == &rt.pool()) {
     rt.pool().help_while([&state] { return !state.finished(); });

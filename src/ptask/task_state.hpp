@@ -4,20 +4,26 @@
 // Mirrors the runtime objects that the Java Parallel Task compiler emits for
 // a `TASK` method invocation (Giacaman & Sinnen, IJPP 2013): the handle the
 // caller holds is a thin shared_ptr to this state.
+//
+// Synchronization rides the sched completion core (sched/completion.hpp):
+// continuations and dependents are nodes on the Completion's lock-free
+// sealed Treiber stack, and blocking waits park on its futex word — there
+// is no mutex or condition_variable anywhere in a task's lifecycle. The
+// error slot is a plain member: it is written before finish() publishes the
+// terminal status, and every reader first observes finished() through an
+// acquire (status load or completion word), which orders the read.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
-#include <vector>
 
 #include "obs/trace.hpp"
+#include "sched/completion.hpp"
 #include "support/check.hpp"
 
 namespace parc::ptask {
@@ -70,46 +76,35 @@ class TaskStateBase : public std::enable_shared_from_this<TaskStateBase> {
   }
 
   /// Register a continuation to run after completion. If the task has
-  /// already finished the continuation runs inline on the calling thread.
+  /// already finished the continuation runs inline on the calling thread;
+  /// otherwise it runs on the completing thread, after the terminal status
+  /// is published.
   void add_continuation(std::function<void()> fn) {
-    {
-      std::unique_lock lock(mutex_);
-      if (!finished()) {
-        continuations_.push_back(std::move(fn));
-        return;
-      }
-    }
-    fn();
+    completion_.add_continuation(std::move(fn));
   }
 
   /// Register `dependent` to be notified when this task finishes. Returns
   /// false (and does not register) if this task is already finished.
   bool add_dependent(std::shared_ptr<TaskStateBase> dependent) {
-    std::unique_lock lock(mutex_);
-    if (finished()) return false;
-    dependents_.push_back(std::move(dependent));
+    auto* node = sched::make_completion_node(
+        [dep = std::move(dependent)]() noexcept { dep->dependence_satisfied(); });
+    if (!completion_.try_push(node)) {
+      delete node;  // already finished: the caller counts the dep itself
+      return false;
+    }
     return true;
   }
 
   /// Dependence countdown; when it reaches zero the scheduler closure runs.
   void init_dependences(std::size_t count, std::function<void()> on_ready) {
-    PARC_CHECK(on_ready != nullptr);
-    on_ready_ = std::move(on_ready);
-    deps_remaining_.store(count, std::memory_order_release);
-    if (count == 0) fire_ready();
+    deps_.init(count, std::move(on_ready));
   }
 
-  void dependence_satisfied() {
-    if (deps_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      fire_ready();
-    }
-  }
+  void dependence_satisfied() { deps_.satisfy(); }
 
-  /// Blocking wait for completion from a non-pool thread.
-  void wait_blocking() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return finished(); });
-  }
+  /// Blocking wait for completion from a non-pool thread: spins briefly,
+  /// then parks on the completion's futex word (no mutex/cv).
+  void wait_blocking() { completion_.wait(obs_id); }
 
   [[nodiscard]] std::exception_ptr error() const noexcept {
     // Only read after finished(); release/acquire on status_ orders it.
@@ -141,19 +136,15 @@ class TaskStateBase : public std::enable_shared_from_this<TaskStateBase> {
     PARC_DCHECK(terminal == TaskStatus::kDone ||
                 terminal == TaskStatus::kFailed ||
                 terminal == TaskStatus::kCancelled);
-    std::vector<std::function<void()>> continuations;
-    std::vector<std::shared_ptr<TaskStateBase>> dependents;
-    {
-      std::unique_lock lock(mutex_);
-      error_ = std::move(error);
-      status_.store(terminal, std::memory_order_release);
-      continuations.swap(continuations_);
-      dependents.swap(dependents_);
-      cv_.notify_all();
-    }
-    // Outside the lock (CP.22: never call unknown code holding a lock).
-    for (auto& fn : continuations) fn();
-    for (auto& d : dependents) d->dependence_satisfied();
+    // Publish payload before the completion fires: continuations and
+    // waiters acquire through status_/the completion word and must see
+    // both the error slot and the terminal status.
+    error_ = std::move(error);
+    status_.store(terminal, std::memory_order_release);
+    // Runs continuations and dependent notifications on this thread, then
+    // wakes parked waiters. Its final RMW is the release point wait_blocking
+    // synchronizes with.
+    completion_.complete(obs_id);
   }
 
   /// Trace hooks around the body. The finish event must be emitted *before*
@@ -172,25 +163,12 @@ class TaskStateBase : public std::enable_shared_from_this<TaskStateBase> {
   }
 
  private:
-  void fire_ready() {
-    // Moving out prevents a double fire and drops the closure's captures.
-    std::function<void()> ready;
-    ready.swap(on_ready_);
-    PARC_CHECK_MSG(ready != nullptr, "dependence countdown fired twice");
-    ready();
-  }
-
   std::atomic<TaskStatus> status_{TaskStatus::kCreated};
   std::atomic<bool> cancel_requested_{false};
   std::atomic<bool> started_{false};
-  std::atomic<std::size_t> deps_remaining_{0};
-  std::function<void()> on_ready_;
-
-  mutable std::mutex mutex_;  // guards continuations_, dependents_, error_
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> continuations_;
-  std::vector<std::shared_ptr<TaskStateBase>> dependents_;
-  std::exception_ptr error_;
+  sched::DependencyCounter deps_;
+  sched::Completion completion_;
+  std::exception_ptr error_;  ///< written in finish() before publication
 
   template <typename>
   friend class TaskBody;

@@ -319,6 +319,11 @@ void WorkStealingPool::help_while(const std::function<bool()>& keep_waiting) {
   while (keep_waiting()) {
     if (try_run_one()) {
       helped_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::tracing()) [[unlikely]] {
+        // A waiter productively drained a job instead of blocking: the
+        // completion core's "help" leg, visible next to kWaiterPark/Wake.
+        obs::emit(obs::EventKind::kWaiterHelp, 0, 0);
+      }
       backoff.reset();
       continue;
     }

@@ -229,29 +229,7 @@ class WorkStealingPool {
   alignas(kCacheLineSize) std::atomic<std::size_t> external_cursor_{0};
 };
 
-/// A count-up/count-down completion latch that waits by helping the pool.
-/// Used by runtimes to implement join points (taskgroup / parallel-for end).
-class TaskLatch {
- public:
-  explicit TaskLatch(WorkStealingPool& pool) : pool_(pool) {}
-
-  void add(std::size_t n = 1) noexcept {
-    outstanding_.fetch_add(n, std::memory_order_relaxed);
-  }
-  void done() noexcept {
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-  }
-  [[nodiscard]] bool idle() const noexcept {
-    return outstanding_.load(std::memory_order_acquire) == 0;
-  }
-  /// Blocks (cooperatively) until the count returns to zero.
-  void wait() {
-    pool_.help_while([this] { return !idle(); });
-  }
-
- private:
-  WorkStealingPool& pool_;
-  std::atomic<std::size_t> outstanding_{0};
-};
+// TaskLatch moved to sched/task_graph.hpp, where it wraps the shared
+// JoinLatch from the completion core.
 
 }  // namespace parc::sched

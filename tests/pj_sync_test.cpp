@@ -1,0 +1,180 @@
+// Pyjama synchronisation constructs on the sched completion core: barrier
+// cycles (sense-reversing atomic, parking team threads), ordered tickets
+// (Sequencer), single/sections site claiming (CAS high-water mark instead
+// of mutex + set), and task-error funnelling through the team JoinLatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "pj/pj.hpp"
+
+namespace parc::pj {
+namespace {
+
+TEST(PjBarrier, ManyCyclesStayPhaseLocked) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kCycles = 50;
+  std::atomic<int> phase_sum{0};
+  std::atomic<bool> torn{false};
+  region(kThreads, [&](Team& team) {
+    for (int c = 0; c < kCycles; ++c) {
+      phase_sum.fetch_add(1, std::memory_order_relaxed);
+      team.barrier();
+      // After the barrier every member must see the whole cycle's adds.
+      if (phase_sum.load(std::memory_order_acquire) <
+          static_cast<int>(kThreads) * (c + 1)) {
+        torn.store(true, std::memory_order_relaxed);
+      }
+      team.barrier();
+    }
+  });
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(phase_sum.load(), static_cast<int>(kThreads) * kCycles);
+}
+
+TEST(PjOrdered, TicketsRunStrictlyInOrder) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::int64_t kIterations = 64;
+  std::vector<std::int64_t> order;
+  region(kThreads, [&](Team& team) {
+    OrderedContext* ordered = nullptr;
+    team.single([&] {
+      team.set_workshare_slot(std::make_shared<OrderedContext>(0));
+    });
+    ordered = static_cast<OrderedContext*>(team.workshare_slot().get());
+    team.barrier();
+    // Static round-robin: thread t owns iterations t, t+T, t+2T, ...
+    const auto tid = static_cast<std::int64_t>(team.thread_num());
+    for (std::int64_t i = tid; i < kIterations;
+         i += static_cast<std::int64_t>(kThreads)) {
+      ordered->run_ordered(i, [&] { order.push_back(i); });
+    }
+    team.barrier();
+  });
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kIterations));
+  for (std::int64_t i = 0; i < kIterations; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(PjSingle, ExactlyOneWinnerPerSite) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kSites = 40;
+  std::atomic<int> executed{0};
+  region(kThreads, [&](Team& team) {
+    for (int s = 0; s < kSites; ++s) {
+      team.single([&] { executed.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  EXPECT_EQ(executed.load(), kSites);
+}
+
+TEST(PjSingle, NowaitStillClaimsEachSiteOnce) {
+  constexpr std::size_t kThreads = 3;
+  constexpr int kSites = 30;
+  std::atomic<int> executed{0};
+  region(kThreads, [&](Team& team) {
+    for (int s = 0; s < kSites; ++s) {
+      team.single([&] { executed.fetch_add(1, std::memory_order_relaxed); },
+                  /*nowait=*/true);
+    }
+    team.barrier();
+  });
+  EXPECT_EQ(executed.load(), kSites);
+}
+
+TEST(PjSections, EverySectionRunsExactlyOnce) {
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kSections = 12;
+  std::vector<std::atomic<int>> ran(kSections);
+  for (auto& r : ran) r.store(0);
+  region(kThreads, [&](Team& team) {
+    std::vector<std::function<void()>> bodies;
+    bodies.reserve(kSections);
+    for (std::size_t i = 0; i < kSections; ++i) {
+      bodies.push_back([&ran, i] {
+        ran[i].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    team.sections(bodies);
+  });
+  for (std::size_t i = 0; i < kSections; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "section " << i;
+  }
+}
+
+TEST(PjTaskError, FirstTaskFailurePropagatesFromTaskwait) {
+  EXPECT_THROW(
+      region(2, [&](Team& team) {
+        team.single([&] {
+          for (int i = 0; i < 8; ++i) {
+            task(team, [] { throw std::runtime_error("task boom"); });
+          }
+        });
+        // The region-end implicit taskwait rethrows on one member; region()
+        // funnels it through its FirstError and rethrows here.
+      }),
+      std::runtime_error);
+}
+
+TEST(PjTaskError, TaskwaitDrainsBeforeRethrow) {
+  std::atomic<int> finished{0};
+  try {
+    region(2, [&](Team& team) {
+      team.single([&] {
+        for (int i = 0; i < 16; ++i) {
+          task(team, [&finished, i] {
+            if (i == 3) throw std::runtime_error("one bad task");
+            finished.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+      taskwait(team);
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error&) {
+  }
+  // taskwait waits for ALL tasks (not just the failing one) before
+  // rethrowing, so every non-throwing task must have completed.
+  EXPECT_EQ(finished.load(), 15);
+}
+
+TEST(PjRegionError, BodyExceptionWinsOverLaterOnes) {
+  try {
+    region(4, [&](Team& team) {
+      if (team.thread_num() == 0) throw std::runtime_error("member failed");
+      team.master([] {});
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "member failed");
+  }
+}
+
+TEST(PjTasks, OutstandingReturnsToZeroAfterTaskwait) {
+  region(2, [&](Team& team) {
+    team.single([&] {
+      taskloop(team, 0, 100, [](std::int64_t) {}, /*num_tasks=*/10);
+    });
+    taskwait(team);
+    EXPECT_EQ(tasks_outstanding(team), 0u);
+  });
+}
+
+TEST(PjForLoop, OrderedStyleReductionStaysCorrectAcrossSchedules) {
+  // A worksharing loop whose chunks hit barrier + single + dispenser paths
+  // all at once — the integration shape students meet in project 4.
+  constexpr std::int64_t kN = 10'000;
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(4, 0, kN, [&](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace parc::pj

@@ -238,6 +238,32 @@ TEST(PTask, TaskGroupPropagatesFirstException) {
   group.wait();
 }
 
+TEST(PTask, TaskGroupDestructorJoinsWithoutThrow) {
+  // Destroying a group whose tasks failed must join quietly — a throwing
+  // destructor during the unwinding of another exception would terminate.
+  std::atomic<int> survived{0};
+  try {
+    TaskGroup group(test_runtime());
+    group.run([] { throw std::runtime_error("task failed"); });
+    group.run([&] { survived.fetch_add(1); });
+    throw std::logic_error("caller failed");  // unwinds through ~TaskGroup
+  } catch (const std::logic_error&) {
+    survived.fetch_add(10);
+  }
+  // Reaching the catch proves the destructor swallowed the group error
+  // instead of calling std::terminate; the non-throwing task still ran.
+  EXPECT_EQ(survived.load(), 11);
+}
+
+TEST(PTask, TaskGroupDestructorDropsUnwaitedError) {
+  // Without a wait(), the captured error dies with the group — silently.
+  {
+    TaskGroup group(test_runtime());
+    group.run([] { throw std::runtime_error("never observed"); });
+  }
+  SUCCEED();
+}
+
 TEST(PTask, ParallelInvokeRunsAll) {
   std::atomic<int> mask{0};
   parallel_invoke(

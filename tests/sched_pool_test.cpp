@@ -1,5 +1,6 @@
 // WorkStealingPool: submission from inside/outside, helping waits,
 // recursion, shutdown draining, stats plumbing.
+#include "sched/task_graph.hpp"
 #include "sched/thread_pool.hpp"
 
 #include <gtest/gtest.h>
