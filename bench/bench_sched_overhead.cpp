@@ -199,7 +199,8 @@ struct LocalSubmitResult {
 };
 
 LocalSubmitResult measure_worker_local_submit(WorkStealingPool& pool,
-                                              std::size_t iters) {
+                                              std::size_t iters,
+                                              SubmitHint hint) {
   // NOTE: call with a 1-worker pool — a sibling worker could otherwise
   // steal the freshly pushed job between submit and try_run_one.
   LocalSubmitResult result;
@@ -207,16 +208,16 @@ LocalSubmitResult measure_worker_local_submit(WorkStealingPool& pool,
   // The whole measurement runs inside one worker: submit to the local deque,
   // then immediately pop-and-run (LIFO), so the cell cycles through this
   // worker's freelist. After warmup the window must allocate nothing.
-  pool.submit([&pool, &result, &done, iters] {
+  pool.submit([&pool, &result, &done, iters, hint] {
     std::uint64_t acc = 0;
     for (std::size_t i = 0; i < 256; ++i) {  // warm the freelist
-      pool.submit(SmallWork{&acc, i, i});
+      pool.submit(SmallWork{&acc, i, i}, hint);
       PARC_CHECK(pool.try_run_one());
     }
     const std::uint64_t allocs_before = t_alloc_count;
     Stopwatch sw;
     for (std::size_t i = 0; i < iters; ++i) {
-      pool.submit(SmallWork{&acc, i, i + 1});
+      pool.submit(SmallWork{&acc, i, i + 1}, hint);
       PARC_CHECK(pool.try_run_one());
     }
     result.ns_per_job = sw.elapsed_ns() / static_cast<double>(iters);
@@ -268,6 +269,55 @@ double measure_parked_wakeup(WorkStealingPool& pool, std::size_t rounds) {
     total_us += sw.elapsed_us();
   }
   return total_us / static_cast<double>(rounds);
+}
+
+std::int64_t now_ns();  // defined with the join-wakeup measures below
+
+// Continuation-release wakeup: a busy worker local-pushes newly-ready work
+// while its sibling is parked, so the sample is push → sibling wakes, steals
+// and runs — the path a dependsOn successor takes when its predecessor's
+// worker stays busy. Median over rounds (an OS wake path: one descheduled
+// round on a 1-core container would dominate a mean).
+double measure_parked_wakeup_local_push(std::size_t rounds) {
+  WorkStealingPool pool(WorkStealingPool::Config{2, 4, "bench-local-wake"});
+  std::vector<double> samples;
+  samples.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::atomic<std::int64_t> pushed_at{0};
+    std::atomic<std::int64_t> ran_at{0};
+    std::atomic<bool> outer_done{false};
+    pool.submit([&pool, &pushed_at, &ran_at, &outer_done] {
+      // 2 ms lets the sibling run out of steal sweeps and park.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      pushed_at.store(now_ns(), std::memory_order_release);
+      pool.submit(
+          [&ran_at] {
+            ran_at.store(now_ns(), std::memory_order_release);
+          },
+          SubmitHint::local);
+      // Hold this worker hostage: only the woken sibling can take the probe.
+      while (ran_at.load(std::memory_order_acquire) == 0) {
+        std::this_thread::yield();
+      }
+      // Last access to the round's frame. Main must not retire the round on
+      // ran_at alone: on a 1-core box this worker may not be rescheduled
+      // until after main has reused the stack slots for the next round's
+      // atomics, leaving it spinning on a reborn ran_at that a *second*
+      // hostage then waits on too — every thread spinning, no one eligible
+      // to run either probe.
+      outer_done.store(true, std::memory_order_release);
+    });
+    while (!outer_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    samples.push_back(
+        static_cast<double>(ran_at.load(std::memory_order_acquire) -
+                            pushed_at.load(std::memory_order_acquire)) /
+        1000.0);
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
 }
 
 // --- completion core: seed (mutex+cv TaskState) vs sched::Completion ------
@@ -593,7 +643,8 @@ int main(int argc, char** argv) {
     // One worker: keeps the submit→run cycle on a single deque so the
     // zero-allocation window cannot be perturbed by a sibling's steal.
     WorkStealingPool pool(WorkStealingPool::Config{1, 4, "bench-local"});
-    const LocalSubmitResult local = measure_worker_local_submit(pool, kIters);
+    const LocalSubmitResult local =
+        measure_worker_local_submit(pool, kIters, SubmitHint::auto_);
     // The acceptance gate: the warm worker-local submit path must not touch
     // the heap for inline-sized captures.
     PARC_CHECK_MSG(local.allocs_in_window == 0,
@@ -609,6 +660,20 @@ int main(int argc, char** argv) {
         .cell(static_cast<std::uint64_t>(local.allocs_in_window))
         .cell("-");
 
+    // The continuation-stealing hand-off path: same cycle with the explicit
+    // local hint, which adds the soft-cap check and outcome counter. Must
+    // stay allocation-free too — this is the path every dependsOn release
+    // takes on a worker.
+    const LocalSubmitResult hinted =
+        measure_worker_local_submit(pool, kIters, SubmitHint::local);
+    PARC_CHECK_MSG(hinted.allocs_in_window == 0,
+                   "hinted-local submit path allocated on the fast path");
+    table.add_row()
+        .cell("pool worker-local submit+run, hint=local")
+        .cell("-")
+        .cell(hinted.ns_per_job, 1)
+        .cell("-");
+
     const double external = measure_external_submit(pool, kIters);
     table.add_row()
         .cell("pool external submit (amortised)")
@@ -621,6 +686,13 @@ int main(int argc, char** argv) {
         .cell("parked-worker wakeup latency (us)")
         .cell("-")
         .cell(wakeup_us, 1)
+        .cell("-");
+
+    const double wakeup_local_us = measure_parked_wakeup_local_push(50);
+    table.add_row()
+        .cell("parked sibling wake via local push (us)")
+        .cell("-")
+        .cell(wakeup_local_us, 1)
         .cell("-");
 
     // --- tracing overhead: the obs acceptance gates ----------------------
@@ -646,7 +718,7 @@ int main(int argc, char** argv) {
       constexpr std::size_t kTracedIters = 20000;
       obs::TraceSession session({.events_per_thread = 1u << 17});
       const LocalSubmitResult traced =
-          measure_worker_local_submit(pool, kTracedIters);
+          measure_worker_local_submit(pool, kTracedIters, SubmitHint::auto_);
       const obs::TraceDump dump = session.end();
       PARC_CHECK_MSG(traced.allocs_in_window == 0,
                      "tracing a worker-local submit allocated per job");
@@ -676,8 +748,10 @@ int main(int argc, char** argv) {
         .add("deque_push_pop", push_pop)
         .add("deque_steal", steal)
         .add("worker_local_submit", local.ns_per_job)
+        .add("worker_local_submit_hint_local", hinted.ns_per_job)
         .add("external_submit", external)
         .add("parked_wakeup", wakeup_us * 1000.0)
+        .add("parked_wakeup_local_push", wakeup_local_us * 1000.0)
         .add("seed_complete_cycle", seed_complete)
         .add("core_complete_cycle", core_complete)
         .add("seed_notify_one", seed_notify)

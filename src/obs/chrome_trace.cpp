@@ -43,6 +43,12 @@ KindInfo kind_info(EventKind kind) {
     case EventKind::kWaiterHelp:   return {"i", "help", "sync", false};
     case EventKind::kContinuationRun:
       return {"i", "continuation", "sync", true};
+    case EventKind::kContLocalPush:
+      return {"i", "cont-local-push", "sched", false};
+    case EventKind::kContInjectFallback:
+      return {"i", "cont-inject-fallback", "sched", false};
+    case EventKind::kDequeOverflow:
+      return {"i", "deque-overflow", "sched", false};
   }
   return {"i", "unknown", "obs", false};
 }

@@ -70,6 +70,10 @@ enum class EventKind : std::uint8_t {
   kWaiterWake,      ///< id = join identity — parked waiter resumed
   kWaiterHelp,      ///< id = helped job id — a waiter ran a pool job
   kContinuationRun, ///< id = completed identity — continuation executed
+  // Continuation stealing (hand-off decision on the submit/complete path).
+  kContLocalPush,       ///< id = job id — ready work pushed to own deque tail
+  kContInjectFallback,  ///< id = job id — local hint from a non-worker thread
+  kDequeOverflow,       ///< id = job id, arg = worker — soft cap hit, injected
 };
 
 /// Fixed-slot trace record: 32 bytes, written once, never reused.

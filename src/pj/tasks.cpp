@@ -1,10 +1,9 @@
 #include "pj/tasks.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
-#include <span>
 #include <utility>
-#include <vector>
 
 #include "obs/trace.hpp"
 #include "pj/settings.hpp"
@@ -38,20 +37,22 @@ void task(Team& team, std::function<void()> body) {
   PARC_CHECK(body != nullptr);
   TaskAccounting::started(team);
   // The id capture keeps the closure within TaskCell::kInlineBytes.
-  task_pool().submit([&team, body = std::move(body), tid = trace_task_spawn()] {
-    if (obs::tracing() && tid != 0) [[unlikely]] {
-      obs::emit(obs::EventKind::kTaskStart, tid, 0);
-    }
-    try {
-      body();
-    } catch (...) {
-      TaskAccounting::store_error(team, std::current_exception());
-    }
-    if (obs::tracing() && tid != 0) [[unlikely]] {
-      obs::emit(obs::EventKind::kTaskFinish, tid, 0);
-    }
-    TaskAccounting::finished(team);
-  });
+  task_pool().submit(
+      [&team, body = std::move(body), tid = trace_task_spawn()] {
+        if (obs::tracing() && tid != 0) [[unlikely]] {
+          obs::emit(obs::EventKind::kTaskStart, tid, 0);
+        }
+        try {
+          body();
+        } catch (...) {
+          TaskAccounting::store_error(team, std::current_exception());
+        }
+        if (obs::tracing() && tid != 0) [[unlikely]] {
+          obs::emit(obs::EventKind::kTaskFinish, tid, 0);
+        }
+        TaskAccounting::finished(team);
+      },
+      sched::SubmitHint::auto_);
 }
 
 void taskloop(Team& team, std::int64_t begin, std::int64_t end,
@@ -64,42 +65,80 @@ void taskloop(Team& team, std::int64_t begin, std::int64_t end,
   if (num_tasks == 0) num_tasks = pool.worker_count() * 4;
   num_tasks = std::max<std::size_t>(1, std::min(num_tasks, span_len));
 
-  // Chunk closures share one copy of the (type-erased) body; the closure
-  // itself — team ref, shared_ptr, two bounds — fits a TaskCell's inline
-  // buffer, so the per-chunk submit cost stays allocation-free.
-  auto shared_body =
-      std::make_shared<const std::function<void(std::int64_t)>>(
-          std::move(body));
-  auto make_chunk = [&team, &shared_body](std::int64_t b, std::int64_t e) {
-    // With the trace id the closure sits at exactly TaskCell::kInlineBytes,
-    // so chunk submission stays allocation-free.
-    return [&team, body = shared_body, b, e, tid = trace_task_spawn()] {
-      if (obs::tracing() && tid != 0) [[unlikely]] {
-        obs::emit(obs::EventKind::kTaskStart, tid, 0);
-      }
-      try {
-        for (std::int64_t i = b; i < e; ++i) (*body)(i);
-      } catch (...) {
-        TaskAccounting::store_error(team, std::current_exception());
-      }
-      if (obs::tracing() && tid != 0) [[unlikely]] {
-        obs::emit(obs::EventKind::kTaskFinish, tid, 0);
-      }
-      TaskAccounting::finished(team);
-    };
+  // Runner/cursor design: instead of materialising one closure per chunk,
+  // submit at most one *runner* job per potential executor; runners claim
+  // chunks off a shared atomic cursor until the loop drains, then retire
+  // everything they ran with one batched JoinLatch::done_n. That is one
+  // started_n RMW for the whole loop and one finished_n RMW per runner —
+  // not two RMWs (and a possible waiter wake) per chunk — and a chunk that
+  // stalls in one runner is simply claimed around by the rest.
+  struct LoopState {
+    LoopState(Team& t, std::function<void(std::int64_t)> b, std::int64_t bg,
+              std::size_t len, std::size_t chunks)
+        : team(t),
+          body(std::move(b)),
+          begin(bg),
+          span_len(len),
+          num_chunks(chunks) {}
+    Team& team;
+    const std::function<void(std::int64_t)> body;
+    const std::int64_t begin;
+    const std::size_t span_len;
+    const std::size_t num_chunks;
+    /// Padded: the cursor is the only contended word in here.
+    alignas(kCacheLineSize) std::atomic<std::size_t> next_chunk{0};
   };
-  using ChunkJob = decltype(make_chunk(0, 0));
-  std::vector<ChunkJob> chunks;
-  chunks.reserve(num_tasks);
-  for (std::size_t t = 0; t < num_tasks; ++t) {
-    const auto b = begin + static_cast<std::int64_t>(span_len * t / num_tasks);
-    const auto e =
-        begin + static_cast<std::int64_t>(span_len * (t + 1) / num_tasks);
-    if (b == e) continue;
-    TaskAccounting::started(team);
-    chunks.push_back(make_chunk(b, e));
-  }
-  pool.submit_bulk(std::span<ChunkJob>(chunks));
+  auto state = std::make_shared<LoopState>(team, std::move(body), begin,
+                                           span_len, num_tasks);
+
+  // Every chunk joins the team's count before any runner can retire one, so
+  // a concurrent taskwait cannot observe a transient zero mid-loop.
+  TaskAccounting::started_n(team, num_tasks);
+
+  // One runner per thread that could execute chunks — pool workers plus
+  // team threads helping from taskwait — capped at the chunk count. A
+  // runner that finds the cursor exhausted retires nothing and exits.
+  const std::size_t runners = std::min(
+      num_tasks,
+      pool.worker_count() + static_cast<std::size_t>(team.num_threads()));
+  pool.submit_n(
+      runners,
+      [&state](std::size_t) {
+        // The shared_ptr is the runner's whole capture: chunk submission
+        // stays allocation-free in the TaskCell inline buffer.
+        return [state] {
+          std::size_t retired = 0;
+          for (;;) {
+            const std::size_t c =
+                state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+            if (c >= state->num_chunks) break;
+            const auto b = state->begin +
+                           static_cast<std::int64_t>(state->span_len * c /
+                                                     state->num_chunks);
+            const auto e = state->begin +
+                           static_cast<std::int64_t>(state->span_len * (c + 1) /
+                                                     state->num_chunks);
+            // Each chunk remains one traced task, claimed/started/finished
+            // on this thread: graphs keep exactly one node per chunk.
+            const std::uint64_t tid = trace_task_spawn();
+            if (obs::tracing() && tid != 0) [[unlikely]] {
+              obs::emit(obs::EventKind::kTaskStart, tid, 0);
+            }
+            try {
+              for (std::int64_t i = b; i < e; ++i) state->body(i);
+            } catch (...) {
+              TaskAccounting::store_error(state->team,
+                                          std::current_exception());
+            }
+            if (obs::tracing() && tid != 0) [[unlikely]] {
+              obs::emit(obs::EventKind::kTaskFinish, tid, 0);
+            }
+            ++retired;
+          }
+          TaskAccounting::finished_n(state->team, retired);
+        };
+      },
+      sched::SubmitHint::auto_);
 }
 
 void taskwait(Team& team) {

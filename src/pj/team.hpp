@@ -190,6 +190,15 @@ class TaskAccounting {
  public:
   static void started(Team& team) noexcept { team.tasks_.add(); }
   static void finished(Team& team) noexcept { team.tasks_.done(); }
+  /// Batch spellings for chunked fan-out (taskloop): all chunks enter the
+  /// count in one RMW, and a runner retires every chunk it executed with a
+  /// single done_n (one epoch RMW + at most one wake per batch).
+  static void started_n(Team& team, std::size_t n) noexcept {
+    team.tasks_.add(n);
+  }
+  static void finished_n(Team& team, std::size_t n) noexcept {
+    team.tasks_.done_n(n);
+  }
   static std::size_t outstanding(const Team& team) noexcept {
     return team.tasks_.outstanding();
   }

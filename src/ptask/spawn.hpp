@@ -92,7 +92,15 @@ TaskID<R> spawn(Runtime& rt, F&& body,
   auto state = std::make_shared<TaskState<R>>();
   trace_spawn(*state, deps);
   auto job = make_job<R>(state, std::forward<F>(body));
-  auto submit = [state, job = std::move(job), &rt, interactive]() mutable {
+  // A dependent task is released by the thread that satisfied its final
+  // dependence — usually the predecessor's worker, whose cache holds the
+  // data the successor is about to read: hint `local` so the release lands
+  // on that worker's own deque tail (continuation stealing). Fresh spawns
+  // resolve placement at submit time (`auto_`).
+  const auto hint =
+      deps.empty() ? sched::SubmitHint::auto_ : sched::SubmitHint::local;
+  auto submit = [state, job = std::move(job), &rt, interactive,
+                 hint]() mutable {
     if (obs::tracing()) [[unlikely]] {
       obs::emit(obs::EventKind::kTaskReady, state->obs_id, 0);
     }
@@ -100,7 +108,7 @@ TaskID<R> spawn(Runtime& rt, F&& body,
     if (interactive) {
       rt.interactive_pool().submit(std::move(job));
     } else {
-      rt.pool().submit(std::move(job));
+      rt.pool().submit(std::move(job), hint);
     }
   };
   wire_dependences(state, deps, std::move(submit));
@@ -203,7 +211,7 @@ TaskID<void> run_multi(Runtime& rt, std::size_t n, F&& f) {
         }
       }
     };
-  });
+  }, sched::SubmitHint::auto_);
   return TaskID<void>(std::move(agg), &rt);
 }
 
@@ -257,7 +265,7 @@ auto run_multi(Runtime& rt, std::size_t n, F&& f)
         }
       }
     };
-  });
+  }, sched::SubmitHint::auto_);
   return TaskID<std::vector<R>>(std::move(agg), &rt);
 }
 
@@ -301,7 +309,8 @@ class TaskGroup {
             join_.capture_error(std::current_exception());
           }
           join_.done();
-        });
+        },
+        sched::SubmitHint::auto_);
   }
 
   /// Wait for all tasks spawned so far; rethrows the first failure.

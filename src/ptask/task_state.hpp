@@ -88,6 +88,11 @@ class TaskStateBase : public std::enable_shared_from_this<TaskStateBase> {
   bool add_dependent(std::shared_ptr<TaskStateBase> dependent) {
     auto* node = sched::make_completion_node(
         [dep = std::move(dependent)]() noexcept { dep->dependence_satisfied(); });
+    // Dependence countdown edges must run on the completing thread, before
+    // the completed bit is published: wait()-returned implies the successor
+    // was released. The countdown is O(1); only the successor's *body*
+    // travels through the pool (SubmitHint::local in detail::spawn).
+    node->inline_only = true;
     if (!completion_.try_push(node)) {
       delete node;  // already finished: the caller counts the dep itself
       return false;

@@ -63,6 +63,12 @@ class CompletionNode {
   virtual void run() noexcept = 0;
 
   CompletionNode* next = nullptr;
+  /// Nodes that *must* run on the completing thread before the completed
+  /// bit is published — the dependence-countdown edges of the dependsOn
+  /// machinery, whose "continuations ran before wait() returned" ordering
+  /// other code relies on. Never deferred through the continuation hand-off
+  /// below; user-facing handlers leave this false.
+  bool inline_only = false;
 };
 
 namespace detail {
@@ -82,12 +88,57 @@ class FnNode final : public CompletionNode {
 /// only covers completions that are a few hundred cycles away.
 inline constexpr std::size_t kWaiterSpins = 256;
 
+/// Continuation hand-off hook (continuation stealing). This header is
+/// deliberately pool-free — include- *and* link-level: parc_gui uses
+/// Completion without linking parc_sched — so the scheduler attaches
+/// itself through a function pointer instead of a direct call. Installed
+/// by WorkStealingPool's constructor; the hook returns true when it took
+/// ownership of the node (pushed it onto the calling worker's own deque
+/// tail), false when the caller should run it inline (non-worker thread,
+/// or no pool built yet).
+using ContinuationHandOff = bool (*)(CompletionNode*, std::uint64_t) noexcept;
+inline std::atomic<ContinuationHandOff> g_continuation_hand_off{nullptr};
+
+/// How many continuations may nest inline on one thread's stack before
+/// complete() starts deferring them through the hand-off. Small: depth 0
+/// covers every ordinary completion (handlers run inline, exactly the seed
+/// contract); the budget only engages when continuations chain completions
+/// of their own, where unbounded inline recursion would grow the stack
+/// linearly with chain depth.
+inline constexpr std::size_t kContinuationDepthBudget = 8;
+
+/// Current inline continuation nesting depth on this thread.
+inline thread_local std::size_t t_continuation_depth = 0;
+
 }  // namespace detail
 
 /// Heap-allocate a continuation node from any callable.
 template <typename F>
 [[nodiscard]] CompletionNode* make_completion_node(F&& fn) {
   return new detail::FnNode<std::decay_t<F>>(std::forward<F>(fn));
+}
+
+/// Run one ready continuation node under the trampolining policy: inside
+/// the per-thread depth budget (or for inline_only nodes) run it here, past
+/// the budget hand it to the scheduler hook, which re-enters this function
+/// from a fresh pool-job stack frame at depth 0. Frees the node after the
+/// run; the hook takes ownership when it accepts.
+inline void run_continuation_node(CompletionNode* node,
+                                  std::uint64_t trace_id) noexcept {
+  if (!node->inline_only &&
+      detail::t_continuation_depth >= detail::kContinuationDepthBudget)
+      [[unlikely]] {
+    const auto hand_off =
+        detail::g_continuation_hand_off.load(std::memory_order_acquire);
+    if (hand_off != nullptr && hand_off(node, trace_id)) return;
+  }
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kContinuationRun, trace_id, 0);
+  }
+  ++detail::t_continuation_depth;
+  node->run();
+  --detail::t_continuation_depth;
+  delete node;
 }
 
 /// One-shot completion event: sealed continuation stack + parking word.
@@ -139,7 +190,9 @@ class Completion {
   }
 
   /// Fire the completion: seal the list, run continuations in registration
-  /// order, then publish the completed bit and wake parked waiters. The
+  /// order (each under the run_continuation_node trampolining policy — deep
+  /// chains hop through the completing worker's deque instead of growing
+  /// the stack), then publish the completed bit and wake parked waiters. The
   /// caller must have published its payload (result/error/status) *before*
   /// calling complete() — the state-word RMW is the release point waiters
   /// acquire through. `trace_id` labels the continuation-run trace events
@@ -158,11 +211,7 @@ class Completion {
     }
     while (ordered != nullptr) {
       CompletionNode* next = ordered->next;
-      if (obs::tracing()) [[unlikely]] {
-        obs::emit(obs::EventKind::kContinuationRun, trace_id, 0);
-      }
-      ordered->run();
-      delete ordered;
+      run_continuation_node(ordered, trace_id);
       ordered = next;
     }
     // Publish + wake. This RMW is the last access to *this: a waiter that

@@ -54,15 +54,22 @@ class JoinLatch {
 
   /// Retire one unit. Release-publishes the task's writes; wakes parked
   /// waiters when the count returns to zero.
+  void done() noexcept { done_n(1); }
+
+  /// Retire `n` units in one epoch RMW and at most one notify — the batch
+  /// spelling for chunked fan-out (pj::taskloop runners retire every chunk
+  /// they claimed with a single done_n at exit), amortising the RMW the way
+  /// submit_bulk amortises worker wakeups. No-op when n == 0.
   ///
   /// Lifetime rule (same as Completion::complete): the fetch_sub is the
   /// last access to *this — the instant it lands, a waiter polling idle()
   /// may return and destroy the latch (pj's Team dies right after its
-  /// region-end taskwait), so done() must not touch any member after it.
+  /// region-end taskwait), so done_n() must not touch any member after it.
   /// notify_all only dereferences the futex/waiter-table address, never
   /// the object.
-  void done() noexcept {
-    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  void done_n(std::size_t n) noexcept {
+    if (n == 0) return;
+    if (outstanding_.fetch_sub(n, std::memory_order_acq_rel) == n) {
       outstanding_.notify_all();
     }
   }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/counters.hpp"
+#include "sched/completion.hpp"
 #include "support/check.hpp"
 
 namespace parc::sched {
@@ -21,6 +22,25 @@ constexpr std::size_t kSlabCells = 64;
 // Above this, a worker's freelist spills back to the shared return stack so
 // a pure-producer / pure-consumer pair cannot strand unbounded cells.
 constexpr std::size_t kMaxLocalFree = 512;
+
+// Continuation hand-off hook for the completion core (completion.hpp is
+// deliberately pool-free, so the link runs through a function pointer
+// installed at pool construction). Called by Completion::complete when a
+// continuation cascade on this thread exceeds its inline depth budget:
+// package the node as a pool job on the completing worker's own deque
+// (SubmitHint::local — the node's inputs are hot right here). Declining
+// (non-worker thread, or a worker of a *different* pool than the one whose
+// job is completing is still fine — its own deque is equally warm) makes
+// the caller run the node inline.
+bool hand_off_continuation(CompletionNode* node,
+                           std::uint64_t trace_id) noexcept {
+  if (t_pool == nullptr || t_worker < 0) return false;
+  // 16-byte capture: stays inside the TaskCell inline buffer.
+  t_pool->submit(
+      [node, trace_id]() noexcept { run_continuation_node(node, trace_id); },
+      SubmitHint::local);
+  return true;
+}
 }  // namespace
 
 std::size_t default_concurrency() noexcept {
@@ -33,6 +53,12 @@ int WorkStealingPool::current_worker() noexcept { return t_worker; }
 
 WorkStealingPool::WorkStealingPool(Config cfg) : cfg_(std::move(cfg)) {
   PARC_CHECK(cfg_.num_threads >= 1);
+  PARC_CHECK(cfg_.local_queue_soft_cap >= 1);
+  // First pool up installs the completion core's hand-off hook (idempotent:
+  // the hook re-resolves the calling thread's pool on every call, so it is
+  // pool-agnostic and never uninstalled — see hand_off_continuation).
+  detail::g_continuation_hand_off.store(&hand_off_continuation,
+                                        std::memory_order_release);
   workers_.reserve(cfg_.num_threads);
   for (std::size_t i = 0; i < cfg_.num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>(0x5157c0de + i));
@@ -64,6 +90,10 @@ WorkStealingPool::~WorkStealingPool() {
   counters.add("sched.pool.parked", s.parked);
   counters.add("sched.pool.helped", s.helped);
   counters.add("sched.pool.steal_fails", s.steal_fails);
+  counters.add("sched.pool.cont_local_pushed", s.continuation_local_pushed);
+  counters.add("sched.pool.cont_inject_fallback",
+               s.continuation_inject_fallback);
+  counters.add("sched.pool.deque_overflows", s.deque_overflows);
 }
 
 // --------------------------------------------------------------------------
@@ -134,9 +164,27 @@ void WorkStealingPool::release_cell(TaskCell* cell) {
       old, cell, std::memory_order_release, std::memory_order_relaxed));
 }
 
-void WorkStealingPool::enqueue_cell(TaskCell* cell) {
-  if (t_pool == this && t_worker >= 0) {
+void WorkStealingPool::enqueue_cell(TaskCell* cell, SubmitHint hint) {
+  if (t_pool == this && t_worker >= 0 && hint != SubmitHint::remote) {
     Worker& w = *workers_[static_cast<std::size_t>(t_worker)];
+    if (hint == SubmitHint::local) {
+      // Hinted hand-off: bound the local backlog. Past the soft cap, spill
+      // to injection so ready work stays visible to thieves (and external
+      // helpers) that probe the MPSC queue before stealing.
+      if (w.deque.size_approx() >= cfg_.local_queue_soft_cap) [[unlikely]] {
+        w.overflowed.fetch_add(1, std::memory_order_relaxed);
+        if (obs::tracing()) [[unlikely]] {
+          obs::emit(obs::EventKind::kDequeOverflow, cell->trace_id,
+                    static_cast<std::uint64_t>(t_worker));
+        }
+        push_injected(cell);
+        return;
+      }
+      w.cont_local.fetch_add(1, std::memory_order_relaxed);
+      if (obs::tracing()) [[unlikely]] {
+        obs::emit(obs::EventKind::kContLocalPush, cell->trace_id, 0);
+      }
+    }
     w.deque.push(cell);
     if (obs::tracing()) [[unlikely]] {
       // Queue-depth high-water, sampled only while a trace session is live:
@@ -147,14 +195,27 @@ void WorkStealingPool::enqueue_cell(TaskCell* cell) {
         w.deque_hw.store(depth, std::memory_order_relaxed);
       }
     }
-  } else {
-    injected_.push(cell);
+    return;
+  }
+  if (hint == SubmitHint::local) {
+    // A local hint from a non-worker completer (EDT, main thread): the
+    // continuation-stealing fast path does not apply; count the fallback so
+    // traces show dependent work that crossed threads.
+    cont_inject_fallback_.fetch_add(1, std::memory_order_relaxed);
     if (obs::tracing()) [[unlikely]] {
-      const auto depth = static_cast<std::uint64_t>(injected_.size_approx());
-      std::uint64_t hw = injected_hw_.load(std::memory_order_relaxed);
-      while (depth > hw && !injected_hw_.compare_exchange_weak(
-                               hw, depth, std::memory_order_relaxed)) {
-      }
+      obs::emit(obs::EventKind::kContInjectFallback, cell->trace_id, 0);
+    }
+  }
+  push_injected(cell);
+}
+
+void WorkStealingPool::push_injected(TaskCell* cell) {
+  injected_.push(cell);
+  if (obs::tracing()) [[unlikely]] {
+    const auto depth = static_cast<std::uint64_t>(injected_.size_approx());
+    std::uint64_t hw = injected_hw_.load(std::memory_order_relaxed);
+    while (depth > hw && !injected_hw_.compare_exchange_weak(
+                             hw, depth, std::memory_order_relaxed)) {
     }
   }
 }
@@ -310,27 +371,6 @@ bool WorkStealingPool::try_run_one() {
   return true;
 }
 
-void WorkStealingPool::help_while(const std::function<bool()>& keep_waiting) {
-  // Spin → yield → doubling sleep: nothing runnable means the condition is
-  // waiting on a job executing elsewhere; escalate instead of burning a
-  // core on oversubscribed hosts, and restart cheap after each helped job.
-  ExponentialBackoff backoff(/*spins_before_yield=*/64,
-                             /*yields_before_sleep=*/32);
-  while (keep_waiting()) {
-    if (try_run_one()) {
-      helped_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::tracing()) [[unlikely]] {
-        // A waiter productively drained a job instead of blocking: the
-        // completion core's "help" leg, visible next to kWaiterPark/Wake.
-        obs::emit(obs::EventKind::kWaiterHelp, 0, 0);
-      }
-      backoff.reset();
-      continue;
-    }
-    backoff.pause();
-  }
-}
-
 WorkStealingPool::Stats WorkStealingPool::stats() const {
   Stats s;
   for (const auto& w : workers_) {
@@ -340,9 +380,13 @@ WorkStealingPool::Stats WorkStealingPool::stats() const {
     s.steal_fails += w->steal_fails.load(std::memory_order_relaxed);
     s.deque_high_water = std::max(
         s.deque_high_water, w->deque_hw.load(std::memory_order_relaxed));
+    s.continuation_local_pushed += w->cont_local.load(std::memory_order_relaxed);
+    s.deque_overflows += w->overflowed.load(std::memory_order_relaxed);
   }
   s.helped = helped_.load(std::memory_order_relaxed);
   s.injected_high_water = injected_hw_.load(std::memory_order_relaxed);
+  s.continuation_inject_fallback =
+      cont_inject_fallback_.load(std::memory_order_relaxed);
   return s;
 }
 

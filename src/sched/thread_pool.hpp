@@ -10,6 +10,12 @@
 //  - a lock-free Vyukov MPSC queue for jobs submitted from non-worker
 //    threads (the main thread, the GUI event thread); consumers serialise
 //    with a try-lock so a failed local pop never blocks on a mutex;
+//  - submission is locality-hinted (SubmitHint): newly-ready continuations
+//    and dependence-released tasks completed on a worker are pushed onto
+//    that worker's own deque tail (continuation stealing — cache-hot,
+//    LIFO-next, steal-able by idle siblings), with a counted fallback to
+//    injection for non-worker completers and a soft-cap overflow so a deep
+//    local backlog stays visible to thieves;
 //  - workers park on a condition variable when repeated steal sweeps fail;
 //    bulk submissions (submit_bulk / submit_n) bump the epoch and notify
 //    once per batch, not once per job;
@@ -58,6 +64,28 @@ namespace parc::sched {
 /// on single-core containers like CI runners.
 [[nodiscard]] std::size_t default_concurrency() noexcept;
 
+/// Locality hint for the submission surface: where a job should land
+/// relative to the submitting thread. Every submit/submit_bulk/submit_n
+/// overload takes one; the unhinted spellings forward `auto_`.
+enum class SubmitHint : std::uint8_t {
+  /// Resolve at submit time: the caller's own deque when the caller is a
+  /// worker of this pool, the injection queue otherwise. The right default
+  /// for fresh spawns.
+  auto_,
+  /// Continuation hand-off: the job is newly-ready dependent work whose
+  /// inputs are hot in the submitting worker's cache, so it belongs on that
+  /// worker's deque tail (LIFO-next, steal-able by idle siblings). From a
+  /// non-worker thread this falls back to injection (counted, so traces
+  /// show where dependent work actually ran); on a worker whose deque is
+  /// past Config::local_queue_soft_cap it overflows to injection to keep
+  /// ready work visible to thieves that only probe the MPSC queue.
+  local,
+  /// Force the injection queue even from a worker: FIFO-fair work that
+  /// should not shadow the worker's own LIFO stack (e.g. bench harnesses
+  /// isolating the wakeup path).
+  remote,
+};
+
 class WorkStealingPool {
  public:
   struct Config {
@@ -65,6 +93,11 @@ class WorkStealingPool {
     /// Steal sweeps over all victims before a worker parks.
     std::size_t sweeps_before_park = 4;
     std::string name = "parc";
+    /// SubmitHint::local pushes overflow to the injection queue once the
+    /// submitter's own deque holds this many jobs (the Chase–Lev deque
+    /// itself grows without bound; the cap is a visibility/fairness policy,
+    /// not a capacity limit). Checked only on the hinted-local path.
+    std::size_t local_queue_soft_cap = 4096;
   };
 
   struct Stats {
@@ -78,6 +111,10 @@ class WorkStealingPool {
     /// the idle fast path must not pay); 0 if never traced.
     std::uint64_t deque_high_water = 0;     ///< max local deque depth
     std::uint64_t injected_high_water = 0;  ///< max injection queue depth
+    // Continuation-stealing hand-off outcomes (SubmitHint::local).
+    std::uint64_t continuation_local_pushed = 0;   ///< landed on own deque
+    std::uint64_t continuation_inject_fallback = 0;  ///< non-worker submitter
+    std::uint64_t deque_overflows = 0;  ///< soft cap hit, spilled to inject
   };
 
   WorkStealingPool() : WorkStealingPool(Config{}) {}
@@ -87,49 +124,68 @@ class WorkStealingPool {
   WorkStealingPool(const WorkStealingPool&) = delete;
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
-  /// Enqueue a job. Called from worker threads (goes to the local deque,
-  /// allocation-free for captures up to TaskCell::kInlineBytes) or any
-  /// other thread (goes to the lock-free injection queue).
+  /// Enqueue a job. Placement follows `hint` (see SubmitHint): a worker
+  /// submitting to its own pool lands on its local deque (allocation-free
+  /// for captures up to TaskCell::kInlineBytes), any other thread goes to
+  /// the lock-free injection queue.
   template <typename F>
-  void submit(F&& fn) {
+  void submit(F&& fn, SubmitHint hint) {
     if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
       PARC_CHECK(static_cast<bool>(fn));
     }
     TaskCell* cell = acquire_cell();
     cell->emplace(std::forward<F>(fn));
     stamp_cell(cell);
-    enqueue_cell(cell);
+    enqueue_cell(cell, hint);
     signal_work(1);
+  }
+
+  /// Unhinted legacy spelling: forwards SubmitHint::auto_.
+  template <typename F>
+  void submit(F&& fn) {
+    submit(std::forward<F>(fn), SubmitHint::auto_);
   }
 
   /// Enqueue a batch of jobs (moved from), waking workers once for the
   /// whole batch instead of once per job. Used by the runtimes' chunked
-  /// fan-out (pj::taskloop, ptask::run_multi).
+  /// fan-out (ptask::run_multi).
   template <typename F>
-  void submit_bulk(std::span<F> fns) {
+  void submit_bulk(std::span<F> fns, SubmitHint hint) {
     if (fns.empty()) return;
     for (F& fn : fns) {
       TaskCell* cell = acquire_cell();
       cell->emplace(std::move(fn));
       stamp_cell(cell);
-      enqueue_cell(cell);
+      enqueue_cell(cell, hint);
     }
     signal_work(fns.size());
+  }
+
+  /// Unhinted legacy spelling: forwards SubmitHint::auto_.
+  template <typename F>
+  void submit_bulk(std::span<F> fns) {
+    submit_bulk(fns, SubmitHint::auto_);
   }
 
   /// Enqueue `count` jobs produced by `factory(i)` for i in [0, count) —
   /// the no-intermediate-storage spelling of submit_bulk for generated
   /// closures. One wakeup for the whole batch.
   template <typename Factory>
-  void submit_n(std::size_t count, Factory&& factory) {
+  void submit_n(std::size_t count, Factory&& factory, SubmitHint hint) {
     if (count == 0) return;
     for (std::size_t i = 0; i < count; ++i) {
       TaskCell* cell = acquire_cell();
       cell->emplace(factory(i));
       stamp_cell(cell);
-      enqueue_cell(cell);
+      enqueue_cell(cell, hint);
     }
     signal_work(count);
+  }
+
+  /// Unhinted legacy spelling: forwards SubmitHint::auto_.
+  template <typename Factory>
+  void submit_n(std::size_t count, Factory&& factory) {
+    submit_n(count, std::forward<Factory>(factory), SubmitHint::auto_);
   }
 
   /// Run one pending job on the calling thread, if any is available.
@@ -138,8 +194,31 @@ class WorkStealingPool {
 
   /// Cooperatively wait: run pending jobs while `keep_waiting()` is true.
   /// The calling thread (worker or external) donates itself to the pool for
-  /// the duration, so waiting can never starve the pool.
-  void help_while(const std::function<bool()>& keep_waiting);
+  /// the duration, so waiting can never starve the pool. Templated on the
+  /// predicate so hot join loops (Barrier arrivals, JoinLatch waits) pay no
+  /// std::function wrap per wait.
+  template <typename Pred>
+  void help_while(Pred&& keep_waiting) {
+    // Spin → yield → doubling sleep: nothing runnable means the condition
+    // is waiting on a job executing elsewhere; escalate instead of burning
+    // a core on oversubscribed hosts, and restart cheap after each helped
+    // job.
+    ExponentialBackoff backoff(/*spins_before_yield=*/64,
+                               /*yields_before_sleep=*/32);
+    while (keep_waiting()) {
+      if (try_run_one()) {
+        helped_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::tracing()) [[unlikely]] {
+          // A waiter productively drained a job instead of blocking: the
+          // completion core's "help" leg, visible next to kWaiterPark/Wake.
+          obs::emit(obs::EventKind::kWaiterHelp, 0, 0);
+        }
+        backoff.reset();
+        continue;
+      }
+      backoff.pause();
+    }
+  }
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
@@ -169,6 +248,9 @@ class WorkStealingPool {
     std::atomic<std::uint64_t> parked{0};
     std::atomic<std::uint64_t> steal_fails{0};
     std::atomic<std::uint64_t> deque_hw{0};  ///< sampled only while tracing
+    // Continuation-stealing outcomes on this worker (SubmitHint::local).
+    std::atomic<std::uint64_t> cont_local{0};
+    std::atomic<std::uint64_t> overflowed{0};
     // Owner-only cell freelist, chained through TaskCell::next.
     TaskCell* free_head = nullptr;
     std::size_t free_count = 0;
@@ -197,7 +279,8 @@ class WorkStealingPool {
   TaskCell* acquire_cell();
   void release_cell(TaskCell* cell);
   void refill_freelist(Worker& w);
-  void enqueue_cell(TaskCell* cell);
+  void enqueue_cell(TaskCell* cell, SubmitHint hint);
+  void push_injected(TaskCell* cell);
 
   Config cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -224,6 +307,10 @@ class WorkStealingPool {
 
   alignas(kCacheLineSize) std::atomic<std::uint64_t> helped_{0};
   std::atomic<std::uint64_t> injected_hw_{0};  ///< sampled only while tracing
+  /// SubmitHint::local from a thread that is not one of this pool's workers
+  /// (EDT, main thread, cross-pool completers): written from arbitrary
+  /// threads, hence pool-level rather than per-worker.
+  std::atomic<std::uint64_t> cont_inject_fallback_{0};
 
   // For external (non-worker) threads taking jobs: rotate steal start.
   alignas(kCacheLineSize) std::atomic<std::size_t> external_cursor_{0};

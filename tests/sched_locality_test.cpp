@@ -1,0 +1,206 @@
+// Continuation stealing: where does newly-ready dependent work actually
+// run? These tests pin down the SubmitHint routing contract —
+//  - a dependsOn successor released by a pool worker lands on that worker's
+//    own deque (and, with no siblings, runs on that very thread);
+//  - non-worker completers (the main thread here, the EDT in production)
+//    fall back to the injection queue, counted;
+//  - the hinted-local soft cap spills to injection without losing or
+//    double-running a single cell;
+//  - deep continuation cascades trampoline through the worker deque instead
+//    of growing the completing thread's stack;
+//  - 10k-deep dependsOn chains stay clean under TSan (this suite is in the
+//    tier-1 TSan gate).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "ptask/ptask.hpp"
+#include "sched/completion.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace parc::sched {
+namespace {
+
+// A single-worker runtime makes the hand-off deterministic: there is no
+// sibling to steal the successor, and the asserting thread never helps (it
+// polls an atomic instead of calling get(), which would let the main thread
+// run pool jobs and race the worker for the successor).
+TEST(SchedLocality, DependentRunsOnCompletingWorkerThread) {
+  ptask::Runtime rt(ptask::Runtime::Config{.workers = 1});
+  const auto base = rt.pool().stats();
+  std::atomic<bool> release{false};
+  std::atomic<std::thread::id> pred_tid{};
+  std::atomic<std::thread::id> succ_tid{};
+  // Gate the predecessor until the successor is fully wired: its completion
+  // must happen on the worker, after run_after registered the dependence.
+  auto a = ptask::run(rt, [&] {
+    pred_tid.store(std::this_thread::get_id(), std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  auto b = ptask::run_after(
+      rt,
+      [&] {
+        succ_tid.store(std::this_thread::get_id(), std::memory_order_release);
+      },
+      a);
+  release.store(true, std::memory_order_release);
+  while (succ_tid.load(std::memory_order_acquire) == std::thread::id{}) {
+    std::this_thread::yield();
+  }
+  b.get();
+  EXPECT_EQ(pred_tid.load(), succ_tid.load());
+  const auto s = rt.pool().stats();
+  EXPECT_GE(s.continuation_local_pushed, base.continuation_local_pushed + 1);
+  EXPECT_EQ(s.continuation_inject_fallback, base.continuation_inject_fallback);
+}
+
+TEST(SchedLocality, NonWorkerLocalHintFallsBackToInjection) {
+  WorkStealingPool pool({1, 4, "loc-fallback"});
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true, std::memory_order_release); },
+              SubmitHint::local);  // main thread: not a worker
+  while (!ran.load(std::memory_order_acquire)) std::this_thread::yield();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.continuation_inject_fallback, 1u);
+  EXPECT_EQ(s.continuation_local_pushed, 0u);
+}
+
+// The ptask-level spelling of the same fallback: when every dependence is
+// already satisfied at run_after time, the successor is released by the
+// spawning (main) thread, not a worker.
+TEST(SchedLocality, ReleaseFromNonWorkerFallsBackToInjection) {
+  ptask::Runtime rt(ptask::Runtime::Config{.workers = 1});
+  const auto base = rt.pool().stats();
+  auto a = ptask::run(rt, [] {});
+  a.get();
+  auto b = ptask::run_after(rt, [] {}, a);
+  b.get();
+  const auto s = rt.pool().stats();
+  EXPECT_GE(s.continuation_inject_fallback,
+            base.continuation_inject_fallback + 1);
+}
+
+TEST(SchedLocality, RemoteHintFromWorkerBypassesOwnDeque) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 1;
+  cfg.name = "loc-remote";
+  WorkStealingPool pool(cfg);
+  std::atomic<bool> ran{false};
+  pool.submit([&pool, &ran] {
+    pool.submit([&ran] { ran.store(true, std::memory_order_release); },
+                SubmitHint::remote);
+  });
+  while (!ran.load(std::memory_order_acquire)) std::this_thread::yield();
+  const auto s = pool.stats();
+  // The remote hint must not touch the continuation-stealing counters; the
+  // job still runs (the worker drains its own injection queue).
+  EXPECT_EQ(s.continuation_local_pushed, 0u);
+  EXPECT_EQ(s.deque_overflows, 0u);
+}
+
+TEST(SchedLocality, DequeOverflowSpillsWithoutLosingOrDoublingJobs) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 1;
+  cfg.name = "loc-overflow";
+  cfg.local_queue_soft_cap = 16;
+  WorkStealingPool pool(cfg);
+  constexpr int kJobs = 400;
+  std::atomic<int> ran{0};
+  pool.submit([&pool, &ran] {
+    for (int i = 0; i < kJobs; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                  SubmitHint::local);
+    }
+  });
+  while (ran.load(std::memory_order_acquire) < kJobs) {
+    std::this_thread::yield();
+  }
+  // Settle before the exact-count check: a double-run would land shortly
+  // after the threshold is crossed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ran.load(std::memory_order_acquire), kJobs);
+  const auto s = pool.stats();
+  EXPECT_GE(s.deque_overflows, 1u);
+  EXPECT_GE(s.continuation_local_pushed, 1u);
+  EXPECT_EQ(s.continuation_local_pushed + s.deque_overflows,
+            static_cast<std::uint64_t>(kJobs));
+}
+
+// Chained completions on a worker must not recurse unboundedly: past the
+// inline depth budget, nodes hop through the worker's deque (each hop
+// restarts at depth zero). 4096 links would overflow a thread stack if
+// every link nested a complete() frame.
+TEST(SchedLocality, ContinuationCascadeTrampolinesThroughWorkerDeque) {
+  WorkStealingPool pool({1, 4, "loc-tramp"});
+  constexpr std::size_t kDepth = 4096;
+  std::vector<std::unique_ptr<Completion>> chain(kDepth);
+  for (auto& c : chain) c = std::make_unique<Completion>();
+  for (std::size_t i = 0; i + 1 < kDepth; ++i) {
+    chain[i]->add_continuation(
+        [next = chain[i + 1].get()]() noexcept { next->complete(); });
+  }
+  std::atomic<bool> done{false};
+  chain[kDepth - 1]->add_continuation(
+      [&done]() noexcept { done.store(true, std::memory_order_release); });
+  pool.submit([&chain] { chain[0]->complete(); });
+  // The chain is linear, so the final node running implies every earlier
+  // node (including every handed-off hop) already ran.
+  while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+  // Destruction safety: an inline-nested complete() frame does its final
+  // state-word RMW only after the frames it nested return, so `done` alone
+  // does not mean every complete() has exited. wait() returning does (the
+  // RMW is complete()'s last access) — wait on every link before the
+  // vector goes out of scope.
+  for (auto& c : chain) c->wait();
+  const auto s = pool.stats();
+  EXPECT_GE(s.continuation_local_pushed, 1u);
+}
+
+TEST(SchedLocality, DeepDependsOnChainCompletesExactlyOnce) {
+  ptask::Runtime rt(ptask::Runtime::Config{.workers = 2});
+  constexpr int kDepth = 10000;
+  std::atomic<int> count{0};
+  auto tick = [&count] { count.fetch_add(1, std::memory_order_relaxed); };
+  auto t = ptask::run(rt, tick);
+  for (int i = 1; i < kDepth; ++i) {
+    t = ptask::run_after(rt, tick, t);
+  }
+  t.get();
+  EXPECT_EQ(count.load(), kDepth);
+}
+
+TEST(SchedLocality, HandOffDecisionsEmitTraceEvents) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with PARC_TRACE=OFF";
+  WorkStealingPool pool({1, 4, "loc-trace"});
+  obs::TraceSession session;
+  std::atomic<int> ran{0};
+  pool.submit([&pool, &ran] {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                SubmitHint::local);
+  });
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+              SubmitHint::local);  // non-worker: fallback
+  while (ran.load(std::memory_order_acquire) < 2) std::this_thread::yield();
+  const obs::TraceDump dump = session.end();
+  std::size_t local_pushes = 0;
+  std::size_t fallbacks = 0;
+  for (const auto& track : dump.tracks) {
+    for (const auto& e : track.events) {
+      if (e.kind == obs::EventKind::kContLocalPush) ++local_pushes;
+      if (e.kind == obs::EventKind::kContInjectFallback) ++fallbacks;
+    }
+  }
+  EXPECT_GE(local_pushes, 1u);
+  EXPECT_GE(fallbacks, 1u);
+}
+
+}  // namespace
+}  // namespace parc::sched

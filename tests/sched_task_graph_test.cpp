@@ -64,6 +64,34 @@ TEST(JoinLatch, ParkedWaitWakesOnLastDone) {
   EXPECT_TRUE(woke.load(std::memory_order_acquire));
 }
 
+TEST(JoinLatch, DoneNRetiresABatchInOneStep) {
+  JoinLatch j;
+  j.add(8);
+  j.done_n(3);
+  EXPECT_EQ(j.outstanding(), 5u);
+  EXPECT_FALSE(j.idle());
+  j.done_n(0);  // no-op by contract
+  EXPECT_EQ(j.outstanding(), 5u);
+  j.done_n(5);
+  EXPECT_TRUE(j.idle());
+  j.wait(nullptr);  // must not block
+}
+
+TEST(JoinLatch, DoneNWakesParkedWaiterOnExactZero) {
+  JoinLatch j;
+  j.add(4);
+  std::atomic<bool> woke{false};
+  std::thread waiter([&j, &woke] {
+    j.wait(nullptr);  // no pool: parks on the count word
+    woke.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load(std::memory_order_acquire));
+  j.done_n(4);  // one RMW, one notify for the whole batch
+  waiter.join();
+  EXPECT_TRUE(woke.load(std::memory_order_acquire));
+}
+
 TEST(JoinLatch, ReusableAcrossCycles) {
   JoinLatch j;
   for (int cycle = 0; cycle < 3; ++cycle) {
