@@ -24,6 +24,7 @@
 
 #include "bench_util.hpp"
 #include "obs/trace.hpp"
+#include "pj/parallel.hpp"
 #include "sched/chase_lev_deque.hpp"
 #include "sched/completion.hpp"
 #include "sched/mpsc_queue.hpp"
@@ -314,6 +315,31 @@ double measure_parked_wakeup_local_push(std::size_t rounds) {
         static_cast<double>(ran_at.load(std::memory_order_acquire) -
                             pushed_at.load(std::memory_order_acquire)) /
         1000.0);
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+// --- pj region fork/join: flat vs depth-2 nested ---------------------------
+//
+// What one `pj::region(2, ...)` fork+join costs, and what opening an inner
+// region(2) from thread 0 adds on top. The outer fork is a std::thread spawn
+// (level-0 regions keep the spawn path); the inner fork is the pool-routed
+// exclusive-job path, so depth2 − flat ≈ reservation + 1 exclusive submit +
+// pool-helped inner join. Median over rounds: the outer spawn is an OS
+// thread-create and a single descheduled round would dominate a mean.
+double measure_region_forkjoin_us(std::size_t rounds, bool nested) {
+  std::vector<double> samples;
+  samples.reserve(rounds);
+  for (std::size_t r = 0; r < rounds + 8; ++r) {  // 8 warmup rounds
+    Stopwatch sw;
+    pj::region(2, [nested](pj::Team& team) {
+      if (nested && team.thread_num() == 0) {
+        pj::region(2, [](pj::Team&) {});
+      }
+    });
+    if (r >= 8) samples.push_back(sw.elapsed_us());
   }
   std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
                    samples.end());
@@ -695,6 +721,27 @@ int main(int argc, char** argv) {
         .cell(wakeup_local_us, 1)
         .cell("-");
 
+    // pj nested-region cost: what an inner region(2) adds over a flat
+    // region(2). The delta is the pool-routed inner fork/join (reserve +
+    // exclusive submit + helped join), not a second thread spawn.
+    const double region_flat_us = measure_region_forkjoin_us(200, false);
+    const double region_depth2_us = measure_region_forkjoin_us(200, true);
+    table.add_row()
+        .cell("pj region(2) fork+join, flat (us)")
+        .cell("-")
+        .cell(region_flat_us, 1)
+        .cell("-");
+    table.add_row()
+        .cell("pj region(2) fork+join, depth 2 (us)")
+        .cell("-")
+        .cell(region_depth2_us, 1)
+        .cell("-");
+    table.add_row()
+        .cell("  inner-region fork/join delta (us)")
+        .cell("-")
+        .cell(region_depth2_us - region_flat_us, 1)
+        .cell("-");
+
     // --- tracing overhead: the obs acceptance gates ----------------------
     // Idle gate: one relaxed load + predicted branch, budgeted at <= 5 ns.
     const double gate_ns = measure_trace_gate_cost(kIters);
@@ -752,6 +799,8 @@ int main(int argc, char** argv) {
         .add("external_submit", external)
         .add("parked_wakeup", wakeup_us * 1000.0)
         .add("parked_wakeup_local_push", wakeup_local_us * 1000.0)
+        .add("pj_region_forkjoin_flat", region_flat_us * 1000.0)
+        .add("pj_region_forkjoin_depth2", region_depth2_us * 1000.0)
         .add("seed_complete_cycle", seed_complete)
         .add("core_complete_cycle", core_complete)
         .add("seed_notify_one", seed_notify)

@@ -7,9 +7,25 @@
 # and the obs trace buffers honest about lifetimes.
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]
+#        scripts/tier1.sh --label <ctest-label> [build-dir-prefix]
+#
+# The --label form is the fast inner-loop path: plain build + only the
+# suites carrying that ctest label (e.g. `--label pj` for the Pyjama
+# suites), skipping the sanitizer passes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--label" ]]; then
+  LABEL="${2:?usage: tier1.sh --label <ctest-label> [build-dir-prefix]}"
+  PREFIX="${3:-build}"
+  echo "== tier-1 fast path: label '${LABEL}' =="
+  cmake -B "${PREFIX}" -S . >/dev/null
+  cmake --build "${PREFIX}" -j"$(nproc)"
+  ctest --test-dir "${PREFIX}" --output-on-failure -j2 -L "${LABEL}"
+  exit 0
+fi
+
 PREFIX="${1:-build}"
 
 echo "== tier-1: plain build + full ctest =="
@@ -24,7 +40,7 @@ TSAN_SUITES=(
   sched_locality_test
   obs_trace_test obs_roundtrip_test
   ptask_test ptask_multi_test ptask_pipeline_test ptask_graph_test
-  pj_sync_test
+  pj_sync_test pj_nested_test pj_nested_stress_test
   conc_collections_test conc_tasksafe_test conc_cow_test
 )
 cmake -B "${PREFIX}-tsan" -S . -DPARC_SANITIZE=thread \

@@ -32,6 +32,9 @@ KindInfo kind_info(EventKind kind) {
     case EventKind::kDepEdge:      return {"i", "dep", "task", false};
     case EventKind::kRegionBegin:  return {"B", "region", "pj", true};
     case EventKind::kRegionEnd:    return {"E", "region", "pj", true};
+    case EventKind::kRegionFork:   return {"i", "region-fork", "pj", true};
+    case EventKind::kSpawnFallback:
+      return {"i", "spawn-fallback", "pj", true};
     case EventKind::kBarrierBegin: return {"B", "barrier", "pj", false};
     case EventKind::kBarrierEnd:   return {"E", "barrier", "pj", false};
     case EventKind::kEdtPost:      return {"i", "post", "gui", false};

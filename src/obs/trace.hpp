@@ -58,6 +58,9 @@ enum class EventKind : std::uint8_t {
   // Pyjama structure.
   kRegionBegin,  ///< id = region id, arg = team size (per member thread)
   kRegionEnd,    ///< id = region id, arg = member index
+  kRegionFork,   ///< id = parent region id (0 = top level), arg = child id
+  kSpawnFallback,  ///< id = region id, arg = member count — pool saturated,
+                   ///< inner-region members spawned as raw threads
   kBarrierBegin, ///< id = barrier identity
   kBarrierEnd,   ///< id = barrier identity
   // GUI event-dispatch thread.

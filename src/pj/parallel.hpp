@@ -1,11 +1,31 @@
 // Pyjama parallel constructs: `region` (omp parallel), worksharing loops
 // (omp for with schedules), and combined parallel-for.
 //
-// A region forks a fresh team — the calling thread participates as thread 0
-// and `size-1` joined std::threads are spawned for the rest, the classic
-// fork-join model. Exceptions thrown by any team thread are captured and the
-// first one is rethrown on the calling thread after the join (OpenMP leaves
-// this undefined; Pyjama's documented behaviour is to propagate).
+// A region forks a fresh team — the calling thread participates as thread 0,
+// the classic fork-join model. Exceptions thrown by any team thread are
+// captured and the first one is rethrown on the calling thread after the
+// join (OpenMP leaves this undefined; Pyjama's documented behaviour is to
+// propagate).
+//
+// Regions nest: a team member that opens an inner region becomes thread 0
+// of a fresh inner team, and the thread's membership stack (Team::Ancestry)
+// records the whole chain for level()/ancestor_thread_num() introspection.
+// Where the extra threads come from depends on depth:
+//  - an *outermost* region (level() == 0) spawns joined std::threads, so a
+//    program's top-level fork never competes with its own task pool;
+//  - an *inner* region routes member bodies through the shared
+//    sched::WorkStealingPool as exclusive jobs after reserving blocking
+//    capacity (one unit per member that may sit at a team barrier, plus one
+//    when the encountering thread is itself a pool worker). Member 0 — the
+//    encountering thread — joins the inner team through a pool-helped
+//    JoinLatch wait, so a worker opening a region keeps draining ordinary
+//    work while its inner team runs. If the reservation fails (pool
+//    saturated with other teams), the region falls back to spawning raw
+//    threads — counted in NestedStats and traced as kSpawnFallback — rather
+//    than risk more blocked members than workers;
+//  - a region past the settings cap (max_active_levels / set_nested(false))
+//    is *serialized*: it still runs as a real Team of one (barriers,
+//    single, tasks, introspection all behave), just on the calling thread.
 #pragma once
 
 #include <exception>
@@ -25,23 +45,108 @@
 
 namespace parc::pj {
 
+namespace detail {
+
+/// Fork `team`'s members 1..N-1 as joined std::threads; the calling thread
+/// runs member 0. Used for outermost regions and as the inner-region
+/// fallback when the pool has no blocking capacity left. Members inherit
+/// the encountering thread's membership stack (empty at top level).
+template <typename Member>
+void spawn_members(Team& team, Member& member) {
+  const auto num_threads = static_cast<std::size_t>(team.num_threads());
+  const Team::Ancestry ancestry = Team::capture_ancestry();
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    threads.emplace_back([&member, &ancestry, i] {
+      Team::AncestryScope chain(ancestry);
+      member(static_cast<int>(i));
+    });
+  }
+  member(0);
+  for (auto& t : threads) t.join();
+}
+
+/// Fork an inner region's members through the shared task pool. Each member
+/// body is an *exclusive* pool job (only ever started on a fresh top-level
+/// worker frame — a helping waiter must never bury a team member under
+/// another blocked frame on the same stack), admitted only after reserving
+/// blocking capacity: one unit per submitted member, plus one for the
+/// encountering thread when it is itself a worker of this pool, so the
+/// number of workers that can end up waiting inside member frames never
+/// reaches the worker count and a queued member always finds a free worker.
+/// Member 0 runs inline; its join helps drain the pool (never parks).
+/// When the reservation fails the region falls back to spawn_members,
+/// counted and traced so saturation is visible.
+template <typename Member>
+void run_inner_members(Team& team, Member& member, std::uint64_t region_id) {
+  auto& pool = task_pool();
+  const auto helpers = static_cast<std::size_t>(team.num_threads()) - 1;
+  const std::size_t tokens =
+      helpers + (sched::WorkStealingPool::current_pool() == &pool ? 1 : 0);
+  if (!pool.try_reserve_capacity(tokens)) {
+    count_inner_region(/*pooled=*/false, helpers);
+    if (obs::tracing() && region_id != 0) [[unlikely]] {
+      obs::emit(obs::EventKind::kSpawnFallback, region_id, helpers);
+    }
+    spawn_members(team, member);
+    return;
+  }
+  count_inner_region(/*pooled=*/true, helpers);
+  const Team::Ancestry ancestry = Team::capture_ancestry();
+  sched::JoinLatch join;
+  join.add(helpers);
+  for (std::size_t i = 1; i <= helpers; ++i) {
+    pool.submit_exclusive([&member, &ancestry, &join, i] {
+      {
+        Team::AncestryScope chain(ancestry);
+        member(static_cast<int>(i));
+      }
+      join.done();
+    });
+  }
+  member(0);
+  join.wait(&pool);  // pool-helped inner join
+  pool.release_capacity(tokens);
+}
+
+}  // namespace detail
+
 /// Execute `body(team)` on a team of `num_threads` threads. Returns when all
-/// team members have finished (implicit barrier, threads joined).
+/// team members have finished (implicit barrier, threads joined). May be
+/// called from inside another region's body — see the nesting model in the
+/// header comment.
 template <typename F>
 void region(std::size_t num_threads, F&& body) {
   PARC_CHECK(num_threads >= 1);
-  Team team(num_threads);
+  const int enclosing_level = level();
+  const int enclosing_active = active_level();
+  // Settings cap: a region that would exceed max_active_levels runs
+  // serialized — a real team, one thread.
+  if (num_threads > 1 && enclosing_active >= max_active_levels()) {
+    detail::count_serialized_region();
+    num_threads = 1;
+  }
+  Team team(num_threads, enclosing_level + 1,
+            enclosing_active + (num_threads > 1 ? 1 : 0));
   sched::FirstError first_error;  // lock-free first-failure capture
 
   // One region id shared by every member's begin/end pair, so a viewer can
-  // correlate the fork/join across team threads.
+  // correlate the fork/join across team threads; the fork event links the
+  // child region to its parent so traces can rebuild the region tree.
   const std::uint64_t region_id = obs::tracing() ? obs::next_id() : 0;
+  if (region_id != 0) [[unlikely]] {
+    team.set_trace_region_id(region_id);
+    const Team* parent = Team::current();
+    obs::emit(obs::EventKind::kRegionFork,
+              parent != nullptr ? parent->trace_region_id() : 0, region_id);
+  }
 
   auto member = [&](int index) {
     Team::MembershipScope scope(team, index);
     if (obs::tracing() && region_id != 0) [[unlikely]] {
       obs::emit(obs::EventKind::kRegionBegin, region_id,
-                static_cast<std::uint64_t>(num_threads));
+                static_cast<std::uint64_t>(team.num_threads()));
     }
     try {
       body(team);
@@ -61,13 +166,15 @@ void region(std::size_t num_threads, F&& body) {
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads - 1);
-  for (std::size_t i = 1; i < num_threads; ++i) {
-    threads.emplace_back(member, static_cast<int>(i));
+  if (num_threads == 1) {
+    // Serialized / single-thread team: the encountering thread is the whole
+    // team. Still a real membership (level, barriers, taskwait).
+    member(0);
+  } else if (enclosing_level > 0) {
+    detail::run_inner_members(team, member, region_id);
+  } else {
+    detail::spawn_members(team, member);
   }
-  member(0);
-  for (auto& t : threads) t.join();
 
   if (auto err = first_error.take()) std::rethrow_exception(err);
 }
@@ -83,24 +190,17 @@ void region(F&& body) {
 /// `body(i)` runs once for every i in [begin, end); implicit barrier at the
 /// end unless nowait.
 ///
-/// nowait caveat (as in OpenMP): a nowait loop must not be followed by
-/// another worksharing construct on the same team without an intervening
-/// barrier, because the shared dispenser slot is reused.
+/// The chunk dispenser is published per-construct through the team's
+/// workshare ring (see Team::workshare), so a nowait loop may be followed
+/// by further worksharing constructs — or a whole inner parallel region —
+/// without an intervening barrier.
 template <typename F>
 void for_loop(Team& team, std::int64_t begin, std::int64_t end, F&& body,
               ForOptions opts = {}, bool nowait = false) {
-  // The single() winner installs the shared chunk dispenser; single's
-  // implicit barrier publishes it to every team member before any iterates.
-  team.single([&] {
-    team.set_workshare_slot(std::make_shared<ChunkSource>(
-        begin, end, static_cast<std::size_t>(team.num_threads()), opts));
+  auto source = team.workshare<ChunkSource>([&] {
+    return std::make_shared<ChunkSource>(
+        begin, end, static_cast<std::size_t>(team.num_threads()), opts);
   });
-  auto source = std::static_pointer_cast<ChunkSource>(team.workshare_slot());
-  PARC_CHECK(source != nullptr);
-  // With nowait, a thread that finishes its share could reach a following
-  // worksharing construct and overwrite the team slot before a slower
-  // sibling has fetched it; this barrier makes the fetch safe either way.
-  team.barrier();
 
   std::size_t local_step = 0;
   const auto tid = static_cast<std::size_t>(team.thread_num());
@@ -111,15 +211,22 @@ void for_loop(Team& team, std::int64_t begin, std::int64_t end, F&& body,
 }
 
 /// Combined `parallel for`: forks a team and workshares [begin, end).
+///
+/// num_threads == 1 contract: the degenerate case is a *real region* with a
+/// team of one, not a bare loop — inside `body`, Team::current() is
+/// non-null, level() is one deeper than the caller's, thread_num() is 0 and
+/// num_threads() is 1, and deferred pj::task work is retired before the
+/// call returns, exactly as for any other team size. Iterations run
+/// in order on the calling thread (every schedule degenerates on one
+/// thread); the chunk dispenser is skipped as an optimisation.
 template <typename F>
 void parallel_for(std::size_t num_threads, std::int64_t begin,
                   std::int64_t end, F&& body, ForOptions opts = {}) {
   if (begin >= end) return;
   if (num_threads == 1) {
-    // Degenerate team: no fork, no barriers, no chunk dispenser. Every
-    // schedule degenerates to in-order iteration on a team of one, so this
-    // is observably identical and skips the whole team setup cost.
-    for (std::int64_t i = begin; i < end; ++i) body(i);
+    region(1, [&](Team&) {
+      for (std::int64_t i = begin; i < end; ++i) body(i);
+    });
     return;
   }
   region(num_threads, [&](Team& team) {

@@ -254,19 +254,14 @@ typename Reducer::value_type reduce_in_team(Team& team, std::int64_t begin,
     std::vector<Cell> partials;
     V result;
   };
-  team.single([&] {
-    auto slot = std::make_shared<Slot>();
-    slot->partials.reserve(static_cast<std::size_t>(team.num_threads()));
+  auto slot = team.workshare<Slot>([&] {
+    auto s = std::make_shared<Slot>();
+    s->partials.reserve(static_cast<std::size_t>(team.num_threads()));
     for (int i = 0; i < team.num_threads(); ++i) {
-      slot->partials.push_back(Cell{reducer.identity()});
+      s->partials.push_back(Cell{reducer.identity()});
     }
-    team.set_workshare_slot(std::move(slot));
+    return s;
   });
-  auto slot = std::static_pointer_cast<Slot>(team.workshare_slot());
-  PARC_CHECK(slot != nullptr);
-  // Everyone must hold their Slot pointer before the for_loop below installs
-  // its own dispenser in the same team slot.
-  team.barrier();
 
   const auto tid = static_cast<std::size_t>(team.thread_num());
   V& local = slot->partials[tid].value;

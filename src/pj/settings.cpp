@@ -1,6 +1,7 @@
 #include "pj/settings.hpp"
 
 #include <atomic>
+#include <climits>
 #include <mutex>
 
 #include "sched/thread_pool.hpp"
@@ -11,6 +12,9 @@ namespace {
 std::atomic<std::size_t> g_num_threads{0};  // 0 = uninitialised
 std::mutex g_opts_mutex;
 ForOptions g_for_options;  // guarded by g_opts_mutex
+
+constexpr int kUnlimitedLevels = INT_MAX;
+std::atomic<int> g_max_active_levels{kUnlimitedLevels};
 }  // namespace
 
 std::size_t default_num_threads() noexcept {
@@ -35,6 +39,21 @@ ForOptions default_for_options() noexcept {
 void set_default_for_options(ForOptions opts) noexcept {
   std::scoped_lock lock(g_opts_mutex);
   g_for_options = opts;
+}
+
+int max_active_levels() noexcept {
+  return g_max_active_levels.load(std::memory_order_acquire);
+}
+
+void set_max_active_levels(int levels) noexcept {
+  g_max_active_levels.store(levels < 0 ? 0 : levels,
+                            std::memory_order_release);
+}
+
+bool nested() noexcept { return max_active_levels() > 1; }
+
+void set_nested(bool enabled) noexcept {
+  set_max_active_levels(enabled ? kUnlimitedLevels : 1);
 }
 
 }  // namespace parc::pj

@@ -17,4 +17,17 @@ void set_default_num_threads(std::size_t n) noexcept;
 [[nodiscard]] ForOptions default_for_options() noexcept;
 void set_default_for_options(ForOptions opts) noexcept;
 
+/// omp_set_max_active_levels: cap on simultaneously *active* (>1 thread)
+/// nested regions. A region that would exceed the cap is serialized — it
+/// still runs as a real team, but with one thread. Values < 0 clamp to 0
+/// (every region serialized). Default: unlimited.
+[[nodiscard]] int max_active_levels() noexcept;
+void set_max_active_levels(int levels) noexcept;
+
+/// omp_set_nested, per the OpenMP 5.0 mapping onto max-active-levels:
+/// set_nested(false) is set_max_active_levels(1), set_nested(true) lifts
+/// the cap; nested() reports max_active_levels() > 1.
+[[nodiscard]] bool nested() noexcept;
+void set_nested(bool enabled) noexcept;
+
 }  // namespace parc::pj

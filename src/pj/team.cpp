@@ -1,17 +1,45 @@
 #include "pj/team.hpp"
 
 #include <unordered_map>
+#include <utility>
 
 namespace parc::pj {
 
 namespace {
+// Membership stack of the calling thread, outermost team first. The
+// innermost entry is mirrored into `t_team`/`t_index` so the hot accessors
+// (thread_num on every barrier/single) stay two plain TLS loads.
+thread_local Team::Ancestry t_stack;
 thread_local const Team* t_team = nullptr;
 thread_local int t_index = -1;
+
+void refresh_mirror() noexcept {
+  if (t_stack.empty()) {
+    t_team = nullptr;
+    t_index = -1;
+  } else {
+    t_team = t_stack.back().team;
+    t_index = t_stack.back().index;
+  }
+}
+
+// Nested-region fork-router counters (see NestedStats). Process-wide
+// monotonic; relaxed — counts, not synchronisation.
+std::atomic<std::uint64_t> g_inner_pooled{0};
+std::atomic<std::uint64_t> g_inner_spawned{0};
+std::atomic<std::uint64_t> g_serialized{0};
+std::atomic<std::uint64_t> g_members_pooled{0};
+std::atomic<std::uint64_t> g_members_spawned{0};
 }  // namespace
 
-Team::Team(std::size_t size)
-    : size_(size), barrier_(size), single_seq_(size, 0) {
+Team::Team(std::size_t size, int level, int active_level)
+    : size_(size),
+      level_(level),
+      active_level_(active_level >= 0 ? active_level : (size > 1 ? 1 : 0)),
+      barrier_(size),
+      single_seq_(size, 0) {
   PARC_CHECK(size >= 1);
+  PARC_CHECK(level >= 1);
 }
 
 Team::~Team() {
@@ -23,23 +51,99 @@ Team::~Team() {
 }
 
 int Team::thread_num() const {
-  PARC_CHECK_MSG(t_team == this,
-                 "thread_num() called from a thread outside this team");
-  return t_index;
+  if (t_team == this) return t_index;
+  // Not the innermost team: the caller may legitimately hold an outer
+  // membership (e.g. querying an ancestor team object directly).
+  for (auto it = t_stack.rbegin(); it != t_stack.rend(); ++it) {
+    if (it->team == this) return it->index;
+  }
+  PARC_CHECK_MSG(false, "thread_num() called from a thread outside this team");
+  return -1;
 }
 
 const Team* Team::current() noexcept { return t_team; }
 
-Team::MembershipScope::MembershipScope(const Team& team, int index) noexcept
-    : prev_team_(t_team), prev_index_(t_index) {
-  t_team = &team;
-  t_index = index;
+Team::Ancestry Team::capture_ancestry() { return t_stack; }
+
+Team::MembershipScope::MembershipScope(const Team& team, int index) {
+  t_stack.push_back(MemberRef{&team, index});
+  refresh_mirror();
 }
 
 Team::MembershipScope::~MembershipScope() {
-  t_team = prev_team_;
-  t_index = prev_index_;
+  PARC_DCHECK(!t_stack.empty());
+  t_stack.pop_back();
+  refresh_mirror();
 }
+
+Team::AncestryScope::AncestryScope(const Ancestry& ancestry)
+    : saved_(std::move(t_stack)) {
+  t_stack = ancestry;
+  refresh_mirror();
+}
+
+Team::AncestryScope::~AncestryScope() {
+  t_stack = std::move(saved_);
+  refresh_mirror();
+}
+
+void Team::publish_workshare(std::uint64_t site, std::shared_ptr<void> slot) {
+  std::scoped_lock lock(slot_mutex_);
+  WorkshareEntry& e = workshare_ring_[site % kWorkshareRing];
+  e.site = site;
+  e.slot = std::move(slot);
+}
+
+std::shared_ptr<void> Team::fetch_workshare(std::uint64_t site) const {
+  std::scoped_lock lock(slot_mutex_);
+  const WorkshareEntry& e = workshare_ring_[site % kWorkshareRing];
+  return e.site == site ? e.slot : nullptr;
+}
+
+int level() noexcept { return static_cast<int>(t_stack.size()); }
+
+int active_level() noexcept {
+  return t_stack.empty() ? 0 : t_stack.back().team->active_level();
+}
+
+int ancestor_thread_num(int lvl) noexcept {
+  if (lvl == 0) return 0;  // the initial thread
+  if (lvl < 0 || static_cast<std::size_t>(lvl) > t_stack.size()) return -1;
+  return t_stack[static_cast<std::size_t>(lvl) - 1].index;
+}
+
+const Team* ancestor_team(int lvl) noexcept {
+  if (lvl < 1 || static_cast<std::size_t>(lvl) > t_stack.size()) {
+    return nullptr;
+  }
+  return t_stack[static_cast<std::size_t>(lvl) - 1].team;
+}
+
+NestedStats nested_stats() noexcept {
+  NestedStats s;
+  s.inner_pooled = g_inner_pooled.load(std::memory_order_relaxed);
+  s.inner_spawned = g_inner_spawned.load(std::memory_order_relaxed);
+  s.serialized = g_serialized.load(std::memory_order_relaxed);
+  s.members_pooled = g_members_pooled.load(std::memory_order_relaxed);
+  s.members_spawned = g_members_spawned.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace detail {
+void count_inner_region(bool pooled, std::size_t members) noexcept {
+  if (pooled) {
+    g_inner_pooled.fetch_add(1, std::memory_order_relaxed);
+    g_members_pooled.fetch_add(members, std::memory_order_relaxed);
+  } else {
+    g_inner_spawned.fetch_add(1, std::memory_order_relaxed);
+    g_members_spawned.fetch_add(members, std::memory_order_relaxed);
+  }
+}
+
+void count_serialized_region() noexcept {
+  g_serialized.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 std::mutex& Team::critical_mutex(const std::string& name) {
   // Process-global registry, exactly mirroring OpenMP's named criticals.

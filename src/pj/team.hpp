@@ -10,6 +10,15 @@
 // CAS on a monotonic high-water mark, and deferred-task accounting is a
 // sched::JoinLatch with built-in lock-free first-error capture. No
 // condition_variable appears anywhere in the team's hot paths.
+//
+// Nesting model: each thread carries a *stack* of team memberships
+// (innermost last). A member of a team that opens an inner region becomes
+// thread 0 of the inner team; the other inner members inherit the
+// encountering thread's whole stack (capture_ancestry / AncestryScope), so
+// omp_get_ancestor_thread_num-style introspection works from any depth.
+// Every synchronisation construct (barrier, single/sections sites, ordered
+// tickets, the worksharing ring) lives on the Team *instance*, so an inner
+// team's claim sites can never alias the outer team's.
 #pragma once
 
 #include <atomic>
@@ -54,7 +63,12 @@ class OrderedContext {
 
 class Team {
  public:
-  explicit Team(std::size_t size);
+  /// `level` is the 1-based nesting depth of the region this team executes
+  /// (1 = outermost); `active_level` counts enclosing teams — including this
+  /// one — with more than one thread (omp_get_active_level). The default
+  /// `active_level = -1` derives it from the team size, which is right for
+  /// directly-constructed teams outside region().
+  explicit Team(std::size_t size, int level = 1, int active_level = -1);
   ~Team();
 
   Team(const Team&) = delete;
@@ -66,6 +80,12 @@ class Team {
   [[nodiscard]] int num_threads() const noexcept {
     return static_cast<int>(size_);
   }
+  /// 1-based nesting depth of this team's region (omp_get_level as seen by
+  /// its members).
+  [[nodiscard]] int level() const noexcept { return level_; }
+  /// Number of enclosing parallel regions, this one included, with more
+  /// than one thread (omp_get_active_level as seen by its members).
+  [[nodiscard]] int active_level() const noexcept { return active_level_; }
 
   /// Block until every team member arrives (OpenMP `barrier`).
   void barrier() {
@@ -120,36 +140,89 @@ class Team {
   void sections(const std::vector<std::function<void()>>& bodies,
                 bool nowait = false);
 
-  /// Internal: region runner binds the calling thread to `index`.
+  /// One entry of a thread's membership stack: which team, and the calling
+  /// thread's index within it.
+  struct MemberRef {
+    const Team* team = nullptr;
+    int index = -1;
+  };
+  /// A snapshot of a thread's whole membership stack, outermost first.
+  /// Inner-region members install the encountering thread's snapshot so
+  /// ancestor introspection works from any depth (see AncestryScope).
+  using Ancestry = std::vector<MemberRef>;
+
+  /// Internal: region runner binds the calling thread to `index`, pushing
+  /// one entry onto the thread's membership stack.
   class MembershipScope {
    public:
-    MembershipScope(const Team& team, int index) noexcept;
+    MembershipScope(const Team& team, int index);
     ~MembershipScope();
     MembershipScope(const MembershipScope&) = delete;
     MembershipScope& operator=(const MembershipScope&) = delete;
-
-   private:
-    const Team* prev_team_;
-    int prev_index_;
   };
 
-  /// Team the calling thread currently belongs to (nullptr outside regions).
+  /// Internal: installs `ancestry` as the calling thread's membership stack
+  /// for the scope's lifetime (restoring the previous stack on exit). Used
+  /// for inner-region member bodies running on pool workers or fallback
+  /// threads, whose own stack is unrelated to the encountering thread's.
+  class AncestryScope {
+   public:
+    explicit AncestryScope(const Ancestry& ancestry);
+    ~AncestryScope();
+    AncestryScope(const AncestryScope&) = delete;
+    AncestryScope& operator=(const AncestryScope&) = delete;
+
+   private:
+    Ancestry saved_;
+  };
+
+  /// Copy of the calling thread's membership stack (empty outside regions).
+  [[nodiscard]] static Ancestry capture_ancestry();
+
+  /// Innermost team the calling thread belongs to (nullptr outside regions).
   [[nodiscard]] static const Team* current() noexcept;
 
-  /// Worksharing rendezvous slot: the single() winner of a worksharing
-  /// construct installs the shared dispenser here; the single's implicit
-  /// barrier publishes it to the rest of the team. Type-erased so Team does
-  /// not depend on loop machinery.
-  void set_workshare_slot(std::shared_ptr<void> slot) {
-    std::scoped_lock lock(slot_mutex_);
-    workshare_slot_ = std::move(slot);
+  /// Worksharing-construct rendezvous. Every team thread passes worksharing
+  /// constructs in the same order (an OpenMP requirement), so each thread's
+  /// own monotonic site counter names the construct; the first thread to
+  /// claim the site publishes the construct's shared state into a small
+  /// per-team ring keyed by site, and the publication barrier makes it
+  /// visible team-wide. Per-construct (not per-team-singleton) publication
+  /// means a later nowait construct — or anything run between a nowait loop
+  /// and its barrier — can never clobber a slot a slower thread still needs.
+  ///
+  /// `make_slot()` is invoked on exactly one thread and must return a
+  /// `std::shared_ptr<T>`. All threads return the same pointer.
+  template <typename T, typename Factory>
+  [[nodiscard]] std::shared_ptr<T> workshare(Factory&& make_slot) {
+    const auto tid = static_cast<std::size_t>(thread_num());
+    const std::uint64_t site = single_seq_[tid]++;
+    if (claim_site(site)) {
+      publish_workshare(site, std::forward<Factory>(make_slot)());
+    }
+    barrier();  // publication barrier: slot visible team-wide after this
+    auto slot = std::static_pointer_cast<T>(fetch_workshare(site));
+    PARC_CHECK_MSG(slot != nullptr, "workshare slot missing for site");
+    return slot;
   }
-  [[nodiscard]] std::shared_ptr<void> workshare_slot() const {
-    std::scoped_lock lock(slot_mutex_);
-    return workshare_slot_;
+
+  /// Trace identity of the region this team executes (0 when untraced).
+  /// Written once by region() before any member starts.
+  void set_trace_region_id(std::uint64_t id) noexcept {
+    trace_region_id_ = id;
+  }
+  [[nodiscard]] std::uint64_t trace_region_id() const noexcept {
+    return trace_region_id_;
   }
 
  private:
+  /// Ring-buffer backing for workshare(): entries are keyed by claim site.
+  /// Publication-barrier ordering bounds the construct skew between the
+  /// fastest and slowest thread to one in-flight construct, so a 4-deep
+  /// ring can never wrap onto a site a thread has yet to fetch.
+  void publish_workshare(std::uint64_t site, std::shared_ptr<void> slot);
+  [[nodiscard]] std::shared_ptr<void> fetch_workshare(std::uint64_t site) const;
+
   /// Lock-free claim of single/sections site `site`: one CAS on a monotonic
   /// high-water mark, replacing the old mutex + claimed-set. Valid because
   /// every team thread passes the same claim sites in the same order (an
@@ -167,13 +240,21 @@ class Team {
   static std::mutex& critical_mutex(const std::string& name);
 
   const std::size_t size_;
+  const int level_;
+  const int active_level_;
+  std::uint64_t trace_region_id_ = 0;  // set before members start, else const
   Barrier barrier_;
 
   alignas(kCacheLineSize) std::atomic<std::uint64_t> single_hwm_{0};
   std::vector<std::uint64_t> single_seq_;  // one slot per thread, own-slot access
 
+  struct WorkshareEntry {
+    std::uint64_t site = ~std::uint64_t{0};
+    std::shared_ptr<void> slot;
+  };
+  static constexpr std::size_t kWorkshareRing = 4;
   mutable std::mutex slot_mutex_;
-  std::shared_ptr<void> workshare_slot_;  // guarded by slot_mutex_
+  WorkshareEntry workshare_ring_[kWorkshareRing];  // guarded by slot_mutex_
 
   // Deferred-task accounting for pj::task / pj::taskwait (tasks.hpp): a
   // JoinLatch (count + park epoch + first-error slot), cache-line padded
@@ -182,6 +263,42 @@ class Team {
   friend class TaskAccounting;
   sched::JoinLatch tasks_;
 };
+
+/// omp_get_level(): nesting depth of the calling thread — the number of
+/// enclosing parallel regions (0 outside any region).
+[[nodiscard]] int level() noexcept;
+
+/// omp_get_active_level(): enclosing regions executing with more than one
+/// thread.
+[[nodiscard]] int active_level() noexcept;
+
+/// omp_get_ancestor_thread_num(level): the calling thread's thread-num
+/// within the enclosing region at depth `lvl` (1 = outermost). Returns 0
+/// for lvl == 0 (the initial thread) and -1 when `lvl` is out of range —
+/// exactly OpenMP's contract. ancestor_thread_num(level()) == the current
+/// thread_num().
+[[nodiscard]] int ancestor_thread_num(int lvl) noexcept;
+
+/// The team at nesting depth `lvl` on the calling thread's membership
+/// stack (1 = outermost, level() = innermost); nullptr out of range.
+/// `ancestor_team(lvl)->num_threads()` is omp_get_team_size(lvl).
+[[nodiscard]] const Team* ancestor_team(int lvl) noexcept;
+
+/// Process-wide counters for the nested-region fork router in region():
+/// how inner regions were executed. Monotonic; read deltas in tests.
+struct NestedStats {
+  std::uint64_t inner_pooled = 0;     ///< inner regions run on pool workers
+  std::uint64_t inner_spawned = 0;    ///< pool saturated → raw thread spawn
+  std::uint64_t serialized = 0;       ///< capped by max_active_levels/nested
+  std::uint64_t members_pooled = 0;   ///< member bodies submitted to the pool
+  std::uint64_t members_spawned = 0;  ///< member bodies given raw threads
+};
+[[nodiscard]] NestedStats nested_stats() noexcept;
+
+namespace detail {
+void count_inner_region(bool pooled, std::size_t members) noexcept;
+void count_serialized_region() noexcept;
+}  // namespace detail
 
 /// Internal handle used by the task layer to tick the team's counter and
 /// funnel task-body exceptions back to taskwait. Thin forwarding onto the

@@ -78,8 +78,13 @@ WorkStealingPool::~WorkStealingPool() {
   for (auto& t : threads_) t.join();
   // Drain anything submitted after the workers left. Running (rather than
   // discarding) keeps the contract that every submitted job eventually
-  // executes, so external waiters cannot hang on destruction.
+  // executes, so external waiters cannot hang on destruction. Exclusive
+  // jobs get the same treatment: with the workers gone there is no frame
+  // below this one that could be waiting on them.
   while (try_run_one()) {
+  }
+  while (TaskCell* cell = pop_exclusive()) {
+    run_cell(cell);
   }
   // Cells are owned by slabs_ (freed with the vector) or were individually
   // heap-allocated and deleted after their run; nothing else to reclaim.
@@ -94,6 +99,28 @@ WorkStealingPool::~WorkStealingPool() {
   counters.add("sched.pool.cont_inject_fallback",
                s.continuation_inject_fallback);
   counters.add("sched.pool.deque_overflows", s.deque_overflows);
+  counters.add("sched.pool.exclusive_submitted", s.exclusive_submitted);
+  counters.add("sched.pool.reservations_granted", s.reservations_granted);
+  counters.add("sched.pool.reservations_denied", s.reservations_denied);
+}
+
+bool WorkStealingPool::try_reserve_capacity(std::size_t n) noexcept {
+  std::size_t cur = reserved_.load(std::memory_order_relaxed);
+  do {
+    if (cur + n > workers_.size()) {
+      reserve_denied_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  } while (!reserved_.compare_exchange_weak(cur, cur + n,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
+  reserve_granted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void WorkStealingPool::release_capacity(std::size_t n) noexcept {
+  PARC_DCHECK(reserved_.load(std::memory_order_relaxed) >= n);
+  reserved_.fetch_sub(n, std::memory_order_release);
 }
 
 // --------------------------------------------------------------------------
@@ -247,6 +274,16 @@ TaskCell* WorkStealingPool::pop_injected() {
   return cell;
 }
 
+TaskCell* WorkStealingPool::pop_exclusive() {
+  if (exclusive_.empty_approx()) return nullptr;
+  if (exclusive_pop_lock_.test_and_set(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  TaskCell* cell = exclusive_.try_pop();
+  exclusive_pop_lock_.clear(std::memory_order_release);
+  return cell;
+}
+
 TaskCell* WorkStealingPool::steal_from_others(std::size_t self_or_npos,
                                               Rng& rng) {
   const std::size_t n = workers_.size();
@@ -264,6 +301,14 @@ TaskCell* WorkStealingPool::steal_from_others(std::size_t self_or_npos,
     }
   }
   return nullptr;
+}
+
+TaskCell* WorkStealingPool::find_worker_job(std::size_t index) {
+  // Top-of-loop worker frames are the only consumers of the exclusive
+  // queue, and they check it first: an exclusive job is a region member
+  // that a whole team is waiting on, so it outranks ordinary backlog.
+  if (TaskCell* cell = pop_exclusive()) return cell;
+  return find_job(index);
 }
 
 TaskCell* WorkStealingPool::find_job(std::size_t self_or_npos) {
@@ -318,7 +363,7 @@ void WorkStealingPool::worker_loop(std::size_t index) {
     TaskCell* cell = nullptr;
     for (std::size_t sweep = 0; sweep < cfg_.sweeps_before_park && !cell;
          ++sweep) {
-      cell = find_job(index);
+      cell = find_worker_job(index);
       if (!cell) {
         self.steal_fails.fetch_add(1, std::memory_order_relaxed);
         if (sweep + 1 < cfg_.sweeps_before_park) std::this_thread::yield();
@@ -333,11 +378,17 @@ void WorkStealingPool::worker_loop(std::size_t index) {
     // lands after the snapshot bumps the epoch (so the wait predicate is
     // already true); one that landed before it is found by the re-scan.
     const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
-    if (TaskCell* late = find_job(index)) {
+    if (TaskCell* late = find_worker_job(index)) {
       run_cell(late);
       self.executed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // Exclusive jobs have no help_while rescue path (only top-level worker
+    // frames may run them), so a worker must not park past one. The re-scan
+    // above can miss a linked job only while another popper holds the
+    // try-lock; spinning the outer loop instead of sleeping closes that
+    // window.
+    if (!exclusive_.empty_approx()) continue;
     if (obs::tracing()) [[unlikely]] {
       obs::emit(obs::EventKind::kPark, index, 0);
     }
@@ -387,11 +438,14 @@ WorkStealingPool::Stats WorkStealingPool::stats() const {
   s.injected_high_water = injected_hw_.load(std::memory_order_relaxed);
   s.continuation_inject_fallback =
       cont_inject_fallback_.load(std::memory_order_relaxed);
+  s.exclusive_submitted = exclusive_submitted_.load(std::memory_order_relaxed);
+  s.reservations_granted = reserve_granted_.load(std::memory_order_relaxed);
+  s.reservations_denied = reserve_denied_.load(std::memory_order_relaxed);
   return s;
 }
 
 std::size_t WorkStealingPool::pending_approx() const {
-  std::size_t n = injected_.size_approx();
+  std::size_t n = injected_.size_approx() + exclusive_.size_approx();
   for (const auto& w : workers_) n += w->deque.size_approx();
   return n;
 }

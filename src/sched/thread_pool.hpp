@@ -115,6 +115,10 @@ class WorkStealingPool {
     std::uint64_t continuation_local_pushed = 0;   ///< landed on own deque
     std::uint64_t continuation_inject_fallback = 0;  ///< non-worker submitter
     std::uint64_t deque_overflows = 0;  ///< soft cap hit, spilled to inject
+    // Exclusive-job / capacity-reservation outcomes (nested pj regions).
+    std::uint64_t exclusive_submitted = 0;     ///< jobs via submit_exclusive
+    std::uint64_t reservations_granted = 0;    ///< try_reserve_capacity ok
+    std::uint64_t reservations_denied = 0;     ///< pool saturated
   };
 
   WorkStealingPool() : WorkStealingPool(Config{}) {}
@@ -188,8 +192,43 @@ class WorkStealingPool {
     submit_n(count, std::forward<Factory>(factory), SubmitHint::auto_);
   }
 
+  /// Enqueue a job that may *block its worker for long stretches* — a team
+  /// member body parking or poll-waiting at region barriers. Exclusive jobs
+  /// are taken only by workers at the top of their loop, never by
+  /// try_run_one()/help_while(): a waiter that helps can have a blocked
+  /// frame buried under it on the same stack, and running a member job
+  /// there would let that member's barrier wait on the very frame it is
+  /// sitting on (deadlock). Giving each member a fresh top-level worker
+  /// frame makes member-to-member waits acyclic.
+  ///
+  /// Callers must bound in-flight exclusive jobs with
+  /// try_reserve_capacity() first — exclusive jobs cannot be helped, so
+  /// without a reservation more members than workers would wait forever.
+  template <typename F>
+  void submit_exclusive(F&& fn) {
+    TaskCell* cell = acquire_cell();
+    cell->emplace(std::forward<F>(fn));
+    stamp_cell(cell);
+    exclusive_submitted_.fetch_add(1, std::memory_order_relaxed);
+    exclusive_.push(cell);
+    signal_work(1);
+  }
+
+  /// Reserve `n` units of blocking capacity (one unit ≈ one worker that may
+  /// sit in a blocked/poll-waiting frame). Fails — without blocking — once
+  /// the total outstanding reservation would exceed worker_count(); the
+  /// caller then falls back to spawning its own threads. Pairs with
+  /// release_capacity().
+  [[nodiscard]] bool try_reserve_capacity(std::size_t n) noexcept;
+  void release_capacity(std::size_t n) noexcept;
+  /// Currently reserved blocking capacity (tests/stats only).
+  [[nodiscard]] std::size_t reserved_capacity() const noexcept {
+    return reserved_.load(std::memory_order_acquire);
+  }
+
   /// Run one pending job on the calling thread, if any is available.
-  /// Returns false when nothing was found. Safe from any thread.
+  /// Returns false when nothing was found. Safe from any thread. Never runs
+  /// exclusive jobs (see submit_exclusive).
   bool try_run_one();
 
   /// Cooperatively wait: run pending jobs while `keep_waiting()` is true.
@@ -269,7 +308,9 @@ class WorkStealingPool {
   }
 
   void worker_loop(std::size_t index);
+  TaskCell* find_worker_job(std::size_t index);
   TaskCell* find_job(std::size_t self_or_npos);
+  TaskCell* pop_exclusive();
   TaskCell* steal_from_others(std::size_t self_or_npos, Rng& rng);
   TaskCell* pop_injected();
   void signal_work(std::size_t jobs);
@@ -292,6 +333,14 @@ class WorkStealingPool {
   MpscIntrusiveQueue<TaskCell> injected_;
   alignas(kCacheLineSize) std::atomic_flag inject_pop_lock_{};
 
+  // Exclusive jobs (submit_exclusive): drained only by worker_loop, so a
+  // member job always starts on a fresh top-level worker frame. Same
+  // lock-free MPSC + try-lock consumer discipline as `injected_`.
+  MpscIntrusiveQueue<TaskCell> exclusive_;
+  alignas(kCacheLineSize) std::atomic_flag exclusive_pop_lock_{};
+  /// Outstanding blocking-capacity reservation (≤ worker_count()).
+  alignas(kCacheLineSize) std::atomic<std::size_t> reserved_{0};
+
   // Slab arena backing the recycled cells. The mutex guards slab creation
   // only (rare); cross-thread cell returns go through the lock-free
   // `arena_free_` Treiber stack, drained wholesale by refill_freelist.
@@ -311,6 +360,9 @@ class WorkStealingPool {
   /// (EDT, main thread, cross-pool completers): written from arbitrary
   /// threads, hence pool-level rather than per-worker.
   std::atomic<std::uint64_t> cont_inject_fallback_{0};
+  std::atomic<std::uint64_t> exclusive_submitted_{0};
+  std::atomic<std::uint64_t> reserve_granted_{0};
+  std::atomic<std::uint64_t> reserve_denied_{0};
 
   // For external (non-worker) threads taking jobs: rotate steal start.
   alignas(kCacheLineSize) std::atomic<std::size_t> external_cursor_{0};

@@ -1,0 +1,211 @@
+// Randomized nesting stress for pj: region trees of random depth/width with
+// a worksharing loop (random schedule) at every node, cross-checked against
+// a sequential oracle — with and without a random max_active_levels cap,
+// which must not change the result — plus a traced nested-taskloop run
+// replayed through sim::simulate exactly like sched_task_graph_test does
+// for the raw scheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "pj/pj.hpp"
+#include "sim/machine.hpp"
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+
+namespace parc::pj {
+namespace {
+
+void spin_for_us(double us) {
+  Stopwatch sw;
+  while (sw.elapsed_us() < us) {
+  }
+}
+
+/// Deterministic per-iteration contribution; mixes level and index so a
+/// lost, duplicated, or wrongly-levelled iteration shifts the checksum.
+std::uint64_t contribution(int lvl, std::int64_t i) {
+  std::uint64_t x = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull;
+  x ^= static_cast<std::uint64_t>(lvl) << 32;
+  x ^= x >> 29;
+  return x * 0xbf58476d1ce4e5b9ull;
+}
+
+/// A pre-generated region-tree node: the shape is fixed up front so the
+/// parallel run and the sequential oracle walk the identical tree.
+struct Node {
+  int lvl = 1;
+  int width = 1;
+  std::int64_t iters = 0;
+  ForOptions opts;
+  // One optional child region per member index (the member encounters it).
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+std::unique_ptr<Node> make_tree(Rng& rng, int lvl, int max_depth) {
+  auto node = std::make_unique<Node>();
+  node->lvl = lvl;
+  node->width = static_cast<int>(rng.below(3)) + 1;  // 1..3 threads
+  node->iters = static_cast<std::int64_t>(rng.below(48)) + 16;
+  switch (rng.below(3)) {
+    case 0:
+      node->opts = {Schedule::kStatic, 0};
+      break;
+    case 1:
+      node->opts = {Schedule::kDynamic,
+                    static_cast<std::int64_t>(rng.below(4)) + 1};
+      break;
+    default:
+      node->opts = {Schedule::kGuided, 1};
+      break;
+  }
+  node->children.resize(static_cast<std::size_t>(node->width));
+  if (lvl < max_depth) {
+    for (auto& child : node->children) {
+      if (rng.below(100) < 60) child = make_tree(rng, lvl + 1, max_depth);
+    }
+  }
+  return node;
+}
+
+std::uint64_t oracle(const Node& node) {
+  std::uint64_t sum = 0;
+  for (std::int64_t i = 0; i < node.iters; ++i) {
+    sum += contribution(node.lvl, i);
+  }
+  for (const auto& child : node.children) {
+    if (child) sum += oracle(*child);
+  }
+  return sum;
+}
+
+void run_tree(const Node& node, std::atomic<std::uint64_t>& sum) {
+  region(static_cast<std::size_t>(node.width), [&](Team& team) {
+    // Introspection invariants hold at every node regardless of whether the
+    // runtime pooled, spawned, or serialized this region.
+    EXPECT_EQ(Team::current(), &team);
+    EXPECT_EQ(level(), node.lvl);  // serialization still deepens the level
+    EXPECT_EQ(ancestor_thread_num(level()), team.thread_num());
+    std::uint64_t local = 0;
+    for_loop(
+        team, 0, node.iters,
+        [&](std::int64_t i) { local += contribution(node.lvl, i); },
+        node.opts,
+        /*nowait=*/true);
+    sum.fetch_add(local, std::memory_order_relaxed);
+    // Children are distributed round-robin over the members that actually
+    // exist, so the same tree runs the same work even when a cap serialized
+    // this region to one thread; each encounter sits between the nowait
+    // loop and the closing barrier — the nesting hot path.
+    const auto nt = static_cast<std::size_t>(team.num_threads());
+    for (auto c = static_cast<std::size_t>(team.thread_num());
+         c < node.children.size(); c += nt) {
+      if (node.children[c]) run_tree(*node.children[c], sum);
+    }
+    team.barrier();
+  });
+}
+
+struct LevelsGuard {
+  int saved = max_active_levels();
+  ~LevelsGuard() { set_max_active_levels(saved); }
+};
+
+TEST(PjNestedStress, RandomRegionTreesMatchSequentialOracle) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(0xbead0000 + seed);
+    const auto tree = make_tree(rng, 1, /*max_depth=*/3);
+    const std::uint64_t expected = oracle(*tree);
+    std::atomic<std::uint64_t> sum{0};
+    run_tree(*tree, sum);
+    EXPECT_EQ(sum.load(), expected) << "seed " << seed;
+  }
+}
+
+TEST(PjNestedStress, SerializationCapDoesNotChangeResults) {
+  LevelsGuard guard;
+  Rng rng(0x5eed);
+  const auto tree = make_tree(rng, 1, /*max_depth=*/3);
+  const std::uint64_t expected = oracle(*tree);
+  for (int cap = 0; cap <= 3; ++cap) {
+    set_max_active_levels(cap);
+    std::atomic<std::uint64_t> sum{0};
+    run_tree(*tree, sum);
+    EXPECT_EQ(sum.load(), expected) << "max_active_levels " << cap;
+  }
+}
+
+TEST(PjNestedStress, RepeatedNestingReleasesAllPoolCapacity) {
+  auto& pool = task_pool();
+  Rng rng(0xcafe);
+  for (int round = 0; round < 8; ++round) {
+    const auto tree = make_tree(rng, 1, /*max_depth=*/2);
+    std::atomic<std::uint64_t> sum{0};
+    run_tree(*tree, sum);
+    EXPECT_EQ(sum.load(), oracle(*tree)) << "round " << round;
+    // Every inner join returned its blocking-capacity tokens.
+    EXPECT_EQ(pool.reserved_capacity(), 0u) << "round " << round;
+  }
+}
+
+TEST(PjNestedStress, TracedNestedTaskloopsReplayThroughTheSimulator) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  constexpr std::int64_t kIters = 8;
+  constexpr std::size_t kChunksPerLevel = 4;
+  obs::TraceDump dump;
+  std::atomic<int> count{0};
+  {
+    obs::TraceSession session;
+    region(2, [&](Team& outer) {
+      outer.master([&] {
+        taskloop(
+            outer, 0, kIters,
+            [&](std::int64_t) {
+              spin_for_us(200);
+              count.fetch_add(1, std::memory_order_relaxed);
+            },
+            kChunksPerLevel);
+      });
+      if (outer.thread_num() == 0) {
+        region(2, [&](Team& inner) {
+          inner.master([&] {
+            taskloop(
+                inner, 0, kIters,
+                [&](std::int64_t) {
+                  spin_for_us(200);
+                  count.fetch_add(1, std::memory_order_relaxed);
+                },
+                kChunksPerLevel);
+          });
+        });
+      }
+      outer.barrier();
+    });
+    dump = session.end();
+  }
+  EXPECT_EQ(count.load(), 2 * kIters);
+  // Both levels' chunk runners are recorded as (edge-free) tasks.
+  const obs::RecordedGraph graph = obs::extract_task_graph(dump);
+  ASSERT_EQ(graph.tasks.size(), 2 * kChunksPerLevel);
+  const obs::CriticalPathReport report = obs::critical_path(graph);
+  const sim::TaskDag dag = graph.to_dag();
+  // T1 == single-core makespan, T∞ == unbounded-core makespan, and greedy
+  // replay respects Graham's bound in between — same anchors as
+  // sched_task_graph_test, now across two nesting levels.
+  const auto serial = sim::simulate(dag, {1, 0.0, "p1"});
+  EXPECT_NEAR(serial.makespan_s, report.work_s, report.work_s * 1e-9);
+  const auto wide = sim::simulate(dag, {64, 0.0, "p64"});
+  EXPECT_NEAR(wide.makespan_s, report.span_s, report.span_s * 1e-9);
+  for (const std::size_t cores : {2u, 4u}) {
+    const auto out = sim::simulate(dag, {cores, 0.0, "p"});
+    EXPECT_LE(out.speedup, report.speedup_bound(cores) * (1.0 + 1e-9))
+        << "cores = " << cores;
+  }
+}
+
+}  // namespace
+}  // namespace parc::pj

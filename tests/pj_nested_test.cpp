@@ -1,0 +1,431 @@
+// Nested pj parallel regions: OpenMP conformance for level/ancestor
+// introspection, isolation of worksharing constructs between team levels,
+// max_active_levels/set_nested serialization, exception propagation through
+// nested joins, deferred tasks inside inner regions, the degenerate
+// parallel_for(1) contract, and the pool routing of inner-region members
+// (exclusive jobs + capacity reservation, with a counted spawn fallback).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "pj/pj.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/clock.hpp"
+
+namespace parc::pj {
+namespace {
+
+void spin_for_us(double us) {
+  Stopwatch sw;
+  while (sw.elapsed_us() < us) {
+  }
+}
+
+/// RAII restore for the nesting knobs, so a failing assertion cannot leak a
+/// serialization cap into later tests.
+struct LevelsGuard {
+  int saved = max_active_levels();
+  ~LevelsGuard() { set_max_active_levels(saved); }
+};
+
+TEST(PjNested, IntrospectionOutsideAnyRegion) {
+  EXPECT_EQ(Team::current(), nullptr);
+  EXPECT_EQ(level(), 0);
+  EXPECT_EQ(active_level(), 0);
+  EXPECT_EQ(ancestor_thread_num(0), 0);  // the initial thread
+  EXPECT_EQ(ancestor_thread_num(1), -1);
+  EXPECT_EQ(ancestor_team(1), nullptr);
+}
+
+TEST(PjNested, LevelsAndAncestorsThroughTwoLevels) {
+  constexpr int kOuter = 3;
+  constexpr int kInner = 2;
+  std::atomic<int> inner_members{0};
+  std::atomic<bool> ok{true};
+  auto check = [&](bool cond) {
+    if (!cond) ok.store(false);
+  };
+  region(kOuter, [&](Team& outer) {
+    check(level() == 1);
+    check(active_level() == 1);
+    check(outer.level() == 1);
+    check(Team::current() == &outer);
+    check(ancestor_team(1) == &outer);
+    check(ancestor_thread_num(1) == outer.thread_num());
+    if (outer.thread_num() == 1) {
+      const auto encountering = std::this_thread::get_id();
+      region(kInner, [&](Team& inner) {
+        inner_members.fetch_add(1);
+        check(Team::current() == &inner);
+        check(level() == 2);
+        check(active_level() == 2);
+        check(inner.level() == 2);
+        check(inner.num_threads() == kInner);
+        // Whole ancestry chain, from any inner member's point of view.
+        check(ancestor_team(1) == &outer);
+        check(ancestor_team(2) == &inner);
+        check(ancestor_team(1)->num_threads() == kOuter);
+        check(ancestor_thread_num(0) == 0);
+        check(ancestor_thread_num(1) == 1);  // the encountering thread's id
+        check(ancestor_thread_num(2) == inner.thread_num());
+        check(ancestor_thread_num(3) == -1);
+        check(ancestor_team(3) == nullptr);
+        // Thread 0 of the inner team IS the encountering thread.
+        if (inner.thread_num() == 0) {
+          check(std::this_thread::get_id() == encountering);
+        }
+        inner.barrier();
+      });
+      // Back on the encountering thread: the inner membership has popped.
+      check(Team::current() == &outer);
+      check(level() == 1);
+      check(outer.thread_num() == 1);
+    }
+    outer.barrier();
+  });
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(inner_members.load(), kInner);
+  EXPECT_EQ(level(), 0);
+  EXPECT_EQ(Team::current(), nullptr);
+}
+
+TEST(PjNested, InnerWorksharingConstructsAreIsolatedFromOuterTeam) {
+  constexpr int kOuter = 2;
+  constexpr int kInner = 2;
+  std::atomic<int> outer_singles{0};
+  std::atomic<int> inner_singles{0};
+  std::atomic<int> inner_sections_a{0};
+  std::atomic<int> inner_sections_b{0};
+  std::atomic<bool> ordered_ok{true};
+  region(kOuter, [&](Team& outer) {
+    outer.single([&] { outer_singles.fetch_add(1); });
+    // Every outer member opens its own inner team; each inner team's
+    // single/sections/ordered run on that team's instance state, so the
+    // inner high-water marks can never alias the outer team's.
+    region(kInner, [&](Team& inner) {
+      inner.single([&] { inner_singles.fetch_add(1); });
+      inner.sections({[&] { inner_sections_a.fetch_add(1); },
+                      [&] { inner_sections_b.fetch_add(1); }});
+      auto ordered = inner.workshare<OrderedContext>(
+          [] { return std::make_shared<OrderedContext>(0); });
+      std::vector<std::int64_t>* order = nullptr;
+      auto log = inner.workshare<std::vector<std::int64_t>>(
+          [] { return std::make_shared<std::vector<std::int64_t>>(); });
+      order = log.get();
+      constexpr std::int64_t kIters = 8;
+      for (std::int64_t i = inner.thread_num(); i < kIters; i += kInner) {
+        ordered->run_ordered(i, [&] { order->push_back(i); });
+      }
+      inner.barrier();
+      inner.master([&] {
+        for (std::int64_t i = 0; i < kIters; ++i) {
+          if ((*order)[static_cast<std::size_t>(i)] != i) {
+            ordered_ok.store(false);
+          }
+        }
+      });
+    });
+    // The outer team's claim sites are untouched by the inner teams.
+    outer.single([&] { outer_singles.fetch_add(1); });
+  });
+  EXPECT_EQ(outer_singles.load(), 2);
+  EXPECT_EQ(inner_singles.load(), kOuter);     // once per inner team
+  EXPECT_EQ(inner_sections_a.load(), kOuter);  // each body once per team
+  EXPECT_EQ(inner_sections_b.load(), kOuter);
+  EXPECT_TRUE(ordered_ok.load());
+}
+
+TEST(PjNested, MaxActiveLevelsSerializesInnerRegions) {
+  LevelsGuard guard;
+  const NestedStats before = nested_stats();
+  set_max_active_levels(1);
+  EXPECT_FALSE(nested());
+  std::atomic<int> inner_runs{0};
+  region(2, [&](Team& outer) {
+    EXPECT_EQ(outer.num_threads(), 2);
+    region(4, [&](Team& inner) {
+      inner_runs.fetch_add(1);
+      // Serialized, but still a real team: barriers and introspection work.
+      EXPECT_EQ(inner.num_threads(), 1);
+      EXPECT_EQ(inner.thread_num(), 0);
+      EXPECT_EQ(inner.level(), 2);
+      EXPECT_EQ(level(), 2);
+      EXPECT_EQ(active_level(), 1);  // only the outer team is active
+      EXPECT_EQ(ancestor_team(2), &inner);
+      inner.barrier();
+      inner.single([] {});
+    });
+  });
+  // One serialized body per outer member.
+  EXPECT_EQ(inner_runs.load(), 2);
+  EXPECT_GE(nested_stats().serialized - before.serialized, 2u);
+
+  // Cap 0 serializes even the outermost region.
+  set_max_active_levels(0);
+  region(4, [&](Team& team) {
+    EXPECT_EQ(team.num_threads(), 1);
+    EXPECT_EQ(active_level(), 0);
+  });
+
+  set_nested(true);
+  EXPECT_TRUE(nested());
+}
+
+TEST(PjNested, SetNestedFalseMatchesMaxActiveLevelsOne) {
+  LevelsGuard guard;
+  set_nested(false);
+  EXPECT_EQ(max_active_levels(), 1);
+  region(2, [&](Team&) {
+    region(3, [&](Team& inner) { EXPECT_EQ(inner.num_threads(), 1); });
+  });
+  set_nested(true);
+  EXPECT_GT(max_active_levels(), 1);
+}
+
+TEST(PjNested, InnerExceptionPropagatesThroughOuterJoin) {
+  EXPECT_THROW(
+      region(2,
+             [&](Team& outer) {
+               if (outer.thread_num() == 0) {
+                 region(2, [&](Team& inner) {
+                   if (inner.thread_num() == 1) {
+                     throw std::runtime_error("inner boom");
+                   }
+                 });
+               }
+             }),
+      std::runtime_error);
+  // The failed join tore everything down: no leaked memberships.
+  EXPECT_EQ(level(), 0);
+  EXPECT_EQ(Team::current(), nullptr);
+}
+
+TEST(PjNested, DeferredTasksInsideInnerRegionRetireBeforeItReturns) {
+  constexpr int kTasks = 16;
+  std::atomic<int> done{0};
+  region(2, [&](Team& outer) {
+    if (outer.thread_num() == 0) {
+      region(2, [&](Team& inner) {
+        inner.master([&] {
+          for (int i = 0; i < kTasks; ++i) {
+            task(inner, [&] {
+              spin_for_us(50);
+              done.fetch_add(1);
+            });
+          }
+        });
+      });
+      // The inner region's implicit taskwait retired every deferred task
+      // before returning to the encountering (outer) thread.
+      EXPECT_EQ(done.load(), kTasks);
+    }
+    outer.barrier();
+  });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(PjNested, DegenerateParallelForMatchesRealTeamOfOne) {
+  std::vector<std::int64_t> seen;
+  parallel_for(1, 0, 4, [&](std::int64_t i) {
+    seen.push_back(i);
+    const Team* team = Team::current();
+    ASSERT_NE(team, nullptr);
+    EXPECT_EQ(team->num_threads(), 1);
+    EXPECT_EQ(team->thread_num(), 0);
+    EXPECT_EQ(level(), 1);
+    EXPECT_EQ(active_level(), 0);  // a team of one is never active
+    EXPECT_EQ(ancestor_thread_num(1), 0);
+  });
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);  // in-order on one thread
+  }
+  EXPECT_EQ(Team::current(), nullptr);
+
+  // Nested: the degenerate loop still opens a real (serial) inner region.
+  region(2, [&](Team& outer) {
+    if (outer.thread_num() == 1) {
+      parallel_for(1, 0, 2, [&](std::int64_t) {
+        EXPECT_EQ(level(), 2);
+        EXPECT_EQ(ancestor_thread_num(1), 1);
+        EXPECT_EQ(ancestor_team(1), &outer);
+      });
+      EXPECT_EQ(level(), 1);
+    }
+  });
+}
+
+TEST(PjNested, InnerParallelForBetweenNowaitLoopAndBarrier) {
+  constexpr int kOuter = 2;
+  constexpr std::int64_t kN = 64;
+  std::vector<std::atomic<int>> loop1(kN), inner(kN), loop2(kN);
+  region(kOuter, [&](Team& team) {
+    // Thread 1 is slow: thread 0 finishes its share of the nowait loop and
+    // runs a whole inner parallel region while thread 1 is still drawing
+    // loop-1 iterations from the outer team's dispenser. Per-construct
+    // workshare publication means the inner region (and the second loop
+    // below) cannot clobber the slot thread 1 is still using.
+    for_loop(
+        team, 0, kN,
+        [&](std::int64_t i) {
+          if (Team::current()->thread_num() == 1) spin_for_us(100);
+          loop1[static_cast<std::size_t>(i)].fetch_add(1);
+        },
+        {}, /*nowait=*/true);
+    parallel_for(2, 0, kN,
+                 [&](std::int64_t i) {
+                   inner[static_cast<std::size_t>(i)].fetch_add(1);
+                 });
+    team.barrier();
+    for_loop(team, 0, kN, [&](std::int64_t i) {
+      loop2[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(loop1[idx].load(), 1) << "loop1 iteration " << i;
+    // Each of the two outer members ran its own inner parallel_for.
+    EXPECT_EQ(inner[idx].load(), kOuter) << "inner iteration " << i;
+    EXPECT_EQ(loop2[idx].load(), 1) << "loop2 iteration " << i;
+  }
+}
+
+TEST(PjNested, InnerRegionMembersRunOnPoolWorkers) {
+  auto& pool = task_pool();
+  const NestedStats before = nested_stats();
+  std::atomic<bool> member_on_pool{false};
+  region(2, [&](Team& outer) {
+    if (outer.thread_num() == 0) {
+      region(2, [&](Team& inner) {
+        if (inner.thread_num() == 1) {
+          member_on_pool.store(sched::WorkStealingPool::current_pool() ==
+                               &pool);
+        }
+        inner.barrier();
+      });
+    }
+    outer.barrier();
+  });
+  const NestedStats after = nested_stats();
+  EXPECT_TRUE(member_on_pool.load());
+  EXPECT_EQ(after.inner_pooled - before.inner_pooled, 1u);
+  EXPECT_EQ(after.members_pooled - before.members_pooled, 1u);
+  // Happy path: the fallback-spawn counter did not move.
+  EXPECT_EQ(after.inner_spawned, before.inner_spawned);
+  EXPECT_EQ(after.members_spawned, before.members_spawned);
+  // The blocking-capacity reservation was returned in full.
+  EXPECT_EQ(pool.reserved_capacity(), 0u);
+}
+
+TEST(PjNested, SaturatedPoolFallsBackToSpawnedThreads) {
+  auto& pool = task_pool();
+  // Eat the whole blocking capacity so the inner region's reservation must
+  // fail deterministically.
+  ASSERT_TRUE(pool.try_reserve_capacity(pool.worker_count()));
+  const NestedStats before = nested_stats();
+  const auto denied_before = pool.stats().reservations_denied;
+  std::atomic<int> inner_runs{0};
+  region(2, [&](Team& outer) {
+    if (outer.thread_num() == 0) {
+      region(2, [&](Team& inner) {
+        inner_runs.fetch_add(1);
+        // Fallback members still get the full ancestry chain.
+        EXPECT_EQ(level(), 2);
+        EXPECT_EQ(ancestor_thread_num(1), 0);
+        inner.barrier();
+      });
+    }
+  });
+  pool.release_capacity(pool.worker_count());
+  const NestedStats after = nested_stats();
+  EXPECT_EQ(inner_runs.load(), 2);
+  EXPECT_EQ(after.inner_spawned - before.inner_spawned, 1u);
+  EXPECT_EQ(after.members_spawned - before.members_spawned, 1u);
+  EXPECT_GT(pool.stats().reservations_denied, denied_before);
+}
+
+TEST(PjNested, TracedDepthTwoRunExportsNestedRegionTree) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  obs::TraceDump dump;
+  {
+    obs::TraceSession session;
+    region(2, [&](Team& outer) {
+      if (outer.thread_num() == 0) {
+        region(2, [&](Team& inner) { inner.barrier(); });
+      }
+      outer.barrier();
+    });
+    dump = session.end();
+  }
+  // 2 outer members + 2 inner members, a begin/end pair each.
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kRegionBegin), 4u);
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kRegionEnd), 4u);
+  ASSERT_EQ(dump.count_kind(obs::EventKind::kRegionFork), 2u);
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kSpawnFallback), 0u);
+
+  // The fork events link child regions to parents: exactly one top-level
+  // fork (parent 0) and one whose parent is the top-level region's id.
+  std::uint64_t outer_id = 0, inner_id = 0, inner_parent = 0;
+  for (const auto& track : dump.tracks) {
+    for (const obs::Event& e : track.events) {
+      if (e.kind != obs::EventKind::kRegionFork) continue;
+      if (e.id == 0) {
+        outer_id = e.arg;
+      } else {
+        inner_parent = e.id;
+        inner_id = e.arg;
+      }
+    }
+  }
+  ASSERT_NE(outer_id, 0u);
+  ASSERT_NE(inner_id, 0u);
+  EXPECT_EQ(inner_parent, outer_id);
+
+  // On the encountering thread's track the region spans nest strictly:
+  // begin(outer) .. begin(inner) .. end(inner) .. end(outer).
+  bool found_nested_track = false;
+  for (const auto& track : dump.tracks) {
+    std::vector<std::uint64_t> stack;
+    bool saw_inner_inside_outer = false;
+    for (const obs::Event& e : track.events) {
+      if (e.kind == obs::EventKind::kRegionBegin) {
+        if (!stack.empty() && stack.back() == outer_id && e.id == inner_id) {
+          saw_inner_inside_outer = true;
+        }
+        stack.push_back(e.id);
+      } else if (e.kind == obs::EventKind::kRegionEnd) {
+        ASSERT_FALSE(stack.empty()) << "unbalanced region end";
+        EXPECT_EQ(stack.back(), e.id) << "region spans must nest per thread";
+        stack.pop_back();
+      }
+    }
+    EXPECT_TRUE(stack.empty()) << "unclosed region span on a track";
+    if (saw_inner_inside_outer) found_nested_track = true;
+  }
+  EXPECT_TRUE(found_nested_track);
+
+  // And the Chrome export of that dump is well-formed: every B has its E.
+  std::ostringstream os;
+  obs::write_chrome_trace(dump, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("region-fork"), std::string::npos);
+  auto count_of = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("\"ph\":\"B\""), count_of("\"ph\":\"E\""));
+}
+
+}  // namespace
+}  // namespace parc::pj

@@ -41,12 +41,8 @@ TEST(PjOrdered, TicketsRunStrictlyInOrder) {
   constexpr std::int64_t kIterations = 64;
   std::vector<std::int64_t> order;
   region(kThreads, [&](Team& team) {
-    OrderedContext* ordered = nullptr;
-    team.single([&] {
-      team.set_workshare_slot(std::make_shared<OrderedContext>(0));
-    });
-    ordered = static_cast<OrderedContext*>(team.workshare_slot().get());
-    team.barrier();
+    auto ordered = team.workshare<OrderedContext>(
+        [] { return std::make_shared<OrderedContext>(0); });
     // Static round-robin: thread t owns iterations t, t+T, t+2T, ...
     const auto tid = static_cast<std::int64_t>(team.thread_num());
     for (std::int64_t i = tid; i < kIterations;
