@@ -52,6 +52,10 @@ KindInfo kind_info(EventKind kind) {
       return {"i", "cont-inject-fallback", "sched", false};
     case EventKind::kDequeOverflow:
       return {"i", "deque-overflow", "sched", false};
+    case EventKind::kStealRemote:
+      return {"i", "steal-remote", "sched", false};
+    case EventKind::kParkShard:
+      return {"i", "park-shard", "sched", false};
   }
   return {"i", "unknown", "obs", false};
 }

@@ -77,6 +77,11 @@ enum class EventKind : std::uint8_t {
   kContLocalPush,       ///< id = job id — ready work pushed to own deque tail
   kContInjectFallback,  ///< id = job id — local hint from a non-worker thread
   kDequeOverflow,       ///< id = job id, arg = worker — soft cap hit, injected
+  // Locality-domain sharding (Config::shards > 1; see DESIGN §3).
+  kStealRemote,  ///< id = stolen job id, arg = victim worker index — the
+                 ///< thief's shard ran dry and it crossed into another domain
+  kParkShard,    ///< id = worker index, arg = shard index — worker parked on
+                 ///< its shard's (not a global) park list
 };
 
 /// Fixed-slot trace record: 32 bytes, written once, never reused.

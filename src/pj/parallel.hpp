@@ -97,13 +97,20 @@ void run_inner_members(Team& team, Member& member, std::uint64_t region_id) {
   sched::JoinLatch join;
   join.add(helpers);
   for (std::size_t i = 1; i <= helpers; ++i) {
-    pool.submit_exclusive([&member, &ancestry, &join, i] {
-      {
-        Team::AncestryScope chain(ancestry);
-        member(static_cast<int>(i));
-      }
-      join.done();
-    });
+    // Places soft binding: a bound member's exclusive job lands on its
+    // place's locality domain, so the shard's own workers (checking their
+    // exclusive queue first) prefer it; any worker may still drain it.
+    const int place = team.member_place(i);
+    pool.submit_exclusive(
+        [&member, &ancestry, &join, i] {
+          {
+            Team::AncestryScope chain(ancestry);
+            member(static_cast<int>(i));
+          }
+          join.done();
+        },
+        place >= 0 ? static_cast<std::size_t>(place)
+                   : sched::WorkStealingPool::kAnyShard);
   }
   member(0);
   join.wait(&pool);  // pool-helped inner join
@@ -112,12 +119,16 @@ void run_inner_members(Team& team, Member& member, std::uint64_t region_id) {
 
 }  // namespace detail
 
-/// Execute `body(team)` on a team of `num_threads` threads. Returns when all
-/// team members have finished (implicit barrier, threads joined). May be
-/// called from inside another region's body — see the nesting model in the
-/// header comment.
+/// Execute `body(team)` on a team of `num_threads` threads with an explicit
+/// proc_bind clause (`#pragma omp parallel proc_bind(...)`). Returns when
+/// all team members have finished (implicit barrier, threads joined). May
+/// be called from inside another region's body — see the nesting model in
+/// the header comment. Each member runs under its Team::member_place
+/// binding for the body's duration: pj::place_num() reports it, and the
+/// thread's pool-injection affinity is pinned to the matching locality
+/// domain (so pj::task spawned by a bound member stays in its domain).
 template <typename F>
-void region(std::size_t num_threads, F&& body) {
+void region(std::size_t num_threads, ProcBind bind, F&& body) {
   PARC_CHECK(num_threads >= 1);
   const int enclosing_level = level();
   const int enclosing_active = active_level();
@@ -129,6 +140,10 @@ void region(std::size_t num_threads, F&& body) {
   }
   Team team(num_threads, enclosing_level + 1,
             enclosing_active + (num_threads > 1 ? 1 : 0));
+  // Places: the bind clause plus the encountering thread's place at fork
+  // time; nested regions inherit through place_num() (a bound member's own
+  // place becomes its inner region's origin).
+  team.set_places_binding(bind, place_num());
   sched::FirstError first_error;  // lock-free first-failure capture
 
   // One region id shared by every member's begin/end pair, so a viewer can
@@ -143,6 +158,8 @@ void region(std::size_t num_threads, F&& body) {
   }
 
   auto member = [&](int index) {
+    detail::PlaceScope place_scope(
+        team.member_place(static_cast<std::size_t>(index)));
     Team::MembershipScope scope(team, index);
     if (obs::tracing() && region_id != 0) [[unlikely]] {
       obs::emit(obs::EventKind::kRegionBegin, region_id,
@@ -177,6 +194,13 @@ void region(std::size_t num_threads, F&& body) {
   }
 
   if (auto err = first_error.take()) std::rethrow_exception(err);
+}
+
+/// Region with the process default bind policy (set_proc_bind; none unless
+/// configured, which is exactly the pre-places behaviour).
+template <typename F>
+void region(std::size_t num_threads, F&& body) {
+  region(num_threads, proc_bind(), std::forward<F>(body));
 }
 
 /// Region with the process default team size.

@@ -15,6 +15,9 @@ ForOptions g_for_options;  // guarded by g_opts_mutex
 
 constexpr int kUnlimitedLevels = INT_MAX;
 std::atomic<int> g_max_active_levels{kUnlimitedLevels};
+
+std::atomic<std::size_t> g_num_places{1};
+std::atomic<ProcBind> g_proc_bind{ProcBind::none};
 }  // namespace
 
 std::size_t default_num_threads() noexcept {
@@ -54,6 +57,22 @@ bool nested() noexcept { return max_active_levels() > 1; }
 
 void set_nested(bool enabled) noexcept {
   set_max_active_levels(enabled ? kUnlimitedLevels : 1);
+}
+
+std::size_t num_places() noexcept {
+  return g_num_places.load(std::memory_order_acquire);
+}
+
+void set_places(std::size_t n) noexcept {
+  g_num_places.store(n == 0 ? 1 : n, std::memory_order_release);
+}
+
+ProcBind proc_bind() noexcept {
+  return g_proc_bind.load(std::memory_order_acquire);
+}
+
+void set_proc_bind(ProcBind bind) noexcept {
+  g_proc_bind.store(bind, std::memory_order_release);
 }
 
 }  // namespace parc::pj

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "pj/schedule.hpp"
 
@@ -29,5 +30,27 @@ void set_max_active_levels(int levels) noexcept;
 /// the cap; nested() reports max_active_levels() > 1.
 [[nodiscard]] bool nested() noexcept;
 void set_nested(bool enabled) noexcept;
+
+/// OMP_PROC_BIND analogue: how a region's members are assigned to places.
+/// `none` (the default) leaves members unbound — exactly the pre-places
+/// behaviour. `close` packs consecutive members into consecutive places
+/// starting at the encountering thread's place; `spread` distributes them
+/// evenly across the place list; `master` puts every member on the
+/// encountering thread's place. See Team::member_place for the formulas.
+enum class ProcBind : std::uint8_t { none, close, spread, master };
+
+/// OMP_PLACES analogue: the number of abstract places the process exposes
+/// (default 1 = no locality structure). Places map onto the shared task
+/// pool's locality domains — place p routes to shard p modulo the pool's
+/// shard count — so set_places(n) should be called *before* the first pj
+/// construct touches the pool: task_pool() sizes its Config::shards from
+/// this value at creation and never re-shards. 0 clamps to 1.
+[[nodiscard]] std::size_t num_places() noexcept;
+void set_places(std::size_t n) noexcept;
+
+/// Process default bind policy applied by region() overloads that do not
+/// take an explicit ProcBind clause. Default: none.
+[[nodiscard]] ProcBind proc_bind() noexcept;
+void set_proc_bind(ProcBind bind) noexcept;
 
 }  // namespace parc::pj

@@ -27,9 +27,16 @@ std::uint64_t trace_task_spawn() {
 
 sched::WorkStealingPool& task_pool() {
   // Immortal, like ptask::Runtime::global(): deferred tasks must never race
-  // static destruction.
-  static auto* pool = new sched::WorkStealingPool(
-      sched::WorkStealingPool::Config{default_num_threads(), 4, "pj-tasks"});
+  // static destruction. Sharded by the places configuration at first use
+  // (Config clamps to the worker count); set_places after this point
+  // changes member→place assignment but not the pool's domain layout.
+  static auto* pool = [] {
+    sched::WorkStealingPool::Config cfg;
+    cfg.num_threads = default_num_threads();
+    cfg.name = "pj-tasks";
+    cfg.shards = num_places();
+    return new sched::WorkStealingPool(std::move(cfg));
+  }();
   return *pool;
 }
 

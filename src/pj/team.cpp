@@ -3,9 +3,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include "sched/thread_pool.hpp"
+
 namespace parc::pj {
 
 namespace {
+// The calling thread's current place (place_num()); -1 = unbound.
+thread_local int t_place = -1;
+
 // Membership stack of the calling thread, outermost team first. The
 // innermost entry is mirrored into `t_team`/`t_index` so the hot accessors
 // (thread_num on every barrier/single) stay two plain TLS loads.
@@ -118,6 +123,47 @@ const Team* ancestor_team(int lvl) noexcept {
   }
   return t_stack[static_cast<std::size_t>(lvl) - 1].team;
 }
+
+int place_num() noexcept { return t_place; }
+
+int Team::member_place(std::size_t index) const noexcept {
+  if (bind_ == ProcBind::none) return origin_place_;
+  const auto nplaces = static_cast<std::size_t>(num_places());
+  const auto p0 = static_cast<std::size_t>(origin_place_ >= 0
+                                               ? origin_place_
+                                               : 0);
+  switch (bind_) {
+    case ProcBind::master:
+      return static_cast<int>(p0 % nplaces);
+    case ProcBind::close: {
+      // Members per place when oversubscribed; 1 otherwise, so consecutive
+      // members land in consecutive places starting at the origin.
+      const std::size_t group = (size_ + nplaces - 1) / nplaces;
+      return static_cast<int>((p0 + index / group) % nplaces);
+    }
+    case ProcBind::spread:
+      return static_cast<int>((p0 + index * nplaces / size_) % nplaces);
+    case ProcBind::none:
+      break;
+  }
+  return origin_place_;
+}
+
+namespace detail {
+PlaceScope::PlaceScope(int place) noexcept
+    : saved_place_(t_place),
+      saved_shard_(sched::WorkStealingPool::thread_bound_shard()) {
+  t_place = place;
+  sched::WorkStealingPool::bind_thread_to_shard(
+      place >= 0 ? static_cast<std::size_t>(place)
+                 : sched::WorkStealingPool::kAnyShard);
+}
+
+PlaceScope::~PlaceScope() {
+  t_place = saved_place_;
+  sched::WorkStealingPool::bind_thread_to_shard(saved_shard_);
+}
+}  // namespace detail
 
 NestedStats nested_stats() noexcept {
   NestedStats s;

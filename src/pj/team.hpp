@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "pj/settings.hpp"
 #include "sched/task_graph.hpp"
 #include "support/backoff.hpp"
 #include "support/check.hpp"
@@ -215,6 +216,30 @@ class Team {
     return trace_region_id_;
   }
 
+  /// Places binding for this team (see settings.hpp): the bind clause plus
+  /// the encountering thread's place at fork time. Written once by region()
+  /// before any member starts, like the trace id. Directly-constructed
+  /// teams stay unbound (ProcBind::none from place -1).
+  void set_places_binding(ProcBind bind, int origin_place) noexcept {
+    bind_ = bind;
+    origin_place_ = origin_place;
+  }
+  [[nodiscard]] ProcBind places_bind() const noexcept { return bind_; }
+
+  /// Place assigned to member `index` under this team's binding, or -1 when
+  /// the member is unbound (bind none from an unbound origin — the
+  /// pre-places behaviour). With P = num_places(), T = team size, and p0 =
+  /// the origin place (0 when the origin is unbound):
+  ///  - master: every member on p0;
+  ///  - close:  consecutive members packed into consecutive places from p0
+  ///            (groups of ceil(T/P) when T > P);
+  ///  - spread: member i at (p0 + i*P/T) mod P — even coverage of the
+  ///            place list, subpartition-style.
+  /// Nested regions inherit naturally: the inner origin is the member's own
+  /// place, so bind none keeps children on the parent's place while
+  /// close/spread re-distribute from it.
+  [[nodiscard]] int member_place(std::size_t index) const noexcept;
+
  private:
   /// Ring-buffer backing for workshare(): entries are keyed by claim site.
   /// Publication-barrier ordering bounds the construct skew between the
@@ -243,6 +268,8 @@ class Team {
   const int level_;
   const int active_level_;
   std::uint64_t trace_region_id_ = 0;  // set before members start, else const
+  ProcBind bind_ = ProcBind::none;     // set before members start, else const
+  int origin_place_ = -1;              // encountering thread's place at fork
   Barrier barrier_;
 
   alignas(kCacheLineSize) std::atomic<std::uint64_t> single_hwm_{0};
@@ -283,6 +310,32 @@ class Team {
 /// stack (1 = outermost, level() = innermost); nullptr out of range.
 /// `ancestor_team(lvl)->num_threads()` is omp_get_team_size(lvl).
 [[nodiscard]] const Team* ancestor_team(int lvl) noexcept;
+
+/// omp_get_place_num(): the place the calling thread is currently bound to,
+/// or -1 outside any bound region. Member threads of a region with a
+/// close/spread/master bind see their Team::member_place; with bind none
+/// they see the encountering thread's place (inheritance).
+[[nodiscard]] int place_num() noexcept;
+
+namespace detail {
+/// RAII place binding for one member body: records the place for
+/// place_num() and pins the thread's pool-injection affinity to the
+/// corresponding locality domain (sched::WorkStealingPool's per-thread
+/// shard binding, place modulo the pool's shard count). Restores both on
+/// exit — member bodies run on borrowed threads (pool workers, raw
+/// spawns), which must leave unbound.
+class PlaceScope {
+ public:
+  explicit PlaceScope(int place) noexcept;
+  ~PlaceScope();
+  PlaceScope(const PlaceScope&) = delete;
+  PlaceScope& operator=(const PlaceScope&) = delete;
+
+ private:
+  int saved_place_;
+  std::size_t saved_shard_;
+};
+}  // namespace detail
 
 /// Process-wide counters for the nested-region fork router in region():
 /// how inner regions were executed. Monotonic; read deltas in tests.

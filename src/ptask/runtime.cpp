@@ -8,7 +8,8 @@ namespace parc::ptask {
 
 Runtime::Runtime(Config cfg)
     : pool_(std::make_unique<sched::WorkStealingPool>(
-          sched::WorkStealingPool::Config{cfg.workers, 4, "ptask"})),
+          sched::WorkStealingPool::Config{cfg.workers, 4, "ptask", 4096,
+                                          cfg.shards})),
       interactive_(std::make_unique<CachedThreadPool>(cfg.interactive)) {}
 
 Runtime::~Runtime() = default;

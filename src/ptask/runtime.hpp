@@ -22,6 +22,10 @@ class Runtime {
   struct Config {
     std::size_t workers = sched::default_concurrency();
     CachedThreadPool::Config interactive{};
+    /// Locality domains for the compute pool (sched Config::shards: 1 =
+    /// single-domain, 0 = auto). Appended so existing designated
+    /// initialisers keep compiling.
+    std::size_t shards = 1;
   };
 
   Runtime() : Runtime(Config{}) {}

@@ -106,6 +106,14 @@ class ChaseLevDeque {
 
   /// Any thread. Steals the oldest element; nullptr if empty or lost a race.
   T* steal() {
+    // Relaxed pre-check: the sharded pool's hierarchical victim sweeps
+    // probe many (mostly empty) foreign deques per pass, and the full
+    // protocol below pays a seq_cst fence even to learn "empty". A
+    // spurious nullptr is already part of steal()'s contract (lost races
+    // return it too), and the park protocol cannot lose the job: any push
+    // whose signal_work epoch bump is visible at park-snapshot time
+    // happens-before the re-scan, so these relaxed loads see it.
+    if (empty_approx()) return nullptr;
     std::int64_t t;
     std::int64_t b;
     if constexpr (detail::kTsanBuild) {

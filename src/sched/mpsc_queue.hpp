@@ -7,6 +7,9 @@
 // mutex. The consumer side is single-threaded by contract; the pool
 // serialises poppers with a try-lock so that a busy consumer makes others
 // skip to stealing instead of blocking (see WorkStealingPool::pop_injected).
+// The sharded pool instantiates one of these per locality domain (plus one
+// exclusive queue per domain), so producers in different domains never touch
+// the same head word — the queue itself needs no sharding awareness.
 //
 // Progress caveat inherited from the algorithm: a fully-linked element can
 // be momentarily unpoppable while *another* producer sits between its

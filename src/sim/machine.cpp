@@ -63,6 +63,16 @@ SimOutcome simulate(const TaskDag& dag, const MachineParams& machine) {
   out.core_busy_s.assign(machine.cores, 0.0);
   if (dag.size() == 0) return out;
 
+  // Cores are partitioned into contiguous locality domains exactly like the
+  // real pool's workers (shard s owns [s*C/S, (s+1)*C/S)). At nshards == 1
+  // every branch below degenerates to the classic flat greedy scheduler:
+  // earliest-free core, tie broken by index.
+  const std::size_t nshards =
+      std::max<std::size_t>(std::min(machine.shards, machine.cores), 1);
+  const auto shard_of_core = [&](std::size_t c) {
+    return c * nshards / machine.cores;
+  };
+
   // Ready tasks keyed by the time they become ready; FIFO within a time.
   struct ReadyTask {
     double ready_at;
@@ -75,20 +85,25 @@ SimOutcome simulate(const TaskDag& dag, const MachineParams& machine) {
   };
   std::priority_queue<ReadyTask, std::vector<ReadyTask>, std::greater<>>
       ready;
-  // Cores keyed by free time; index breaks ties deterministically.
-  struct Core {
-    double free_at;
-    std::size_t index;
-    bool operator>(const Core& o) const {
-      if (free_at != o.free_at) return free_at > o.free_at;
-      return index > o.index;
+  // Per-core free time; linear argmin reproduces the old priority-queue
+  // order (min free_at, tie → min index) and also answers the
+  // "earliest-free core within one domain" query hierarchical dispatch
+  // needs. P ≤ 64 keeps the scan trivial.
+  std::vector<double> free_at(machine.cores, 0.0);
+  const auto earliest_core = [&](std::size_t first, std::size_t count) {
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < first + count; ++c) {
+      if (free_at[c] < free_at[best]) best = c;
     }
+    return best;
   };
-  std::priority_queue<Core, std::vector<Core>, std::greater<>> cores;
-  for (std::size_t c = 0; c < machine.cores; ++c) cores.push(Core{0.0, c});
 
   std::vector<std::size_t> pending(dag.size());
   std::vector<double> ready_time(dag.size(), 0.0);
+  // Home domain of each task: the domain of the core that ran its
+  // latest-finishing predecessor (data lives in that domain's caches).
+  // Roots have no home and run anywhere free of charge.
+  std::vector<int> home(dag.size(), -1);
   std::size_t seq = 0;
   for (TaskDag::NodeId id = 0; id < dag.size(); ++id) {
     pending[id] = dag.dependency_count(id);
@@ -99,17 +114,42 @@ SimOutcome simulate(const TaskDag& dag, const MachineParams& machine) {
   while (!ready.empty()) {
     const ReadyTask task = ready.top();
     ready.pop();
-    Core core = cores.top();
-    cores.pop();
-    const double start = std::max(task.ready_at, core.free_at);
-    const double finish =
-        start + dag.cost(task.id) + machine.per_task_overhead_s;
-    out.core_busy_s[core.index] += finish - start;
-    core.free_at = finish;
-    cores.push(core);
+    std::size_t core = earliest_core(0, machine.cores);
+    bool cross = nshards > 1 && home[task.id] >= 0 &&
+                 static_cast<int>(shard_of_core(core)) != home[task.id];
+    if (cross && machine.hierarchical_dispatch) {
+      // Shard-first dispatch: take a home-domain core unless going remote
+      // — cross cost included — would still start the task strictly
+      // sooner. Mirrors the real pool's steal order (local shard first,
+      // remote probe only once the domain is dry).
+      const std::size_t h = static_cast<std::size_t>(home[task.id]);
+      const std::size_t h_first = h * machine.cores / nshards;
+      const std::size_t h_count =
+          (h + 1) * machine.cores / nshards - h_first;
+      const std::size_t home_core = earliest_core(h_first, h_count);
+      const double home_start = std::max(task.ready_at, free_at[home_core]);
+      const double remote_start = std::max(task.ready_at, free_at[core]) +
+                                  machine.cross_shard_steal_cost_s;
+      if (home_start <= remote_start) {
+        core = home_core;
+        cross = false;
+      }
+    }
+    const double start = std::max(task.ready_at, free_at[core]);
+    double dispatch = machine.per_task_overhead_s;
+    if (cross) {
+      ++out.cross_shard_dispatches;
+      dispatch += machine.cross_shard_steal_cost_s;
+    }
+    const double finish = start + dag.cost(task.id) + dispatch;
+    out.core_busy_s[core] += finish - start;
+    free_at[core] = finish;
     makespan = std::max(makespan, finish);
     for (TaskDag::NodeId child : dag.dependents(task.id)) {
-      ready_time[child] = std::max(ready_time[child], finish);
+      if (finish >= ready_time[child]) {
+        ready_time[child] = finish;
+        home[child] = static_cast<int>(shard_of_core(core));
+      }
       if (--pending[child] == 0) {
         ready.push(ReadyTask{ready_time[child], seq++, child});
       }

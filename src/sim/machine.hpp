@@ -64,6 +64,23 @@ struct MachineParams {
   /// Fixed scheduling overhead added to every task (dispatch cost).
   double per_task_overhead_s = 0.0;
   std::string name = "machine";
+  // Locality-domain extension (appended so positional initialisers of the
+  // original three fields keep compiling). Cores are partitioned into
+  // `shards` contiguous domains, mirroring sched::WorkStealingPool's
+  // Config::shards; a task's *home* domain is the domain of the core that
+  // ran its latest-finishing predecessor (roots have none).
+  /// Locality domains; 1 (the default) is the flat machine — identical
+  /// behaviour to the pre-shard simulator. Clamped to `cores`.
+  std::size_t shards = 1;
+  /// Extra dispatch latency paid when a task runs outside its home domain
+  /// (the modeled cost of a cross-shard steal: cold caches, remote queue).
+  double cross_shard_steal_cost_s = 0.0;
+  /// false: shard-oblivious greedy dispatch (earliest-free core anywhere,
+  /// paying the cross cost whenever it crosses) — the pre-shard scheduler
+  /// replayed on a sharded machine. true: hierarchical dispatch — prefer a
+  /// home-domain core unless going remote (cross cost included) would
+  /// still start the task sooner, mirroring shard-first victim selection.
+  bool hierarchical_dispatch = false;
 };
 
 /// The three shared-memory systems of §III-B.
@@ -81,6 +98,11 @@ struct SimOutcome {
   double speedup = 0.0;      ///< total_work / makespan
   double efficiency = 0.0;   ///< speedup / cores
   std::vector<double> core_busy_s;  ///< per-core busy time
+  /// Tasks dispatched outside their home locality domain (counted even at
+  /// cross_shard_steal_cost_s == 0, so a zero-cost replay still reports the
+  /// cross-domain traffic a shard-oblivious schedule generates). Always 0
+  /// on a 1-shard machine.
+  std::uint64_t cross_shard_dispatches = 0;
 };
 
 /// Replay the DAG on the machine with greedy list scheduling (ready tasks

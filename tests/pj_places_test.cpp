@@ -1,0 +1,232 @@
+// pj places and proc_bind: OMP_PLACES/OMP_PROC_BIND on top of the sharded
+// pool.
+//
+// The process is configured once, before any pj construct touches the
+// shared task pool (task_pool() shards itself from num_places() at first
+// use and never re-shards): 4 default threads, 2 places. Tests then pin
+// down —
+//  - the member_place formulas for close/spread/master/none, including
+//    a non-zero origin place and oversubscribed teams;
+//  - region(n, bind, body): each member's place_num() reports its binding
+//    for the body's duration, and is restored after;
+//  - nested inheritance: a bound member's own place becomes its inner
+//    region's origin (close/spread rotate from it, none inherits it);
+//  - the process-default bind (set_proc_bind) used by the unclaused
+//    region overloads, with none == the pre-places behaviour (-1
+//    everywhere);
+//  - the pool integration: task_pool() actually carved one locality
+//    domain per place.
+//
+// This suite runs in its own binary precisely because set_places is a
+// before-first-use knob; nothing here may run after another suite already
+// built the pool flat.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+#include "pj/pj.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace parc::pj {
+namespace {
+
+class PlacesEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    set_default_num_threads(4);
+    set_places(2);
+  }
+};
+const auto* const g_places_env =
+    ::testing::AddGlobalTestEnvironment(new PlacesEnvironment);
+
+TEST(PjPlaces, ProcessConfiguration) {
+  EXPECT_EQ(num_places(), 2u);
+  EXPECT_EQ(proc_bind(), ProcBind::none);
+  // The initial thread is unbound until a bound region encloses it.
+  EXPECT_EQ(place_num(), -1);
+}
+
+TEST(PjPlaces, SetPlacesClampsZeroToOne) {
+  set_places(0);
+  EXPECT_EQ(num_places(), 1u);
+  set_places(2);  // restore the suite's configuration
+}
+
+// The assignment formulas, checked on a Team object directly (no threads):
+// P = num_places, T = team size, p0 = origin place (0 when unbound).
+TEST(PjPlaces, MemberPlaceFormulas) {
+  Team close4(4, 1, 1);
+  close4.set_places_binding(ProcBind::close, -1);
+  // close, T=4, P=2: consecutive members packed in groups of ceil(T/P)=2.
+  EXPECT_EQ(close4.member_place(0), 0);
+  EXPECT_EQ(close4.member_place(1), 0);
+  EXPECT_EQ(close4.member_place(2), 1);
+  EXPECT_EQ(close4.member_place(3), 1);
+
+  Team spread4(4, 1, 1);
+  spread4.set_places_binding(ProcBind::spread, -1);
+  // spread, T=4, P=2: i*P/T = 0,0,1,1 — same partition, reached evenly.
+  EXPECT_EQ(spread4.member_place(0), 0);
+  EXPECT_EQ(spread4.member_place(3), 1);
+
+  Team master4(4, 1, 1);
+  master4.set_places_binding(ProcBind::master, 1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(master4.member_place(i), 1) << "member " << i;
+  }
+
+  Team none4(4, 1, 1);
+  none4.set_places_binding(ProcBind::none, 1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(none4.member_place(i), 1) << "member " << i;
+  }
+
+  // Non-zero origin rotates the close packing: p0=1, groups wrap mod P.
+  Team rotated(4, 1, 1);
+  rotated.set_places_binding(ProcBind::close, 1);
+  EXPECT_EQ(rotated.member_place(0), 1);
+  EXPECT_EQ(rotated.member_place(1), 1);
+  EXPECT_EQ(rotated.member_place(2), 0);
+  EXPECT_EQ(rotated.member_place(3), 0);
+}
+
+// close vs spread differ once T and P do not divide evenly: T=4 on P=3
+// packs {0,0,1,1} but spreads {0,0,1,2}.
+TEST(PjPlaces, CloseAndSpreadDivergeWhenUneven) {
+  set_places(3);
+  Team close(4, 1, 1);
+  close.set_places_binding(ProcBind::close, -1);
+  EXPECT_EQ(close.member_place(2), 1);
+  EXPECT_EQ(close.member_place(3), 1);
+  Team spread(4, 1, 1);
+  spread.set_places_binding(ProcBind::spread, -1);
+  EXPECT_EQ(spread.member_place(2), 1);
+  EXPECT_EQ(spread.member_place(3), 2);
+  set_places(2);
+}
+
+TEST(PjPlaces, TaskPoolShardedByPlaces) {
+  // First pj construct below (or here) builds the pool: one locality
+  // domain per place, 4 workers as configured.
+  auto& pool = task_pool();
+  EXPECT_EQ(pool.shard_count(), 2u);
+  EXPECT_EQ(pool.worker_count(), 4u);
+}
+
+TEST(PjPlaces, RegionBindsMembersClose) {
+  std::array<std::atomic<int>, 4> places{};
+  for (auto& p : places) p.store(-2);
+  region(4, ProcBind::close, [&places](Team& team) {
+    places[static_cast<std::size_t>(team.thread_num())].store(place_num());
+  });
+  EXPECT_EQ(places[0].load(), 0);
+  EXPECT_EQ(places[1].load(), 0);
+  EXPECT_EQ(places[2].load(), 1);
+  EXPECT_EQ(places[3].load(), 1);
+  // The binding is scoped to the region body.
+  EXPECT_EQ(place_num(), -1);
+}
+
+TEST(PjPlaces, RegionBindsMembersSpreadAndMaster) {
+  std::array<std::atomic<int>, 2> spread_places{};
+  region(2, ProcBind::spread, [&spread_places](Team& team) {
+    spread_places[static_cast<std::size_t>(team.thread_num())].store(
+        place_num());
+  });
+  EXPECT_EQ(spread_places[0].load(), 0);
+  EXPECT_EQ(spread_places[1].load(), 1);
+
+  std::array<std::atomic<int>, 2> master_places{};
+  region(2, ProcBind::master, [&master_places](Team& team) {
+    master_places[static_cast<std::size_t>(team.thread_num())].store(
+        place_num());
+  });
+  EXPECT_EQ(master_places[0].load(), 0);
+  EXPECT_EQ(master_places[1].load(), 0);
+}
+
+TEST(PjPlaces, UnboundRegionLeavesMembersUnplaced) {
+  std::array<std::atomic<int>, 4> places{};
+  for (auto& p : places) p.store(-2);
+  region(4, [&places](Team& team) {  // default bind: ProcBind::none
+    places[static_cast<std::size_t>(team.thread_num())].store(place_num());
+  });
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(places[i].load(), -1) << "member " << i;
+  }
+}
+
+TEST(PjPlaces, DefaultBindComesFromSetProcBind) {
+  set_proc_bind(ProcBind::close);
+  std::array<std::atomic<int>, 2> places{};
+  for (auto& p : places) p.store(-2);
+  region(2, [&places](Team& team) {
+    places[static_cast<std::size_t>(team.thread_num())].store(place_num());
+  });
+  set_proc_bind(ProcBind::none);
+  EXPECT_EQ(places[0].load(), 0);
+  EXPECT_EQ(places[1].load(), 1);
+}
+
+// Nested inheritance: a bound member's own place is its inner region's
+// origin. Under close the inner team packs starting from that place; under
+// none the inner members simply inherit it.
+TEST(PjPlaces, NestedRegionsInheritTheirOriginPlace) {
+  std::array<std::atomic<int>, 2> inner_close{};
+  std::array<std::atomic<int>, 2> inner_none{};
+  for (auto& p : inner_close) p.store(-2);
+  for (auto& p : inner_none) p.store(-2);
+  region(2, ProcBind::spread, [&](Team& team) {
+    if (team.thread_num() == 1) {  // bound to place 1 by spread
+      region(2, ProcBind::close, [&inner_close](Team& inner) {
+        inner_close[static_cast<std::size_t>(inner.thread_num())].store(
+            place_num());
+      });
+      region(2, ProcBind::none, [&inner_none](Team& inner) {
+        inner_none[static_cast<std::size_t>(inner.thread_num())].store(
+            place_num());
+      });
+    }
+  });
+  // close from origin 1, T=2, P=2: group=1, places (1+i)%2 = {1, 0}.
+  EXPECT_EQ(inner_close[0].load(), 1);
+  EXPECT_EQ(inner_close[1].load(), 0);
+  // none: the origin place is inherited verbatim.
+  EXPECT_EQ(inner_none[0].load(), 1);
+  EXPECT_EQ(inner_none[1].load(), 1);
+}
+
+// A bound member's outer place is restored when its inner region ends —
+// the PlaceScope stack unwinds like the membership stack.
+TEST(PjPlaces, PlaceRestoredAfterInnerRegion) {
+  std::atomic<int> before{-2};
+  std::atomic<int> after{-2};
+  region(2, ProcBind::spread, [&](Team& team) {
+    if (team.thread_num() == 1) {
+      before.store(place_num());
+      region(2, ProcBind::close, [](Team&) {});
+      after.store(place_num());
+    }
+  });
+  EXPECT_EQ(before.load(), 1);
+  EXPECT_EQ(after.load(), 1);
+}
+
+// Deferred pj::task work still drains correctly from bound members (the
+// submission is routed to the member's domain; any worker may run it).
+TEST(PjPlaces, TasksFromBoundMembersComplete) {
+  std::atomic<int> ran{0};
+  region(4, ProcBind::close, [&ran](Team& team) {
+    for (int i = 0; i < 8; ++i) {
+      task(team, [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    taskwait(team);
+  });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+}  // namespace
+}  // namespace parc::pj

@@ -1,0 +1,451 @@
+// Locality-domain sharding: the hierarchical-stealing contract.
+//
+// These tests pin down the sharded pool's observable semantics —
+//  - shards=1 is the flat pool: one domain, cross counters hard-zero,
+//    stolen_shard_local == stolen;
+//  - Config::shards auto-sizing (0 → workers/4) and clamping (≤ workers),
+//    with workers partitioned into contiguous blocks;
+//  - explicit-shard routing lands work on the named domain's queues, and
+//    the domain's own workers take it first;
+//  - victim order is shard-first: with local supply, every steal has a
+//    same-domain victim; a thief crosses the boundary (counted as a
+//    cross-probe) only once its own domain runs dry, and then its raids
+//    count — exactly — as cross-shard steals and kStealRemote events;
+//  - the work-conservation fallback: a submission targeting a busy domain
+//    while another domain's worker sleeps wakes that remote worker
+//    (cross_shard_wakes) instead of letting the job wait;
+//  - per-shard Stats snapshots sum to the pool-wide columns;
+//  - a traced shards=4 ptask run replays in sim::machine, where
+//    hierarchical dispatch generates no more modeled cross-domain traffic
+//    than the shard-oblivious schedule of the same DAG.
+//
+// Determinism idiom: every routing assertion first parks the whole pool
+// (poll stats().parked), then wakes exactly the workers it means to —
+// a submission to shard s with sleepers everywhere wakes only a shard-s
+// worker, so "who runs this job" becomes observable without timing
+// assumptions. Exact counter asserts quiesce through a release-increment /
+// acquire-load of the jobs-ran counter, which the Stats contract requires.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
+#include "ptask/ptask.hpp"
+#include "sched/thread_pool.hpp"
+#include "sim/machine.hpp"
+
+namespace parc::sched {
+namespace {
+
+void spin_until(const std::atomic<bool>& flag) {
+  while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
+}
+
+/// Wait until every worker of `pool` is asleep *right now* (the `sleeping`
+/// gauge, not the cumulative `parked` counter — mid-test the latter stays
+/// satisfied while a worker is still out sweeping). After this, a targeted
+/// submission wakes only workers of its own shard — no other worker is
+/// awake to race for it.
+void wait_all_parked(const WorkStealingPool& pool, std::size_t workers) {
+  while (pool.stats().sleeping < workers) std::this_thread::yield();
+}
+
+/// A job that records which domain ran it, then spins until released —
+/// occupying its worker so it can neither steal nor take further work.
+struct Hostage {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<std::size_t> ran_on_shard{static_cast<std::size_t>(-1)};
+
+  void submit_to(WorkStealingPool& pool, std::size_t shard) {
+    pool.submit(
+        [this, &pool] {
+          ran_on_shard.store(pool.current_shard(), std::memory_order_relaxed);
+          started.store(true, std::memory_order_release);
+          while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        },
+        SubmitHint::remote, shard);
+    spin_until(started);
+  }
+
+  void free() { release.store(true, std::memory_order_release); }
+};
+
+TEST(SchedShard, DefaultIsSingleDomainWithFlatCounters) {
+  WorkStealingPool pool({2, 4, "shard-flat"});
+  EXPECT_EQ(pool.shard_count(), 1u);
+  EXPECT_EQ(pool.shard_of_worker(0), 0u);
+  EXPECT_EQ(pool.shard_of_worker(1), 0u);
+
+  constexpr int kJobs = 200;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_release); });
+  }
+  while (ran.load(std::memory_order_acquire) < kJobs) {
+    std::this_thread::yield();
+  }
+  const auto s = pool.stats();
+  ASSERT_EQ(s.shards.size(), 1u);
+  // One domain: every steal is shard-local, nothing ever crosses.
+  EXPECT_EQ(s.stolen_shard_local, s.stolen);
+  EXPECT_EQ(s.stolen_cross_shard, 0u);
+  EXPECT_EQ(s.cross_shard_probes, 0u);
+  EXPECT_EQ(s.cross_shard_wakes, 0u);
+  EXPECT_EQ(s.shard(0).executed, s.executed);
+  EXPECT_EQ(s.shard(0).stolen, s.stolen);
+}
+
+TEST(SchedShard, AutoShardsSizeFromWorkerCount) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 8;
+  cfg.name = "shard-auto";
+  cfg.shards = 0;  // auto: workers / 4
+  WorkStealingPool pool(cfg);
+  EXPECT_EQ(pool.shard_count(), 2u);
+  // Contiguous blocks: shard s owns [s*W/S, (s+1)*W/S).
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(pool.shard_of_worker(w), w < 4 ? 0u : 1u) << "worker " << w;
+  }
+}
+
+TEST(SchedShard, ShardCountClampsToWorkers) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 2;
+  cfg.name = "shard-clamp";
+  cfg.shards = 7;
+  WorkStealingPool pool(cfg);
+  EXPECT_EQ(pool.shard_count(), 2u);
+  EXPECT_EQ(pool.shard_of_worker(0), 0u);
+  EXPECT_EQ(pool.shard_of_worker(1), 1u);
+}
+
+// The victim-order theorem, made deterministic: both shard-0 workers are
+// held hostage, then a generator on shard 1 local-pushes K jobs while its
+// shard-1 sibling is the only free worker. Every one of the K jobs must be
+// stolen by that sibling — a same-domain victim — so the exact counts are
+// stolen_shard_local == K and stolen_cross_shard == 0. Along the way the
+// explicit-shard routing itself is asserted: with the whole pool parked, a
+// submission to shard s is executed by a shard-s worker.
+TEST(SchedShard, VictimOrderIsShardFirst) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 4;
+  cfg.name = "shard-victim";
+  cfg.shards = 2;
+  WorkStealingPool pool(cfg);
+  wait_all_parked(pool, 4);
+
+  Hostage h1;
+  Hostage h2;
+  h1.submit_to(pool, 0);
+  h2.submit_to(pool, 0);
+  EXPECT_EQ(h1.ran_on_shard.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(h2.ran_on_shard.load(std::memory_order_relaxed), 0u);
+
+  constexpr std::size_t kJobs = 64;
+  std::atomic<std::size_t> jobs_ran{0};
+  std::atomic<std::size_t> gen_shard{static_cast<std::size_t>(-1)};
+  std::atomic<bool> gen_done{false};
+  pool.submit(
+      [&pool, &jobs_ran, &gen_shard, &gen_done] {
+        gen_shard.store(pool.current_shard(), std::memory_order_relaxed);
+        for (std::size_t i = 0; i < kJobs; ++i) {
+          // Worker-local fast path: lands on this worker's own deque.
+          pool.submit([&jobs_ran] {
+            jobs_ran.fetch_add(1, std::memory_order_release);
+          });
+        }
+        // Never pop: the only way these jobs run is a sibling's steal.
+        while (jobs_ran.load(std::memory_order_acquire) < kJobs) {
+          std::this_thread::yield();
+        }
+        gen_done.store(true, std::memory_order_release);
+      },
+      SubmitHint::remote, 1);
+  spin_until(gen_done);
+  h1.free();
+  h2.free();
+  EXPECT_EQ(gen_shard.load(std::memory_order_relaxed), 1u);
+
+  const auto s = pool.stats();
+  EXPECT_EQ(s.stolen_shard_local, kJobs);
+  EXPECT_EQ(s.stolen_cross_shard, 0u);
+  EXPECT_EQ(s.shard(1).stolen_local, kJobs);
+  EXPECT_EQ(s.shard(0).stolen, 0u);
+}
+
+// The complementary exact count: the generator's own domain has no sibling
+// (2 workers, 2 domains), so the only thief lives across the boundary.
+// All K jobs must arrive via cross-shard deque raids — counted exactly,
+// traced as kStealRemote, and preceded by at least one cross-probe.
+TEST(SchedShard, CrossShardStealsCountExactly) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 2;
+  cfg.name = "shard-cross";
+  cfg.shards = 2;
+  WorkStealingPool pool(cfg);
+  wait_all_parked(pool, 2);
+
+  obs::TraceSession session({.events_per_thread = 1u << 14});
+
+  constexpr std::size_t kJobs = 64;
+  std::atomic<std::size_t> jobs_ran{0};
+  std::atomic<std::size_t> thief_shard_sum{0};
+  std::atomic<bool> gen_done{false};
+  pool.submit(
+      [&pool, &jobs_ran, &thief_shard_sum, &gen_done] {
+        for (std::size_t i = 0; i < kJobs; ++i) {
+          pool.submit([&pool, &jobs_ran, &thief_shard_sum] {
+            thief_shard_sum.fetch_add(pool.current_shard(),
+                                      std::memory_order_relaxed);
+            jobs_ran.fetch_add(1, std::memory_order_release);
+          });
+        }
+        while (jobs_ran.load(std::memory_order_acquire) < kJobs) {
+          std::this_thread::yield();
+        }
+        gen_done.store(true, std::memory_order_release);
+      },
+      SubmitHint::remote, 0);
+  spin_until(gen_done);
+
+  const obs::TraceDump dump = session.end();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.stolen_cross_shard, kJobs);
+  EXPECT_EQ(s.stolen_shard_local, 0u);
+  EXPECT_GE(s.cross_shard_probes, 1u);
+  // The generator parked no one, so at least the first push had to wake
+  // the remote (shard-1) worker through the fallback.
+  EXPECT_GE(s.cross_shard_wakes, 1u);
+  // Every job ran on the shard-1 thief.
+  EXPECT_EQ(thief_shard_sum.load(std::memory_order_relaxed), kJobs);
+  EXPECT_EQ(s.shard(1).stolen_cross, kJobs);
+
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kStealRemote), kJobs);
+}
+
+// Work conservation across domains: a job routed to a busy shard while the
+// other shard's worker sleeps must not wait — signal_work falls back to
+// waking the remote sleeper, which then drains the busy shard's queue.
+TEST(SchedShard, FallbackWakeServesBusyShard) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 2;
+  cfg.name = "shard-wake";
+  cfg.shards = 2;
+  WorkStealingPool pool(cfg);
+  wait_all_parked(pool, 2);
+
+  Hostage hostage;
+  hostage.submit_to(pool, 0);
+  EXPECT_EQ(hostage.ran_on_shard.load(std::memory_order_relaxed), 0u);
+
+  std::atomic<std::size_t> probe_shard{static_cast<std::size_t>(-1)};
+  std::atomic<bool> probe_ran{false};
+  pool.submit(
+      [&pool, &probe_shard, &probe_ran] {
+        probe_shard.store(pool.current_shard(), std::memory_order_relaxed);
+        probe_ran.store(true, std::memory_order_release);
+      },
+      SubmitHint::remote, 0);
+  spin_until(probe_ran);
+  hostage.free();
+
+  EXPECT_EQ(probe_shard.load(std::memory_order_relaxed), 1u);
+  EXPECT_GE(pool.stats().cross_shard_wakes, 1u);
+}
+
+// Bulk submissions carry the shard name for the whole batch: with every
+// worker hostage, 32 jobs routed to shard 1 pile up on shard 1's injection
+// queue (its traced high-water mark) while shard 0's stays at its hostage.
+TEST(SchedShard, SubmitNRoutesWholeBatchToNamedShard) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 2;
+  cfg.name = "shard-bulk";
+  cfg.shards = 2;
+  WorkStealingPool pool(cfg);
+  wait_all_parked(pool, 2);
+
+  obs::TraceSession session({.events_per_thread = 1u << 14});
+  Hostage h0;
+  Hostage h1;
+  h0.submit_to(pool, 0);
+  h1.submit_to(pool, 1);
+
+  constexpr std::size_t kJobs = 32;
+  std::atomic<std::size_t> ran{0};
+  pool.submit_n(
+      kJobs,
+      [&ran](std::size_t) {
+        return [&ran] { ran.fetch_add(1, std::memory_order_release); };
+      },
+      SubmitHint::remote, 1);
+  // Nobody is free to pop: the batch is still queued, so the high-water
+  // marks are a race-free observation of where it landed.
+  const auto mid = pool.stats();
+  EXPECT_GE(mid.shard(1).injected_high_water, kJobs);
+  EXPECT_LE(mid.shard(0).injected_high_water, 2u);
+
+  h0.free();
+  h1.free();
+  while (ran.load(std::memory_order_acquire) < kJobs) {
+    std::this_thread::yield();
+  }
+  (void)session.end();
+}
+
+// Exclusive jobs: the named shard's workers check their own exclusive
+// queue first, and a foreign worker drains another domain's exclusive
+// queue when that domain is busy (the soft-binding work-conservation
+// guarantee nested pj regions rely on).
+TEST(SchedShard, ExclusiveJobsPreferButDoNotRequireTheirShard) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 2;
+  cfg.name = "shard-excl";
+  cfg.shards = 2;
+  WorkStealingPool pool(cfg);
+  wait_all_parked(pool, 2);
+
+  // Preferred path: whole pool parked, exclusive named for shard 1 wakes
+  // and runs on the shard-1 worker.
+  std::atomic<std::size_t> first_shard{static_cast<std::size_t>(-1)};
+  std::atomic<bool> first_ran{false};
+  pool.submit_exclusive(
+      [&pool, &first_shard, &first_ran] {
+        first_shard.store(pool.current_shard(), std::memory_order_relaxed);
+        first_ran.store(true, std::memory_order_release);
+      },
+      1);
+  spin_until(first_ran);
+  EXPECT_EQ(first_shard.load(std::memory_order_relaxed), 1u);
+
+  wait_all_parked(pool, 2);
+  // Soft binding: shard 1's worker is hostage, so its exclusive job is
+  // drained by the shard-0 worker (woken through the fallback) instead of
+  // waiting for a busy domain.
+  Hostage hostage;
+  hostage.submit_to(pool, 1);
+  std::atomic<std::size_t> second_shard{static_cast<std::size_t>(-1)};
+  std::atomic<bool> second_ran{false};
+  pool.submit_exclusive(
+      [&pool, &second_shard, &second_ran] {
+        second_shard.store(pool.current_shard(), std::memory_order_relaxed);
+        second_ran.store(true, std::memory_order_release);
+      },
+      1);
+  spin_until(second_ran);
+  hostage.free();
+  EXPECT_EQ(second_shard.load(std::memory_order_relaxed), 0u);
+}
+
+TEST(SchedShard, ShardSnapshotsSumToPoolTotals) {
+  WorkStealingPool::Config cfg;
+  cfg.num_threads = 4;
+  cfg.name = "shard-sum";
+  cfg.shards = 2;
+  WorkStealingPool pool(cfg);
+
+  constexpr std::size_t kJobs = 300;
+  std::atomic<std::size_t> ran{0};
+  pool.submit_n(kJobs, [&ran](std::size_t) {
+    return [&ran] { ran.fetch_add(1, std::memory_order_release); };
+  });
+  while (ran.load(std::memory_order_acquire) < kJobs) {
+    std::this_thread::yield();
+  }
+  const auto s = pool.stats();
+  ASSERT_EQ(s.shards.size(), 2u);
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t local = 0;
+  std::uint64_t cross = 0;
+  std::uint64_t parked = 0;
+  for (const auto& sh : s.shards) {
+    executed += sh.executed;
+    stolen += sh.stolen;
+    local += sh.stolen_local;
+    cross += sh.stolen_cross;
+    parked += sh.parked;
+  }
+  EXPECT_EQ(executed, s.executed);
+  EXPECT_EQ(stolen, s.stolen);
+  EXPECT_EQ(local, s.stolen_shard_local);
+  EXPECT_EQ(cross, s.stolen_cross_shard);
+  EXPECT_EQ(parked, s.parked);
+  EXPECT_EQ(s.stolen, s.stolen_shard_local + s.stolen_cross_shard);
+}
+
+// Closing the loop with the machine model: trace a dependence-chain
+// workload on a real shards=4 pool, rebuild its DAG, and replay it on a
+// sharded 16-core model. Hierarchical dispatch must generate no more
+// modeled cross-domain traffic than the shard-oblivious schedule — for
+// pure chains it generates none, since a successor's home core is always
+// free when it becomes ready — and the real pool's counted cross-shard
+// steals stay a small fraction of executed jobs under the same
+// chains-stay-local reasoning.
+TEST(SchedShard, TracedRunReplaysWithLessCrossTrafficHierarchically) {
+  ptask::Runtime rt(ptask::Runtime::Config{.workers = 4, .shards = 4});
+  EXPECT_EQ(rt.pool().shard_count(), 4u);
+
+  constexpr std::size_t kChains = 8;
+  constexpr std::size_t kLinks = 25;
+  obs::TraceSession session({.events_per_thread = 1u << 16});
+  {
+    std::vector<ptask::TaskID<void>> tails;
+    tails.reserve(kChains);
+    const auto body = [] {
+      volatile std::uint32_t x = 0;
+      for (int i = 0; i < 400; ++i) x = x + 1;
+    };
+    for (std::size_t c = 0; c < kChains; ++c) {
+      auto t = ptask::run(rt, body);
+      for (std::size_t l = 1; l < kLinks; ++l) {
+        t = ptask::run_after(rt, body, t);
+      }
+      tails.push_back(std::move(t));
+    }
+    for (auto& t : tails) t.get();
+  }
+  const obs::TraceDump dump = session.end();
+  const obs::RecordedGraph graph = obs::extract_task_graph(dump);
+  ASSERT_EQ(graph.tasks.size(), kChains * kLinks);
+  ASSERT_EQ(graph.edges.size(), kChains * (kLinks - 1));
+  const sim::TaskDag dag = graph.to_dag();
+
+  sim::MachineParams machine{16, 0.0, "replay-16c"};
+  machine.shards = 4;
+  machine.cross_shard_steal_cost_s = 1e-6;
+  machine.hierarchical_dispatch = false;
+  const auto oblivious = sim::simulate(dag, machine);
+  machine.hierarchical_dispatch = true;
+  const auto hierarchical = sim::simulate(dag, machine);
+
+  EXPECT_LE(hierarchical.cross_shard_dispatches,
+            oblivious.cross_shard_dispatches);
+  // Chains never need to cross: the home core is free the moment the
+  // successor becomes ready.
+  EXPECT_EQ(hierarchical.cross_shard_dispatches, 0u);
+  EXPECT_GE(oblivious.cross_shard_dispatches, 1u);
+  // Modeled cross traffic under hierarchical dispatch stays under 10% of
+  // tasks (trivially here; the bound is the acceptance gate's shape).
+  EXPECT_LE(hierarchical.cross_shard_dispatches * 10, dag.size());
+  // Validity anchors still hold on the sharded machine.
+  EXPECT_GE(hierarchical.makespan_s, dag.critical_path() - 1e-12);
+  EXPECT_GE(hierarchical.makespan_s, dag.total_work() / 16.0 - 1e-12);
+
+  // The counted side of the cross-check: continuation stealing keeps each
+  // chain on its worker, so real cross-shard raids are a race artifact,
+  // not the transport. Generous margin — the property is "rare", not a
+  // timing threshold.
+  const auto s = rt.pool().stats();
+  EXPECT_LE(s.stolen_cross_shard * 4, s.executed);
+}
+
+}  // namespace
+}  // namespace parc::sched

@@ -164,5 +164,114 @@ TEST(Simulate, CoreBusyAccountingConsistent) {
   EXPECT_NEAR(busy, dag.total_work(), 1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Locality-domain (sharded) machine model.
+//
+// The canonical asymmetric DAG: two roots a1, a2 with different costs and a
+// task c depending on a2. On a 2-core/2-domain machine, c's home is a2's
+// domain (core 1); at c's ready time core 0 is the earlier-free core, so the
+// shard-oblivious scheduler migrates c across the boundary while
+// hierarchical dispatch keeps it home at no makespan cost.
+// ---------------------------------------------------------------------------
+
+namespace {
+TaskDag asymmetric_chain_dag() {
+  TaskDag dag;
+  dag.add_task(1.0);                        // a1 → core 0 (domain 0)
+  const auto a2 = dag.add_task(2.0);        // a2 → core 1 (domain 1)
+  dag.add_task(1.0, {a2});                  // c: home domain 1, ready at 2
+  return dag;
+}
+}  // namespace
+
+TEST(ShardedMachine, OneShardMatchesFlatMachine) {
+  const TaskDag dag = divide_conquer_dag(4096, 64, 1e-7, 1e-6);
+  const auto flat = simulate(dag, MachineParams{4, 1e-6, "flat"});
+  MachineParams sharded{4, 1e-6, "sharded-1"};
+  sharded.shards = 1;
+  sharded.cross_shard_steal_cost_s = 99.0;  // unreachable on one domain
+  sharded.hierarchical_dispatch = true;
+  const auto out = simulate(dag, sharded);
+  EXPECT_DOUBLE_EQ(out.makespan_s, flat.makespan_s);
+  EXPECT_EQ(out.cross_shard_dispatches, 0u);
+}
+
+TEST(ShardedMachine, ObliviousReplayCountsCrossTrafficAtZeroCost) {
+  const TaskDag dag = asymmetric_chain_dag();
+  MachineParams m{2, 0.0, "2c2s"};
+  m.shards = 2;
+  // Zero-cost replay still *counts* the migration the flat schedule makes.
+  const auto oblivious = simulate(dag, m);
+  EXPECT_EQ(oblivious.cross_shard_dispatches, 1u);
+  EXPECT_DOUBLE_EQ(oblivious.makespan_s, 3.0);
+  m.hierarchical_dispatch = true;
+  const auto hierarchical = simulate(dag, m);
+  EXPECT_EQ(hierarchical.cross_shard_dispatches, 0u);
+  // At zero cross cost, staying home is free: identical makespan.
+  EXPECT_DOUBLE_EQ(hierarchical.makespan_s, 3.0);
+}
+
+TEST(ShardedMachine, CrossCostPenalisesTheObliviousScheduleOnly) {
+  const TaskDag dag = asymmetric_chain_dag();
+  MachineParams m{2, 0.0, "2c2s-cost"};
+  m.shards = 2;
+  m.cross_shard_steal_cost_s = 0.5;
+  const auto oblivious = simulate(dag, m);
+  m.hierarchical_dispatch = true;
+  const auto hierarchical = simulate(dag, m);
+  EXPECT_DOUBLE_EQ(oblivious.makespan_s, 3.5);   // pays the migration
+  EXPECT_DOUBLE_EQ(hierarchical.makespan_s, 3.0);  // stays home
+  EXPECT_GT(oblivious.makespan_s, hierarchical.makespan_s);
+  EXPECT_EQ(hierarchical.cross_shard_dispatches, 0u);
+}
+
+TEST(ShardedMachine, HierarchicalGoesRemoteWhenStrictlySooner) {
+  // a2's two dependents both have home domain 1 (one core): d takes the
+  // home core 1→2; e would wait until 2 at home, but the remote core is
+  // free at 0.5, so even with the 0.5 s cross cost it starts (and finishes)
+  // strictly sooner — hierarchical dispatch is a preference, not a pin.
+  TaskDag dag;
+  dag.add_task(0.5);                    // a1 → core 0 free at 0.5
+  const auto a2 = dag.add_task(1.0);    // a2 → core 1
+  dag.add_task(1.0, {a2});              // d: home core, 1 → 2
+  dag.add_task(1.0, {a2});              // e: migrates, finishes 2.5
+  MachineParams m{2, 0.0, "2c2s-remote"};
+  m.shards = 2;
+  m.cross_shard_steal_cost_s = 0.5;
+  m.hierarchical_dispatch = true;
+  const auto out = simulate(dag, m);
+  EXPECT_EQ(out.cross_shard_dispatches, 1u);
+  EXPECT_DOUBLE_EQ(out.makespan_s, 2.5);  // home-only would be 3.0
+}
+
+TEST(ShardedMachine, ShardCountClampsToCores) {
+  const TaskDag dag = asymmetric_chain_dag();
+  MachineParams m{2, 0.0, "clamped"};
+  m.shards = 8;  // clamped to 2 — no empty domains
+  m.cross_shard_steal_cost_s = 0.25;
+  m.hierarchical_dispatch = true;
+  MachineParams two = m;
+  two.shards = 2;
+  const auto clamped = simulate(dag, m);
+  const auto exact = simulate(dag, two);
+  EXPECT_DOUBLE_EQ(clamped.makespan_s, exact.makespan_s);
+  EXPECT_EQ(clamped.cross_shard_dispatches, exact.cross_shard_dispatches);
+}
+
+TEST(ShardedMachine, GrahamBoundHoldsUnderHierarchicalDispatch) {
+  // At zero cross cost hierarchical dispatch never delays a start beyond
+  // the greedy choice, so the classic anchors must keep holding.
+  const TaskDag dag = divide_conquer_dag(8192, 128, 1e-7, 0.0);
+  MachineParams m{4, 0.0, "graham-h"};
+  m.shards = 2;
+  m.hierarchical_dispatch = true;
+  const auto out = simulate(dag, m);
+  const double work = dag.total_work();
+  const double span = dag.critical_path();
+  EXPECT_GE(out.makespan_s, span - 1e-12);
+  EXPECT_GE(out.makespan_s, work / 4.0 - 1e-12);
+  EXPECT_LE(out.makespan_s, work / 4.0 + span + 1e-12);
+}
+
 }  // namespace
 }  // namespace parc::sim
