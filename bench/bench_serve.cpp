@@ -1,0 +1,354 @@
+// bench_serve: a million requests through the serving stack.
+//
+// Phases:
+//   1. Closed-loop calibration — W requests in flight, no admission gates:
+//      measures the server's capacity (requests/second) on this host.
+//   2. Open-loop sweep at 0.3×, 0.7× and 1.5× capacity — the classic
+//      latency/throughput story: flat latency below the knee, queueing
+//      blow-up and (counted, bounded) shedding past it. Latency is
+//      measured from the *scheduled* arrival, so overload is charged
+//      honestly. Every level asserts the exact conservation identities.
+//   3. A traced run (zero-drop asserted) rebuilt as a task DAG and
+//      replayed on simulated machines at P ∈ {4, 64, 256} cores — the
+//      1-core container's way of showing where the serving knee sits.
+//
+// --json: CI smoke mode. Smaller request counts, same assertion gates
+// (conservation, p99 envelope at low load, zero-drop trace, replay knee),
+// writes BENCH_serve.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/trace.hpp"
+#include "serve/replay.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "sim/machine.hpp"
+#include "support/check.hpp"
+#include "support/clock.hpp"
+#include "support/table.hpp"
+
+namespace parc::serve {
+namespace {
+
+/// The sweep's serving configuration (shared by every phase so capacity
+/// calibrates the same server the levels load).
+ServerConfig base_config() {
+  ServerConfig cfg;
+  cfg.pool.name = "serve";
+  cfg.pool.shards = 0;  // auto: workers / 4
+  cfg.cache_capacity = 1ull << 14;
+  cfg.cache_stripes = 16;
+  cfg.batch_max = 32;
+  cfg.backend.img_source_dim = 16;
+  cfg.backend.img_thumb_dim = 8;
+  cfg.backend.text_chunk_bytes = 2048;
+  cfg.backend.net_spin_iters = 2000;
+  cfg.backend.pool.acquire_timeout_s = 10.0;  // backends shed at admission,
+                                              // not inside the pool
+  return cfg;
+}
+
+WorkloadConfig base_workload(std::size_t requests) {
+  WorkloadConfig w;
+  w.requests = requests;
+  w.keyspace = 1ull << 16;
+  w.key_skew = 1.1;
+  w.seed = 20260808;
+  return w;
+}
+
+void check_conservation(const Server::Stats& s, const char* where) {
+  PARC_CHECK_MSG(s.in_flight == 0, where);
+  PARC_CHECK_MSG(s.offered == s.admitted + s.shed_rate + s.shed_queue, where);
+  PARC_CHECK_MSG(s.admitted == s.completed, where);
+  PARC_CHECK_MSG(s.admitted == s.hits_inline + s.coalesced + s.executed,
+                 where);
+  // Every ingress cache miss became a leader (executed) or a waiter.
+  PARC_CHECK_MSG(s.cache.hits == s.hits_inline, where);
+  PARC_CHECK_MSG(s.cache.misses == s.executed + s.coalesced, where);
+}
+
+struct LevelResult {
+  double offered_rate = 0.0;
+  double throughput = 0.0;
+  double p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
+  double hit_rate = 0.0;
+  double shed_rate = 0.0;
+  Server::Stats stats;
+};
+
+/// Closed loop: keep `window` requests in flight until `n` completed.
+double calibrate_capacity(std::size_t n, std::size_t window) {
+  ServerConfig cfg = base_config();
+  cfg.admission = AdmissionConfig{0.0, 256.0, 0};  // no gates
+  Server server(cfg);
+  WorkloadConfig w = base_workload(n);
+  w.arrival_rate = 0.0;  // closed loop
+  LoadGenerator gen(w);
+  server.start();
+  Stopwatch sw;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (server.in_flight() >= window) {
+      server.flush();  // partial batches must reach the pool before waiting
+      server.pool().help_while(
+          [&] { return server.in_flight() >= window; });
+    }
+    Request r = gen.next();
+    r.arrival_s = server.now_s();
+    (void)server.offer(r);
+  }
+  server.drain();
+  const double elapsed = sw.elapsed_s();
+  check_conservation(server.stats(), "closed-loop calibration");
+  PARC_CHECK(server.stats().completed == n);
+  return static_cast<double>(n) / elapsed;
+}
+
+/// Open loop at `rate` requests/s with admission gates on.
+LevelResult run_level(std::size_t n, double rate, double admit_rate) {
+  ServerConfig cfg = base_config();
+  cfg.admission = AdmissionConfig{admit_rate, 256.0, 8192};
+  Server server(cfg);
+  WorkloadConfig w = base_workload(n);
+  w.arrival_rate = rate;
+  LoadGenerator gen(w);
+  server.start();
+  Stopwatch sw;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request r = gen.next();
+    if (server.now_s() < r.arrival_s) {
+      // Ahead of schedule: don't let sealed-but-partial batches go stale
+      // while we wait (batch under pressure, flush when idle).
+      server.flush();
+      while (server.now_s() < r.arrival_s) {
+      }
+    }
+    (void)server.offer(r);
+  }
+  server.drain();
+  const double elapsed = sw.elapsed_s();
+
+  LevelResult out;
+  out.stats = server.stats();
+  check_conservation(out.stats, "open-loop level");
+  out.offered_rate = rate;
+  out.throughput = static_cast<double>(out.stats.completed) / elapsed;
+  const LogHistogram h = server.latency_histogram();
+  out.p50_ms = h.p50() * 1e3;
+  out.p99_ms = h.p99() * 1e3;
+  out.p999_ms = h.p999() * 1e3;
+  out.hit_rate = static_cast<double>(out.stats.hits_inline) /
+                 static_cast<double>(std::max<std::uint64_t>(
+                     1, out.stats.admitted));
+  out.shed_rate =
+      static_cast<double>(out.stats.shed_rate + out.stats.shed_queue) /
+      static_cast<double>(out.stats.offered);
+  return out;
+}
+
+/// Traced run: pure-img all-miss workload, paced so the replay DAG's
+/// parallelism lands between P=4 and P=64 (the saturation knee the
+/// simulated sweep must show).
+ReplayDag traced_run(std::size_t n) {
+  ServerConfig cfg = base_config();
+  cfg.admission = AdmissionConfig{0.0, 256.0, 0};
+  // One worker: with more, workers preempt each other (and the pacing
+  // ingress) on the container's few cores and the measured exec spans
+  // inflate — the simulated machines supply the parallelism, the traced
+  // run only has to measure arrival gaps and per-request cost honestly.
+  cfg.pool.num_threads = 1;
+  cfg.pool.shards = 1;
+  // All-miss: unique keys swamp the cache, so every request carries a
+  // measured backend execution into the DAG.
+  cfg.cache_capacity = 64;
+  // Bigger renders (tens of µs) so the pacing gap — exec/32 — stays well
+  // above the ingress loop's own cost and the DAG's parallelism actually
+  // lands near the target.
+  cfg.backend.img_source_dim = 48;
+
+  // Calibrate one img render to pick the pacing gap.
+  double exec_s;
+  {
+    Backend probe(cfg.backend);
+    Stopwatch sw;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      (void)probe.execute(RequestKind::img, 1'000'000 + k);
+    }
+    exec_s = sw.elapsed_s() / 64.0;
+  }
+  // Target DAG parallelism ~16 (arrival gap = exec/16): far enough above
+  // P=4 to show near-linear speedup there, far enough below P=64 that both
+  // 64 and 256 cores sit past the knee — even when 1-core timesharing
+  // inflates the measured exec spans by ~1.5x relative to this probe.
+  const double rate = 16.0 / exec_s;
+
+  Server server(cfg);
+  WorkloadConfig w = base_workload(n);
+  w.arrival_rate = rate;
+  w.key_skew = 0.0;
+  w.keyspace = 1ull << 40;  // unique keys w.h.p.
+  w.weight_img = 1.0;
+  w.weight_text = 0.0;
+  w.weight_net = 0.0;
+  LoadGenerator gen(w);
+
+  // Buffer budget: the ingress thread can end up emitting ~5 events per
+  // request (arrive + batch, plus exec/done for every job it drains via
+  // help_while on a 1-core box) — 2^19 slots cover 60k requests with room.
+  obs::TraceSession session(obs::TraceConfig{std::size_t{1} << 19});
+  server.start();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request r = gen.next();
+    if (server.now_s() < r.arrival_s) {
+      server.flush();
+      while (server.now_s() < r.arrival_s) {
+      }
+    }
+    (void)server.offer(r);
+  }
+  server.drain();
+  const obs::TraceDump dump = session.end();
+
+  PARC_CHECK_MSG(dump.total_dropped() == 0,
+                 "traced serve run must not drop events");
+  check_conservation(server.stats(), "traced run");
+  ReplayDag replay = build_serve_dag(dump);
+  PARC_CHECK(replay.arrivals == n);
+  PARC_CHECK_MSG(replay.executed >= n * 99 / 100,
+                 "all-miss traced run should execute (nearly) every request");
+  return replay;
+}
+
+}  // namespace
+}  // namespace parc::serve
+
+int main(int argc, char** argv) {
+  using namespace parc;
+  using namespace parc::serve;
+
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+
+  const std::size_t per_level = json_only ? 100000 : 320000;
+  const std::size_t calib_n = json_only ? 40000 : 100000;
+  const std::size_t traced_n = json_only ? 30000 : 60000;
+
+  // Phase 1: capacity.
+  const double capacity = calibrate_capacity(calib_n, 512);
+  std::printf("closed-loop capacity: %.0f req/s\n", capacity);
+
+  // Phase 2: the load sweep. The token bucket is set to 1.2× capacity:
+  // below the knee it never fires; at 1.5× offered load it sheds the
+  // excess deterministically (by schedule, not by wall-clock luck).
+  const double admit_rate = 1.2 * capacity;
+  const std::vector<double> levels = {0.3, 0.7, 1.5};
+  std::vector<LevelResult> results;
+  std::uint64_t total_offered = calib_n;
+  for (const double level : levels) {
+    results.push_back(run_level(per_level, level * capacity, admit_rate));
+    total_offered += results.back().stats.offered;
+  }
+
+  Table table("Serving a million requests (open loop, measured from "
+              "scheduled arrival)");
+  table.columns({"load", "offered/s", "served/s", "p50 ms", "p99 ms",
+                 "p999 ms", "hit rate", "shed rate"});
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& r = results[i];
+    table.add_row()
+        .cell(std::to_string(levels[i]).substr(0, 4) + "x cap")
+        .cell(r.offered_rate, 0)
+        .cell(r.throughput, 0)
+        .cell(r.p50_ms, 3)
+        .cell(r.p99_ms, 3)
+        .cell(r.p999_ms, 3)
+        .cell(r.hit_rate, 3)
+        .cell(r.shed_rate, 3);
+  }
+  bench::emit(table);
+
+  // Gates on the sweep's shape.
+  PARC_CHECK_MSG(results[0].shed_rate == 0.0,
+                 "no shedding below the admission rate");
+  PARC_CHECK_MSG(results[2].shed_rate > 0.05,
+                 "1.5x capacity must shed a visible fraction");
+  PARC_CHECK_MSG(results[0].p99_ms < 50.0,
+                 "p99 envelope at 0.3x capacity (50 ms, generous for CI)");
+  PARC_CHECK_MSG(results[0].p99_ms <= results[2].p99_ms,
+                 "overload latency must not beat light load");
+
+  // Phase 3: traced run + simulated replay.
+  const ReplayDag replay = traced_run(traced_n);
+  total_offered += replay.arrivals;
+  std::printf("\ntraced run: %llu arrivals, %llu executed, ingress span "
+              "%.3f s, exec work %.3f s, DAG parallelism %.1f\n",
+              static_cast<unsigned long long>(replay.arrivals),
+              static_cast<unsigned long long>(replay.executed),
+              replay.ingress_span_s, replay.exec_work_s,
+              replay.dag.parallelism());
+
+  Table knee("Serving knee on simulated machines (greedy replay of the "
+             "traced run)");
+  knee.columns({"cores", "makespan s", "speedup", "efficiency"});
+  double sp4 = 0.0, sp64 = 0.0, sp256 = 0.0;
+  for (const std::size_t cores : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{64}, std::size_t{256}}) {
+    sim::MachineParams m;
+    m.cores = cores;
+    m.name = "sim-" + std::to_string(cores);
+    const sim::SimOutcome out = sim::simulate(replay.dag, m);
+    knee.add_row()
+        .cell(static_cast<double>(cores), 0)
+        .cell(out.makespan_s, 4)
+        .cell(out.speedup, 2)
+        .cell(out.efficiency, 3);
+    if (cores == 4) sp4 = out.speedup;
+    if (cores == 64) sp64 = out.speedup;
+    if (cores == 256) sp256 = out.speedup;
+  }
+  bench::emit(knee);
+
+  PARC_CHECK_MSG(sp4 >= 2.8, "P=4 sits below the knee: near-linear");
+  PARC_CHECK_MSG(sp64 >= sp4 * 1.5, "P=64 still gains substantially");
+  PARC_CHECK_MSG(sp256 <= sp64 * 1.3,
+                 "P=256 is past the knee: offered load binds, not cores");
+
+  PARC_CHECK_MSG(json_only || total_offered >= 1000000,
+                 "the full bench must offer at least a million requests");
+  std::printf("\ntotal requests offered: %llu\n",
+              static_cast<unsigned long long>(total_offered));
+  std::printf("conservation + envelope + zero-drop + knee gates: PASS\n");
+
+  bench::JsonReport report("serve");
+  report.config("per_level", std::to_string(per_level))
+      .config("capacity_req_s", std::to_string(capacity));
+  const char* names[] = {"low", "mid", "over"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    report.add(std::string(names[i]) + "_p50", results[i].p50_ms * 1e6);
+    report.add(std::string(names[i]) + "_p99", results[i].p99_ms * 1e6);
+    report.add(std::string(names[i]) + "_throughput_req_s",
+               results[i].throughput);
+    report.add(std::string(names[i]) + "_hit_rate", results[i].hit_rate);
+    report.add(std::string(names[i]) + "_shed_rate", results[i].shed_rate);
+  }
+  report.add("replay_speedup_p4", sp4)
+      .add("replay_speedup_p64", sp64)
+      .add("replay_speedup_p256", sp256);
+  report.write();
+
+  // No google-benchmark micros here: every measurement above is a paced
+  // whole-system run, which the micro harness's auto-iteration would only
+  // distort.
+  (void)argc;
+  (void)argv;
+  return 0;
+}

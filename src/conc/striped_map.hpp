@@ -3,13 +3,22 @@
 // stripes, each its own mutex + bucket map, so disjoint-stripe operations
 // proceed in parallel while the per-stripe code stays as simple as the
 // coarse-locked baseline.
+//
+// StripedLruCache below applies the same striping to a bounded LRU result
+// cache (the parc::serve substrate): capacity and recency order are
+// per-stripe, so a hot stripe can only evict its own keys and two lookups
+// on different stripes never contend.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -91,6 +100,152 @@ class StripedHashMap {
   }
 
   std::size_t stripes_;
+  std::vector<Shard> shards_;
+};
+
+/// Bounded LRU cache, lock-striped like StripedHashMap: keys hash to one of
+/// S stripes, each holding its own mutex, hash index, recency list, and an
+/// equal share of the total capacity (so eviction pressure is local to the
+/// stripe — a skewed key distribution cannot evict a cold stripe's
+/// entries). get() refreshes recency; put() inserts/updates and evicts the
+/// stripe's least-recently-used entry when over budget. Hit/miss/evict
+/// counters are relaxed atomics, summed by stats(); they are exact after a
+/// quiescent point, like the scheduler's Stats contract.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class StripedLruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t updates = 0;     ///< put() of a key already present
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;          ///< entries resident right now
+  };
+
+  /// `capacity` is the total entry budget, split evenly (ceil) across
+  /// stripes; each stripe holds at most ceil(capacity / stripes) entries.
+  explicit StripedLruCache(std::size_t capacity, std::size_t stripes = 16)
+      : stripes_(round_up_pow2(stripes)), shards_(stripes_) {
+    PARC_CHECK(capacity >= 1);
+    per_stripe_cap_ = (capacity + stripes_ - 1) / stripes_;
+  }
+
+  /// Look up `k`; a hit moves the entry to the stripe's most-recent slot.
+  [[nodiscard]] std::optional<V> get(const K& k) {
+    Shard& s = shard(k);
+    std::scoped_lock lock(s.mutex);
+    auto it = s.index.find(k);
+    if (it == s.index.end()) {
+      s.misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    s.order.splice(s.order.begin(), s.order, it->second);
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Insert or overwrite `k`; either way the entry becomes most-recent.
+  /// Evicts the stripe's LRU entry when the stripe is over budget.
+  void put(const K& k, V v) {
+    Shard& s = shard(k);
+    std::scoped_lock lock(s.mutex);
+    auto it = s.index.find(k);
+    if (it != s.index.end()) {
+      it->second->second = std::move(v);
+      s.order.splice(s.order.begin(), s.order, it->second);
+      s.updates.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    s.order.emplace_front(k, std::move(v));
+    s.index.emplace(k, s.order.begin());
+    s.insertions.fetch_add(1, std::memory_order_relaxed);
+    if (s.order.size() > per_stripe_cap_) {
+      s.index.erase(s.order.back().first);
+      s.order.pop_back();
+      s.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Remove `k` if present (invalidation path).
+  bool erase(const K& k) {
+    Shard& s = shard(k);
+    std::scoped_lock lock(s.mutex);
+    auto it = s.index.find(k);
+    if (it == s.index.end()) return false;
+    s.order.erase(it->second);
+    s.index.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const K& k) const {
+    const Shard& s = shard(k);
+    std::scoped_lock lock(s.mutex);
+    return s.index.contains(k);
+  }
+
+  /// Linearizable-per-stripe size, like StripedHashMap::size().
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::scoped_lock lock(s.mutex);
+      n += s.order.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    Stats out;
+    for (const auto& s : shards_) {
+      out.hits += s.hits.load(std::memory_order_relaxed);
+      out.misses += s.misses.load(std::memory_order_relaxed);
+      out.insertions += s.insertions.load(std::memory_order_relaxed);
+      out.updates += s.updates.load(std::memory_order_relaxed);
+      out.evictions += s.evictions.load(std::memory_order_relaxed);
+    }
+    out.size = size();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t stripe_count() const noexcept { return stripes_; }
+  [[nodiscard]] std::size_t stripe_capacity() const noexcept {
+    return per_stripe_cap_;
+  }
+  /// Total entry budget actually enforced (stripe cap × stripes; ≥ the
+  /// constructor's capacity because of the ceil split).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return per_stripe_cap_ * stripes_;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    // Recency list front = most recent; index maps key → list node. Both
+    // guarded by mutex.
+    std::list<std::pair<K, V>> order;
+    std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+        index;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> insertions{0};
+    std::atomic<std::uint64_t> updates{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    PARC_CHECK(n >= 1);
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Shard& shard(const K& k) { return shards_[Hash{}(k) & (stripes_ - 1)]; }
+  const Shard& shard(const K& k) const {
+    return shards_[Hash{}(k) & (stripes_ - 1)];
+  }
+
+  std::size_t stripes_;
+  std::size_t per_stripe_cap_ = 0;
   std::vector<Shard> shards_;
 };
 

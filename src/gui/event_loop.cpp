@@ -149,6 +149,15 @@ Summary EventLoop::latency_summary_ms() const {
   return s;
 }
 
+LogHistogram EventLoop::latency_histogram_ms() const {
+  // 1 µs .. 100 s in ms units covers everything from an idle loop's
+  // sub-frame latencies to a fully wedged EDT.
+  LogHistogram h(1e-3, 1e5);
+  std::scoped_lock lock(mutex_);
+  for (const double ms : latencies_ms_) h.add(ms);
+  return h;
+}
+
 void EventLoop::reset_metrics() {
   std::scoped_lock lock(mutex_);
   latencies_ms_.clear();

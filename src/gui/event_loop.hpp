@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/histogram.hpp"
 #include "support/stats.hpp"
 
 namespace parc::gui {
@@ -61,6 +62,9 @@ class EventLoop {
   /// Service-latency samples (ms) of all events serviced so far.
   [[nodiscard]] std::vector<double> latency_samples_ms() const;
   [[nodiscard]] Summary latency_summary_ms() const;
+  /// Same samples, bucketed into the shared log-histogram type the serving
+  /// stack and probes report (p50/p99/p999 without keeping every sample).
+  [[nodiscard]] LogHistogram latency_histogram_ms() const;
   /// Discard recorded samples (between experiment phases).
   void reset_metrics();
 

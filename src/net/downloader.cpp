@@ -53,4 +53,105 @@ DownloadRun download_sequential(SimWebServer& server) {
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// ConnectionPool
+// ---------------------------------------------------------------------------
+
+ConnectionPool::ConnectionPool(PoolOptions opts) : opts_(opts) {
+  PARC_CHECK(opts_.max_connections >= 1);
+  PARC_CHECK(opts_.per_host_cap >= 1);
+  PARC_CHECK(opts_.acquire_timeout_s >= 0.0);
+}
+
+ConnectionPool::Lease ConnectionPool::acquire(std::uint32_t host) {
+  return acquire_for(host, opts_.acquire_timeout_s);
+}
+
+ConnectionPool::Lease ConnectionPool::acquire_for(std::uint32_t host,
+                                                 double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    HostState& hs = hosts_[host];
+    // 1. Keep-alive reuse: hottest idle connection to this host.
+    if (!hs.idle.empty()) {
+      Lease lease{host, hs.idle.back(), /*reused=*/true, /*valid=*/true};
+      hs.idle.pop_back();
+      ++in_use_;
+      ++stats_.reused;
+      return lease;
+    }
+    // 2. Open a new connection if the host cap allows it. The global cap
+    // may first require closing another host's idle connection (real
+    // pools reassign sockets the same way; counted as `closed`).
+    if (hs.active < opts_.per_host_cap) {
+      bool room = open_ < opts_.max_connections;
+      if (!room) {
+        for (auto& [other, state] : hosts_) {
+          if (!state.idle.empty()) {
+            state.idle.pop_back();
+            --state.active;
+            --open_;
+            ++stats_.closed;
+            room = true;
+            break;
+          }
+        }
+      }
+      if (room) {
+        Lease lease{host, next_conn_id_++, /*reused=*/false, /*valid=*/true};
+        ++hs.active;
+        ++open_;
+        ++in_use_;
+        ++stats_.created;
+        return lease;
+      }
+    }
+    // 3. Saturated: wait for a release (or a close making room).
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      ++stats_.timeouts;
+      return Lease{};
+    }
+  }
+}
+
+void ConnectionPool::release(Lease& lease) {
+  if (!lease.valid) return;
+  {
+    std::scoped_lock lock(mutex_);
+    hosts_[lease.host].idle.push_back(lease.conn_id);
+    --in_use_;
+  }
+  lease.valid = false;
+  cv_.notify_all();
+}
+
+ConnectionPool::Stats ConnectionPool::stats() const {
+  std::scoped_lock lock(mutex_);
+  Stats out = stats_;
+  out.open = open_;
+  out.in_use = in_use_;
+  out.idle = open_ - in_use_;
+  return out;
+}
+
+PooledFetch fetch_pooled(SimWebServer& server, ConnectionPool& pool,
+                         std::size_t index) {
+  PooledFetch out;
+  ConnectionPool::Lease lease = pool.acquire(server.host_of(index));
+  if (!lease.valid) {
+    out.timed_out = true;
+    return out;
+  }
+  out.conn_id = lease.conn_id;
+  out.reused_connection = lease.reused;
+  out.bytes = server.fetch(index);
+  out.ok = true;
+  pool.release(lease);
+  return out;
+}
+
 }  // namespace parc::net

@@ -2,9 +2,23 @@
 // with ParallelTask, bounded to a configurable number of simultaneous
 // connections. Interactive (IO) tasks + a counting semaphore — exactly the
 // structure Parallel Task's IO_TASK gives in Java.
+//
+// ConnectionPool generalises the flat semaphore into a real keep-alive
+// pool: connections are host-bound, released connections go idle and are
+// reused by later fetches of the same host (the HTTP keep-alive economics —
+// reuse skips the per-connection setup overhead), per-host and global caps
+// bound simultaneous connections, and acquire() carries a timeout so a
+// saturated pool sheds instead of queueing forever. parc::serve's web-fetch
+// backend runs every request through one of these.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "net/simweb.hpp"
 #include "ptask/runtime.hpp"
@@ -25,5 +39,85 @@ struct DownloadRun {
 
 /// Sequential baseline: one connection, one fetch at a time.
 [[nodiscard]] DownloadRun download_sequential(SimWebServer& server);
+
+// ---------------------------------------------------------------------------
+// Keep-alive connection pool.
+// ---------------------------------------------------------------------------
+
+struct PoolOptions {
+  std::size_t max_connections = 16;  ///< simultaneous open, all hosts
+  std::size_t per_host_cap = 6;      ///< simultaneous per host (≥ 1)
+  /// Default acquire() wait budget before giving up (shed, don't queue).
+  double acquire_timeout_s = 1.0;
+};
+
+class ConnectionPool {
+ public:
+  explicit ConnectionPool(PoolOptions opts);
+
+  /// A checked-out connection. `conn_id` is the stable identity of the
+  /// underlying connection (stable across reuses — equal ids mean the same
+  /// kept-alive connection served both fetches); `reused` is false exactly
+  /// when this acquire opened it.
+  struct Lease {
+    std::uint32_t host = 0;
+    std::uint64_t conn_id = 0;
+    bool reused = false;
+    bool valid = false;  ///< false: acquire timed out, nothing to release
+  };
+
+  /// Check out a connection to `host`: reuse an idle one, else open a new
+  /// one within the caps, else wait until one frees up or `timeout_s`
+  /// elapses (invalid lease + timeout counted). May close an idle
+  /// connection of another host to stay under max_connections.
+  [[nodiscard]] Lease acquire(std::uint32_t host);
+  [[nodiscard]] Lease acquire_for(std::uint32_t host, double timeout_s);
+
+  /// Return the connection to the host's idle list (keep-alive). The lease
+  /// is invalidated. No-op for invalid leases.
+  void release(Lease& lease);
+
+  /// Counters and gauges; a consistent snapshot (taken under the pool
+  /// mutex). At quiescence: created == closed + open, open == idle (nothing
+  /// in use), and every fetch was either `created` or `reused`.
+  struct Stats {
+    std::uint64_t created = 0;   ///< connections opened
+    std::uint64_t reused = 0;    ///< acquires served by an idle connection
+    std::uint64_t closed = 0;    ///< idle connections closed for cap room
+    std::uint64_t timeouts = 0;  ///< acquires that gave up waiting
+    std::size_t open = 0;        ///< connections currently open
+    std::size_t idle = 0;        ///< open and parked on an idle list
+    std::size_t in_use = 0;      ///< open and checked out
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct HostState {
+    std::vector<std::uint64_t> idle;  ///< conn ids, LIFO (hottest first)
+    std::size_t active = 0;           ///< open connections to this host
+  };
+
+  PoolOptions opts_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint32_t, HostState> hosts_;  // guarded by mutex_
+  std::size_t open_ = 0;                                // guarded by mutex_
+  std::size_t in_use_ = 0;                              // guarded by mutex_
+  std::uint64_t next_conn_id_ = 1;                      // guarded by mutex_
+  Stats stats_;                                         // guarded by mutex_
+};
+
+/// One fetch through the pool: acquire a connection to the page's host
+/// (timeout → ok == false, bytes == 0), fetch, release for reuse.
+struct PooledFetch {
+  bool ok = false;
+  bool timed_out = false;
+  double bytes = 0.0;
+  std::uint64_t conn_id = 0;
+  bool reused_connection = false;
+};
+[[nodiscard]] PooledFetch fetch_pooled(SimWebServer& server,
+                                       ConnectionPool& pool,
+                                       std::size_t index);
 
 }  // namespace parc::net

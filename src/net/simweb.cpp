@@ -160,6 +160,11 @@ SimWebServer::SimWebServer(std::vector<Page> pages, const NetParams& params,
   PARC_CHECK(time_scale_ > 0.0);
 }
 
+std::uint32_t SimWebServer::host_of(std::size_t index) const {
+  PARC_CHECK(index < pages_.size());
+  return pages_[index].host;
+}
+
 double SimWebServer::fetch(std::size_t index) {
   PARC_CHECK(index < pages_.size());
   const Page& p = pages_[index];

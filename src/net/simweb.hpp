@@ -79,6 +79,9 @@ class SimWebServer {
     return pages_.size();
   }
 
+  /// Origin host of page `index` (what a keep-alive pool keys leases on).
+  [[nodiscard]] std::uint32_t host_of(std::size_t index) const;
+
  private:
   std::vector<Page> pages_;
   NetParams params_;

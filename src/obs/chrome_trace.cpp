@@ -56,6 +56,16 @@ KindInfo kind_info(EventKind kind) {
       return {"i", "steal-remote", "sched", false};
     case EventKind::kParkShard:
       return {"i", "park-shard", "sched", false};
+    case EventKind::kServeArrive:  return {"i", "arrive", "serve", true};
+    case EventKind::kServeShed:    return {"i", "shed", "serve", true};
+    case EventKind::kServeHit:     return {"i", "cache-hit", "serve", true};
+    case EventKind::kServeCoalesce:
+      return {"i", "coalesce", "serve", true};
+    case EventKind::kServeBatch:   return {"i", "batch", "serve", true};
+    case EventKind::kServeExecBegin:
+      return {"B", "request", "serve", true};
+    case EventKind::kServeExecEnd: return {"E", "request", "serve", true};
+    case EventKind::kServeDone:    return {"i", "done", "serve", true};
   }
   return {"i", "unknown", "obs", false};
 }

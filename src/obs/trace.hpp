@@ -82,6 +82,17 @@ enum class EventKind : std::uint8_t {
                  ///< thief's shard ran dry and it crossed into another domain
   kParkShard,    ///< id = worker index, arg = shard index — worker parked on
                  ///< its shard's (not a global) park list
+  // Serving stack (parc::serve): one span per request plus lifecycle marks.
+  kServeArrive,     ///< id = request id, arg = request kind — offered load
+  kServeShed,       ///< id = request id, arg = 0 token bucket / 1 queue full
+  kServeHit,        ///< id = request id — answered from the result cache
+  kServeCoalesce,   ///< id = request id, arg = leader request id — attached
+                    ///< to an in-flight computation of the same key
+  kServeBatch,      ///< id = batch sequence no., arg = batch size — a batch
+                    ///< left the batcher for submit_bulk
+  kServeExecBegin,  ///< id = request id, arg = shard — backend work started
+  kServeExecEnd,    ///< id = request id — backend work finished
+  kServeDone,       ///< id = request id, arg = latency ns — reply delivered
 };
 
 /// Fixed-slot trace record: 32 bytes, written once, never reused.

@@ -1,0 +1,36 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parc::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig cfg)
+    : cfg_(cfg), tokens_(cfg.burst) {
+  PARC_CHECK(cfg_.rate >= 0.0);
+  PARC_CHECK(cfg_.burst >= 1.0);
+}
+
+AdmissionController::Decision AdmissionController::admit(
+    double arrival_s, std::size_t in_flight) {
+  ++stats_.offered;
+  if (cfg_.rate > 0.0) {
+    tokens_ = std::min(cfg_.burst,
+                       tokens_ + (arrival_s - last_refill_s_) * cfg_.rate);
+    last_refill_s_ = arrival_s;
+    if (tokens_ < 1.0) {
+      ++stats_.shed_rate;
+      return Decision::shed_rate;
+    }
+  }
+  if (cfg_.max_pending != 0 && in_flight >= cfg_.max_pending) {
+    ++stats_.shed_queue;
+    return Decision::shed_queue;
+  }
+  if (cfg_.rate > 0.0) tokens_ -= 1.0;
+  ++stats_.admitted;
+  return Decision::admit;
+}
+
+}  // namespace parc::serve

@@ -1,0 +1,68 @@
+// Admission control: the piece that turns overload into bounded, *counted*
+// shedding instead of unbounded queueing.
+//
+// Two gates, applied in order at the ingress:
+//
+//  1. A token bucket over the request *schedule*: tokens refill at `rate`
+//     per second of scheduled-arrival time and cap at `burst`. Refilling on
+//     the schedule (not the wall clock) makes the bucket's verdicts a pure
+//     function of the workload — the same stream sheds the same request
+//     ids on every run, which the bench's conservation assertions rely on.
+//
+//  2. A bound on requests concurrently inside the server (`max_pending`):
+//     admitted-but-unfinished work is live state (coalescer nodes, batch
+//     slots, pool queue entries), and a server that admits faster than it
+//     completes must eventually refuse — this is the refusal, counted.
+//
+// Single-writer by design: one ingress thread calls admit(); the counters
+// are plain integers read after the run. (The server's own cross-thread
+// accounting is atomic; this object is deliberately not.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parc::serve {
+
+struct AdmissionConfig {
+  /// Token refill rate, requests/second of scheduled time. 0 = no rate gate.
+  double rate = 0.0;
+  /// Bucket capacity (burst tolerance), in requests.
+  double burst = 256.0;
+  /// Max requests admitted but not yet completed. 0 = no queue gate.
+  std::size_t max_pending = 8192;
+};
+
+class AdmissionController {
+ public:
+  enum class Decision : std::uint8_t {
+    admit,
+    shed_rate,   ///< token bucket empty at this request's scheduled arrival
+    shed_queue,  ///< too many admitted requests still in flight
+  };
+
+  explicit AdmissionController(AdmissionConfig cfg);
+
+  /// Decide one request. `arrival_s` must be non-decreasing across calls
+  /// (the generator's schedule is); `in_flight` is the server's current
+  /// admitted-but-unfinished count.
+  [[nodiscard]] Decision admit(double arrival_s, std::size_t in_flight);
+
+  struct Stats {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_rate = 0;
+    std::uint64_t shed_queue = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const AdmissionConfig& config() const noexcept { return cfg_; }
+
+ private:
+  AdmissionConfig cfg_;
+  double tokens_;
+  double last_refill_s_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace parc::serve

@@ -1,0 +1,75 @@
+#include "serve/backend.hpp"
+
+#include "img/image.hpp"
+#include "support/check.hpp"
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+#include "text/search.hpp"
+
+namespace parc::serve {
+
+namespace {
+
+/// Deterministic lowercase "document" text with word structure, so literal
+/// search has realistic match statistics.
+std::string make_chunk(std::size_t bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(bytes);
+  while (out.size() < bytes) {
+    const std::size_t len = 2 + rng.below(8);
+    for (std::size_t i = 0; i < len && out.size() < bytes; ++i) {
+      out.push_back(static_cast<char>('a' + rng.below(26)));
+    }
+    if (out.size() < bytes) out.push_back(' ');
+  }
+  return out;
+}
+
+}  // namespace
+
+Backend::Backend(BackendConfig cfg) : cfg_(cfg), pool_(cfg.pool) {
+  PARC_CHECK(cfg_.img_source_dim >= cfg_.img_thumb_dim);
+  PARC_CHECK(cfg_.text_chunks >= 1);
+  PARC_CHECK(cfg_.net_hosts >= 1);
+  corpus_.reserve(cfg_.text_chunks);
+  for (std::size_t i = 0; i < cfg_.text_chunks; ++i) {
+    corpus_.push_back(make_chunk(cfg_.text_chunk_bytes, cfg_.seed + i));
+  }
+}
+
+std::uint64_t Backend::execute(RequestKind kind, std::uint64_t key) {
+  switch (kind) {
+    case RequestKind::img: {
+      const img::Image src = img::generate_image(
+          cfg_.img_source_dim, cfg_.img_source_dim, cfg_.seed ^ key);
+      const img::Image thumb = img::resize(src, cfg_.img_thumb_dim,
+                                           cfg_.img_thumb_dim,
+                                           img::Filter::kBox);
+      return thumb.content_hash();
+    }
+    case RequestKind::text: {
+      const std::string& chunk = corpus_[key % corpus_.size()];
+      // Two-letter needle derived from the key: common enough to match,
+      // cheap enough that search cost is dominated by the scan.
+      char needle[3] = {static_cast<char>('a' + key % 26),
+                        static_cast<char>('a' + (key / 26) % 26), '\0'};
+      return text::find_all_literal(chunk, needle).size();
+    }
+    case RequestKind::net: {
+      const auto host = static_cast<std::uint32_t>(key % cfg_.net_hosts);
+      auto lease = pool_.acquire(host);
+      if (!lease.valid) {
+        net_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      const std::uint64_t bytes =
+          1024 + spin_work(cfg_.net_spin_iters) % 4096;
+      pool_.release(lease);
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+}  // namespace parc::serve

@@ -1,0 +1,71 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace parc::serve {
+
+ReplayDag build_serve_dag(const obs::TraceDump& dump) {
+  // Pass 1: gather arrivals (id, t) and exec spans (id → begin/end).
+  struct Span {
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    bool has_begin = false;
+    bool has_end = false;
+  };
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> arrivals;  // (t, id)
+  std::unordered_map<std::uint64_t, Span> spans;
+  for (const auto& track : dump.tracks) {
+    for (const obs::Event& e : track.events) {
+      switch (e.kind) {
+        case obs::EventKind::kServeArrive:
+          arrivals.emplace_back(e.t_ns, e.id);
+          break;
+        case obs::EventKind::kServeExecBegin: {
+          Span& s = spans[e.id];
+          s.begin_ns = e.t_ns;
+          s.has_begin = true;
+          break;
+        }
+        case obs::EventKind::kServeExecEnd: {
+          Span& s = spans[e.id];
+          s.end_ns = e.t_ns;
+          s.has_end = true;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  ReplayDag out;
+  out.arrivals = arrivals.size();
+  std::uint64_t prev_t = 0;
+  sim::TaskDag::NodeId prev_chain = 0;
+  bool have_prev = false;
+  for (const auto& [t_ns, id] : arrivals) {
+    const double gap_s = static_cast<double>(t_ns - prev_t) * 1e-9;
+    prev_t = t_ns;
+    const sim::TaskDag::NodeId chain =
+        have_prev ? out.dag.add_task(gap_s, {prev_chain})
+                  : out.dag.add_task(gap_s);
+    out.ingress_span_s += gap_s;
+    prev_chain = chain;
+    have_prev = true;
+    const auto it = spans.find(id);
+    if (it != spans.end() && it->second.has_begin && it->second.has_end &&
+        it->second.end_ns >= it->second.begin_ns) {
+      const double cost_s =
+          static_cast<double>(it->second.end_ns - it->second.begin_ns) * 1e-9;
+      (void)out.dag.add_task(cost_s, {chain});
+      ++out.executed;
+      out.exec_work_s += cost_s;
+    }
+  }
+  return out;
+}
+
+}  // namespace parc::serve

@@ -1,0 +1,42 @@
+// Trace → TaskDag replay for the serving stack (the 1-core-container
+// substitution, applied to serving).
+//
+// A traced run records, per request, when it arrived (kServeArrive) and how
+// long its backend execution took (kServeExecBegin/End). From those two
+// facts the run is rebuilt as a DAG:
+//
+//   ingress chain:  a0 ─▶ a1 ─▶ a2 ─▶ ...   (cost = inter-arrival gap —
+//                                            the serial offered-load clock)
+//   exec tasks:     ai ─▶ exec_i             (cost = measured exec time,
+//                                            only for executed requests)
+//
+// sim::simulate then replays the DAG on a P-core machine: cores beyond the
+// chain's span do nothing for the ingress but absorb exec tasks in
+// parallel, so sweeping P shows exactly where the serving knee sits — the
+// point where adding cores stops helping because the offered load (the
+// chain) or the per-request work (the widest burst) is the binding
+// constraint. Same greedy list scheduler, same validity anchors
+// (work/P ≤ makespan ≤ work/P + span) as the compute replays.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"
+#include "sim/machine.hpp"
+
+namespace parc::serve {
+
+struct ReplayDag {
+  sim::TaskDag dag;
+  std::uint64_t arrivals = 0;   ///< requests offered in the trace
+  std::uint64_t executed = 0;   ///< requests with a measured exec span
+  double ingress_span_s = 0.0;  ///< total inter-arrival time (chain work)
+  double exec_work_s = 0.0;     ///< total measured backend work
+};
+
+/// Build the serving DAG from a trace. Requests whose exec begin/end pair
+/// was dropped (buffer exhaustion) are skipped; run with a large enough
+/// TraceConfig and assert total_dropped() == 0 for exact replays.
+[[nodiscard]] ReplayDag build_serve_dag(const obs::TraceDump& dump);
+
+}  // namespace parc::serve

@@ -1,0 +1,50 @@
+// parc::serve request model.
+//
+// A request names a *kind* (which backend does the work) and a *key* (which
+// item of that backend's keyspace). The serving stack treats the pair as
+// one 64-bit composite key end to end: the result cache, the in-flight
+// coalescer, and the shard router all hash the same value, so an img
+// request for key 7 and a text request for key 7 never collide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parc::serve {
+
+/// The three request classes the stack serves, mirroring the course's
+/// project workloads: thumbnail rendering (img), corpus search (text), and
+/// web fetch through a keep-alive connection pool (net).
+enum class RequestKind : std::uint8_t { img = 0, text = 1, net = 2 };
+
+inline constexpr std::size_t kRequestKinds = 3;
+
+[[nodiscard]] inline std::string to_string(RequestKind k) {
+  switch (k) {
+    case RequestKind::img:  return "img";
+    case RequestKind::text: return "text";
+    case RequestKind::net:  return "net";
+  }
+  return "?";
+}
+
+/// One request as the load generator emits it. `arrival_s` is the
+/// *scheduled* arrival on the driver's clock — open-loop latency is always
+/// measured from here, not from when the server got around to looking at
+/// the request, so queueing delay is charged to the server (no coordinated
+/// omission).
+struct Request {
+  std::uint64_t id = 0;  ///< 1-based issue order (also the trace span id)
+  RequestKind kind = RequestKind::img;
+  std::uint64_t key = 0;
+  double arrival_s = 0.0;
+};
+
+/// (kind, key) folded into the one cache/coalescer/router key. Keys are
+/// generated below 2^56, so the kind tag in the top byte cannot collide.
+[[nodiscard]] inline std::uint64_t composite_key(RequestKind kind,
+                                                 std::uint64_t key) noexcept {
+  return (static_cast<std::uint64_t>(kind) << 56) | (key & ((1ull << 56) - 1));
+}
+
+}  // namespace parc::serve

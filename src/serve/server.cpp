@@ -1,0 +1,211 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+namespace parc::serve {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  // splitmix64 finaliser: decorrelates the shard choice from the cache /
+  // coalescer stripe choice (which use other bit ranges of the same key).
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(cfg),
+      pool_(std::make_unique<sched::WorkStealingPool>(cfg.pool)),
+      backend_(cfg.backend),
+      admission_(cfg.admission),
+      cache_(cfg.cache_capacity, cfg.cache_stripes),
+      ctr_admitted_(obs::Counters::global().get("serve.admitted")),
+      ctr_shed_(obs::Counters::global().get("serve.shed")),
+      ctr_completed_(obs::Counters::global().get("serve.completed")) {
+  PARC_CHECK(cfg_.batch_max >= 1);
+  const std::size_t stripes = round_up_pow2(std::max<std::size_t>(
+      1, cfg_.cache_stripes));
+  coalesce_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    coalesce_.push_back(std::make_unique<CoalesceStripe>());
+  }
+  batches_.resize(pool_->shard_count());
+  for (auto& b : batches_) b.reserve(cfg_.batch_max);
+}
+
+Server::~Server() { drain(); }
+
+std::size_t Server::shard_of(std::uint64_t ckey) const noexcept {
+  return static_cast<std::size_t>(mix(ckey) % pool_->shard_count());
+}
+
+Server::Outcome Server::offer(const Request& req) {
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kServeArrive, req.id,
+              static_cast<std::uint64_t>(req.kind));
+  }
+  const auto decision =
+      admission_.admit(req.arrival_s,
+                       in_flight_.load(std::memory_order_relaxed));
+  if (decision != AdmissionController::Decision::admit) {
+    ctr_shed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kServeShed, req.id,
+                decision == AdmissionController::Decision::shed_rate ? 0 : 1);
+    }
+    return Outcome::shed;
+  }
+  ctr_admitted_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_release);
+
+  const std::uint64_t ckey = composite_key(req.kind, req.key);
+  if (const auto cached = cache_.get(ckey)) {
+    hits_inline_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kServeHit, req.id);
+    }
+    complete_one(req.id, req.arrival_s);
+    return Outcome::hit;
+  }
+
+  {
+    CoalesceStripe& st = coalesce_stripe(ckey);
+    std::scoped_lock lock(st.mutex);
+    auto [it, inserted] = st.nodes.try_emplace(ckey);
+    if (!inserted) {
+      it->second.waiters.push_back(Waiter{req.id, req.arrival_s});
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::tracing()) [[unlikely]] {
+        obs::emit(obs::EventKind::kServeCoalesce, req.id,
+                  it->second.leader_id);
+      }
+      return Outcome::coalesced;
+    }
+    it->second.leader_id = req.id;
+  }
+
+  const std::size_t shard = shard_of(ckey);
+  auto& batch = batches_[shard];
+  batch.push_back(ExecItem{ckey, req.kind, req.key, req.id, req.arrival_s,
+                           shard});
+  if (batch.size() >= cfg_.batch_max) seal_batch(shard);
+  return Outcome::dispatched;
+}
+
+void Server::seal_batch(std::size_t shard) {
+  auto& batch = batches_[shard];
+  if (batch.empty()) return;
+  ++batches_sealed_;
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kServeBatch, batches_sealed_, batch.size());
+  }
+  // One closure per request, one wakeup for the whole batch, routed to the
+  // key's locality domain (remote: the ingress is not a pool worker).
+  auto make_job = [this](ExecItem item) {
+    return [this, item] { execute_item(item); };
+  };
+  std::vector<decltype(make_job(ExecItem{}))> jobs;
+  jobs.reserve(batch.size());
+  for (const ExecItem& item : batch) jobs.push_back(make_job(item));
+  batch.clear();
+  pool_->submit_bulk(std::span(jobs), sched::SubmitHint::remote, shard);
+}
+
+void Server::execute_item(const ExecItem& item) {
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kServeExecBegin, item.leader_id, item.shard);
+  }
+  const std::uint64_t result = backend_.execute(item.kind, item.key);
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kServeExecEnd, item.leader_id);
+  }
+  // Publish the result BEFORE retiring the in-flight node: an ingress that
+  // finds neither the cache entry nor the node would re-execute, so the
+  // window where both are absent must not exist.
+  cache_.put(item.ckey, result);
+  std::vector<Waiter> waiters;
+  {
+    CoalesceStripe& st = coalesce_stripe(item.ckey);
+    std::scoped_lock lock(st.mutex);
+    auto it = st.nodes.find(item.ckey);
+    PARC_CHECK(it != st.nodes.end());
+    waiters = std::move(it->second.waiters);
+    st.nodes.erase(it);
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  complete_one(item.leader_id, item.arrival_s);
+  for (const Waiter& w : waiters) complete_one(w.id, w.arrival_s);
+}
+
+void Server::complete_one(std::uint64_t id, double arrival_s) {
+  const double latency_s = std::max(0.0, clock_.elapsed_s() - arrival_s);
+  {
+    LatencySlot& slot = latency_[id & (kLatSlots - 1)];
+    std::scoped_lock lock(slot.mutex);
+    slot.hist.add(latency_s);
+  }
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kServeDone, id,
+              static_cast<std::uint64_t>(latency_s * 1e9));
+  }
+  ctr_completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void Server::flush() {
+  for (std::size_t s = 0; s < batches_.size(); ++s) seal_batch(s);
+}
+
+void Server::drain() {
+  flush();
+  pool_->help_while(
+      [this] { return in_flight_.load(std::memory_order_acquire) > 0; });
+}
+
+Server::Stats Server::stats() const {
+  Stats out;
+  const auto& a = admission_.stats();
+  out.offered = a.offered;
+  out.admitted = a.admitted;
+  out.shed_rate = a.shed_rate;
+  out.shed_queue = a.shed_queue;
+  out.hits_inline = hits_inline_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.executed = executed_.load(std::memory_order_relaxed);
+  out.batches = batches_sealed_;
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.in_flight = in_flight_.load(std::memory_order_acquire);
+  out.cache = cache_.stats();
+  out.net_timeouts = backend_.net_timeouts();
+  return out;
+}
+
+LogHistogram Server::latency_histogram() const {
+  LogHistogram merged(1e-7, 1e2);
+  for (const LatencySlot& slot : latency_) {
+    std::scoped_lock lock(slot.mutex);
+    merged.merge(slot.hist);
+  }
+  return merged;
+}
+
+}  // namespace parc::serve

@@ -1,0 +1,193 @@
+// parc::serve::Server — the serving pipeline on top of the sharded
+// work-stealing pool:
+//
+//   offer() ── admission ── cache ── coalesce ── batch ── submit_bulk ──▶
+//              (token       (striped  (merge      (per-    (shard-affine,
+//               bucket +     LRU)      dup in-     shard)    one wakeup
+//               queue                  flight                per batch)
+//               bound)                 keys)
+//
+//   worker: execute backend ── cache.put ── complete leader + waiters
+//
+// Request keys hash to a locality shard; a key's cache stripe, coalescer
+// stripe and pool shard are all derived from the same composite key, so
+// repeated work for one key stays on one domain (warm caches, local
+// steals) and two hot keys on different shards never contend.
+//
+// Threading contract: offer()/flush()/drain() are called by ONE ingress
+// thread (the admission controller and batcher are single-writer by
+// design); execution and completion run concurrently on pool workers. All
+// cross-thread counters are atomics — exact after drain(), like the pool's
+// own Stats contract.
+//
+// Latency is measured from Request::arrival_s on the server's clock
+// (start() zeroes it): for open-loop runs that is the *scheduled* arrival,
+// so queueing delay under overload is charged to the server, not silently
+// dropped (no coordinated omission).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "conc/striped_map.hpp"
+#include "sched/thread_pool.hpp"
+#include "serve/admission.hpp"
+#include "serve/backend.hpp"
+#include "serve/request.hpp"
+#include "support/clock.hpp"
+#include "support/histogram.hpp"
+
+namespace parc::serve {
+
+struct ServerConfig {
+  sched::WorkStealingPool::Config pool{};
+  AdmissionConfig admission{};
+  BackendConfig backend{};
+  std::size_t cache_capacity = 1ull << 15;
+  std::size_t cache_stripes = 16;
+  /// Requests accumulated per shard before the batch is sealed and
+  /// submitted (one pool wakeup per batch). flush() seals partial batches.
+  std::size_t batch_max = 32;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// How offer() disposed of the request.
+  enum class Outcome : std::uint8_t {
+    shed,        ///< refused by admission (rate or queue bound)
+    hit,         ///< answered inline from the result cache
+    coalesced,   ///< attached to an in-flight computation of the same key
+    dispatched,  ///< became the leader of a new computation (batched)
+  };
+
+  /// Zero the latency clock. Call once, immediately before the first
+  /// offer(); Request::arrival_s values are interpreted on this clock.
+  void start() { clock_ = Stopwatch(); }
+
+  /// Current time on the latency clock (closed-loop drivers stamp
+  /// arrival_s with this at issue).
+  [[nodiscard]] double now_s() const { return clock_.elapsed_s(); }
+
+  /// Ingress: decide, answer or enqueue one request. Single-threaded.
+  Outcome offer(const Request& req);
+
+  /// Seal and submit every shard's partial batch. Required before any wait
+  /// that expects in_flight() to reach zero — batched-but-unsubmitted
+  /// requests count as in flight but are invisible to the pool.
+  void flush();
+
+  /// flush(), then cooperatively run pool work until every admitted
+  /// request has completed. Exact-counter quiescent point.
+  void drain();
+
+  /// Admitted requests not yet completed (includes batched-not-yet-
+  /// submitted ones; see flush()).
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Counter snapshot. Conservation invariants, exact after drain():
+  ///   offered   == admitted + shed_rate + shed_queue
+  ///   admitted  == hits_inline + coalesced + executed + in_flight
+  ///   completed == admitted - in_flight
+  ///   cache misses at the ingress == executed + coalesced (+ leader
+  ///   re-executions after an eviction races an attach, counted once as
+  ///   executed)
+  struct Stats {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_rate = 0;
+    std::uint64_t shed_queue = 0;
+    std::uint64_t hits_inline = 0;  ///< answered at the ingress
+    std::uint64_t coalesced = 0;    ///< merged into an in-flight key
+    std::uint64_t executed = 0;     ///< backend executions (batch leaders)
+    std::uint64_t batches = 0;      ///< submit_bulk calls
+    std::uint64_t completed = 0;    ///< replies delivered
+    std::size_t in_flight = 0;
+    typename conc::StripedLruCache<std::uint64_t, std::uint64_t>::Stats cache;
+    std::uint64_t net_timeouts = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Merged completion-latency histogram (seconds), all request kinds.
+  [[nodiscard]] LogHistogram latency_histogram() const;
+
+  [[nodiscard]] sched::WorkStealingPool& pool() noexcept { return *pool_; }
+  [[nodiscard]] Backend& backend() noexcept { return backend_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+
+  /// The pool shard the composite key routes to (exposed for tests).
+  [[nodiscard]] std::size_t shard_of(std::uint64_t ckey) const noexcept;
+
+ private:
+  struct ExecItem {
+    std::uint64_t ckey = 0;
+    RequestKind kind = RequestKind::img;
+    std::uint64_t key = 0;
+    std::uint64_t leader_id = 0;
+    double arrival_s = 0.0;
+    std::size_t shard = 0;
+  };
+  struct Waiter {
+    std::uint64_t id = 0;
+    double arrival_s = 0.0;
+  };
+  struct InFlightNode {
+    std::uint64_t leader_id = 0;
+    std::vector<Waiter> waiters;
+  };
+  struct alignas(64) CoalesceStripe {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, InFlightNode> nodes;
+  };
+  static constexpr std::size_t kLatSlots = 16;
+  struct alignas(64) LatencySlot {
+    mutable std::mutex mutex;
+    LogHistogram hist{1e-7, 1e2};  ///< seconds: 0.1 µs .. 100 s
+  };
+
+  void seal_batch(std::size_t shard);
+  void execute_item(const ExecItem& item);
+  void complete_one(std::uint64_t id, double arrival_s);
+
+  CoalesceStripe& coalesce_stripe(std::uint64_t ckey) noexcept {
+    return *coalesce_[ckey * 0x9e3779b97f4a7c15ull >> 32 &
+                      (coalesce_.size() - 1)];
+  }
+
+  ServerConfig cfg_;
+  std::unique_ptr<sched::WorkStealingPool> pool_;
+  Backend backend_;
+  AdmissionController admission_;
+  conc::StripedLruCache<std::uint64_t, std::uint64_t> cache_;
+  std::vector<std::unique_ptr<CoalesceStripe>> coalesce_;
+  std::vector<std::vector<ExecItem>> batches_;  ///< ingress thread only
+  std::array<LatencySlot, kLatSlots> latency_;
+  Stopwatch clock_;
+
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> hits_inline_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::uint64_t batches_sealed_ = 0;  ///< ingress thread only
+
+  // Process-wide obs counters (resolved once; hot-path add is one relaxed
+  // fetch_add on a stable atomic).
+  std::atomic<std::uint64_t>& ctr_admitted_;
+  std::atomic<std::uint64_t>& ctr_shed_;
+  std::atomic<std::uint64_t>& ctr_completed_;
+};
+
+}  // namespace parc::serve

@@ -1,0 +1,45 @@
+#include "serve/workload.hpp"
+
+#include "support/check.hpp"
+
+namespace parc::serve {
+
+LoadGenerator::LoadGenerator(WorkloadConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  PARC_CHECK(cfg_.requests >= 1);
+  PARC_CHECK(cfg_.keyspace >= 1);
+  PARC_CHECK(cfg_.keyspace < (1ull << 56));  // composite_key tag headroom
+  PARC_CHECK(cfg_.key_skew >= 0.0);
+  PARC_CHECK(cfg_.arrival_rate >= 0.0);
+  const double total =
+      cfg_.weight_img + cfg_.weight_text + cfg_.weight_net;
+  PARC_CHECK(total > 0.0);
+  cum_img_ = cfg_.weight_img / total;
+  cum_text_ = cum_img_ + cfg_.weight_text / total;
+}
+
+Request LoadGenerator::next() {
+  Request r;
+  r.id = ++issued_;
+  if (cfg_.arrival_rate > 0.0) {
+    clock_s_ += rng_.exponential(1.0 / cfg_.arrival_rate);
+    r.arrival_s = clock_s_;
+  }
+  const double pick = rng_.uniform();
+  r.kind = pick < cum_img_    ? RequestKind::img
+           : pick < cum_text_ ? RequestKind::text
+                              : RequestKind::net;
+  r.key = cfg_.key_skew > 0.0 ? rng_.zipf(cfg_.keyspace, cfg_.key_skew)
+                              : rng_.below(cfg_.keyspace);
+  return r;
+}
+
+std::vector<Request> generate(const WorkloadConfig& cfg) {
+  LoadGenerator gen(cfg);
+  std::vector<Request> out;
+  out.reserve(cfg.requests);
+  for (std::size_t i = 0; i < cfg.requests; ++i) out.push_back(gen.next());
+  return out;
+}
+
+}  // namespace parc::serve

@@ -1,0 +1,69 @@
+// Deterministic load generation for the serving stack.
+//
+// Open loop: arrivals are a Poisson process at `arrival_rate` — the
+// generator schedules request i at (i.i.d. exponential gaps summed), and
+// the driver issues each request when the wall clock reaches its scheduled
+// time whether or not earlier requests have finished. That is the honest
+// way to load a server: a slow server does not slow the clients down, it
+// accumulates queueing delay (measured from the *scheduled* arrival).
+//
+// Closed loop (arrival_rate == 0): the generator emits requests with no
+// schedule and the driver keeps a fixed number in flight, issuing the next
+// when one completes — the "how fast can it go" mode used to calibrate
+// capacity before picking open-loop rates.
+//
+// Keys are Zipf-skewed over the keyspace (s == 0 → uniform), kinds drawn
+// from the configured mix. Everything derives from one seed: the same
+// config always produces byte-identical request streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "support/rng.hpp"
+
+namespace parc::serve {
+
+struct WorkloadConfig {
+  std::size_t requests = 100000;
+  /// Offered load, requests/second. 0 = closed loop (no schedule).
+  double arrival_rate = 50000.0;
+  /// Distinct keys per kind; Zipf-ranked (key 0 hottest).
+  std::uint64_t keyspace = 1ull << 16;
+  /// Zipf exponent for key popularity. 0 = uniform.
+  double key_skew = 1.1;
+  /// Request mix, normalised internally. Defaults ~ the course's projects:
+  /// mostly reads of rendered/searchable content, some web fetches.
+  double weight_img = 0.45;
+  double weight_text = 0.45;
+  double weight_net = 0.10;
+  std::uint64_t seed = 1;
+};
+
+/// Streaming generator; next() is O(1) and the stream depends only on the
+/// config (not on call timing).
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(WorkloadConfig cfg);
+
+  /// The next request. Open loop: arrival_s carries the schedule. Closed
+  /// loop: arrival_s == 0 (the driver stamps the issue time).
+  [[nodiscard]] Request next();
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+ private:
+  WorkloadConfig cfg_;
+  Rng rng_;
+  std::uint64_t issued_ = 0;
+  double clock_s_ = 0.0;
+  double cum_img_ = 0.0;   ///< normalised mix thresholds
+  double cum_text_ = 0.0;
+};
+
+/// Materialise the whole stream (tests and the replay harness).
+[[nodiscard]] std::vector<Request> generate(const WorkloadConfig& cfg);
+
+}  // namespace parc::serve

@@ -1,0 +1,153 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace parc {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           std::size_t buckets_per_decade)
+    : min_value_(min_value),
+      max_value_(max_value),
+      buckets_per_decade_(buckets_per_decade) {
+  PARC_CHECK(min_value_ > 0.0);
+  PARC_CHECK(max_value_ > min_value_);
+  PARC_CHECK(buckets_per_decade_ >= 1);
+  const double decades = std::log10(max_value_ / min_value_);
+  const auto regular = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(buckets_per_decade_) - 1e-9));
+  inv_log_step_ = static_cast<double>(buckets_per_decade_);  // 1/log10(step)
+  counts_.assign(regular + 2, 0);  // + underflow and overflow
+}
+
+std::size_t LogHistogram::bucket_index(double x) const noexcept {
+  if (!(x >= min_value_)) return 0;  // underflow (also NaN, negatives)
+  if (x >= max_value_) return counts_.size() - 1;  // overflow
+  const double pos = std::log10(x / min_value_) * inv_log_step_;
+  auto i = static_cast<std::size_t>(pos);
+  // log10 rounding at exact bucket edges can land one off; clamp into the
+  // regular range [1, size-2] after the +1 shift for the underflow slot.
+  if (i > counts_.size() - 3) i = counts_.size() - 3;
+  return i + 1;
+}
+
+void LogHistogram::add(double x) noexcept { add_n(x, 1); }
+
+void LogHistogram::add_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  counts_[bucket_index(x)] += n;
+  if (total_ == 0) {
+    min_seen_ = x;
+    max_seen_ = x;
+  } else {
+    min_seen_ = std::min(min_seen_, x);
+    max_seen_ = std::max(max_seen_, x);
+  }
+  total_ += n;
+  sum_ += x * static_cast<double>(n);
+}
+
+double LogHistogram::bucket_low(std::size_t i) const {
+  PARC_CHECK(i < counts_.size());
+  if (i == 0) return 0.0;
+  return min_value_ *
+         std::pow(10.0, static_cast<double>(i - 1) /
+                            static_cast<double>(buckets_per_decade_));
+}
+
+double LogHistogram::bucket_high(std::size_t i) const {
+  PARC_CHECK(i < counts_.size());
+  if (i == 0) return min_value_;
+  if (i == counts_.size() - 1) return max_value_ * 10.0;  // nominal edge
+  return min_value_ *
+         std::pow(10.0, static_cast<double>(i) /
+                            static_cast<double>(buckets_per_decade_));
+}
+
+double LogHistogram::percentile(double p) const {
+  PARC_CHECK(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return 0.0;
+  // Rank of the p-th sample, 1-based, nearest-rank (ceil) like HdrHistogram.
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(p / 100.0 * static_cast<double>(total_) - 1e-9)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // Outermost buckets report the exact observed extreme instead of a
+      // bucket midpoint (the clamped buckets have no meaningful width).
+      if (i == 0) return min_seen_;
+      if (i == counts_.size() - 1) return max_seen_;
+      const double lo = bucket_low(i);
+      const double hi = bucket_high(i);
+      return std::sqrt(lo * hi);  // geometric midpoint
+    }
+  }
+  return max_seen_;  // unreachable (seen == total_ by the last bucket)
+}
+
+bool LogHistogram::same_layout(const LogHistogram& other) const noexcept {
+  return min_value_ == other.min_value_ && max_value_ == other.max_value_ &&
+         buckets_per_decade_ == other.buckets_per_decade_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  PARC_CHECK_MSG(same_layout(other),
+                 "LogHistogram::merge requires identical bucket layouts");
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (total_ == 0) {
+    min_seen_ = other.min_seen_;
+    max_seen_ = other.max_seen_;
+  } else {
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+std::string LogHistogram::describe(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "p50 %.3g%s  p99 %.3g%s  p999 %.3g%s  max %.3g%s  (n=%llu)",
+                p50(), unit.c_str(), p99(), unit.c_str(), p999(),
+                unit.c_str(), max_seen(), unit.c_str(),
+                static_cast<unsigned long long>(total_));
+  return buf;
+}
+
+std::string LogHistogram::render(int width) const {
+  std::string out;
+  if (total_ == 0) return "(empty)\n";
+  std::uint64_t peak = 0;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * width);
+    char head[96];
+    std::snprintf(head, sizeof head, "[%9.3g, %9.3g) %10llu |",
+                  bucket_low(i), bucket_high(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += head;
+    out.append(static_cast<std::size_t>(std::max(bar, 1)), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+void LogHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  min_seen_ = 0.0;
+  max_seen_ = 0.0;
+}
+
+}  // namespace parc

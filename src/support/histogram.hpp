@@ -1,0 +1,101 @@
+// Log-bucketed latency histogram (the serving-stack companion to Summary).
+//
+// Summary keeps every sample — exact percentiles, O(n) memory, fine for a
+// few thousand bench iterations. A serving run records *millions* of
+// latencies, so LogHistogram trades a bounded relative error for O(1)
+// memory and O(1) add: buckets grow geometrically (HdrHistogram-style), a
+// sample lands in the bucket whose range covers it, and percentiles are
+// read back as the geometric midpoint of the covering bucket. With the
+// default 32 buckets per decade the quoted value is within ~3.7% of the
+// true sample, which is far below the run-to-run noise of any latency
+// measurement this repo makes.
+//
+// Two histograms with the same configuration merge by bucket-wise addition
+// — the property that lets each pool shard record its own histogram with no
+// cross-shard cache traffic and the reporter combine them at the end.
+//
+// Not thread-safe: one writer per instance (per-shard / per-thread), merge
+// after quiescing. Plain value type, no hidden state (CP.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parc {
+
+class LogHistogram {
+ public:
+  /// Buckets cover [min_value, max_value) in geometric steps of
+  /// 10^(1/buckets_per_decade); samples below/above clamp into dedicated
+  /// underflow/overflow buckets so counts are never lost (same contract as
+  /// the linear Histogram). Unit-agnostic — callers pick seconds, ms, ns.
+  explicit LogHistogram(double min_value = 1e-6, double max_value = 1e3,
+                        std::size_t buckets_per_decade = 32);
+
+  void add(double x) noexcept;
+  void add_n(double x, std::uint64_t n) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  /// Exact extremes of everything added (not bucket-quantised).
+  [[nodiscard]] double min_seen() const noexcept { return min_seen_; }
+  [[nodiscard]] double max_seen() const noexcept { return max_seen_; }
+  /// Exact sum of everything added, so mean() has no bucket error.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Percentile estimate, p in [0, 100]: the geometric midpoint of the
+  /// bucket containing the p-th sample (exact min/max for the under/
+  /// overflow buckets' outer edges). Relative error bounded by half a
+  /// bucket width: 10^(1/(2*buckets_per_decade)) - 1.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+  [[nodiscard]] double p999() const { return percentile(99.9); }
+
+  /// Bucket-wise accumulate. Configurations must match exactly (checked):
+  /// merging histograms with different ranges would silently re-bucket.
+  void merge(const LogHistogram& other);
+
+  /// True when `other` was constructed with identical parameters (and can
+  /// therefore be merged into this one).
+  [[nodiscard]] bool same_layout(const LogHistogram& other) const noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i];
+  }
+  /// Lower/upper value bound of bucket i (underflow: [0, min_value)).
+  [[nodiscard]] double bucket_low(std::size_t i) const;
+  [[nodiscard]] double bucket_high(std::size_t i) const;
+
+  /// "p50 <v>  p99 <v>  p999 <v>  max <v>  (n=<count>)" one-liner for run
+  /// logs; `unit` is appended to each value.
+  [[nodiscard]] std::string describe(const std::string& unit = "") const;
+
+  /// ASCII bar chart over non-empty buckets (log-scaled value axis).
+  [[nodiscard]] std::string render(int width = 40) const;
+
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double x) const noexcept;
+
+  double min_value_;
+  double max_value_;
+  std::size_t buckets_per_decade_;
+  double inv_log_step_;  ///< 1 / log10(step), cached for bucket_index
+  std::vector<std::uint64_t> counts_;  ///< [underflow, b0..bn-1, overflow]
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace parc

@@ -1,10 +1,14 @@
 // Web-fetch simulation: conservation properties, latency-hiding shape,
-// bandwidth ceiling, and the real-time downloader agreement.
+// bandwidth ceiling, the real-time downloader agreement, and the keep-alive
+// ConnectionPool (reuse, caps, timeouts) under concurrent fetches.
 #include "net/downloader.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 namespace parc::net {
 namespace {
@@ -164,6 +168,178 @@ TEST(Downloader, FetchesEveryPageOnce) {
   const auto run = download_all(server, 8, rt);
   EXPECT_EQ(run.pages, 40u);
   EXPECT_NEAR(run.bytes, expected_bytes, 1e-6);
+}
+
+TEST(ConnectionPool, ReusesIdleConnectionSerially) {
+  ConnectionPool pool(PoolOptions{16, 6, 1.0});
+  auto a = pool.acquire(3);
+  ASSERT_TRUE(a.valid);
+  EXPECT_FALSE(a.reused);
+  const std::uint64_t id = a.conn_id;
+  pool.release(a);
+  EXPECT_FALSE(a.valid);  // lease invalidated by release
+  auto b = pool.acquire(3);
+  ASSERT_TRUE(b.valid);
+  EXPECT_TRUE(b.reused);
+  EXPECT_EQ(b.conn_id, id);  // same kept-alive connection
+  pool.release(b);
+  const auto s = pool.stats();
+  EXPECT_EQ(s.created, 1u);
+  EXPECT_EQ(s.reused, 1u);
+  EXPECT_EQ(s.open, 1u);
+  EXPECT_EQ(s.idle, 1u);
+  EXPECT_EQ(s.in_use, 0u);
+}
+
+TEST(ConnectionPool, DistinctHostsDoNotShareConnections) {
+  ConnectionPool pool(PoolOptions{16, 6, 1.0});
+  auto a = pool.acquire(1);
+  pool.release(a);
+  auto b = pool.acquire(2);  // host 1's idle conn must not serve host 2
+  ASSERT_TRUE(b.valid);
+  EXPECT_FALSE(b.reused);
+  pool.release(b);
+  EXPECT_EQ(pool.stats().created, 2u);
+}
+
+TEST(ConnectionPool, PerHostCapBlocksThenTimesOut) {
+  ConnectionPool pool(PoolOptions{16, 2, 0.05});
+  auto a = pool.acquire(7);
+  auto b = pool.acquire(7);
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  auto c = pool.acquire(7);  // third simultaneous conn to host 7: over cap
+  EXPECT_FALSE(c.valid);
+  EXPECT_EQ(pool.stats().timeouts, 1u);
+  pool.release(a);
+  auto d = pool.acquire(7);  // freed slot: reuse, no wait
+  EXPECT_TRUE(d.valid);
+  EXPECT_TRUE(d.reused);
+  pool.release(b);
+  pool.release(d);
+}
+
+TEST(ConnectionPool, GlobalCapClosesIdleConnectionOfAnotherHost) {
+  ConnectionPool pool(PoolOptions{2, 2, 0.05});
+  auto a = pool.acquire(1);
+  auto b = pool.acquire(2);
+  pool.release(a);  // host 1's conn goes idle; pool is at max_connections
+  auto c = pool.acquire(3);  // needs room: must close host 1's idle conn
+  ASSERT_TRUE(c.valid);
+  EXPECT_FALSE(c.reused);
+  const auto s = pool.stats();
+  EXPECT_EQ(s.closed, 1u);
+  EXPECT_EQ(s.open, 2u);
+  EXPECT_EQ(s.created, s.closed + s.open);
+  pool.release(b);
+  pool.release(c);
+}
+
+TEST(ConnectionPool, WaiterWakesWhenConnectionReleased) {
+  ConnectionPool pool(PoolOptions{1, 1, 5.0});
+  auto a = pool.acquire(9);
+  ASSERT_TRUE(a.valid);
+  std::thread waiter([&] {
+    auto b = pool.acquire(9);  // blocks until the release below
+    EXPECT_TRUE(b.valid);
+    EXPECT_TRUE(b.reused);
+    pool.release(b);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.release(a);
+  waiter.join();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.created, 1u);
+  EXPECT_EQ(s.reused, 1u);
+  EXPECT_EQ(s.timeouts, 0u);
+}
+
+TEST(ConnectionPool, ConcurrentSameHostFetchesReuseAndConserve) {
+  // Satellite 2's core scenario: many threads hammer one host through a
+  // small pool. Connections must be reused (not one per fetch), nothing
+  // times out with a generous budget, and the stats conserve exactly at
+  // quiescence: created == closed + open, open == idle, and every
+  // successful acquire was created-or-reused.
+  NetParams params = fast_params();
+  params.num_hosts = 1;
+  const auto pages = make_page_set(64, params, 53);
+  SimWebServer server(pages, params, 0.0002);
+  ConnectionPool pool(PoolOptions{4, 4, 10.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kFetchesEach = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  std::atomic<double> bytes{0.0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kFetchesEach; ++i) {
+        const auto f =
+            fetch_pooled(server, pool, (t * kFetchesEach + i) % 64);
+        if (f.ok) {
+          ok.fetch_add(1);
+          double cur = bytes.load();
+          while (!bytes.compare_exchange_weak(cur, cur + f.bytes)) {
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kFetchesEach);
+  const auto s = pool.stats();
+  EXPECT_EQ(s.timeouts, 0u);
+  EXPECT_LE(s.created, 4u);  // never more than the global cap
+  EXPECT_EQ(s.created + s.reused,
+            static_cast<std::uint64_t>(kThreads * kFetchesEach));
+  EXPECT_GT(s.reused, s.created);  // keep-alive actually paid off
+  EXPECT_EQ(s.created, s.closed + s.open);
+  EXPECT_EQ(s.in_use, 0u);
+  EXPECT_EQ(s.idle, s.open);
+}
+
+TEST(ConnectionPool, SaturatedPoolTimesOutConcurrently) {
+  // Every connection checked out and never released: all pooled fetches
+  // must shed via timeout rather than queue forever.
+  NetParams params = fast_params();
+  params.num_hosts = 1;
+  const auto pages = make_page_set(8, params, 59);
+  SimWebServer server(pages, params, 0.0001);
+  ConnectionPool pool(PoolOptions{2, 2, 0.03});
+  auto a = pool.acquire(pages[0].host);
+  auto b = pool.acquire(pages[0].host);
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> timed_out{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      const auto f = fetch_pooled(server, pool, 0);
+      if (f.timed_out) timed_out.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(timed_out.load(), 4);
+  EXPECT_EQ(pool.stats().timeouts, 4u);
+  pool.release(a);
+  pool.release(b);
+}
+
+TEST(ConnectionPool, PooledFetchReportsBytesAndConnection) {
+  const auto params = fast_params();
+  const auto pages = make_page_set(4, params, 61);
+  SimWebServer server(pages, params, 0.0002);
+  ConnectionPool pool(PoolOptions{4, 4, 1.0});
+  const auto f0 = fetch_pooled(server, pool, 0);
+  ASSERT_TRUE(f0.ok);
+  EXPECT_DOUBLE_EQ(f0.bytes, pages[0].size_bytes);
+  EXPECT_FALSE(f0.reused_connection);
+  const auto f1 = fetch_pooled(server, pool, 0);  // same page, same host
+  ASSERT_TRUE(f1.ok);
+  EXPECT_TRUE(f1.reused_connection);
+  EXPECT_EQ(f1.conn_id, f0.conn_id);
 }
 
 TEST(Downloader, ConcurrentBeatsSequentialInRealTime) {

@@ -1,0 +1,176 @@
+// LogHistogram: bucket placement, percentile error bounds against the exact
+// Summary, merge associativity, and the clamp contract for out-of-range
+// samples — the properties the serving stack's latency reporting relies on.
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace parc {
+namespace {
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, SingleSampleEveryPercentile) {
+  LogHistogram h(1e-6, 1e3);
+  h.add(0.042);
+  EXPECT_EQ(h.count(), 1u);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_NEAR(v, 0.042, 0.042 * 0.08) << p;
+  }
+  EXPECT_DOUBLE_EQ(h.min_seen(), 0.042);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 0.042);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.042);
+}
+
+TEST(LogHistogram, BucketBoundsCoverRangeGeometrically) {
+  LogHistogram h(1e-3, 1e3, 8);
+  // Regular buckets tile [min, max) without gaps; each is a factor of
+  // 10^(1/8) wide.
+  const double step = std::pow(10.0, 1.0 / 8.0);
+  for (std::size_t i = 1; i + 1 < h.bucket_count(); ++i) {
+    EXPECT_NEAR(h.bucket_high(i) / h.bucket_low(i), step, 1e-9) << i;
+    if (i + 2 < h.bucket_count()) {
+      EXPECT_NEAR(h.bucket_high(i), h.bucket_low(i + 1), 1e-12) << i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 1e-3);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(0), 1e-3);
+}
+
+TEST(LogHistogram, OutOfRangeSamplesClampNeverLost) {
+  LogHistogram h(1e-3, 1e3);
+  h.add(1e-9);   // underflow
+  h.add(0.0);    // underflow
+  h.add(1e9);    // overflow
+  h.add(1.0);    // regular
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 1u);
+  // Extremes are reported exactly even though they clamped.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1e9);
+}
+
+TEST(LogHistogram, PercentilesTrackSummaryWithinBucketError) {
+  // 50k log-normal "latencies": the exact Summary percentile and the
+  // bucketed estimate must agree within half a bucket width (~3.7% at 32
+  // buckets/decade; assert 8% for slack at distribution edges).
+  Rng rng(1234);
+  LogHistogram h(1e-6, 1e3, 32);
+  Summary s;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(std::log(2e-3), 0.8);
+    h.add(x);
+    s.add(x);
+  }
+  EXPECT_EQ(h.count(), 50000u);
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double exact = s.percentile(p);
+    const double approx = h.percentile(p);
+    EXPECT_NEAR(approx, exact, exact * 0.08) << "p" << p;
+  }
+  EXPECT_NEAR(h.mean(), s.mean(), s.mean() * 1e-9);  // sum kept exactly
+}
+
+TEST(LogHistogram, MergeEqualsCombinedStream) {
+  Rng rng(77);
+  LogHistogram a(1e-6, 1e3), b(1e-6, 1e3), combined(1e-6, 1e3);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(0.005);
+    if (i % 3 == 0) {
+      a.add(x);
+    } else {
+      b.add(x);
+    }
+    combined.add(x);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.count(), combined.count());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), combined.bucket(i)) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.min_seen(), combined.min_seen());
+  EXPECT_DOUBLE_EQ(a.max_seen(), combined.max_seen());
+  EXPECT_DOUBLE_EQ(a.p999(), combined.p999());
+  EXPECT_NEAR(a.sum(), combined.sum(), combined.sum() * 1e-12);
+}
+
+TEST(LogHistogram, MergeIntoEmptyAdoptsExtremes) {
+  LogHistogram a, b;
+  b.add(0.25);
+  b.add(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min_seen(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 0.5);
+}
+
+TEST(LogHistogram, LayoutMismatchDetected) {
+  LogHistogram a(1e-6, 1e3, 32);
+  LogHistogram narrow(1e-3, 1e3, 32);
+  LogHistogram coarse(1e-6, 1e3, 8);
+  EXPECT_TRUE(a.same_layout(LogHistogram(1e-6, 1e3, 32)));
+  EXPECT_FALSE(a.same_layout(narrow));
+  EXPECT_FALSE(a.same_layout(coarse));
+}
+
+TEST(LogHistogram, AddNCountsInBulk) {
+  LogHistogram h;
+  h.add_n(0.01, 1000);
+  h.add_n(0.1, 10);
+  EXPECT_EQ(h.count(), 1010u);
+  EXPECT_NEAR(h.p50(), 0.01, 0.01 * 0.08);
+  EXPECT_NEAR(h.percentile(99.5), 0.1, 0.1 * 0.08);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.01 * 1000 + 0.1 * 10);
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.add(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+  h.add(2.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 2.0);
+}
+
+TEST(LogHistogram, DescribeAndRenderMentionTheData) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(0.001 * (i + 1));
+  const std::string d = h.describe("s");
+  EXPECT_NE(d.find("p50"), std::string::npos);
+  EXPECT_NE(d.find("p999"), std::string::npos);
+  EXPECT_NE(d.find("n=100"), std::string::npos);
+  EXPECT_NE(h.render().find('#'), std::string::npos);
+  EXPECT_EQ(LogHistogram().render(), "(empty)\n");
+}
+
+TEST(LogHistogram, MonotoneAcrossPercentiles) {
+  Rng rng(9);
+  LogHistogram h;
+  for (int i = 0; i < 10000; ++i) h.add(rng.pareto(1e-4, 1.3));
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace parc
