@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the plain build + full ctest pass that every PR must keep
 # green, plus a ThreadSanitizer pass over the concurrency-bearing suites
-# (scheduler, ptask runtime, conc collections, net pool, serving stack) —
+# (scheduler, ptask runtime, conc collections, net pool, serving stack,
+# flow channels) —
 # the code where a data race is a correctness bug, not a flake — and an
 # AddressSanitizer(+UBSan) pass
 # over the full test suite, which is what keeps the TaskCell/slab recycling
@@ -43,7 +44,7 @@ TSAN_SUITES=(
   ptask_test ptask_multi_test ptask_pipeline_test ptask_graph_test
   pj_sync_test pj_nested_test pj_nested_stress_test pj_places_test
   conc_collections_test conc_tasksafe_test conc_cow_test
-  net_test serve_test
+  net_test serve_test flow_test
 )
 cmake -B "${PREFIX}-tsan" -S . -DPARC_SANITIZE=thread \
   -DPARC_BUILD_BENCH=OFF -DPARC_BUILD_EXAMPLES=OFF >/dev/null

@@ -6,6 +6,16 @@
 //    sequence numbers, no reclamation problem, the honest lock-free
 //    contender (an unbounded lock-free queue would need hazard pointers;
 //    CP.100 says don't unless you have to, and we don't).
+//
+// Both queues carry the flow::Channel lifecycle contract (PR 8):
+//  - close() is the graceful end-of-stream: enqueues are rejected,
+//    dequeuers drain what is buffered and then see empty-forever. Contract:
+//    close() happens-after the last enqueue a producer cares about.
+//  - poison() is the error path: the queue closes and buffered elements are
+//    discarded and counted (`dropped()`) by the next dequeue.
+// Conservation at quiescence: enqueued == dequeued + dropped (the channel
+// suites assert it by external count; these queues keep no hot-path
+// counters so the project-9 throughput numbers stay honest).
 #pragma once
 
 #include <atomic>
@@ -36,17 +46,31 @@ class MichaelScottQueue {
   MichaelScottQueue(const MichaelScottQueue&) = delete;
   MichaelScottQueue& operator=(const MichaelScottQueue&) = delete;
 
-  void enqueue(T v) {
+  /// False iff the queue closed (the element is dropped — no consumer is
+  /// coming for it). Pre-close callers may ignore the result.
+  bool enqueue(T v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
     auto* node = new Node(std::move(v));
     std::scoped_lock lock(tail_mutex_);
+    if (closed_.load(std::memory_order_acquire)) {
+      // Racing close(): reject under the lock so a dequeuer that saw the
+      // closed flag cannot miss a late element.
+      delete node;
+      return false;
+    }
     // Release-publish: when the queue is short, head_->next and tail_->next
     // are the same field, and the dequeuer reads it under the *other* lock.
     tail_->next.store(node, std::memory_order_release);
     tail_ = node;
+    return true;
   }
 
   [[nodiscard]] std::optional<T> try_dequeue() {
     std::scoped_lock lock(head_mutex_);
+    if (poisoned_.load(std::memory_order_acquire)) {
+      discard_locked();
+      return std::nullopt;
+    }
     Node* first = head_->next.load(std::memory_order_acquire);
     if (first == nullptr) return std::nullopt;
     std::optional<T> out(std::move(*first->value));
@@ -54,6 +78,27 @@ class MichaelScottQueue {
     head_ = first;
     first->value.reset();  // consumed; head_ is now the new dummy
     return out;
+  }
+
+  /// Graceful end-of-stream: enqueues rejected, buffered elements drain.
+  /// Idempotent; any thread.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  /// Error-path close: buffered elements are discarded and counted as
+  /// `dropped()` by the next try_dequeue.
+  void poison() noexcept {
+    poisoned_.store(true, std::memory_order_release);
+    close();
+  }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] bool empty() const {
@@ -70,10 +115,26 @@ class MichaelScottQueue {
                                        // head lock — cross-lock publication
   };
 
+  void discard_locked() {
+    // Caller holds head_mutex_. Drop every buffered node, keeping the
+    // dummy-head invariant.
+    for (;;) {
+      Node* first = head_->next.load(std::memory_order_acquire);
+      if (first == nullptr) return;
+      delete head_;
+      head_ = first;
+      first->value.reset();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   mutable std::mutex head_mutex_;  // guards head_
   std::mutex tail_mutex_;          // guards tail_ and tail_->next
   Node* head_;
   Node* tail_;
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> poisoned_{false};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 template <typename T>
@@ -91,8 +152,9 @@ class MpmcRing {
   MpmcRing(const MpmcRing&) = delete;
   MpmcRing& operator=(const MpmcRing&) = delete;
 
-  /// Non-blocking; false when full.
+  /// Non-blocking; false when full or closed.
   bool try_enqueue(T v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
     Slot* slot;
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -116,8 +178,48 @@ class MpmcRing {
     return true;
   }
 
-  /// Non-blocking; nullopt when empty.
+  /// Non-blocking; nullopt when empty (buffered elements still drain after
+  /// close(); poison() makes them drop instead).
   [[nodiscard]] std::optional<T> try_dequeue() {
+    if (poisoned_.load(std::memory_order_acquire)) {
+      while (auto v = dequeue_one()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return std::nullopt;
+    }
+    return dequeue_one();
+  }
+
+  /// Graceful end-of-stream: enqueues rejected, buffered elements drain.
+  /// Idempotent; any thread.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  /// Error-path close: buffered elements are discarded and counted as
+  /// `dropped()` by the next try_dequeue.
+  void poison() noexcept {
+    poisoned_.store(true, std::memory_order_release);
+    close();
+  }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> sequence;
+    T value;
+  };
+
+  std::optional<T> dequeue_one() {
     Slot* slot;
     std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -141,14 +243,6 @@ class MpmcRing {
     return out;
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-
- private:
-  struct Slot {
-    std::atomic<std::uint64_t> sequence;
-    T value;
-  };
-
   static std::size_t round_up_pow2(std::size_t n) {
     PARC_CHECK(n >= 2);
     std::size_t p = 1;
@@ -161,6 +255,9 @@ class MpmcRing {
   std::vector<Slot> slots_;
   alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
   alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> poisoned_{false};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace parc::conc

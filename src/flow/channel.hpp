@@ -1,0 +1,620 @@
+// flow::Channel<T>: the one bounded hand-off primitive (ISSUE 8).
+//
+// A fixed-capacity lock-free channel with backpressure. Two ring layouts
+// behind one API, chosen at construction:
+//
+//  - SPSC fast path (`ChannelOptions::spsc`): a Lamport ring — producer owns
+//    `tail`, consumer owns `head`, each side caches the other's index so the
+//    steady state is one release store per op and *zero* shared RMWs on the
+//    ring itself. For single-producer/single-consumer edges (pipeline
+//    stages, the serve ingress thread feeding itself).
+//  - MPMC striped variant: `stripes` independent Vyukov per-slot-sequence
+//    subrings (the conc::MpmcRing protocol); each thread starts its sweep at
+//    a thread-affine stripe, so concurrent producers/consumers mostly CAS on
+//    different cache lines. For many-to-one (EventLoop posts) and
+//    one-to-many (downloader work feed) edges.
+//
+// Blocking edges ride the completion-core park/wake idiom (DESIGN §3, PR 3):
+// a producer hitting a full channel or a consumer hitting an empty one
+// behaves exactly like a task waiter —
+//
+//  - pool-capable threads (WorkStealingPool::current_pool() != nullptr)
+//    never park here: a worker parked on a channel word cannot be woken by
+//    new pool work, and the peer that would free a slot may itself be queued
+//    behind the blocked worker (the bounded-buffer variant of the helping
+//    deadlock documented in conc/task_safe.hpp). They `help_while` instead.
+//  - everything else spins `sched::detail::kWaiterSpins` and then parks on
+//    an epoch word with std::atomic::wait, exactly like Completion::wait.
+//
+// Wakeup protocol (the Sequencer::advance idiom): every successful pop bumps
+// `not_full_epoch_` (release RMW) and notifies; every successful push bumps
+// `not_empty_epoch_` and notifies. A waiter snapshots the epoch, re-checks
+// the ring, and only then waits on the snapshot — any op that completed
+// after the snapshot already changed the word, so the wait falls through
+// (std::atomic::wait re-checks the value; the missed-wakeup Dekker handshake
+// lives inside the stdlib waiter table, the same place Completion trusts).
+// Parked-waiter counters are statistics, not correctness.
+//
+// close()/poison():
+//  - close() is the graceful end-of-stream: pushes are rejected, consumers
+//    drain what is buffered and then see `closed`. Contract: close() must
+//    happen-after the channel's last push (producer-side close, as in Go);
+//    the pop path still re-checks the ring once after observing the closed
+//    flag as belt-and-braces against racy callers.
+//  - poison() is the error path: the channel closes and buffered elements
+//    are *discarded and counted* (`dropped`) on the next pop (drain-on-pop
+//    keeps the SPSC single-consumer discipline intact — only a consumer, or
+//    a quiescent owner via discard_all(), ever touches the consumer index).
+//
+// Conservation invariant, asserted across the test suite and bench_flow:
+// at quiescence, pushed == popped + dropped, exactly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sched/completion.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/backoff.hpp"
+#include "support/check.hpp"
+
+namespace parc::flow {
+
+enum class PushResult : std::uint8_t { ok, full, closed };
+enum class PopResult : std::uint8_t { ok, empty, closed };
+
+struct ChannelOptions {
+  /// Ring capacity; rounded up to a power of two (per stripe for MPMC, so
+  /// the usable total is stripes * ceil_pow2(capacity / stripes)).
+  std::size_t capacity = 256;
+  /// MPMC subring count; ignored for SPSC. More stripes spread producer
+  /// CAS traffic at the cost of weaker cross-stripe FIFO order.
+  std::size_t stripes = 1;
+  /// Single-producer/single-consumer fast path. Caller contract: at most
+  /// one thread pushes and one pops at any time (close() counts as a
+  /// producer-side call; poison()/discard_all() as consumer-side).
+  bool spsc = false;
+};
+
+/// Point-in-time channel counters. Exact at quiescence; monotone-read
+/// approximate while ops are in flight.
+struct ChannelStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t dropped = 0;   ///< discarded by poison/discard_all
+  std::uint64_t producer_blocks = 0;  ///< pushes that entered the slow path
+  std::uint64_t consumer_blocks = 0;  ///< pops that entered the slow path
+  std::uint64_t producer_parks = 0;   ///< futex parks (never pool threads)
+  std::uint64_t consumer_parks = 0;
+  std::uint64_t producer_helps = 0;   ///< blocked ops that rode help_while
+  std::uint64_t consumer_helps = 0;
+  std::uint64_t producer_blocked_ns = 0;  ///< wall time spent full-blocked
+  std::uint64_t consumer_blocked_ns = 0;  ///< wall time spent empty-blocked
+  std::uint64_t high_water = 0;  ///< max occupancy ever observed by a push
+  std::size_t occupancy = 0;
+  std::size_t capacity = 0;
+  bool closed = false;
+  bool poisoned = false;
+};
+
+namespace detail {
+/// Process-unique channel serial for trace events (kChan* `id`).
+inline std::uint64_t next_channel_id() noexcept {
+  static std::atomic<std::uint64_t> serial{0};
+  return serial.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+inline constexpr std::size_t ceil_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Stable thread-affine stripe seed, so a given producer keeps hammering
+/// the same stripe until it fills.
+inline std::size_t stripe_hint() noexcept {
+  static thread_local const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return h;
+}
+}  // namespace detail
+
+template <typename T>
+class Channel {
+  static_assert(std::is_default_constructible_v<T>,
+                "Channel ring slots are default-constructed");
+  static_assert(std::is_move_assignable_v<T> && std::is_move_constructible_v<T>,
+                "Channel transfers elements by move");
+
+ public:
+  explicit Channel(ChannelOptions opts = {})
+      : spsc_(opts.spsc), id_(detail::next_channel_id()) {
+    PARC_CHECK(opts.capacity > 0);
+    if (spsc_) {
+      const std::size_t cap = detail::ceil_pow2(opts.capacity);
+      slots_.resize(cap);
+      mask_ = cap - 1;
+      capacity_ = cap;
+    } else {
+      const std::size_t n = opts.stripes == 0 ? 1 : opts.stripes;
+      const std::size_t per = detail::ceil_pow2((opts.capacity + n - 1) / n);
+      stripes_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        stripes_.push_back(std::make_unique<Stripe>(per));
+      }
+      capacity_ = per * n;
+    }
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // ---- non-blocking ----
+
+  /// Attempt one push; moves from `v` only on `ok`. Never blocks.
+  [[nodiscard]] PushResult try_push(T& v) {
+    if (closed_.load(std::memory_order_acquire)) return PushResult::closed;
+    if (!ring_try_push(v)) {
+      // Racing close() while we swept: report closed, not full, so retry
+      // loops terminate.
+      return closed_.load(std::memory_order_acquire) ? PushResult::closed
+                                                     : PushResult::full;
+    }
+    after_push();
+    return PushResult::ok;
+  }
+
+  /// Attempt one pop. Buffered elements drain even after close();
+  /// `closed` only once the channel is both closed and empty.
+  [[nodiscard]] PopResult try_pop(T& out) {
+    if (poisoned_.load(std::memory_order_acquire)) {
+      discard_all();
+      return PopResult::closed;
+    }
+    if (ring_try_pop(out)) {
+      after_pop();
+      return PopResult::ok;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      // Belt-and-braces: a push that raced close() may have landed between
+      // our sweep and the flag load.
+      if (ring_try_pop(out)) {
+        after_pop();
+        return PopResult::ok;
+      }
+      return PopResult::closed;
+    }
+    return PopResult::empty;
+  }
+
+  // ---- blocking ----
+
+  /// Push, blocking while full. Returns false iff the channel closed (the
+  /// element is dropped — by then no consumer is coming for it).
+  bool push(T v) {
+    PushResult r = try_push(v);
+    if (r == PushResult::full) r = push_slow(v);
+    return r == PushResult::ok;
+  }
+
+  /// Pop, blocking while empty. Returns false iff closed-and-drained.
+  bool pop(T& out) {
+    PopResult r = try_pop(out);
+    if (r == PopResult::empty) r = pop_slow(out);
+    return r == PopResult::ok;
+  }
+
+  /// Pop with a deadline: `empty` means the deadline passed. With
+  /// time_point::max() this is exactly pop(). std::atomic::wait has no
+  /// timed form, so a finite deadline parks in bounded sleep slices
+  /// (≤ 1 ms) instead of on the epoch futex — timer-grade precision, not
+  /// hand-off-grade (the EventLoop only takes this path while delayed
+  /// events are pending).
+  [[nodiscard]] PopResult try_pop_until(
+      T& out, std::chrono::steady_clock::time_point deadline) {
+    using clock = std::chrono::steady_clock;
+    if (deadline == clock::time_point::max()) {
+      PopResult r = try_pop(out);
+      if (r == PopResult::empty) r = pop_slow(out);
+      return r;
+    }
+    PopResult r = try_pop(out);
+    if (r != PopResult::empty) return r;
+    consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kChanFull, id_, 1);
+    }
+    const auto t0 = clock::now();
+    for (std::size_t i = 0;
+         i < sched::detail::kWaiterSpins && r == PopResult::empty; ++i) {
+      ExponentialBackoff::cpu_relax();
+      r = try_pop(out);
+    }
+    while (r == PopResult::empty) {
+      const auto now = clock::now();
+      if (now >= deadline) break;
+      std::this_thread::sleep_for(
+          std::min<clock::duration>(std::chrono::milliseconds(1),
+                                    deadline - now));
+      r = try_pop(out);
+    }
+    consumer_blocked_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(clock::now() - t0).count()),
+        std::memory_order_relaxed);
+    return r;
+  }
+
+  // ---- batched ----
+
+  /// Push every element (blocking); returns how many landed — short only
+  /// when the channel closed under us.
+  std::size_t push_n(std::span<T> items) {
+    std::size_t n = 0;
+    for (T& v : items) {
+      if (!push(std::move(v))) break;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Block for at least one element (or close), then greedily take up to
+  /// `max` without further blocking. Returns the count appended to `out`;
+  /// 0 means closed-and-drained.
+  std::size_t pop_n(std::vector<T>& out, std::size_t max) {
+    if (max == 0) return 0;
+    T v;
+    if (!pop(v)) return 0;
+    out.push_back(std::move(v));
+    std::size_t n = 1;
+    while (n < max && try_pop(v) == PopResult::ok) {
+      out.push_back(std::move(v));
+      ++n;
+    }
+    return n;
+  }
+
+  // ---- lifecycle ----
+
+  /// Graceful end-of-stream. Must happen-after the last push (producer-side
+  /// close). Idempotent; wakes every parked waiter on both edges.
+  void close() noexcept { close_impl(false); }
+
+  /// Error-path close: buffered elements are discarded and counted as
+  /// `dropped` by the next pop (or discard_all()). Any thread may call it.
+  void poison() noexcept {
+    poisoned_.store(true, std::memory_order_release);
+    close_impl(true);
+  }
+
+  /// Drain-and-count every buffered element. Consumer-side (or quiescent —
+  /// e.g. Pipeline::wait after joining its stage threads). Returns the
+  /// number discarded.
+  std::size_t discard_all() {
+    std::size_t n = 0;
+    T tmp;
+    while (ring_try_pop(tmp)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      ++n;
+    }
+    if (n != 0) {
+      not_full_epoch_.fetch_add(1, std::memory_order_release);
+      not_full_epoch_.notify_all();
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  // ---- introspection ----
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  [[nodiscard]] std::size_t occupancy() const noexcept {
+    const std::uint64_t in = pushed_.load(std::memory_order_relaxed);
+    const std::uint64_t gone = popped_.load(std::memory_order_relaxed) +
+                               dropped_.load(std::memory_order_relaxed);
+    return in > gone ? static_cast<std::size_t>(in - gone) : 0;
+  }
+
+  [[nodiscard]] ChannelStats stats() const {
+    ChannelStats s;
+    s.pushed = pushed_.load(std::memory_order_relaxed);
+    s.popped = popped_.load(std::memory_order_relaxed);
+    s.dropped = dropped_.load(std::memory_order_relaxed);
+    s.producer_blocks = producer_blocks_.load(std::memory_order_relaxed);
+    s.consumer_blocks = consumer_blocks_.load(std::memory_order_relaxed);
+    s.producer_parks = producer_parks_.load(std::memory_order_relaxed);
+    s.consumer_parks = consumer_parks_.load(std::memory_order_relaxed);
+    s.producer_helps = producer_helps_.load(std::memory_order_relaxed);
+    s.consumer_helps = consumer_helps_.load(std::memory_order_relaxed);
+    s.producer_blocked_ns =
+        producer_blocked_ns_.load(std::memory_order_relaxed);
+    s.consumer_blocked_ns =
+        consumer_blocked_ns_.load(std::memory_order_relaxed);
+    s.high_water = high_water_.load(std::memory_order_relaxed);
+    s.occupancy = occupancy();
+    s.capacity = capacity_;
+    s.closed = closed();
+    s.poisoned = poisoned();
+    return s;
+  }
+
+ private:
+  // One Vyukov subring: per-slot sequence numbers arbitrate producers and
+  // consumers without a shared head/tail pair (conc::MpmcRing protocol).
+  struct Slot {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+  struct Stripe {
+    explicit Stripe(std::size_t cap) : slots(cap), mask(cap - 1) {
+      for (std::size_t i = 0; i < cap; ++i) {
+        slots[i].sequence.store(i, std::memory_order_relaxed);
+      }
+    }
+    bool try_push(T& v) {
+      std::size_t pos = enqueue_pos.load(std::memory_order_relaxed);
+      for (;;) {
+        Slot* slot = &slots[pos & mask];
+        const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+        const auto dif = static_cast<std::intptr_t>(seq) -
+                         static_cast<std::intptr_t>(pos);
+        if (dif == 0) {
+          if (enqueue_pos.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed)) {
+            slot->value = std::move(v);
+            slot->sequence.store(pos + 1, std::memory_order_release);
+            return true;
+          }
+        } else if (dif < 0) {
+          return false;  // a full lap behind: stripe is full
+        } else {
+          pos = enqueue_pos.load(std::memory_order_relaxed);
+        }
+      }
+    }
+    bool try_pop(T& out) {
+      std::size_t pos = dequeue_pos.load(std::memory_order_relaxed);
+      for (;;) {
+        Slot* slot = &slots[pos & mask];
+        const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+        const auto dif = static_cast<std::intptr_t>(seq) -
+                         static_cast<std::intptr_t>(pos + 1);
+        if (dif == 0) {
+          if (dequeue_pos.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed)) {
+            out = std::move(slot->value);
+            slot->sequence.store(pos + mask + 1, std::memory_order_release);
+            return true;
+          }
+        } else if (dif < 0) {
+          return false;  // slot not yet published: stripe is empty
+        } else {
+          pos = dequeue_pos.load(std::memory_order_relaxed);
+        }
+      }
+    }
+    std::vector<Slot> slots;
+    std::size_t mask;
+    alignas(kCacheLineSize) std::atomic<std::size_t> enqueue_pos{0};
+    alignas(kCacheLineSize) std::atomic<std::size_t> dequeue_pos{0};
+  };
+
+  bool ring_try_push(T& v) {
+    if (spsc_) {
+      const std::size_t t = tail_.load(std::memory_order_relaxed);
+      if (t - head_cache_ > mask_) {
+        head_cache_ = head_.load(std::memory_order_acquire);
+        if (t - head_cache_ > mask_) return false;
+      }
+      slots_[t & mask_] = std::move(v);
+      tail_.store(t + 1, std::memory_order_release);
+      return true;
+    }
+    const std::size_t n = stripes_.size();
+    const std::size_t start = detail::stripe_hint();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (stripes_[(start + k) % n]->try_push(v)) return true;
+    }
+    return false;
+  }
+
+  bool ring_try_pop(T& out) {
+    if (spsc_) {
+      const std::size_t h = head_.load(std::memory_order_relaxed);
+      if (h == tail_cache_) {
+        tail_cache_ = tail_.load(std::memory_order_acquire);
+        if (h == tail_cache_) return false;
+      }
+      out = std::move(slots_[h & mask_]);
+      head_.store(h + 1, std::memory_order_release);
+      return true;
+    }
+    const std::size_t n = stripes_.size();
+    const std::size_t start = detail::stripe_hint();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (stripes_[(start + k) % n]->try_pop(out)) return true;
+    }
+    return false;
+  }
+
+  void after_push() noexcept {
+    const std::uint64_t in =
+        pushed_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t gone = popped_.load(std::memory_order_relaxed) +
+                               dropped_.load(std::memory_order_relaxed);
+    const std::uint64_t occ = in > gone ? in - gone : 0;
+    std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (occ > hw && !high_water_.compare_exchange_weak(
+                           hw, occ, std::memory_order_relaxed)) {
+    }
+    not_empty_epoch_.fetch_add(1, std::memory_order_release);
+    not_empty_epoch_.notify_all();
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kChanPush, id_, occ);
+    }
+  }
+
+  void after_pop() noexcept {
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    not_full_epoch_.fetch_add(1, std::memory_order_release);
+    not_full_epoch_.notify_all();
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kChanPop, id_, occupancy());
+    }
+  }
+
+  PushResult push_slow(T& v) {
+    using clock = std::chrono::steady_clock;
+    producer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kChanFull, id_, 0);
+    }
+    const auto t0 = clock::now();
+    PushResult r = PushResult::full;
+    if (auto* pool = sched::WorkStealingPool::current_pool()) {
+      producer_helps_.fetch_add(1, std::memory_order_relaxed);
+      pool->help_while([&] {
+        r = try_push(v);
+        return r == PushResult::full;
+      });
+    } else {
+      for (std::size_t i = 0;
+           i < sched::detail::kWaiterSpins && r == PushResult::full; ++i) {
+        ExponentialBackoff::cpu_relax();
+        r = try_push(v);
+      }
+      while (r == PushResult::full) {
+        const std::uint32_t e =
+            not_full_epoch_.load(std::memory_order_acquire);
+        r = try_push(v);
+        if (r != PushResult::full) break;
+        producer_parks_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::tracing()) [[unlikely]] {
+          obs::emit(obs::EventKind::kWaiterPark, id_, 0);
+        }
+        not_full_epoch_.wait(e, std::memory_order_acquire);
+        if (obs::tracing()) [[unlikely]] {
+          obs::emit(obs::EventKind::kWaiterWake, id_, 0);
+        }
+        r = try_push(v);
+      }
+    }
+    producer_blocked_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(clock::now() - t0).count()),
+        std::memory_order_relaxed);
+    return r;
+  }
+
+  PopResult pop_slow(T& out) {
+    using clock = std::chrono::steady_clock;
+    consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kChanFull, id_, 1);
+    }
+    const auto t0 = clock::now();
+    PopResult r = PopResult::empty;
+    if (auto* pool = sched::WorkStealingPool::current_pool()) {
+      consumer_helps_.fetch_add(1, std::memory_order_relaxed);
+      pool->help_while([&] {
+        r = try_pop(out);
+        return r == PopResult::empty;
+      });
+    } else {
+      for (std::size_t i = 0;
+           i < sched::detail::kWaiterSpins && r == PopResult::empty; ++i) {
+        ExponentialBackoff::cpu_relax();
+        r = try_pop(out);
+      }
+      while (r == PopResult::empty) {
+        const std::uint32_t e =
+            not_empty_epoch_.load(std::memory_order_acquire);
+        r = try_pop(out);
+        if (r != PopResult::empty) break;
+        consumer_parks_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::tracing()) [[unlikely]] {
+          obs::emit(obs::EventKind::kWaiterPark, id_, 1);
+        }
+        not_empty_epoch_.wait(e, std::memory_order_acquire);
+        if (obs::tracing()) [[unlikely]] {
+          obs::emit(obs::EventKind::kWaiterWake, id_, 1);
+        }
+        r = try_pop(out);
+      }
+    }
+    consumer_blocked_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(clock::now() - t0).count()),
+        std::memory_order_relaxed);
+    return r;
+  }
+
+  void close_impl(bool poison) noexcept {
+    const bool was = closed_.exchange(true, std::memory_order_acq_rel);
+    // Wake both edges even when already closed: poison-after-close must
+    // still kick parked consumers into their drain-and-exit path.
+    not_full_epoch_.fetch_add(1, std::memory_order_release);
+    not_full_epoch_.notify_all();
+    not_empty_epoch_.fetch_add(1, std::memory_order_release);
+    not_empty_epoch_.notify_all();
+    if (!was && obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kChanClosed, id_, poison ? 1 : 0);
+    }
+  }
+
+  const bool spsc_;
+  const std::uint64_t id_;
+  std::size_t capacity_ = 0;
+
+  // SPSC ring (unused when striped). Producer side: tail_ + its cached view
+  // of head_; consumer side: head_ + cached tail_. The caches are plain
+  // fields written only by their own side.
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+
+  // MPMC stripes (unused when spsc).
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Park/wake epochs (Sequencer::advance idiom) + lifecycle flags.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> not_full_epoch_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> not_empty_epoch_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> poisoned_{false};
+
+  // Counters. pushed_ is producer-side, popped_/dropped_ consumer-side.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> pushed_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> popped_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+  std::atomic<std::uint64_t> producer_blocks_{0};
+  std::atomic<std::uint64_t> consumer_blocks_{0};
+  std::atomic<std::uint64_t> producer_parks_{0};
+  std::atomic<std::uint64_t> consumer_parks_{0};
+  std::atomic<std::uint64_t> producer_helps_{0};
+  std::atomic<std::uint64_t> consumer_helps_{0};
+  std::atomic<std::uint64_t> producer_blocked_ns_{0};
+  std::atomic<std::uint64_t> consumer_blocked_ns_{0};
+};
+
+}  // namespace parc::flow

@@ -1,0 +1,12 @@
+// parc::flow — bounded channels with backpressure and the pipelines built
+// on them (ISSUE 8). One include for consumers:
+//
+//   flow::Channel<T>   fixed-capacity SPSC/MPMC channel, park/wake blocking
+//   flow::pipeline<T>  staged dataflow builder (fusion, per-stage
+//                      parallelism, pool fan-out)
+//   flow::build_flow_dag  traced run → sim::TaskDag replay
+#pragma once
+
+#include "flow/channel.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/replay.hpp"

@@ -1,0 +1,160 @@
+#include "flow/replay.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace parc::flow {
+
+namespace {
+
+struct ChanRef {
+  std::size_t track = 0;
+  std::size_t idx = 0;  ///< event index within the track
+  std::uint64_t t = 0;
+};
+
+struct Unit {
+  double cost_s = 0.0;
+  std::uint64_t end_t = 0;
+  std::int64_t track_prev = -1;  ///< unit index of this thread's previous unit
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pop_refs;  ///< (chan, seq)
+  bool is_sink = false;
+};
+
+}  // namespace
+
+FlowReplay build_flow_dag(const obs::TraceDump& dump) {
+  using obs::EventKind;
+  FlowReplay out;
+
+  // Pass 1: per channel, order pushes and pops by time so element k's pop
+  // matches push k (FIFO). seq_of[track][idx] holds the assigned sequence.
+  std::map<std::uint64_t, std::vector<ChanRef>> pushes;
+  std::map<std::uint64_t, std::vector<ChanRef>> pops;
+  std::vector<std::vector<std::uint64_t>> seq_of(dump.tracks.size());
+  std::vector<bool> track_has_push(dump.tracks.size(), false);
+  for (std::size_t ti = 0; ti < dump.tracks.size(); ++ti) {
+    const auto& track = dump.tracks[ti];
+    seq_of[ti].assign(track.events.size(), 0);
+    for (std::size_t ei = 0; ei < track.events.size(); ++ei) {
+      const obs::Event& e = track.events[ei];
+      if (e.kind == EventKind::kChanPush) {
+        pushes[e.id].push_back({ti, ei, e.t_ns});
+        track_has_push[ti] = true;
+      } else if (e.kind == EventKind::kChanPop) {
+        pops[e.id].push_back({ti, ei, e.t_ns});
+      }
+    }
+  }
+  out.channels = pushes.size();
+  auto assign_seq = [&](std::map<std::uint64_t, std::vector<ChanRef>>& side) {
+    for (auto& [chan, refs] : side) {
+      std::stable_sort(refs.begin(), refs.end(),
+                       [](const ChanRef& a, const ChanRef& b) {
+                         return a.t < b.t;
+                       });
+      for (std::size_t s = 0; s < refs.size(); ++s) {
+        seq_of[refs[s].track][refs[s].idx] = s;
+      }
+    }
+  };
+  assign_seq(pushes);
+  assign_seq(pops);
+
+  // Pass 2: walk each track, closing a unit at every push (or at every pop
+  // on pop-only collector tracks).
+  std::vector<Unit> units;
+  // producer_unit[chan][seq] = unit index that pushed that element.
+  std::map<std::uint64_t, std::vector<std::int64_t>> producer_unit;
+  for (const auto& [chan, refs] : pushes) {
+    producer_unit[chan].assign(refs.size(), -1);
+  }
+  for (std::size_t ti = 0; ti < dump.tracks.size(); ++ti) {
+    const auto& track = dump.tracks[ti];
+    std::int64_t last_unit = -1;
+    std::uint64_t last_t = 0;
+    bool last_t_valid = false;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;
+    for (std::size_t ei = 0; ei < track.events.size(); ++ei) {
+      const obs::Event& e = track.events[ei];
+      if (e.kind == EventKind::kChanPush) {
+        ++out.pushes;
+        Unit u;
+        u.cost_s = last_t_valid && e.t_ns > last_t
+                       ? static_cast<double>(e.t_ns - last_t) * 1e-9
+                       : 0.0;
+        u.end_t = e.t_ns;
+        u.track_prev = last_unit;
+        u.pop_refs = std::move(pending);
+        pending.clear();
+        units.push_back(std::move(u));
+        last_unit = static_cast<std::int64_t>(units.size() - 1);
+        producer_unit[e.id][seq_of[ti][ei]] = last_unit;
+        last_t = e.t_ns;
+        last_t_valid = true;
+      } else if (e.kind == EventKind::kChanPop) {
+        ++out.pops;
+        if (track_has_push[ti]) {
+          pending.emplace_back(e.id, seq_of[ti][ei]);
+          last_t = e.t_ns;
+          last_t_valid = true;
+        } else {
+          // Collector thread: zero-cost unit carrying the dependence.
+          Unit u;
+          u.end_t = e.t_ns;
+          u.track_prev = last_unit;
+          u.pop_refs = {{e.id, seq_of[ti][ei]}};
+          u.is_sink = true;
+          units.push_back(std::move(u));
+          last_unit = static_cast<std::int64_t>(units.size() - 1);
+        }
+      }
+    }
+    // Popped-but-never-emitted elements at track end (held stage state,
+    // poison drains): no unit — their cost is unknowable from the trace.
+  }
+
+  // Pass 3: topological order by end time (a producer's push precedes the
+  // matching pop, so it precedes the consuming unit's close).
+  std::vector<std::size_t> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return units[a].end_t < units[b].end_t;
+                   });
+  std::vector<sim::TaskDag::NodeId> node_of(units.size(), 0);
+  std::vector<bool> placed(units.size(), false);
+  for (std::size_t ui : order) {
+    const Unit& u = units[ui];
+    std::vector<sim::TaskDag::NodeId> deps;
+    auto add_dep = [&](std::int64_t dep_unit) {
+      if (dep_unit < 0) return;
+      const auto d = static_cast<std::size_t>(dep_unit);
+      // Coarse-clock ties can invert the order; drop rather than abort.
+      if (placed[d]) deps.push_back(node_of[d]);
+    };
+    add_dep(u.track_prev);
+    for (const auto& [chan, seq] : u.pop_refs) {
+      const auto it = producer_unit.find(chan);
+      if (it != producer_unit.end() && seq < it->second.size()) {
+        add_dep(it->second[seq]);
+      }
+    }
+    node_of[ui] = out.dag.add_task(u.cost_s, deps);
+    placed[ui] = true;
+    if (u.is_sink) {
+      ++out.sink_units;
+    } else if (u.pop_refs.empty()) {
+      ++out.source_units;
+    } else {
+      ++out.stage_units;
+    }
+  }
+  return out;
+}
+
+}  // namespace parc::flow

@@ -1,0 +1,44 @@
+// Trace→DAG replay for channel pipelines (the build_serve_dag idea applied
+// to flow): reconstruct a sim::TaskDag from the kChanPush/kChanPop events of
+// a traced run, so a pipeline measured once on this host can be replayed
+// through sim::simulate at any core count.
+//
+// Model. Each thread's channel events are segmented into work units:
+//
+//  - a unit closes at every push; its cost is the time since the previous
+//    channel event on the same thread (for a stage: pop → compute → push,
+//    so blocked/idle time between a push and the next pop is excluded; for
+//    a pure-source thread: the inter-arrival gap);
+//  - a unit depends on the previous unit of its thread plus the unit that
+//    pushed each element it popped since its thread's last push — element
+//    k popped from channel c matches push k of channel c in global time
+//    order (exact for FIFO/SPSC edges, an approximation across parallel
+//    replicas);
+//  - threads that only pop (collectors) contribute zero-cost sink units
+//    that carry the dependence structure without inflating T1.
+//
+// The resulting DAG is topologically ordered by unit end time; dependences
+// that a coarse clock would invert are dropped rather than asserted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/trace.hpp"
+#include "sim/machine.hpp"
+
+namespace parc::flow {
+
+struct FlowReplay {
+  sim::TaskDag dag;
+  std::uint64_t pushes = 0;      ///< kChanPush events consumed
+  std::uint64_t pops = 0;        ///< kChanPop events consumed
+  std::size_t channels = 0;      ///< distinct channel ids seen
+  std::size_t source_units = 0;  ///< push units with no popped inputs
+  std::size_t stage_units = 0;   ///< pop→push transform units
+  std::size_t sink_units = 0;    ///< pop-only (collector) units
+};
+
+[[nodiscard]] FlowReplay build_flow_dag(const obs::TraceDump& dump);
+
+}  // namespace parc::flow

@@ -1,5 +1,8 @@
 #include "gui/event_loop.hpp"
 
+#include <queue>
+#include <utility>
+
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "sched/completion.hpp"
@@ -7,9 +10,27 @@
 
 namespace parc::gui {
 
-EventLoop::EventLoop() : thread_([this] { loop(); }) {}
+EventLoop::EventLoop(std::size_t queue_capacity)
+    : queue_({.capacity = queue_capacity, .stripes = 1}),
+      thread_([this] { loop(); }) {}
 
 EventLoop::~EventLoop() { shutdown(); }
+
+void EventLoop::enqueue(Msg m, const char* what) {
+  PARC_CHECK_MSG(!stopping_.load(std::memory_order_acquire), what);
+  if (is_event_thread()) {
+    // Never block the dispatch thread on its own queue: a full channel here
+    // means nobody else can drain it. Spill to the EDT-confined backlog.
+    const flow::PushResult r = queue_.try_push(m);
+    if (r == flow::PushResult::ok) return;
+    PARC_CHECK_MSG(r != flow::PushResult::closed, what);
+    edt_backlog_.push_back(std::move(m));
+    return;
+  }
+  // Backpressure: a full queue stalls the poster until the EDT catches up
+  // (pool workers help-steal while they wait — Channel::push).
+  PARC_CHECK_MSG(queue_.push(std::move(m)), what);
+}
 
 void EventLoop::post(std::function<void()> event) {
   PARC_CHECK(event != nullptr);
@@ -18,34 +39,35 @@ void EventLoop::post(std::function<void()> event) {
     // happens on the event thread when the event is serviced.
     obs::emit(obs::EventKind::kEdtPost, 0, 0);
   }
-  {
-    std::scoped_lock lock(mutex_);
-    PARC_CHECK_MSG(!stopping_, "post() after EventLoop::shutdown()");
-    queue_.push_back(Event{std::move(event), Clock::now()});
+  enqueue(Msg{std::move(event), Clock::now(), {}, 0, false},
+          "post() after EventLoop::shutdown()");
+}
+
+bool EventLoop::try_post(std::function<void()> event) {
+  PARC_CHECK(event != nullptr);
+  PARC_CHECK_MSG(!stopping_.load(std::memory_order_acquire),
+                 "try_post() after EventLoop::shutdown()");
+  Msg m{std::move(event), Clock::now(), {}, 0, false};
+  const flow::PushResult r = queue_.try_push(m);
+  if (r == flow::PushResult::ok) {
+    if (obs::tracing()) [[unlikely]] {
+      obs::emit(obs::EventKind::kEdtPost, 0, 0);
+    }
+    return true;
   }
-  cv_.notify_one();
+  PARC_CHECK_MSG(r != flow::PushResult::closed,
+                 "try_post() after EventLoop::shutdown()");
+  overflowed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 void EventLoop::post_delayed(std::function<void()> event,
                              std::chrono::milliseconds delay) {
   PARC_CHECK(event != nullptr);
-  {
-    std::scoped_lock lock(mutex_);
-    PARC_CHECK_MSG(!stopping_, "post_delayed() after EventLoop::shutdown()");
-    delayed_.push(
-        DelayedEvent{Clock::now() + delay, delayed_seq_++, std::move(event)});
-  }
-  cv_.notify_one();  // the loop recomputes its wake deadline
-}
-
-void EventLoop::promote_due_locked(Clock::time_point now) {
-  while (!delayed_.empty() && delayed_.top().due <= now) {
-    // enqueued = due time: latency measures EDT backlog, not the delay.
-    queue_.push_back(
-        Event{std::move(const_cast<DelayedEvent&>(delayed_.top()).fn),
-              delayed_.top().due});
-    delayed_.pop();
-  }
+  const auto now = Clock::now();
+  enqueue(Msg{std::move(event), now, now + delay,
+              delayed_seq_.fetch_add(1, std::memory_order_relaxed), true},
+          "post_delayed() after EventLoop::shutdown()");
 }
 
 void EventLoop::post_and_wait(std::function<void()> event) {
@@ -68,19 +90,17 @@ bool EventLoop::is_event_thread() const noexcept {
 
 void EventLoop::drain() {
   PARC_CHECK_MSG(!is_event_thread(), "drain from the event thread");
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty(); });
+  if (stopping_.load(std::memory_order_acquire)) return;  // shutdown drains
+  // FIFO sentinel: when it runs, everything posted before it has run.
+  sched::Completion done;
+  Msg m{[&done] { done.complete(); }, Clock::now(), {}, 0, false};
+  if (!queue_.push(std::move(m))) return;  // raced shutdown(); it drains
+  done.wait();
 }
 
 void EventLoop::shutdown() {
-  {
-    std::scoped_lock lock(mutex_);
-    if (stopping_) {
-      // Second call: thread may already be joined.
-    }
-    stopping_ = true;
-  }
-  cv_.notify_all();
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();  // idempotent; wakes the parked dispatch thread
   if (thread_.joinable()) {
     thread_.join();
     obs::Counters::global().add("gui.edt.events",
@@ -88,58 +108,85 @@ void EventLoop::shutdown() {
   }
 }
 
+void EventLoop::run_event(std::function<void()>&& fn,
+                          Clock::time_point enqueued) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - enqueued)
+          .count();
+  {
+    std::scoped_lock lock(metrics_mutex_);
+    latencies_ms_.push_back(latency_ms);
+  }
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kEdtRunBegin, 0, 0);
+    fn();
+    obs::emit(obs::EventKind::kEdtRunEnd, 0, 0);
+  } else {
+    fn();
+  }
+  serviced_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void EventLoop::loop() {
   obs::label_thread("edt");
+  // Timer heap is dispatch-thread-confined: delayed events cross the
+  // channel as messages and park here until due — no shared timer state.
+  std::priority_queue<DelayedEvent, std::vector<DelayedEvent>, std::greater<>>
+      timers;
+  bool closed = false;
   for (;;) {
-    Event ev;
-    {
-      std::unique_lock lock(mutex_);
-      for (;;) {
-        promote_due_locked(Clock::now());
-        if (stopping_ || !queue_.empty()) break;
-        if (delayed_.empty()) {
-          cv_.wait(lock, [&] {
-            return stopping_ || !queue_.empty() || !delayed_.empty();
-          });
-        } else {
-          // Plain timed wait, deadline recomputed every lap: a notify for a
-          // newly posted *earlier* delayed event must shorten the sleep (a
-          // predicate wait would sleep through to the old deadline). The
-          // deadline is copied out first — wait_until keeps a reference and
-          // re-reads it after re-locking, by which point a concurrent
-          // post_delayed may have reallocated the queue's storage.
-          const Clock::time_point due = delayed_.top().due;
-          cv_.wait_until(lock, due);
-        }
+    if (!timers.empty() && timers.top().due <= Clock::now()) {
+      // enqueued = due time: latency measures EDT backlog, not the delay.
+      DelayedEvent t = std::move(const_cast<DelayedEvent&>(timers.top()));
+      timers.pop();
+      run_event(std::move(t.fn), t.due);
+      continue;
+    }
+    Msg m;
+    bool have = false;
+    if (!closed) {
+      if (!edt_backlog_.empty()) {
+        // Local work pending: poll the channel (older events) but never
+        // park over it.
+        const flow::PopResult r = queue_.try_pop(m);
+        if (r == flow::PopResult::ok) have = true;
+        if (r == flow::PopResult::closed) closed = true;
+      } else {
+        const Clock::time_point deadline =
+            timers.empty() ? Clock::time_point::max() : timers.top().due;
+        const flow::PopResult r = queue_.try_pop_until(m, deadline);
+        if (r == flow::PopResult::ok) have = true;
+        if (r == flow::PopResult::closed) closed = true;
       }
-      if (queue_.empty()) {
-        // stopping_ and nothing runnable: exit after notifying drainers.
-        // Delayed events that never became due are intentionally dropped —
-        // they are timers, and the app is closing.
-        idle_cv_.notify_all();
+    }
+    if (!have && !edt_backlog_.empty()) {
+      m = std::move(edt_backlog_.front());
+      edt_backlog_.pop_front();
+      have = true;
+    }
+    if (!have) {
+      if (closed) {
+        // Already-due timers still run at shutdown; the rest are
+        // intentionally dropped — they are timers, and the app is closing.
+        if (!timers.empty() && timers.top().due <= Clock::now()) continue;
         return;
       }
-      ev = std::move(queue_.front());
-      queue_.pop_front();
-      const double latency_ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - ev.enqueued)
-              .count();
-      latencies_ms_.push_back(latency_ms);
-      if (queue_.empty()) idle_cv_.notify_all();
+      continue;  // a timer came due, or the deadline poll timed out
     }
-    if (obs::tracing()) [[unlikely]] {
-      obs::emit(obs::EventKind::kEdtRunBegin, 0, 0);
-      ev.fn();
-      obs::emit(obs::EventKind::kEdtRunEnd, 0, 0);
-    } else {
-      ev.fn();
+    if (m.delayed) {
+      if (m.due <= Clock::now()) {
+        run_event(std::move(m.fn), m.due);
+      } else {
+        timers.push(DelayedEvent{m.due, m.seq, std::move(m.fn)});
+      }
+      continue;
     }
-    serviced_.fetch_add(1, std::memory_order_relaxed);
+    run_event(std::move(m.fn), m.enqueued);
   }
 }
 
 std::vector<double> EventLoop::latency_samples_ms() const {
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(metrics_mutex_);
   return latencies_ms_;
 }
 
@@ -153,13 +200,13 @@ LogHistogram EventLoop::latency_histogram_ms() const {
   // 1 µs .. 100 s in ms units covers everything from an idle loop's
   // sub-frame latencies to a fully wedged EDT.
   LogHistogram h(1e-3, 1e5);
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(metrics_mutex_);
   for (const double ms : latencies_ms_) h.add(ms);
   return h;
 }
 
 void EventLoop::reset_metrics() {
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(metrics_mutex_);
   latencies_ms_.clear();
 }
 

@@ -7,36 +7,71 @@
 // responsive UI is exactly one whose event latency stays within a frame
 // budget while background work runs — which turns the paper's qualitative
 // "the GUI remains fully responsive" into a measurable distribution.
+//
+// The post queue is a bounded flow::Channel (PR 8): posts from background
+// threads exert backpressure instead of growing an unbounded deque, and
+// try_post() gives latency-sensitive producers a drop-and-count escape
+// hatch (`overflowed()`). The dispatch thread itself never blocks on its
+// own full queue — self-posts spill to an EDT-confined backlog so a
+// re-posting event cannot deadlock the loop.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
+#include "flow/channel.hpp"
 #include "support/histogram.hpp"
 #include "support/stats.hpp"
 
 namespace parc::gui {
 
+namespace detail {
+/// One EventLoop channel element. Lives outside the class because the
+/// channel member instantiates Channel<EdtMsg> while EventLoop is still an
+/// open class — and GCC parses nested-class default member initializers in
+/// a complete-class context, so a nested Msg would not yet satisfy
+/// Channel's is_default_constructible static_assert. Immediate events carry
+/// their enqueue time; delayed events carry a due time and are parked in
+/// the dispatch thread's own timer heap once they cross the channel.
+struct EdtMsg {
+  std::function<void()> fn;
+  std::chrono::steady_clock::time_point enqueued{};
+  std::chrono::steady_clock::time_point due{};
+  std::uint64_t seq = 0;  // FIFO among equal deadlines
+  bool delayed = false;
+};
+}  // namespace detail
+
 class EventLoop {
  public:
-  EventLoop();
+  /// Bound on events queued but not yet serviced. Generous for UI work:
+  /// a backlog this deep already means seconds of unresponsiveness.
+  static constexpr std::size_t kDefaultQueueCapacity = 1024;
+
+  explicit EventLoop(std::size_t queue_capacity = kDefaultQueueCapacity);
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// Enqueue an event for the dispatch thread (thread-safe; the analogue of
-  /// SwingUtilities.invokeLater / Handler.post).
+  /// SwingUtilities.invokeLater / Handler.post). Blocks with backpressure
+  /// while the queue is full — except on the event thread itself, where it
+  /// spills to an internal backlog instead of deadlocking.
   void post(std::function<void()> event);
+
+  /// Non-blocking post: false (and `overflowed()` bumped) when the queue is
+  /// full. For producers that would rather drop than stall — the probe/
+  /// telemetry pattern.
+  [[nodiscard]] bool try_post(std::function<void()> event);
 
   /// Enqueue an event to run no earlier than `delay` from now (the
   /// Swing Timer / Handler.postDelayed analogue). Delayed events do not
@@ -51,8 +86,9 @@ class EventLoop {
   /// True when the calling thread is this loop's dispatch thread.
   [[nodiscard]] bool is_event_thread() const noexcept;
 
-  /// Block until the queue has been observed empty (all events posted so
-  /// far serviced). Events posted concurrently may still be pending.
+  /// Block until all events posted so far have been serviced (implemented
+  /// as a posted sentinel, so it also exerts backpressure when full).
+  /// Events posted concurrently may still be pending.
   void drain();
 
   /// Stop accepting events, service what is queued, join the thread.
@@ -64,12 +100,26 @@ class EventLoop {
   [[nodiscard]] Summary latency_summary_ms() const;
   /// Same samples, bucketed into the shared log-histogram type the serving
   /// stack and probes report (p50/p99/p999 without keeping every sample).
+  /// Note: events rejected by try_post() never ran, so they have no sample
+  /// here — read `overflowed()` alongside, or the histogram understates a
+  /// saturated EDT.
   [[nodiscard]] LogHistogram latency_histogram_ms() const;
   /// Discard recorded samples (between experiment phases).
   void reset_metrics();
 
   [[nodiscard]] std::uint64_t events_serviced() const noexcept {
     return serviced_.load(std::memory_order_relaxed);
+  }
+
+  /// Events rejected by try_post() because the queue was full.
+  [[nodiscard]] std::uint64_t overflowed() const noexcept {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+  /// Post-queue counters (occupancy, high-water, block/park counts) from
+  /// the underlying channel.
+  [[nodiscard]] flow::ChannelStats queue_stats() const {
+    return queue_.stats();
   }
 
   /// Adapter for Runtime::set_event_dispatcher / pj::set_event_dispatcher.
@@ -79,13 +129,11 @@ class EventLoop {
 
  private:
   using Clock = std::chrono::steady_clock;
-  struct Event {
-    std::function<void()> fn;
-    Clock::time_point enqueued;
-  };
+  using Msg = detail::EdtMsg;
+
   struct DelayedEvent {
     Clock::time_point due;
-    std::uint64_t seq;  // FIFO among equal deadlines
+    std::uint64_t seq;
     std::function<void()> fn;
     bool operator>(const DelayedEvent& o) const noexcept {
       if (due != o.due) return due > o.due;
@@ -94,19 +142,17 @@ class EventLoop {
   };
 
   void loop();
-  /// Move due delayed events into the immediate queue. Caller holds mutex_.
-  void promote_due_locked(Clock::time_point now);
+  void run_event(std::function<void()>&& fn, Clock::time_point enqueued);
+  void enqueue(Msg m, const char* what);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Event> queue_;          // guarded by mutex_
-  std::priority_queue<DelayedEvent, std::vector<DelayedEvent>,
-                      std::greater<>>
-      delayed_;                      // guarded by mutex_
-  std::uint64_t delayed_seq_ = 0;    // guarded by mutex_
-  bool stopping_ = false;            // guarded by mutex_
-  std::vector<double> latencies_ms_; // guarded by mutex_
+  flow::Channel<Msg> queue_;  // the one hand-off: every post crosses here
+  std::deque<Msg> edt_backlog_;  // EDT-confined: self-posts that found the
+                                 // channel full (serviced after it drains)
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> overflowed_{0};
+  std::atomic<std::uint64_t> delayed_seq_{0};
+  mutable std::mutex metrics_mutex_;
+  std::vector<double> latencies_ms_;  // guarded by metrics_mutex_
   std::atomic<std::uint64_t> serviced_{0};
   std::thread thread_;  // last member: starts after state is ready
 };

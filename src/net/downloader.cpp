@@ -1,9 +1,8 @@
 #include "net/downloader.hpp"
 
-#include <atomic>
-#include <memory>
-#include <semaphore>
+#include <algorithm>
 
+#include "flow/channel.hpp"
 #include "ptask/ptask.hpp"
 #include "support/check.hpp"
 #include "support/clock.hpp"
@@ -16,29 +15,34 @@ DownloadRun download_all(SimWebServer& server, std::size_t connections,
   const std::size_t n = server.page_count();
   DownloadRun run;
   run.pages = n;
-  std::atomic<double> bytes{0.0};
-  // The connection budget: acquired before each fetch, released after —
-  // the "how many connections should be opened at the same time?" knob.
-  auto gate = std::make_unique<std::counting_semaphore<>>(
-      static_cast<std::ptrdiff_t>(connections));
+
+  // The connection budget IS the consumer count: `connections` interactive
+  // tasks pull page indices from one bounded channel, so at most that many
+  // fetches are in flight and the feed exerts backpressure on the producer
+  // instead of materialising one task per page up front.
+  flow::Channel<std::size_t> feed(flow::ChannelOptions{
+      .capacity = std::max<std::size_t>(2 * connections, 8),
+      .stripes = std::min<std::size_t>(4, connections)});
 
   Stopwatch sw;
-  std::vector<ptask::TaskID<void>> tasks;
-  tasks.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    tasks.push_back(ptask::run_interactive(rt, [&, i] {
-      gate->acquire();
-      const double b = server.fetch(i);
-      gate->release();
-      double cur = bytes.load(std::memory_order_relaxed);
-      while (!bytes.compare_exchange_weak(cur, cur + b,
-                                          std::memory_order_relaxed)) {
-      }
+  std::vector<double> fetched(connections, 0.0);
+  std::vector<ptask::TaskID<void>> consumers;
+  consumers.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    consumers.push_back(ptask::run_interactive(rt, [&, c] {
+      // Per-consumer byte sums: no shared accumulator on the hot path.
+      std::size_t i = 0;
+      while (feed.pop(i)) fetched[c] += server.fetch(i);
     }));
   }
-  for (auto& t : tasks) t.get();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pushed = feed.push(i);
+    PARC_CHECK(pushed);  // nobody closes the feed but us
+  }
+  feed.close();
+  for (auto& t : consumers) t.get();
   run.wall_ms = sw.elapsed_ms();
-  run.bytes = bytes.load();
+  for (const double b : fetched) run.bytes += b;
   return run;
 }
 

@@ -1,7 +1,9 @@
 // The student program of project 10: download N pages as fast as possible
 // with ParallelTask, bounded to a configurable number of simultaneous
-// connections. Interactive (IO) tasks + a counting semaphore — exactly the
-// structure Parallel Task's IO_TASK gives in Java.
+// connections. A bounded flow::Channel of page indices feeds `connections`
+// interactive (IO) consumer tasks — the channel's capacity is the
+// backpressure bound the original Java version got from a counting
+// semaphore, with the work list streamed instead of materialised.
 //
 // ConnectionPool generalises the flat semaphore into a real keep-alive
 // pool: connections are host-bound, released connections go idle and are

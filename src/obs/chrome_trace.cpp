@@ -66,6 +66,10 @@ KindInfo kind_info(EventKind kind) {
       return {"B", "request", "serve", true};
     case EventKind::kServeExecEnd: return {"E", "request", "serve", true};
     case EventKind::kServeDone:    return {"i", "done", "serve", true};
+    case EventKind::kChanPush:     return {"i", "chan-push", "flow", true};
+    case EventKind::kChanPop:      return {"i", "chan-pop", "flow", true};
+    case EventKind::kChanFull:     return {"i", "chan-block", "flow", true};
+    case EventKind::kChanClosed:   return {"i", "chan-closed", "flow", true};
   }
   return {"i", "unknown", "obs", false};
 }
@@ -164,6 +168,20 @@ void write_chrome_trace(const TraceDump& dump, std::ostream& os) {
       out += ",\"arg\":";
       out += std::to_string(e.arg);
       out += "}}";
+
+      // Channel push/pop carry occupancy-after in `arg`; mirror each one as
+      // a Chrome counter sample so Perfetto draws a per-channel occupancy
+      // track ("C" events aggregate per name, not per tid).
+      if (e.kind == EventKind::kChanPush || e.kind == EventKind::kChanPop) {
+        comma();
+        out += "{\"ph\":\"C\",\"name\":\"chan#";
+        out += std::to_string(e.id);
+        out += " occupancy\",\"cat\":\"flow\",\"ts\":";
+        append_ts(out, e.t_ns);
+        out += ",\"pid\":1,\"args\":{\"occupancy\":";
+        out += std::to_string(e.arg);
+        out += "}}";
+      }
 
       // A dependence edge additionally emits a flow arrow when both ends
       // were recorded (predecessor finish → successor start).

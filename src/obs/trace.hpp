@@ -93,6 +93,14 @@ enum class EventKind : std::uint8_t {
   kServeExecBegin,  ///< id = request id, arg = shard — backend work started
   kServeExecEnd,    ///< id = request id — backend work finished
   kServeDone,       ///< id = request id, arg = latency ns — reply delivered
+  // Bounded channels (parc::flow). `id` is the channel's process-unique
+  // serial; push/pop carry occupancy *after* the operation so the exporter
+  // can draw per-channel occupancy counter tracks.
+  kChanPush,     ///< id = channel id, arg = occupancy after the push
+  kChanPop,      ///< id = channel id, arg = occupancy after the pop
+  kChanFull,     ///< id = channel id, arg = 0 producer blocked on full,
+                 ///< 1 consumer blocked on empty
+  kChanClosed,   ///< id = channel id, arg = 0 closed, 1 poisoned
 };
 
 /// Fixed-slot trace record: 32 bytes, written once, never reused.

@@ -1,4 +1,4 @@
-// Parallel Task pipelines: a chain of stages connected by blocking queues,
+// Parallel Task pipelines: a chain of stages connected by bounded channels,
 // all stages active simultaneously — element k can be in stage 3 while
 // element k+2 is in stage 1. Order is preserved end to end (each stage is
 // sequential), which is the semantics Parallel Task's pipeline construct
@@ -10,37 +10,44 @@
 //   std::vector<Thumb> thumbs = done.get();
 //
 // Stages are *interactive* tasks (the elastic pool), not compute tasks: a
-// stage spends its life blocked on its input queue, and parking a bounded
-// compute worker that way invites the nesting deadlock — a helping take()
+// stage spends its life blocked on its input channel, and parking a bounded
+// compute worker that way invites the nesting deadlock — a helping pop
 // can run the upstream stage on its own stack and then starve it. Long-
 // lived mostly-waiting work is precisely what Parallel Task routes to
 // interactive threads, so the pipeline does too; the compute pool stays
 // free for the work inside the stage bodies.
+//
+// The inter-stage edges are SPSC flow::Channels (PR 8): close() is the
+// end-of-stream signal (no optional sentinel), and the bounded capacity
+// back-pressures a fast stage instead of buffering the whole stream.
+// For per-stage parallelism, fusion and error propagation, use
+// flow::Pipeline directly — this adapter keeps the ParallelTask-shaped API.
 #pragma once
 
-#include <limits>
 #include <memory>
-#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
-#include "conc/task_safe.hpp"
+#include "flow/channel.hpp"
 #include "ptask/spawn.hpp"
 
 namespace parc::ptask {
 
 namespace detail {
 
-/// Inter-stage channel: elements are optional<T>; an empty token closes the
-/// stream. Effectively unbounded (stage outputs are never back-pressured;
-/// memory is bounded by the input size, which the caller provided anyway).
+/// Elements buffered per inter-stage edge before the producer stage blocks.
+inline constexpr std::size_t kStageChannelCapacity = 256;
+
+/// Inter-stage edge. Exactly one producer and one consumer per edge (each
+/// stage is a single sequential task), so the SPSC fast path applies.
 template <typename T>
-using Flow = conc::ThreadSafeBlockingQueue<std::optional<T>>;
+using Flow = flow::Channel<T>;
 
 template <typename T>
 std::shared_ptr<Flow<T>> make_flow() {
-  return std::make_shared<Flow<T>>(std::numeric_limits<std::size_t>::max());
+  return std::make_shared<Flow<T>>(flow::ChannelOptions{
+      .capacity = kStageChannelCapacity, .spsc = true});
 }
 
 /// Terminal: collect the final stream into a vector.
@@ -48,11 +55,9 @@ template <typename In>
 TaskID<std::vector<In>> connect(Runtime& rt, std::shared_ptr<Flow<In>> in) {
   return run_interactive(rt, [in] {
     std::vector<In> out;
-    for (;;) {
-      std::optional<In> token = in->take();
-      if (!token.has_value()) return out;
-      out.push_back(std::move(*token));
-    }
+    In token;
+    while (in->pop(token)) out.push_back(std::move(token));
+    return out;
   });
 }
 
@@ -63,16 +68,16 @@ auto connect(Runtime& rt, std::shared_ptr<Flow<In>> in, F f, Rest... rest) {
   static_assert(!std::is_void_v<Out>,
                 "pipeline stages must return a value; put side effects in "
                 "the sink stage's result");
+  static_assert(std::is_default_constructible_v<Out>,
+                "pipeline stage results cross a flow::Channel, whose ring "
+                "slots are default-constructed");
   auto out = make_flow<Out>();
   run_interactive(rt, [in, out, f = std::move(f)] {
-    for (;;) {
-      std::optional<In> token = in->take();
-      if (!token.has_value()) {
-        out->put(std::nullopt);  // propagate end-of-stream
-        return;
-      }
-      out->put(f(std::move(*token)));
+    In token;
+    while (in->pop(token)) {
+      if (!out->push(f(std::move(token)))) break;  // downstream poisoned
     }
+    out->close();  // propagate end-of-stream
   });
   return connect(rt, out, std::move(rest)...);
 }
@@ -86,8 +91,10 @@ auto pipeline(Runtime& rt, std::vector<In> inputs, Stages... stages) {
   auto source = detail::make_flow<In>();
   auto result = detail::connect(rt, source, std::move(stages)...);
   run_interactive(rt, [source, inputs = std::move(inputs)]() mutable {
-    for (auto& x : inputs) source->put(std::move(x));
-    source->put(std::nullopt);
+    for (auto& x : inputs) {
+      if (!source->push(std::move(x))) break;  // downstream poisoned
+    }
+    source->close();
   });
   return result;
 }

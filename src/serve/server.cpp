@@ -47,8 +47,12 @@ Server::Server(ServerConfig cfg)
   for (std::size_t i = 0; i < stripes; ++i) {
     coalesce_.push_back(std::make_unique<CoalesceStripe>());
   }
-  batches_.resize(pool_->shard_count());
-  for (auto& b : batches_) b.reserve(cfg_.batch_max);
+  ingress_.reserve(pool_->shard_count());
+  for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
+    ingress_.push_back(std::make_unique<flow::Channel<ExecItem>>(
+        flow::ChannelOptions{.capacity = cfg_.batch_max, .spsc = true}));
+  }
+  seal_scratch_.reserve(cfg_.batch_max);
 }
 
 Server::~Server() { drain(); }
@@ -103,19 +107,30 @@ Server::Outcome Server::offer(const Request& req) {
   }
 
   const std::size_t shard = shard_of(ckey);
-  auto& batch = batches_[shard];
-  batch.push_back(ExecItem{ckey, req.kind, req.key, req.id, req.arrival_s,
-                           shard});
-  if (batch.size() >= cfg_.batch_max) seal_batch(shard);
+  flow::Channel<ExecItem>& chan = *ingress_[shard];
+  ExecItem item{ckey, req.kind, req.key, req.id, req.arrival_s, shard};
+  if (chan.try_push(item) != flow::PushResult::ok) {
+    // Capacity rounds up past batch_max, so this only fires if a seal was
+    // somehow missed; never block the ingress — hand off and retry.
+    seal_batch(shard);
+    PARC_CHECK(chan.try_push(item) == flow::PushResult::ok);
+  }
+  if (chan.occupancy() >= cfg_.batch_max) seal_batch(shard);
   return Outcome::dispatched;
 }
 
 void Server::seal_batch(std::size_t shard) {
-  auto& batch = batches_[shard];
-  if (batch.empty()) return;
+  flow::Channel<ExecItem>& chan = *ingress_[shard];
+  seal_scratch_.clear();
+  ExecItem item;
+  while (chan.try_pop(item) == flow::PopResult::ok) {
+    seal_scratch_.push_back(item);
+  }
+  if (seal_scratch_.empty()) return;
   ++batches_sealed_;
   if (obs::tracing()) [[unlikely]] {
-    obs::emit(obs::EventKind::kServeBatch, batches_sealed_, batch.size());
+    obs::emit(obs::EventKind::kServeBatch, batches_sealed_,
+              seal_scratch_.size());
   }
   // One closure per request, one wakeup for the whole batch, routed to the
   // key's locality domain (remote: the ingress is not a pool worker).
@@ -123,9 +138,8 @@ void Server::seal_batch(std::size_t shard) {
     return [this, item] { execute_item(item); };
   };
   std::vector<decltype(make_job(ExecItem{}))> jobs;
-  jobs.reserve(batch.size());
-  for (const ExecItem& item : batch) jobs.push_back(make_job(item));
-  batch.clear();
+  jobs.reserve(seal_scratch_.size());
+  for (const ExecItem& it : seal_scratch_) jobs.push_back(make_job(it));
   pool_->submit_bulk(std::span(jobs), sched::SubmitHint::remote, shard);
 }
 
@@ -172,7 +186,14 @@ void Server::complete_one(std::uint64_t id, double arrival_s) {
 }
 
 void Server::flush() {
-  for (std::size_t s = 0; s < batches_.size(); ++s) seal_batch(s);
+  for (std::size_t s = 0; s < ingress_.size(); ++s) seal_batch(s);
+}
+
+std::vector<flow::ChannelStats> Server::ingress_stats() const {
+  std::vector<flow::ChannelStats> out;
+  out.reserve(ingress_.size());
+  for (const auto& chan : ingress_) out.push_back(chan->stats());
+  return out;
 }
 
 void Server::drain() {

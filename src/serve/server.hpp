@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "conc/striped_map.hpp"
+#include "flow/channel.hpp"
 #include "sched/thread_pool.hpp"
 #include "serve/admission.hpp"
 #include "serve/backend.hpp"
@@ -130,6 +131,11 @@ class Server {
   /// The pool shard the composite key routes to (exposed for tests).
   [[nodiscard]] std::size_t shard_of(std::uint64_t ckey) const noexcept;
 
+  /// Per-shard ingress channel counters (pushed/popped/high-water). The
+  /// ingress batcher is a flow::Channel per shard, so batch occupancy is
+  /// observable the same way as any pipeline stage.
+  [[nodiscard]] std::vector<flow::ChannelStats> ingress_stats() const;
+
  private:
   struct ExecItem {
     std::uint64_t ckey = 0;
@@ -172,7 +178,13 @@ class Server {
   AdmissionController admission_;
   conc::StripedLruCache<std::uint64_t, std::uint64_t> cache_;
   std::vector<std::unique_ptr<CoalesceStripe>> coalesce_;
-  std::vector<std::vector<ExecItem>> batches_;  ///< ingress thread only
+  // Ingress→batch hand-off: one bounded SPSC channel per pool shard (the
+  // single ingress thread is both producer and consumer — the channel is
+  // the batch accumulator, so occupancy/high-water are first-class stats
+  // and every enqueue shows up as a kChanPush in traces). seal_batch()
+  // drains a shard's channel into seal_scratch_ and submits one bulk job.
+  std::vector<std::unique_ptr<flow::Channel<ExecItem>>> ingress_;
+  std::vector<ExecItem> seal_scratch_;  ///< ingress thread only
   std::array<LatencySlot, kLatSlots> latency_;
   Stopwatch clock_;
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -465,6 +466,125 @@ TEST(MpmcRing, MpmcExactlyOnceUnderContention) {
   }
   for (auto& t : threads) t.join();
   for (auto& s : seen) ASSERT_EQ(s.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Queue lifecycle: close()/poison(), aligned with flow::Channel (PR 8).
+// Conservation invariant at quiescence: enqueued == dequeued + dropped.
+// ---------------------------------------------------------------------------
+
+TEST(MichaelScottQueue, CloseRejectsEnqueueAndDrainsBuffered) {
+  MichaelScottQueue<int> q;
+  EXPECT_TRUE(q.enqueue(1));
+  EXPECT_TRUE(q.enqueue(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.enqueue(3));  // rejected, element dropped by caller
+  EXPECT_EQ(q.try_dequeue(), std::optional<int>(1));
+  EXPECT_EQ(q.try_dequeue(), std::optional<int>(2));
+  EXPECT_FALSE(q.try_dequeue().has_value());
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(MichaelScottQueue, PoisonDropsAndCountsBuffered) {
+  MichaelScottQueue<int> q;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.enqueue(i));
+  q.poison();
+  EXPECT_TRUE(q.closed());
+  EXPECT_TRUE(q.poisoned());
+  EXPECT_FALSE(q.try_dequeue().has_value());  // drain-on-pop discards
+  EXPECT_EQ(q.dropped(), 5u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpmcRing, CloseRejectsEnqueueAndDrainsBuffered) {
+  MpmcRing<int> ring(4);
+  EXPECT_TRUE(ring.try_enqueue(1));
+  ring.close();
+  EXPECT_FALSE(ring.try_enqueue(2));
+  EXPECT_EQ(ring.try_dequeue(), std::optional<int>(1));
+  EXPECT_FALSE(ring.try_dequeue().has_value());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(MpmcRing, PoisonDropsAndCountsBuffered) {
+  MpmcRing<int> ring(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(ring.try_enqueue(i));
+  ring.poison();
+  EXPECT_FALSE(ring.try_dequeue().has_value());
+  EXPECT_EQ(ring.dropped(), 6u);
+}
+
+// Close fired from a third thread while producers enqueue and consumers
+// dequeue full-tilt. Every successful enqueue must be accounted for:
+// consumed while live, drained after the race, or (poison variant)
+// counted as dropped. No element may vanish or double-deliver.
+template <typename Q>
+void close_while_concurrent_pop(Q& q, bool use_poison) {
+  constexpr int kProducers = 2, kConsumers = 2;
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0;; ++i) {
+        bool ok;
+        if constexpr (requires { q.enqueue(i); }) {
+          ok = q.enqueue(i);
+        } else {
+          ok = q.try_enqueue(i);
+          if (!ok && !q.closed()) continue;  // full, not closed: retry
+        }
+        if (!ok) return;  // closed under us
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        if (q.try_dequeue().has_value()) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (q.closed()) return;  // closed and (for us) drained
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  if (use_poison) {
+    q.poison();
+  } else {
+    q.close();
+  }
+  for (auto& t : threads) t.join();
+  // Late stragglers: elements enqueued by a producer that raced the close
+  // may still sit buffered after every consumer exited. Quiescent drain.
+  while (q.try_dequeue().has_value()) {
+    popped.fetch_add(1, std::memory_order_relaxed);
+  }
+  EXPECT_EQ(pushed.load(), popped.load() + q.dropped());
+}
+
+TEST(MichaelScottQueue, CloseWhileConcurrentPopConserves) {
+  MichaelScottQueue<int> q;
+  close_while_concurrent_pop(q, /*use_poison=*/false);
+}
+
+TEST(MichaelScottQueue, PoisonWhileConcurrentPopConserves) {
+  MichaelScottQueue<int> q;
+  close_while_concurrent_pop(q, /*use_poison=*/true);
+}
+
+TEST(MpmcRing, CloseWhileConcurrentPopConserves) {
+  MpmcRing<int> ring(64);
+  close_while_concurrent_pop(ring, /*use_poison=*/false);
+}
+
+TEST(MpmcRing, PoisonWhileConcurrentPopConserves) {
+  MpmcRing<int> ring(64);
+  close_while_concurrent_pop(ring, /*use_poison=*/true);
 }
 
 // ---------------------------------------------------------------------------

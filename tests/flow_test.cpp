@@ -1,0 +1,624 @@
+// flow::Channel / flow::Pipeline conformance suite (ISSUE 8, satellite 3).
+//
+// The load-bearing assertions:
+//  - a producer blocked on a full channel *parks* (futex) instead of
+//    spinning, and a consumer blocked on an empty one does too;
+//  - pool-capable threads never park on a channel — they help_while;
+//  - close() drains buffered elements before reporting closed;
+//  - conservation: pushed == popped + dropped, exactly, at quiescence —
+//    including under concurrent poison and under stage errors;
+//  - the compile-time fusion rule (bare .then fuses, stage()/flush() forces
+//    a boundary), asserted through Pipeline::stage_count();
+//  - a randomized multi-stage pipeline matches the sequential oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "sched/completion.hpp"
+#include "sched/thread_pool.hpp"
+#include "sim/machine.hpp"
+
+namespace parc::flow {
+namespace {
+
+using namespace std::chrono_literals;
+
+void expect_conserved(const ChannelStats& s) {
+  EXPECT_EQ(s.pushed, s.popped + s.dropped)
+      << "pushed=" << s.pushed << " popped=" << s.popped
+      << " dropped=" << s.dropped;
+}
+
+// ---------------------------------------------------------------------------
+// Channel basics.
+// ---------------------------------------------------------------------------
+
+TEST(FlowChannel, SpscFifoAndCapacityRounding) {
+  Channel<int> ch(ChannelOptions{.capacity = 5, .spsc = true});
+  EXPECT_EQ(ch.capacity(), 8u);  // rounded up to a power of two
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    EXPECT_EQ(ch.try_push(v), PushResult::ok);
+  }
+  int v = 99;
+  EXPECT_EQ(ch.try_push(v), PushResult::full);
+  EXPECT_EQ(ch.occupancy(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_EQ(ch.try_pop(out), PopResult::ok);
+    EXPECT_EQ(out, i);  // strict FIFO
+  }
+  int out;
+  EXPECT_EQ(ch.try_pop(out), PopResult::empty);
+  const ChannelStats s = ch.stats();
+  EXPECT_EQ(s.high_water, 8u);
+  expect_conserved(s);
+}
+
+TEST(FlowChannel, MpmcSingleStripeIsFifo) {
+  Channel<int> ch(ChannelOptions{.capacity = 16, .stripes = 1});
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ch.push(i));
+  for (int i = 0; i < 10; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ch.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(FlowChannel, StripedDeliversEveryElement) {
+  Channel<int> ch(ChannelOptions{.capacity = 64, .stripes = 4});
+  std::vector<int> out;
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(ch.push(i));
+  int v;
+  while (ch.try_pop(v) == PopResult::ok) out.push_back(v);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(out[i], i);
+  expect_conserved(ch.stats());
+}
+
+TEST(FlowChannel, CloseDrainsBufferedThenReportsClosed) {
+  Channel<int> ch(ChannelOptions{.capacity = 8});
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.push(i));
+  ch.close();
+  int v = 7;
+  EXPECT_EQ(ch.try_push(v), PushResult::closed);
+  EXPECT_FALSE(ch.push(8));
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_EQ(ch.try_pop(out), PopResult::ok) << "buffered elements drain";
+    EXPECT_EQ(out, i);
+  }
+  int out;
+  EXPECT_EQ(ch.try_pop(out), PopResult::closed);
+  EXPECT_FALSE(ch.pop(out));
+  const ChannelStats s = ch.stats();
+  EXPECT_TRUE(s.closed);
+  EXPECT_FALSE(s.poisoned);
+  EXPECT_EQ(s.dropped, 0u);
+  expect_conserved(s);
+}
+
+TEST(FlowChannel, PoisonDropsAndCountsBuffered) {
+  Channel<int> ch(ChannelOptions{.capacity = 8});
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(ch.push(i));
+  ch.poison();
+  int out;
+  EXPECT_EQ(ch.try_pop(out), PopResult::closed) << "poison discards, not drains";
+  const ChannelStats s = ch.stats();
+  EXPECT_TRUE(s.poisoned);
+  EXPECT_EQ(s.pushed, 6u);
+  EXPECT_EQ(s.popped, 0u);
+  EXPECT_EQ(s.dropped, 6u);
+  expect_conserved(s);
+}
+
+TEST(FlowChannel, PushNAndPopNMoveBatches) {
+  Channel<int> ch(ChannelOptions{.capacity = 32, .spsc = true});
+  std::vector<int> in(20);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_EQ(ch.push_n(std::span<int>(in)), 20u);
+  std::vector<int> out;
+  std::size_t total = 0;
+  while (total < 20) {
+    const std::size_t n = ch.pop_n(out, 7);
+    ASSERT_GT(n, 0u);
+    total += n;
+  }
+  ASSERT_EQ(out.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(out[i], i);
+  ch.close();
+  EXPECT_EQ(ch.pop_n(out, 7), 0u) << "0 means closed-and-drained";
+}
+
+TEST(FlowChannel, TryPopUntilHonorsDeadline) {
+  Channel<int> ch(ChannelOptions{.capacity = 4});
+  int out = -1;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ch.try_pop_until(out, t0 + 20ms), PopResult::empty);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 15ms);
+  EXPECT_TRUE(ch.push(5));
+  EXPECT_EQ(ch.try_pop_until(out, std::chrono::steady_clock::now() + 20ms),
+            PopResult::ok);
+  EXPECT_EQ(out, 5);
+  ch.close();
+  EXPECT_EQ(ch.try_pop_until(out, std::chrono::steady_clock::now() + 20ms),
+            PopResult::closed);
+}
+
+// ---------------------------------------------------------------------------
+// Blocking edges: park, don't spin; pool threads help, never park.
+// ---------------------------------------------------------------------------
+
+TEST(FlowChannel, FullChannelProducerParksNotSpins) {
+  Channel<int> ch(ChannelOptions{.capacity = 2, .spsc = true});
+  constexpr int kItems = 50;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(ch.push(i));
+  });
+  // Let the producer exhaust its spin budget and park on the epoch word.
+  std::this_thread::sleep_for(50ms);
+  for (int i = 0; i < kItems; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ch.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  producer.join();
+  const ChannelStats s = ch.stats();
+  EXPECT_GE(s.producer_blocks, 1u);
+  EXPECT_GE(s.producer_parks, 1u) << "a blocked producer must futex-park";
+  EXPECT_GT(s.producer_blocked_ns, 0u);
+  EXPECT_EQ(s.producer_helps, 0u) << "non-pool thread never helps";
+  expect_conserved(s);
+}
+
+TEST(FlowChannel, EmptyChannelConsumerParksNotSpins) {
+  Channel<int> ch(ChannelOptions{.capacity = 4});
+  int got = -1;
+  std::thread consumer([&] {
+    int out = -1;
+    ASSERT_TRUE(ch.pop(out));
+    got = out;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_TRUE(ch.push(17));
+  consumer.join();
+  EXPECT_EQ(got, 17);
+  const ChannelStats s = ch.stats();
+  EXPECT_GE(s.consumer_blocks, 1u);
+  EXPECT_GE(s.consumer_parks, 1u) << "a blocked consumer must futex-park";
+  EXPECT_GT(s.consumer_blocked_ns, 0u);
+  expect_conserved(s);
+}
+
+TEST(FlowChannel, PoolThreadConsumerHelpsInsteadOfParking) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{2, 4, "flw"});
+  Channel<int> ch(ChannelOptions{.capacity = 4});
+  std::atomic<int> got{-1};
+  sched::Completion done;
+  pool.submit([&] {
+    int v = -1;
+    if (ch.pop(v)) got.store(v);
+    done.complete();
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(ch.push(7));
+  done.wait();
+  EXPECT_EQ(got.load(), 7);
+  const ChannelStats s = ch.stats();
+  EXPECT_GE(s.consumer_helps, 1u) << "pool threads ride help_while";
+  EXPECT_EQ(s.consumer_parks, 0u) << "pool threads must never futex-park";
+}
+
+TEST(FlowChannel, PoolThreadProducerHelpsInsteadOfParking) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{2, 4, "flw"});
+  Channel<int> ch(ChannelOptions{.capacity = 2, .spsc = true});
+  EXPECT_TRUE(ch.push(0));
+  EXPECT_TRUE(ch.push(1));
+  sched::Completion done;
+  pool.submit([&] {
+    ASSERT_TRUE(ch.push(2));  // full: must block via help_while
+    done.complete();
+  });
+  std::this_thread::sleep_for(20ms);
+  int out = -1;
+  ASSERT_TRUE(ch.pop(out));
+  done.wait();
+  const ChannelStats s = ch.stats();
+  EXPECT_GE(s.producer_helps, 1u);
+  EXPECT_EQ(s.producer_parks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation under concurrency.
+// ---------------------------------------------------------------------------
+
+TEST(FlowChannel, ConcurrentCloseConservesEveryElement) {
+  Channel<int> ch(ChannelOptions{.capacity = 64, .stripes = 4});
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 4000;
+  std::atomic<std::uint64_t> produced{0}, consumed{0};
+  std::atomic<int> live_producers{kProducers};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!ch.push(i)) break;
+        produced.fetch_add(1);
+      }
+      // Producer-side close: the last producer out ends the stream.
+      if (live_producers.fetch_sub(1) == 1) ch.close();
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (ch.pop(v)) consumed.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(produced.load(), std::uint64_t{kProducers} * kPerProducer);
+  EXPECT_EQ(consumed.load(), produced.load());
+  const ChannelStats s = ch.stats();
+  EXPECT_EQ(s.pushed, produced.load());
+  EXPECT_EQ(s.popped, consumed.load());
+  EXPECT_EQ(s.dropped, 0u);
+  expect_conserved(s);
+}
+
+TEST(FlowChannel, ConcurrentPoisonConservesPushedEqualsPoppedPlusDropped) {
+  Channel<int> ch(ChannelOptions{.capacity = 32, .stripes = 2});
+  constexpr int kProducers = 3, kConsumers = 2;
+  std::atomic<std::uint64_t> produced{0}, consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0;; ++i) {
+        if (!ch.push(i)) break;  // poisoned under us
+        produced.fetch_add(1);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (ch.pop(v)) consumed.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(10ms);
+  ch.poison();
+  for (auto& t : threads) t.join();
+  (void)ch.discard_all();  // quiescent owner sweeps stragglers
+  const ChannelStats s = ch.stats();
+  EXPECT_EQ(s.pushed, produced.load());
+  EXPECT_EQ(s.popped, consumed.load());
+  expect_conserved(s);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: fusion rule, ported ptask scenarios, parallelism, errors.
+// ---------------------------------------------------------------------------
+
+TEST(FlowPipeline, SingleStageMapsAllElements) {
+  auto p = pipeline<int>(PipelineOptions{.single_producer = true})
+               .then([](int x) { return x * 10; })
+               .collect();
+  for (int i = 1; i <= 5; ++i) EXPECT_TRUE(p.push(i));
+  const std::vector<int> out = p.wait();
+  EXPECT_EQ(out, (std::vector<int>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(p.stage_count(), 1u);
+  expect_conserved(p.source_stats());
+}
+
+TEST(FlowPipeline, BareThenChainFusesIntoOneStage) {
+  auto p = pipeline<int>()
+               .then([](int x) { return x + 1; })
+               .then([](int x) { return x * 2; })
+               .then([](int x) { return std::to_string(x); })
+               .collect();
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(p.push(i));
+  const std::vector<std::string> out = p.wait();
+  EXPECT_EQ(p.stage_count(), 1u)
+      << "bare .then callables must fuse: composition, no extra channel";
+  EXPECT_EQ(out, (std::vector<std::string>{"2", "4", "6", "8"}));
+}
+
+TEST(FlowPipeline, StageWrapperForcesMaterializationBoundary) {
+  auto p = pipeline<int>()
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x * 2; }))
+               .collect();
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(p.push(i));
+  const std::vector<int> out = p.wait();
+  EXPECT_EQ(p.stage_count(), 2u) << "flow::stage() is a boundary";
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 6, 8}));
+}
+
+TEST(FlowPipeline, FlushCallableForcesBoundaryAndEmitsTail) {
+  struct SumBatches {
+    int acc = 0;
+    int n = 0;
+    std::optional<int> operator()(int x) {
+      acc += x;
+      if (++n == 3) {
+        const int r = acc;
+        acc = 0;
+        n = 0;
+        return r;
+      }
+      return std::nullopt;
+    }
+    std::optional<int> flush() {
+      if (n == 0) return std::nullopt;
+      return acc;
+    }
+  };
+  auto p = pipeline<int>()
+               .then([](int x) { return x; })  // open group...
+               .then(SumBatches{})             // ...flush state forces a cut
+               .collect();
+  for (int i = 1; i <= 7; ++i) EXPECT_TRUE(p.push(i));
+  const std::vector<int> out = p.wait();
+  EXPECT_EQ(p.stage_count(), 2u)
+      << "a flush() callable cannot fuse with its upstream";
+  EXPECT_EQ(out, (std::vector<int>{6, 15, 7}));  // (1+2+3), (4+5+6), flush(7)
+}
+
+TEST(FlowPipeline, MultiStageChainsAcrossTypes) {
+  auto p = pipeline<int>()
+               .then(stage([](int x) { return x * x; }))
+               .then(stage([](int x) { return std::to_string(x); }))
+               .then(stage([](std::string s) { return "#" + s; }))
+               .collect();
+  for (int i = 1; i <= 4; ++i) EXPECT_TRUE(p.push(i));
+  const std::vector<std::string> out = p.wait();
+  EXPECT_EQ(out, (std::vector<std::string>{"#1", "#4", "#9", "#16"}));
+  EXPECT_EQ(p.stage_count(), 3u);
+}
+
+TEST(FlowPipeline, PreservesOrderForManyElements) {
+  constexpr int kN = 2000;
+  auto p = pipeline<int>(PipelineOptions{.capacity = 16,
+                                         .single_producer = true})
+               .then(stage([](int x) { return x * 3; }))
+               .then(stage([](int x) { return x + 1; }))
+               .collect();
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(p.push(i));
+  const std::vector<int> out = p.wait();
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * 3 + 1);
+  // capacity 16 with 2000 elements: backpressure must have engaged.
+  const ChannelStats s = p.source_stats();
+  EXPECT_LE(s.high_water, s.capacity);
+  expect_conserved(s);
+}
+
+TEST(FlowPipeline, EmptyInputYieldsEmptyOutput) {
+  auto p = pipeline<int>().then([](int x) { return x; }).collect();
+  EXPECT_TRUE(p.wait().empty());
+}
+
+TEST(FlowPipeline, PassThroughPipelineHasZeroStages) {
+  auto p = pipeline<int>().collect();
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(p.push(i));
+  EXPECT_EQ(p.stage_count(), 0u);
+  EXPECT_EQ(p.wait(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(FlowPipeline, MoveOnlyPayloadsFlowThrough) {
+  auto p = pipeline<std::unique_ptr<int>>()
+               .then([](std::unique_ptr<int> v) {
+                 *v += 100;
+                 return v;
+               })
+               .then(stage([](std::unique_ptr<int> v) { return *v; }))
+               .collect();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(p.push(std::make_unique<int>(i)));
+  }
+  EXPECT_EQ(p.wait(), (std::vector<int>{100, 101, 102, 103, 104, 105, 106,
+                                        107}));
+}
+
+TEST(FlowPipeline, FilterStagesDropElements) {
+  auto p = pipeline<int>()
+               .then([](int x) -> std::optional<int> {
+                 if (x % 2 != 0) return std::nullopt;
+                 return x;
+               })
+               .then([](int x) { return x / 2; })
+               .collect();
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(p.push(i));
+  EXPECT_EQ(p.wait(), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(FlowPipeline, StagesOverlapInTime) {
+  using Clock = std::chrono::steady_clock;
+  std::atomic<Clock::rep> stage1_last_exit{0};
+  std::atomic<Clock::rep> stage2_first_entry{0};
+  auto p =
+      pipeline<int>(PipelineOptions{.capacity = 4})
+          .then(stage([&](int x) {
+            std::this_thread::sleep_for(1ms);
+            stage1_last_exit.store(Clock::now().time_since_epoch().count());
+            return x;
+          }))
+          .then(stage([&](int x) {
+            Clock::rep expected = 0;
+            stage2_first_entry.compare_exchange_strong(
+                expected, Clock::now().time_since_epoch().count());
+            std::this_thread::sleep_for(1ms);
+            return x;
+          }))
+          .collect();
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(p.push(i));
+  ASSERT_EQ(p.wait().size(), 40u);
+  EXPECT_LT(stage2_first_entry.load(), stage1_last_exit.load())
+      << "stage 2 must start before stage 1 has finished its stream";
+}
+
+TEST(FlowPipeline, DeepStageChain) {
+  auto b = pipeline<int>(PipelineOptions{.capacity = 8});
+  auto p = std::move(b)
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x + 1; }))
+               .then(stage([](int x) { return x + 1; }))
+               .collect();
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(p.push(i));
+  const std::vector<int> out = p.wait();
+  EXPECT_EQ(p.stage_count(), 8u);
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i + 8);
+}
+
+TEST(FlowPipeline, ParallelStageDeliversEveryElement) {
+  constexpr int kN = 1000;
+  StageOptions wide;
+  wide.parallelism = 4;
+  auto p = pipeline<int>()
+               .then(stage([](int x) { return x * 2; }, wide))
+               .collect();
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(p.push(i));
+  std::vector<int> out = p.wait();
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kN));
+  std::sort(out.begin(), out.end());  // replicas do not preserve order
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * 2);
+  const PipelineStats ps = p.stats();
+  ASSERT_EQ(ps.stages.size(), 2u);  // transform + collect sink
+  EXPECT_EQ(ps.stages[0].parallelism, 4u);
+  expect_conserved(ps.stages[0].input);
+}
+
+TEST(FlowPipeline, PoolBatchStagePreservesOrder) {
+  sched::WorkStealingPool pool(sched::WorkStealingPool::Config{4, 4, "flw"});
+  constexpr int kN = 2000;
+  StageOptions batched;
+  batched.pool_batch = 64;
+  auto p = pipeline<int>(PipelineOptions{.pool = &pool})
+               .then(stage([](int x) { return x * x; }, batched))
+               .collect();
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(p.push(i));
+  const std::vector<int> out = p.wait();
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[i], i * i) << "pool_batch fan-out must preserve order";
+  }
+}
+
+TEST(FlowPipeline, ForEachSinkSeesEveryElement) {
+  std::atomic<long> sum{0};
+  auto p = pipeline<int>()
+               .then([](int x) { return x + 1; })
+               .for_each([&](int x) { sum.fetch_add(x); }, 2);
+  long expect = 0;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(p.push(i));
+    expect += i + 1;
+  }
+  (void)p.wait();
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(FlowPipeline, ThrowingStagePoisonsAndWaitRethrows) {
+  auto p = pipeline<int>(PipelineOptions{.capacity = 4})
+               .then(stage([](int x) {
+                 if (x == 42) throw std::runtime_error("boom at 42");
+                 return x;
+               }))
+               .collect();
+  // Keep pushing until the poison cascade rejects the feed (or input ends).
+  for (int i = 0; i < 10000; ++i) {
+    if (!p.push(i)) break;
+  }
+  EXPECT_THROW((void)p.wait(), std::runtime_error);
+  // wait() swept every channel: conservation still exact.
+  expect_conserved(p.source_stats());
+}
+
+TEST(FlowPipeline, RandomizedMultiStagePipelineMatchesSequentialOracle) {
+  std::mt19937 rng(20260808u);
+  for (int round = 0; round < 12; ++round) {
+    const int n = static_cast<int>(rng() % 600);
+    const int mul = 1 + static_cast<int>(rng() % 7);
+    const int add = static_cast<int>(rng() % 100);
+    const int mod = 2 + static_cast<int>(rng() % 5);
+    std::vector<int> input(static_cast<std::size_t>(n));
+    for (auto& x : input) x = static_cast<int>(rng() % 10000);
+
+    // Sequential oracle: map, filter, map — same lambdas, same order.
+    std::vector<int> oracle;
+    for (int x : input) {
+      const int a = x * mul;
+      if (a % mod == 0) continue;
+      oracle.push_back(a + add);
+    }
+
+    auto p = pipeline<int>(PipelineOptions{
+                 .capacity = 8, .single_producer = true})
+                 .then([mul](int x) { return x * mul; })
+                 .then(stage([mod](int x) -> std::optional<int> {
+                   if (x % mod == 0) return std::nullopt;
+                   return x;
+                 }))
+                 .then([add](int x) { return x + add; })
+                 .collect();
+    for (int x : input) ASSERT_TRUE(p.push(x));
+    const std::vector<int> out = p.wait();
+    ASSERT_EQ(out, oracle) << "round " << round << " n=" << n;
+    expect_conserved(p.source_stats());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing and replay.
+// ---------------------------------------------------------------------------
+
+TEST(FlowTrace, ChannelEventsBalanceAndReplayBuildsDag) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  obs::TraceSession session;
+  {
+    auto p = pipeline<int>(PipelineOptions{.capacity = 8,
+                                           .single_producer = true})
+                 .then(stage([](int x) { return x * 2; }))
+                 .then(stage([](int x) { return x + 1; }))
+                 .collect();
+    for (int i = 0; i < 64; ++i) ASSERT_TRUE(p.push(i));
+    ASSERT_EQ(p.wait().size(), 64u);
+  }
+  const obs::TraceDump dump = session.end();
+  ASSERT_EQ(dump.total_dropped(), 0u);
+  const std::size_t pushes = dump.count_kind(obs::EventKind::kChanPush);
+  const std::size_t pops = dump.count_kind(obs::EventKind::kChanPop);
+  EXPECT_EQ(pushes, pops) << "fully-consumed run: every push has its pop";
+  EXPECT_EQ(pushes, 64u * 3u);  // source + two inter-stage edges
+  EXPECT_GE(dump.count_kind(obs::EventKind::kChanClosed), 3u);
+
+  const FlowReplay replay = build_flow_dag(dump);
+  EXPECT_EQ(replay.pushes, pushes);
+  EXPECT_EQ(replay.pops, pops);
+  EXPECT_EQ(replay.channels, 3u);
+  EXPECT_GT(replay.source_units, 0u);
+  EXPECT_GT(replay.stage_units, 0u);
+  EXPECT_GT(replay.sink_units, 0u);
+
+  const sim::SimOutcome outcome = sim::simulate(replay.dag, sim::parc_8core());
+  EXPECT_GT(outcome.makespan_s, 0.0);
+  EXPECT_GT(outcome.speedup, 0.0);
+}
+
+}  // namespace
+}  // namespace parc::flow

@@ -144,6 +144,44 @@ TEST(EventLoop, ImmediateEventsRunBeforePendingDelays) {
   EXPECT_FALSE(delayed_ran.load());
 }
 
+TEST(EventLoop, FloodedQueueDropsCountsAndStaysBounded) {
+  // Regression for the unbounded-post-queue bug: with the EDT wedged, a
+  // flood of try_post must bound the queue at its capacity, count the
+  // overflow, and run exactly the accepted events — no growth, no loss.
+  EventLoop loop(/*queue_capacity=*/64);
+  std::atomic<bool> wedge{true};
+  loop.post([&] {
+    while (wedge.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> ran{0};
+  std::vector<std::thread> floods;
+  for (int t = 0; t < kThreads; ++t) {
+    floods.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (loop.try_post([&] { ran.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : floods) t.join();
+  wedge.store(false);
+  loop.drain();
+  EXPECT_EQ(accepted.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_GT(rejected.load(), 0) << "64 slots cannot absorb 20k posts";
+  EXPECT_EQ(loop.overflowed(), static_cast<std::uint64_t>(rejected.load()));
+  EXPECT_EQ(ran.load(), accepted.load()) << "every accepted event runs";
+  const flow::ChannelStats qs = loop.queue_stats();
+  EXPECT_LE(qs.high_water, qs.capacity) << "queue must stay bounded";
+  EXPECT_EQ(qs.pushed, qs.popped) << "drained: nothing stuck, nothing lost";
+}
+
 TEST(Debouncer, BurstCollapsesToOneAction) {
   EventLoop loop;
   Debouncer debounce(loop, std::chrono::milliseconds(20));
