@@ -208,7 +208,8 @@ double run_pipesort_million(bench::JsonReport& report) {
   return melem_s;
 }
 
-void run_traced_replay(bench::JsonReport& report, bool json_only) {
+void run_traced_replay(bench::JsonReport& report, bool json_only,
+                       const std::string& trace_path) {
   constexpr std::size_t kN = 16384;
   constexpr std::size_t kRun = 512;  // 32 runs
   const std::vector<int> data = make_data(kN, 7);
@@ -234,23 +235,27 @@ void run_traced_replay(bench::JsonReport& report, bool json_only) {
 
   Table t("Pipesort replay on simulated machines (traced 16k-element run)");
   t.columns({"cores", "makespan ms", "speedup", "efficiency"});
-  for (const std::size_t cores :
-       {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
-    sim::MachineParams m;
-    m.cores = cores;
-    m.name = "sim-" + std::to_string(cores);
-    const sim::SimOutcome out = sim::simulate(replay.dag, m);
-    PARC_CHECK(out.makespan_s > 0.0);
+  sim::SweepOptions sweep_opts;
+  sweep_opts.cores = {1, 4, 16};
+  sweep_opts.machine.name = "sim";
+  const sim::SweepTable table = sim::sweep(replay.dag, sweep_opts);
+  for (const sim::SweepPoint& point : table.points) {
+    PARC_CHECK(point.outcome.makespan_s > 0.0);
     t.add_row()
-        .cell(static_cast<double>(cores), 0)
-        .cell(out.makespan_s * 1e3, 3)
-        .cell(out.speedup, 2)
-        .cell(out.efficiency, 3);
-    if (cores == 4) report.add("replay_speedup_p4_x1000", out.speedup * 1e3);
+        .cell(static_cast<double>(point.cores), 0)
+        .cell(point.outcome.makespan_s * 1e3, 3)
+        .cell(point.outcome.speedup, 2)
+        .cell(point.outcome.efficiency, 3);
   }
+  report.add("replay_speedup_p4_x1000", table.speedup_at(4) * 1e3);
   bench::emit(t);
 
-  if (!json_only) {
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    obs::write_chrome_trace(dump, os);
+    std::printf("wrote %s (feed it to perf_report --flow)\n",
+                trace_path.c_str());
+  } else if (!json_only) {
     std::ofstream os("flow_pipesort_trace.json");
     obs::write_chrome_trace(dump, os);
     std::printf("wrote flow_pipesort_trace.json (chan#N occupancy counter "
@@ -334,10 +339,8 @@ void run_live_search(bench::JsonReport& report, bool json_only) {
 int main(int argc, char** argv) {
   using namespace parc;
 
-  bool json_only = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") json_only = true;
-  }
+  const bench::Args args = bench::parse(argc, argv);
+  const bool json_only = args.json;
 
   bench::JsonReport report("flow");
   report.config("pipesort_n", "1000000")
@@ -345,7 +348,7 @@ int main(int argc, char** argv) {
       .config("traced_n", "16384");
 
   const double melem_s = flow::run_pipesort_million(report);
-  flow::run_traced_replay(report, json_only);
+  flow::run_traced_replay(report, json_only, args.trace_path);
   flow::run_live_search(report, json_only);
 
   std::printf("\nbench_flow: all conservation and envelope gates passed "

@@ -84,16 +84,17 @@ int main(int argc, char** argv) {
   }
   bench::emit(cutoff);
 
-  // Machine-model speedup curve: quicksort DAG on 1..64 cores.
+  // Machine-model speedup sweep: quicksort DAG on 1..64 cores.
   const auto dag = sim::divide_conquer_dag(1 << 22, 1 << 14, 2e-9, 1e-6);
   Table curve("P2 — quicksort DAG speedup (machine model, 4M elements)");
   curve.columns({"cores", "speedup", "efficiency %"});
-  for (const auto& point :
-       sim::speedup_curve(dag, {1, 2, 4, 8, 16, 32, 64}, 1e-6)) {
+  sim::SweepOptions sweep_opts;
+  sweep_opts.machine.per_task_overhead_s = 1e-6;
+  for (const auto& point : sim::sweep(dag, sweep_opts).points) {
     curve.add_row()
         .cell(static_cast<std::uint64_t>(point.cores))
-        .cell(point.speedup, 2)
-        .cell(100.0 * point.efficiency, 1);
+        .cell(point.outcome.speedup, 2)
+        .cell(100.0 * point.outcome.efficiency, 1);
   }
   bench::emit(curve);
   std::printf("quicksort DAG parallelism (work/span): %.1f\n",

@@ -109,15 +109,16 @@ int main(int argc, char** argv) {
           break;
       }
     }
-    const auto p4 = sim::simulate(dag, sim::MachineParams{4, 0.01, "4"});
-    const auto p16 = sim::simulate(dag, sim::MachineParams{16, 0.01, "16"});
-    const auto p64 = sim::simulate(dag, sim::MachineParams{64, 0.01, "64"});
+    sim::SweepOptions sweep_opts;
+    sweep_opts.cores = {4, 16, 64};
+    sweep_opts.machine = sim::MachineParams{1, 0.01, "pdf"};
+    const sim::SweepTable table = sim::sweep(dag, sweep_opts);
     scaling.add_row()
         .cell(to_string(g))
         .cell(dag.parallelism(), 1)
-        .cell(p4.speedup, 2)
-        .cell(p16.speedup, 2)
-        .cell(p64.speedup, 2);
+        .cell(table.speedup_at(4), 2)
+        .cell(table.speedup_at(16), 2)
+        .cell(table.speedup_at(64), 2);
   }
   bench::emit(scaling);
 

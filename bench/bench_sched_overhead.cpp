@@ -726,15 +726,7 @@ int main(int argc, char** argv) {
   // gate (zero-alloc windows, trace budget, cross-shard counters) and
   // writes BENCH_sched_overhead.json, but skips the google-benchmark micros
   // — wall-clock numbers a shared CI box cannot interpret anyway.
-  bool json_only = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      json_only = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      --i;
-    }
-  }
+  const bool json_only = bench::parse(argc, argv).json;
 
   constexpr std::size_t kIters = 200000;
 

@@ -16,10 +16,12 @@
 // (conservation, p99 envelope at low load, zero-drop trace, replay knee),
 // writes BENCH_serve.json.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/trace.hpp"
 #include "serve/replay.hpp"
 #include "serve/server.hpp"
@@ -151,7 +153,7 @@ LevelResult run_level(std::size_t n, double rate, double admit_rate) {
 /// Traced run: pure-img all-miss workload, paced so the replay DAG's
 /// parallelism lands between P=4 and P=64 (the saturation knee the
 /// simulated sweep must show).
-ReplayDag traced_run(std::size_t n) {
+ReplayDag traced_run(std::size_t n, const std::string& trace_path) {
   ServerConfig cfg = base_config();
   cfg.admission = AdmissionConfig{0.0, 256.0, 0};
   // One worker: with more, workers preempt each other (and the pacing
@@ -213,6 +215,12 @@ ReplayDag traced_run(std::size_t n) {
 
   PARC_CHECK_MSG(dump.total_dropped() == 0,
                  "traced serve run must not drop events");
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    obs::write_chrome_trace(dump, os);
+    std::printf("wrote %s (feed it to perf_report --serve)\n",
+                trace_path.c_str());
+  }
   check_conservation(server.stats(), "traced run");
   ReplayDag replay = build_serve_dag(dump);
   PARC_CHECK(replay.arrivals == n);
@@ -228,15 +236,8 @@ int main(int argc, char** argv) {
   using namespace parc;
   using namespace parc::serve;
 
-  bool json_only = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      json_only = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      --i;
-    }
-  }
+  const bench::Args args = bench::parse(argc, argv);
+  const bool json_only = args.json;
 
   const std::size_t per_level = json_only ? 100000 : 320000;
   const std::size_t calib_n = json_only ? 40000 : 100000;
@@ -287,7 +288,7 @@ int main(int argc, char** argv) {
                  "overload latency must not beat light load");
 
   // Phase 3: traced run + simulated replay.
-  const ReplayDag replay = traced_run(traced_n);
+  const ReplayDag replay = traced_run(traced_n, args.trace_path);
   total_offered += replay.arrivals;
   std::printf("\ntraced run: %llu arrivals, %llu executed, ingress span "
               "%.3f s, exec work %.3f s, DAG parallelism %.1f\n",
@@ -299,28 +300,45 @@ int main(int argc, char** argv) {
   Table knee("Serving knee on simulated machines (greedy replay of the "
              "traced run)");
   knee.columns({"cores", "makespan s", "speedup", "efficiency"});
-  double sp4 = 0.0, sp64 = 0.0, sp256 = 0.0;
-  for (const std::size_t cores : {std::size_t{1}, std::size_t{4},
-                                  std::size_t{64}, std::size_t{256}}) {
-    sim::MachineParams m;
-    m.cores = cores;
-    m.name = "sim-" + std::to_string(cores);
-    const sim::SimOutcome out = sim::simulate(replay.dag, m);
+  sim::SweepOptions knee_sweep;
+  knee_sweep.cores = {1, 4, 64, 256};
+  knee_sweep.machine.name = "sim";
+  const sim::SweepTable knee_table = sim::sweep(replay.dag, knee_sweep);
+  for (const sim::SweepPoint& point : knee_table.points) {
     knee.add_row()
-        .cell(static_cast<double>(cores), 0)
-        .cell(out.makespan_s, 4)
-        .cell(out.speedup, 2)
-        .cell(out.efficiency, 3);
-    if (cores == 4) sp4 = out.speedup;
-    if (cores == 64) sp64 = out.speedup;
-    if (cores == 256) sp256 = out.speedup;
+        .cell(static_cast<double>(point.cores), 0)
+        .cell(point.outcome.makespan_s, 4)
+        .cell(point.outcome.speedup, 2)
+        .cell(point.outcome.efficiency, 3);
   }
   bench::emit(knee);
+  const double sp4 = knee_table.speedup_at(4);
+  const double sp64 = knee_table.speedup_at(64);
+  const double sp256 = knee_table.speedup_at(256);
 
   PARC_CHECK_MSG(sp4 >= 2.8, "P=4 sits below the knee: near-linear");
   PARC_CHECK_MSG(sp64 >= sp4 * 1.5, "P=64 still gains substantially");
   PARC_CHECK_MSG(sp256 <= sp64 * 1.3,
                  "P=256 is past the knee: offered load binds, not cores");
+
+  // Latency what-if from the same replay: per-request p99 by core count.
+  Table lat("Replay p99 by simulated core count (same traced run)");
+  lat.columns({"cores", "p99 ms"});
+  double p99_4 = 0.0, p99_64 = 0.0;
+  for (const std::size_t cores : {std::size_t{4}, std::size_t{64}}) {
+    sim::MachineParams m;
+    m.cores = cores;
+    m.name = "sim-" + std::to_string(cores);
+    const std::vector<double> lats = replay_latencies(replay, m);
+    PARC_CHECK(!lats.empty());
+    const double p99 = lats[lats.size() * 99 / 100] * 1e3;
+    lat.add_row().cell(static_cast<double>(cores), 0).cell(p99, 3);
+    if (cores == 4) p99_4 = p99;
+    if (cores == 64) p99_64 = p99;
+  }
+  bench::emit(lat);
+  PARC_CHECK_MSG(p99_64 <= p99_4 * 1.05,
+                 "more simulated cores must not worsen replay p99");
 
   PARC_CHECK_MSG(json_only || total_offered >= 1000000,
                  "the full bench must offer at least a million requests");

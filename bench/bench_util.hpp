@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "args.hpp"
 #include "support/table.hpp"
 
 namespace parc::bench {

@@ -8,6 +8,7 @@
 //                                        # tour.json.dag.txt is the recorded
 //                                        # task DAG, and the critical-path
 //                                        # report prints at the end
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +27,24 @@
 using namespace parc;
 
 namespace {
+
+/// A ptask map phase (one task per row block, run_multi) so the traced DAG
+/// carries a wide pattern with a real speedup curve — this is what makes
+/// `perf_report --trace tour.json` show a map group saturating near the
+/// task count instead of a serial chain pinned at 1.
+double ptask_map_demo() {
+  auto& rt = ptask::Runtime::global();
+  constexpr std::size_t kBlocks = 32;
+  auto blocks = ptask::run_multi(rt, kBlocks, [](std::size_t blk) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < 120000; ++k) {
+      s += std::sqrt(static_cast<double>(k + blk * 131));
+    }
+    return s;
+  });
+  blocks.wait();
+  return 0.0;
+}
 
 /// A small ParallelTask dependence chain (scale → sum over halves → join)
 /// so a traced tour also carries dependsOn edges, not just pj task sets.
@@ -160,6 +179,7 @@ int main(int argc, char** argv) {
       "speedup; the machine-model table shows the scaling shape.)\n");
 
   if (session) {
+    ptask_map_demo();
     ptask_dependence_demo();
     const obs::TraceDump dump = session->end();
     {

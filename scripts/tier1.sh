@@ -40,7 +40,7 @@ TSAN_SUITES=(
   sched_deque_test sched_pool_test sched_task_cell_test sched_mpsc_test
   sched_stats_test sched_completion_test sched_task_graph_test
   sched_locality_test sched_shard_test
-  obs_trace_test obs_roundtrip_test
+  obs_trace_test obs_roundtrip_test obs_model_test
   ptask_test ptask_multi_test ptask_pipeline_test ptask_graph_test
   pj_sync_test pj_nested_test pj_nested_stress_test pj_places_test
   conc_collections_test conc_tasksafe_test conc_cow_test

@@ -1,6 +1,8 @@
 #include "obs/analysis.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 #include <ostream>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,29 +20,202 @@ std::unordered_map<std::uint64_t, std::size_t> index_tasks(
   return index;
 }
 
-/// Dependence lists keyed by successor index; edges with unknown endpoints
-/// or non-topological direction are skipped (they cannot occur in a trace
-/// recorded from a real run, where a successor starts after its
-/// predecessor finishes).
-std::vector<std::vector<std::size_t>> index_edges(const RecordedGraph& graph) {
-  const auto index = index_tasks(graph.tasks);
-  std::vector<std::vector<std::size_t>> preds(graph.tasks.size());
-  for (const auto& [from, to] : graph.edges) {
-    const auto f = index.find(from);
-    const auto t = index.find(to);
-    if (f == index.end() || t == index.end()) continue;
-    if (f->second >= t->second) continue;
-    preds[t->second].push_back(f->second);
+/// Union-find over task indices (path halving, union by size).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
   }
-  return preds;
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void merge(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+/// Shape of a dependence-connected component (≥2 tasks, ≥1 edge).
+PatternKind classify_component(const std::vector<std::size_t>& members,
+                               const std::vector<std::size_t>& indeg,
+                               const std::vector<std::size_t>& outdeg) {
+  std::size_t sources = 0, sinks = 0;
+  bool all_linear = true;   // every node ≤1 pred and ≤1 succ
+  bool in_tree = true;      // every node ≤1 succ
+  bool fan_out = true;      // every non-source has exactly 1 pred
+  for (const std::size_t k : members) {
+    if (indeg[k] == 0) ++sources;
+    if (outdeg[k] == 0) ++sinks;
+    if (indeg[k] > 1 || outdeg[k] > 1) all_linear = false;
+    if (outdeg[k] > 1) in_tree = false;
+    if (indeg[k] > 1 && outdeg[k] != 0) fan_out = false;
+  }
+  if (all_linear) return PatternKind::kSerialChain;
+  if (in_tree && sinks == 1 && sources >= 2) return PatternKind::kReduce;
+  // One root fanning out, re-joining at most into sinks (diamond included).
+  if (sources == 1 && fan_out) return PatternKind::kForkJoin;
+  return PatternKind::kDag;
 }
 
 }  // namespace
 
+const char* pattern_name(PatternKind kind) noexcept {
+  switch (kind) {
+    case PatternKind::kSingle:      return "single";
+    case PatternKind::kMap:         return "map";
+    case PatternKind::kSerialChain: return "serial-chain";
+    case PatternKind::kReduce:      return "reduce";
+    case PatternKind::kForkJoin:    return "fork-join";
+    case PatternKind::kDag:         return "dag";
+  }
+  return "unknown";
+}
+
+RecordedGraph::RecordedGraph(std::vector<RecordedTask> tasks,
+                             std::vector<Edge> edges)
+    : tasks_(std::move(tasks)), edges_(std::move(edges)) {
+  // Start-time order is topological: a successor can only start after its
+  // predecessor finished. Never-started tasks sort last (by id, stable).
+  std::sort(tasks_.begin(), tasks_.end(),
+            [](const RecordedTask& a, const RecordedTask& b) {
+              if (a.started != b.started) return a.started;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.id < b.id;
+            });
+
+  // Indexed, deduped predecessor lists; edges with unknown endpoints or
+  // non-topological direction are skipped (they cannot occur in a trace
+  // recorded from a real run, where a successor starts after its
+  // predecessor finishes).
+  const auto index = index_tasks(tasks_);
+  preds_.assign(tasks_.size(), {});
+  for (const auto& [from, to] : edges_) {
+    const auto f = index.find(from);
+    const auto t = index.find(to);
+    if (f == index.end() || t == index.end()) continue;
+    if (f->second >= t->second) continue;
+    auto& list = preds_[t->second];
+    if (std::find(list.begin(), list.end(), f->second) == list.end()) {
+      list.push_back(f->second);
+    }
+  }
+
+  // --- Pattern annotation -------------------------------------------------
+  const std::size_t n = tasks_.size();
+  std::vector<std::size_t> indeg(n, 0), outdeg(n, 0);
+  UnionFind uf(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    indeg[k] = preds_[k].size();
+    for (const std::size_t p : preds_[k]) {
+      ++outdeg[p];
+      uf.merge(p, k);
+    }
+  }
+
+  // Dependence-connected components of ≥2 tasks become one group each.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> components;
+  std::vector<std::size_t> loose;  // edge-free tasks
+  for (std::size_t k = 0; k < n; ++k) {
+    if (indeg[k] == 0 && outdeg[k] == 0) {
+      loose.push_back(k);
+    } else {
+      components[uf.find(k)].push_back(k);
+    }
+  }
+
+  auto make_group = [&](PatternKind kind, std::vector<std::size_t> members) {
+    PatternGroup g;
+    g.kind = kind;
+    g.work_s = 0.0;
+    g.first_start_ns = std::numeric_limits<std::uint64_t>::max();
+    g.last_finish_ns = 0;
+    for (const std::size_t k : members) {
+      const RecordedTask& t = tasks_[k];
+      g.work_s += t.cost_s();
+      if (t.started) g.first_start_ns = std::min(g.first_start_ns, t.start_ns);
+      if (t.finished) g.last_finish_ns = std::max(g.last_finish_ns, t.finish_ns);
+    }
+    if (g.first_start_ns == std::numeric_limits<std::uint64_t>::max()) {
+      g.first_start_ns = 0;  // group of never-started tasks
+    }
+    g.tasks = std::move(members);
+    patterns_.push_back(std::move(g));
+  };
+
+  for (auto& [root, members] : components) {
+    std::sort(members.begin(), members.end());
+    const PatternKind kind = classify_component(members, indeg, outdeg);
+    make_group(kind, std::move(members));
+  }
+
+  // Edge-free tasks cluster into map groups: first by spawn parent (a
+  // run_multi's children share one), then — within the parent-0 pool — by
+  // wall-time overlap, so two taskloops separated in time stay two phases.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_parent;
+  for (const std::size_t k : loose) by_parent[tasks_[k].parent].push_back(k);
+  for (auto& [parent, members] : by_parent) {
+    if (parent != 0) {
+      // One spawn call's children are one map, full stop — on a 1-core
+      // host they execute back to back, so wall-time overlap would shatter
+      // the group into singles and hide the pattern.
+      const PatternKind kind =
+          members.size() >= 2 ? PatternKind::kMap : PatternKind::kSingle;
+      make_group(kind, std::move(members));
+      continue;
+    }
+    // Members arrive in start order (indices are start-ordered). Close the
+    // running cluster when the next task starts after everything seen so
+    // far has finished.
+    std::vector<std::size_t> cluster;
+    std::uint64_t cluster_max_finish = 0;
+    auto flush = [&] {
+      if (cluster.empty()) return;
+      const PatternKind kind =
+          cluster.size() >= 2 ? PatternKind::kMap : PatternKind::kSingle;
+      make_group(kind, std::move(cluster));
+      cluster = {};
+      cluster_max_finish = 0;
+    };
+    for (const std::size_t k : members) {
+      const RecordedTask& t = tasks_[k];
+      if (!cluster.empty() && t.started && t.start_ns > cluster_max_finish) {
+        flush();
+      }
+      cluster.push_back(k);
+      cluster_max_finish = std::max(cluster_max_finish, t.finish_ns);
+    }
+    flush();
+  }
+
+  std::sort(patterns_.begin(), patterns_.end(),
+            [](const PatternGroup& a, const PatternGroup& b) {
+              if (a.first_start_ns != b.first_start_ns) {
+                return a.first_start_ns < b.first_start_ns;
+              }
+              return a.tasks < b.tasks;
+            });
+  pattern_of_.assign(n, 0);
+  for (std::size_t g = 0; g < patterns_.size(); ++g) {
+    for (const std::size_t k : patterns_[g].tasks) pattern_of_[k] = g;
+  }
+}
+
 RecordedGraph extract_task_graph(const TraceDump& dump) {
-  RecordedGraph graph;
   std::unordered_map<std::uint64_t, RecordedTask> tasks;
   std::unordered_set<std::uint64_t> edge_seen;
+  std::vector<RecordedGraph::Edge> edges;
   for (const auto& track : dump.tracks) {
     for (const Event& e : track.events) {
       switch (e.kind) {
@@ -69,7 +244,7 @@ RecordedGraph extract_task_graph(const TraceDump& dump) {
           // but re-traced sessions could replay): key on the id pair.
           const std::uint64_t key = e.id * 0x9e3779b97f4a7c15ull ^ e.arg;
           if (edge_seen.insert(key).second) {
-            graph.edges.emplace_back(e.id, e.arg);
+            edges.emplace_back(e.id, e.arg);
           }
           break;
         }
@@ -78,53 +253,63 @@ RecordedGraph extract_task_graph(const TraceDump& dump) {
       }
     }
   }
-  graph.tasks.reserve(tasks.size());
-  for (auto& [id, task] : tasks) graph.tasks.push_back(task);
-  // Start-time order is topological: a successor can only start after its
-  // predecessor finished. Never-started tasks sort last (by id, stable).
-  std::sort(graph.tasks.begin(), graph.tasks.end(),
-            [](const RecordedTask& a, const RecordedTask& b) {
-              if (a.started != b.started) return a.started;
-              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
-              return a.id < b.id;
-            });
-  return graph;
+  std::vector<RecordedTask> flat;
+  flat.reserve(tasks.size());
+  for (auto& [id, task] : tasks) flat.push_back(task);
+  return RecordedGraph(std::move(flat), std::move(edges));
 }
 
 sim::TaskDag RecordedGraph::to_dag() const {
-  const auto preds = index_edges(*this);
   sim::TaskDag dag;
   std::vector<sim::TaskDag::NodeId> deps;
-  for (std::size_t k = 0; k < tasks.size(); ++k) {
-    deps.assign(preds[k].begin(), preds[k].end());
-    dag.add_task(tasks[k].cost_s(), deps);
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    deps.assign(preds_[k].begin(), preds_[k].end());
+    dag.add_task(tasks_[k].cost_s(), deps);
+  }
+  return dag;
+}
+
+sim::TaskDag RecordedGraph::group_dag(std::size_t group) const {
+  const PatternGroup& g = patterns_.at(group);
+  // Member indices are sorted, so relative order stays topological.
+  std::unordered_map<std::size_t, sim::TaskDag::NodeId> local;
+  local.reserve(g.tasks.size());
+  sim::TaskDag dag;
+  std::vector<sim::TaskDag::NodeId> deps;
+  for (const std::size_t k : g.tasks) {
+    deps.clear();
+    for (const std::size_t p : preds_[k]) {
+      const auto it = local.find(p);
+      if (it != local.end()) deps.push_back(it->second);
+    }
+    local.emplace(k, dag.add_task(tasks_[k].cost_s(), deps));
   }
   return dag;
 }
 
 void RecordedGraph::write(std::ostream& os) const {
-  const auto preds = index_edges(*this);
-  os << "# parc::obs task DAG: " << tasks.size() << " tasks, " << edges.size()
-     << " edges\n";
-  for (std::size_t k = 0; k < tasks.size(); ++k) {
-    os << "task " << k << " cost_s " << tasks[k].cost_s() << " deps "
-       << preds[k].size();
-    for (const std::size_t p : preds[k]) os << ' ' << p;
+  os << "# parc::obs task DAG: " << tasks_.size() << " tasks, "
+     << edges_.size() << " edges\n";
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    os << "task " << k << " cost_s " << tasks_[k].cost_s() << " deps "
+       << preds_[k].size();
+    for (const std::size_t p : preds_[k]) os << ' ' << p;
     os << '\n';
   }
 }
 
 CriticalPathReport critical_path(const RecordedGraph& graph) {
   CriticalPathReport report;
-  report.tasks = graph.tasks.size();
-  report.edges = graph.edges.size();
-  const auto preds = index_edges(graph);
+  report.tasks = graph.task_count();
+  report.edges = graph.edge_count();
   // Longest cost-weighted path, processed in the (topological) task order.
-  std::vector<double> finish(graph.tasks.size(), 0.0);
-  for (std::size_t k = 0; k < graph.tasks.size(); ++k) {
+  std::vector<double> finish(graph.task_count(), 0.0);
+  for (std::size_t k = 0; k < graph.task_count(); ++k) {
     double ready = 0.0;
-    for (const std::size_t p : preds[k]) ready = std::max(ready, finish[p]);
-    const double cost = graph.tasks[k].cost_s();
+    for (const std::size_t p : graph.preds(k)) {
+      ready = std::max(ready, finish[p]);
+    }
+    const double cost = graph.tasks()[k].cost_s();
     finish[k] = ready + cost;
     report.work_s += cost;
     report.span_s = std::max(report.span_s, finish[k]);

@@ -7,6 +7,14 @@
 // round-trips — extract_task_graph → to_dag → sim::simulate — and the
 // critical-path analyzer's T1/T∞ agree with the simulator's P=1 / P=∞
 // schedules (asserted in obs_roundtrip_test).
+//
+// Beyond the flat DAG, the graph is annotated with *pattern structure*
+// (ISSUE 9): dependence-connected components classified as serial chains,
+// reductions, fork-joins or general DAGs, and independent tasks clustered
+// into map groups (taskloop chunks, parallel-for bodies, run_multi
+// children). obs::model fits one scaling function per group and composes
+// them along this structure; everything is reached through the stable
+// accessors below — no struct poking from tests or tools.
 #pragma once
 
 #include <cstdint>
@@ -37,21 +45,91 @@ struct RecordedTask {
   }
 };
 
-/// A run's task graph: tasks in start-time (hence topological) order plus
-/// the recorded dependence edges between their obs ids.
-struct RecordedGraph {
-  std::vector<RecordedTask> tasks;
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;  ///< pred → succ
+/// Structural pattern vocabulary shared by model fitting and reporting.
+enum class PatternKind : std::uint8_t {
+  kSingle,       ///< one task with no dependences
+  kMap,          ///< ≥2 independent tasks (taskloop / parallel-for / multi)
+  kSerialChain,  ///< linear dependence chain (every node ≤1 pred, ≤1 succ)
+  kReduce,       ///< in-tree: many sources funnelling into one sink
+  kForkJoin,     ///< one source fanning out (and optionally re-joining)
+  kDag,          ///< anything else
+};
+[[nodiscard]] const char* pattern_name(PatternKind kind) noexcept;
+
+/// One pattern group recovered from the recorded graph: either a
+/// dependence-connected component, or a batch of edge-free tasks clustered
+/// by spawn parent and wall-time overlap (two sequential taskloops become
+/// two map groups, not one).
+struct PatternGroup {
+  PatternKind kind = PatternKind::kSingle;
+  std::vector<std::size_t> tasks;  ///< indices into RecordedGraph::tasks()
+  double work_s = 0.0;             ///< Σ cost of member tasks
+  std::uint64_t first_start_ns = 0;
+  std::uint64_t last_finish_ns = 0;
+};
+
+/// A run's task graph: tasks in start-time (hence topological) order, the
+/// recorded dependence edges between their obs ids, and the pattern
+/// annotation — all reached through accessors (the construction invariants
+/// live in one place, the constructor).
+class RecordedGraph {
+ public:
+  using Edge = std::pair<std::uint64_t, std::uint64_t>;  ///< pred → succ ids
+
+  RecordedGraph() = default;
+
+  /// Build from recorded tasks and dependence edges (obs ids, deduped by
+  /// the caller or not — duplicates are tolerated). Sorts tasks into
+  /// start-time order, indexes edges, annotates patterns.
+  RecordedGraph(std::vector<RecordedTask> tasks, std::vector<Edge> edges);
+
+  [[nodiscard]] const std::vector<RecordedTask>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Indexed predecessors of task k. Edges whose endpoints were not both
+  /// recorded (e.g. a dependence on a task finished before the session
+  /// began) are dropped, as are edges that would violate topological order.
+  [[nodiscard]] const std::vector<std::size_t>& preds(std::size_t k) const {
+    return preds_[k];
+  }
+
+  /// Pattern annotation, ordered by first start time.
+  [[nodiscard]] const std::vector<PatternGroup>& patterns() const noexcept {
+    return patterns_;
+  }
+  /// Index into patterns() of the group containing task k.
+  [[nodiscard]] std::size_t pattern_of(std::size_t k) const {
+    return pattern_of_[k];
+  }
 
   /// Convert to the exact structure sim::machine replays. Task k of the
-  /// returned DAG is tasks[k]; edges whose endpoints were not both recorded
-  /// (e.g. a dependence on a task finished before the session began) are
-  /// dropped, as are edges that would violate topological order.
+  /// returned DAG is tasks()[k]; dropped edges match preds().
   [[nodiscard]] sim::TaskDag to_dag() const;
+
+  /// Sub-DAG of one pattern group: member costs plus intra-group edges,
+  /// in the same (topological) relative order as the full DAG.
+  [[nodiscard]] sim::TaskDag group_dag(std::size_t group) const;
 
   /// Human/sim-readable dump: one `task <k> cost_s <c> deps <n> <k...>` line
   /// per task, mirroring exactly the add_task() calls to_dag() makes.
   void write(std::ostream& os) const;
+
+ private:
+  std::vector<RecordedTask> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::vector<PatternGroup> patterns_;
+  std::vector<std::size_t> pattern_of_;
 };
 
 /// Scan every track of `dump` for task-layer events and rebuild the graph.

@@ -1,10 +1,16 @@
 #include "obs/chrome_trace.hpp"
 
+#include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <istream>
+#include <iterator>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace parc::obs {
 
@@ -212,6 +218,311 @@ void write_chrome_trace(const TraceDump& dump, std::ostream& os) {
   }
   out += "],\"displayTimeUnit\":\"ms\"}\n";
   os << out;
+}
+
+// ---------------------------------------------------------------------------
+// Reader: the inverse of write_chrome_trace, built on a minimal DOM parser
+// for the subset of JSON the writer produces (objects, arrays, strings,
+// numbers). Every runtime event round-trips exactly — kind from the
+// (ph, name-stem, cat) triple, id/arg from the args object, t_ns from the
+// microsecond "ts" with its three fractional digits.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("chrome trace parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = peek() == 't';
+        literal(v.boolean ? "true" : "false");
+        return v;
+      }
+      case 'n': {
+        literal("null");
+        return JsonValue{};
+      }
+      default: return number();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* c = word; *c != '\0'; ++c) {
+      if (pos_ >= text_.size() || text_[pos_] != *c) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only escapes control characters; anything else is
+          // mapped through as a single byte (good enough for labels).
+          out.push_back(static_cast<char>(code < 0x80 ? code : '?'));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("unparseable number");
+    }
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+/// Reverse of kind_info: (ph, name-stem, cat) → EventKind, built once from
+/// the same table the writer uses so the two can never drift apart.
+const std::unordered_map<std::string, EventKind>& kind_by_triple() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, EventKind>;
+    for (int k = 0; k <= static_cast<int>(EventKind::kChanClosed); ++k) {
+      const auto kind = static_cast<EventKind>(k);
+      const KindInfo info = kind_info(kind);
+      m->emplace(std::string(info.ph) + '\x1f' + info.name + '\x1f' + info.cat,
+                 kind);
+    }
+    return m;
+  }();
+  return *map;
+}
+
+double require_number(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.get(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+    throw std::runtime_error("chrome trace: missing numeric \"" + key + "\"");
+  }
+  return v->number;
+}
+
+}  // namespace
+
+TraceDump read_chrome_trace(std::istream& is) {
+  std::string text(std::istreambuf_iterator<char>(is), {});
+  const JsonValue root = JsonParser(std::move(text)).parse();
+  if (root.type != JsonValue::Type::kObject) {
+    throw std::runtime_error("chrome trace: top level is not an object");
+  }
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    throw std::runtime_error("chrome trace: no traceEvents array");
+  }
+
+  TraceDump dump;
+  std::unordered_map<std::uint32_t, std::size_t> track_of_tid;
+  auto track_for = [&](std::uint32_t tid) -> ThreadTrack& {
+    const auto [it, inserted] = track_of_tid.emplace(tid, dump.tracks.size());
+    if (inserted) {
+      ThreadTrack t;
+      t.tid = tid;
+      t.name = "thread-" + std::to_string(tid);
+      dump.tracks.push_back(std::move(t));
+    }
+    return dump.tracks[it->second];
+  };
+
+  for (const JsonValue& record : events->array) {
+    if (record.type != JsonValue::Type::kObject) {
+      throw std::runtime_error("chrome trace: non-object trace event");
+    }
+    const JsonValue* ph = record.get("ph");
+    const JsonValue* name = record.get("name");
+    if (ph == nullptr || name == nullptr) continue;
+
+    if (ph->string == "M") {
+      if (name->string == "thread_name") {
+        const JsonValue* args = record.get("args");
+        const JsonValue* label =
+            args != nullptr ? args->get("name") : nullptr;
+        ThreadTrack& track = track_for(
+            static_cast<std::uint32_t>(require_number(record, "tid")));
+        if (label != nullptr) track.name = label->string;
+      }
+      continue;
+    }
+    // Derived records: counter samples and dependence flow arrows are
+    // re-derivable from the events themselves.
+    if (ph->string == "C" || ph->string == "s" || ph->string == "f") continue;
+
+    const JsonValue* cat = record.get("cat");
+    if (cat == nullptr) continue;
+    const std::string stem = name->string.substr(0, name->string.find('#'));
+    const auto it =
+        kind_by_triple().find(ph->string + '\x1f' + stem + '\x1f' + cat->string);
+    if (it == kind_by_triple().end()) continue;  // foreign tooling event
+
+    const JsonValue* args = record.get("args");
+    if (args == nullptr || args->get("id") == nullptr ||
+        args->get("arg") == nullptr) {
+      throw std::runtime_error("chrome trace: event without args.id/args.arg");
+    }
+    Event e;
+    e.kind = it->second;
+    e.t_ns = static_cast<std::uint64_t>(
+        std::llround(require_number(record, "ts") * 1000.0));
+    e.id = static_cast<std::uint64_t>(require_number(*args, "id"));
+    e.arg = static_cast<std::uint64_t>(require_number(*args, "arg"));
+    track_for(static_cast<std::uint32_t>(require_number(record, "tid")))
+        .events.push_back(e);
+  }
+  return dump;
 }
 
 }  // namespace parc::obs

@@ -1,0 +1,392 @@
+#include "obs/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+
+namespace parc::obs::model {
+
+namespace {
+
+constexpr double kTiny = 1e-12;
+/// Bit 4 of ScalingModel::terms: the Graham floor is active and eval()
+/// returns max(linear part, floor_s).
+constexpr unsigned kFloorTerm = 0x10;
+
+double basis(std::size_t j, double p) {
+  switch (j) {
+    case 0: return 1.0;
+    case 1: return 1.0 / p;
+    case 2: return std::log2(p);
+    default: return p;
+  }
+}
+
+struct SamplePoint {
+  double p = 1.0;
+  double t = 0.0;
+};
+
+/// Weighted (relative) least squares of t ≈ Σ c_j·basis_j(p) over the
+/// active terms. Returns false when the normal matrix is singular (e.g.
+/// two active terms indistinguishable on the given points).
+bool solve_least_squares(const std::vector<SamplePoint>& pts,
+                         const std::vector<std::size_t>& active,
+                         std::array<double, 4>& coeff) {
+  const std::size_t k = active.size();
+  double a[4][5] = {};
+  for (const SamplePoint& s : pts) {
+    // Minimise Σ ((t_i - f(p_i)) / t_i)²: weight 1/t² keeps a sweep whose
+    // makespans span three decades from being fitted only at P=1.
+    const double w = 1.0 / std::max(s.t * s.t, kTiny);
+    for (std::size_t i = 0; i < k; ++i) {
+      const double bi = basis(active[i], s.p);
+      for (std::size_t j = 0; j < k; ++j) {
+        a[i][j] += w * bi * basis(active[j], s.p);
+      }
+      a[i][k] += w * bi * s.t;
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-30) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j <= k; ++j) std::swap(a[col][j], a[pivot][j]);
+    }
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t j = col; j <= k; ++j) a[r][j] -= f * a[col][j];
+    }
+  }
+  std::array<double, 4> x{};
+  for (std::size_t i = k; i-- > 0;) {
+    double s = a[i][k];
+    for (std::size_t j = i + 1; j < k; ++j) s -= a[i][j] * x[j];
+    x[i] = s / a[i][i];
+  }
+  coeff = {};
+  for (std::size_t i = 0; i < k; ++i) coeff[active[i]] = x[i];
+  return true;
+}
+
+std::vector<std::size_t> active_terms(unsigned mask) {
+  std::vector<std::size_t> active;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if ((mask & (1u << j)) != 0) active.push_back(j);
+  }
+  return active;
+}
+
+double eval_raw(const ScalingModel& m, double p) {
+  double t = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if ((m.terms & (1u << j)) != 0) t += m.c[j] * basis(j, p);
+  }
+  if ((m.terms & kFloorTerm) != 0) t = std::max(t, m.floor_s);
+  return t;
+}
+
+/// Fit one candidate term set on the given points. Knee candidates
+/// (kFloorTerm set) estimate the plateau as the fastest observed point and
+/// fit the linear part on the pre-knee points only. Returns nullopt when
+/// the candidate cannot be fitted on these points (too few, singular).
+std::optional<ScalingModel> fit_candidate(const std::vector<SamplePoint>& pts,
+                                          unsigned mask) {
+  const std::vector<std::size_t> active = active_terms(mask);
+  ScalingModel m;
+  m.terms = mask;
+  std::vector<SamplePoint> train = pts;
+  if ((mask & kFloorTerm) != 0) {
+    double floor = std::numeric_limits<double>::infinity();
+    for (const SamplePoint& s : pts) floor = std::min(floor, s.t);
+    m.floor_s = floor;
+    // The linear part only describes the pre-knee regime; points already on
+    // the plateau would drag its slope toward zero.
+    train.clear();
+    for (const SamplePoint& s : pts) {
+      if (s.t > floor * 1.05) train.push_back(s);
+    }
+  }
+  if (train.size() < active.size() + 1) return std::nullopt;
+  if (!solve_least_squares(train, active, m.c)) return std::nullopt;
+  return m;
+}
+
+double rel_error(double predicted, double truth) {
+  return std::abs(predicted - truth) / std::max(std::abs(truth), kTiny);
+}
+
+/// RMS relative residual of the model over the points.
+double rel_rmse(const ScalingModel& m, const std::vector<SamplePoint>& pts) {
+  if (pts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const SamplePoint& s : pts) {
+    const double e = rel_error(eval_raw(m, s.p), s.t);
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(pts.size()));
+}
+
+/// Reject models that predict a non-positive time anywhere in the
+/// evaluation range — an extrapolated makespan below zero is nonsense.
+bool positive_over_range(const ScalingModel& m, double max_p) {
+  for (double p = 1.0; p <= max_p * (1.0 + 1e-9); p *= 1.5) {
+    if (eval_raw(m, p) <= 0.0) return false;
+  }
+  return eval_raw(m, max_p) > 0.0;
+}
+
+}  // namespace
+
+double ScalingModel::eval(double p) const noexcept {
+  return std::max(eval_raw(*this, std::max(p, 1.0)), 0.0);
+}
+
+double ScalingModel::speedup_at(double p) const noexcept {
+  const double t = eval(p);
+  return t > kTiny ? t1 / t : 0.0;
+}
+
+std::size_t ScalingModel::saturation_p(double min_gain,
+                                       std::size_t max_p) const {
+  for (std::size_t p = 1; 2 * p <= max_p; p *= 2) {
+    const double now = eval(static_cast<double>(p));
+    if (now <= kTiny) return p;
+    const double next = eval(static_cast<double>(2 * p));
+    if ((now - next) / now < min_gain) return p;
+  }
+  return max_p;
+}
+
+std::string ScalingModel::formula() const {
+  static const char* const stems[4] = {"", "/p", "*log2(p)", "*p"};
+  const bool with_floor = (terms & kFloorTerm) != 0;
+  std::string out;
+  if (with_floor) out += "max(";
+  bool any = false;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if ((terms & (1u << j)) == 0) continue;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3g%s", c[j], stems[j]);
+    if (any) out += " + ";
+    out += buf;
+    any = true;
+  }
+  if (!any) out += "0";
+  if (with_floor) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, ", %.3g)", floor_s);
+    out += buf;
+  }
+  return out;
+}
+
+ScalingModel fit(const sim::SweepTable& table, const FitOptions& opts) {
+  std::vector<SamplePoint> pts;
+  pts.reserve(table.points.size());
+  for (const sim::SweepPoint& p : table.points) {
+    pts.push_back(SamplePoint{static_cast<double>(p.cores),
+                              p.outcome.makespan_s});
+  }
+
+  ScalingModel best;  // degenerate default: t(p) = 0
+  best.terms = 0x1;
+  const double t1_measured = table.makespan_at(1);
+  bool all_zero = true;
+  for (const SamplePoint& s : pts) all_zero = all_zero && s.t <= kTiny;
+  if (pts.empty() || all_zero) return best;
+
+  // Candidate term sets: every linear subset that includes the constant,
+  // plus the two Graham-knee forms max(linear, floor) that a sweep with a
+  // sharp work/span transition needs (a smooth basis cannot express the
+  // kink; see DESIGN §3).
+  static constexpr unsigned kCandidates[] = {
+      0x1, 0x3, 0x5, 0x9, 0x7, 0xb, 0xd, 0xf,
+      kFloorTerm | 0x2, kFloorTerm | 0x3,
+  };
+
+  double best_cv = std::numeric_limits<double>::infinity();
+  int best_terms = std::numeric_limits<int>::max();
+  bool have_best = false;
+  for (const unsigned mask : kCandidates) {
+    const auto full = fit_candidate(pts, mask);
+    if (!full || !positive_over_range(*full, opts.max_extrapolation_p)) {
+      continue;
+    }
+    // Leave-one-out cross-validation: refit without each point, score the
+    // prediction at it. A candidate that cannot survive every refit is out.
+    double cv_sum = 0.0;
+    bool cv_ok = true;
+    for (std::size_t i = 0; i < pts.size() && cv_ok; ++i) {
+      std::vector<SamplePoint> rest;
+      rest.reserve(pts.size() - 1);
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (j != i) rest.push_back(pts[j]);
+      }
+      const auto loo = fit_candidate(rest, mask);
+      if (!loo) {
+        cv_ok = false;
+        break;
+      }
+      const double e = rel_error(eval_raw(*loo, pts[i].p), pts[i].t);
+      cv_sum += e * e;
+    }
+    if (!cv_ok) continue;
+    const double cv = std::sqrt(cv_sum / static_cast<double>(pts.size()));
+    const int nterms = __builtin_popcount(mask);
+    // Best CV wins; a near-tie (within the parsimony tolerance) goes to
+    // the model with fewer terms.
+    const bool better =
+        !have_best ||
+        (cv < best_cv * (1.0 - 1e-12) &&
+         (cv < best_cv * (1.0 - opts.parsimony_tolerance) ||
+          nterms <= best_terms)) ||
+        (cv <= best_cv * (1.0 + opts.parsimony_tolerance) &&
+         nterms < best_terms);
+    if (better) {
+      best = *full;
+      best_cv = cv;
+      best_terms = nterms;
+      have_best = true;
+    }
+  }
+
+  if (!have_best) {
+    // Pathological sweep (e.g. one point): fall back to the weighted mean.
+    double wsum = 0.0, wtsum = 0.0;
+    for (const SamplePoint& s : pts) {
+      const double w = 1.0 / std::max(s.t * s.t, kTiny);
+      wsum += w;
+      wtsum += w * s.t;
+    }
+    best = ScalingModel{};
+    best.terms = 0x1;
+    best.c[0] = wsum > 0.0 ? wtsum / wsum : 0.0;
+    best_cv = rel_rmse(best, pts);
+  }
+
+  best.cv_rel_rmse = best_cv;
+  best.train_rel_rmse = rel_rmse(best, pts);
+  best.train_points = pts.size();
+  best.t1 = t1_measured > 0.0 ? t1_measured : best.eval(1.0);
+  return best;
+}
+
+std::size_t crossover_p(const ScalingModel& a, const ScalingModel& b,
+                        std::size_t max_p) {
+  for (std::size_t p = 1; p <= max_p; ++p) {
+    if (a.eval(static_cast<double>(p)) <= b.eval(static_cast<double>(p))) {
+      return p;
+    }
+  }
+  return 0;
+}
+
+std::vector<HoldoutPoint> cross_check(
+    const ScalingModel& model, const sim::TaskDag& dag,
+    const std::vector<std::size_t>& holdout_cores,
+    const sim::MachineParams& machine) {
+  std::vector<HoldoutPoint> points;
+  points.reserve(holdout_cores.size());
+  for (const std::size_t p : holdout_cores) {
+    sim::MachineParams m = machine;
+    m.cores = p;
+    const sim::SimOutcome truth = sim::simulate(dag, m);
+    HoldoutPoint h;
+    h.cores = p;
+    h.predicted_s = model.eval(static_cast<double>(p));
+    h.simulated_s = truth.makespan_s;
+    // Both speedups share the model's serial reference so the relative
+    // error below is a pure statement about the predicted curve shape.
+    h.predicted_speedup =
+        h.predicted_s > kTiny ? model.t1 / h.predicted_s : 0.0;
+    h.simulated_speedup =
+        h.simulated_s > kTiny ? model.t1 / h.simulated_s : 0.0;
+    h.rel_error = rel_error(h.predicted_speedup, h.simulated_speedup);
+    points.push_back(h);
+  }
+  return points;
+}
+
+double ProgramModel::composed_time(double p) const {
+  double total = 0.0;
+  for (const std::vector<std::size_t>& phase : phases) {
+    double longest = 0.0, work = 0.0;
+    for (const std::size_t idx : phase) {
+      longest = std::max(longest, patterns[idx].model.eval(p));
+      work += patterns[idx].work_s;
+    }
+    // Concurrent groups share the P cores: no phase can beat its combined
+    // work law, however optimistic the individual fits are.
+    total += std::max(longest, work / std::max(p, 1.0));
+  }
+  return total;
+}
+
+double ProgramModel::max_holdout_error() const noexcept {
+  double worst = 0.0;
+  for (const HoldoutPoint& h : holdout) worst = std::max(worst, h.rel_error);
+  return worst;
+}
+
+ProgramModel fit_program(const RecordedGraph& graph,
+                         const ModelOptions& opts) {
+  ProgramModel pm;
+  const sim::TaskDag full = graph.to_dag();
+  const sim::SweepOptions sweep_opts{opts.train_cores, opts.machine};
+  const sim::SweepTable full_table = sim::sweep(full, sweep_opts);
+  pm.total = fit(full_table, opts.fit);
+
+  const std::vector<PatternGroup>& groups = graph.patterns();
+  pm.patterns.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    PatternModel p;
+    p.kind = groups[g].kind;
+    p.group = g;
+    p.tasks = groups[g].tasks.size();
+    p.work_s = groups[g].work_s;
+    if (groups[g].work_s > 0.0) {
+      p.model = fit(sim::sweep(graph.group_dag(g), sweep_opts), opts.fit);
+    }
+    pm.patterns.push_back(std::move(p));
+  }
+
+  // Sequential phases: groups are ordered by first start; a group that
+  // starts after everything seen so far has finished opens a new phase.
+  std::uint64_t phase_max_finish = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (pm.phases.empty() ||
+        (groups[g].first_start_ns > phase_max_finish &&
+         groups[g].last_finish_ns > 0)) {
+      pm.phases.emplace_back();
+    }
+    pm.phases.back().push_back(g);
+    phase_max_finish = std::max(phase_max_finish, groups[g].last_finish_ns);
+  }
+
+  // Composition residual: the structural prediction against the training
+  // sweep's simulated truth.
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const sim::SweepPoint& point : full_table.points) {
+    if (point.outcome.makespan_s <= kTiny) continue;
+    const double e = rel_error(
+        pm.composed_time(static_cast<double>(point.cores)),
+        point.outcome.makespan_s);
+    sum += e * e;
+    ++counted;
+  }
+  pm.composed_rel_rmse =
+      counted > 0 ? std::sqrt(sum / static_cast<double>(counted)) : 0.0;
+
+  pm.holdout = cross_check(pm.total, full, opts.holdout_cores, opts.machine);
+  return pm;
+}
+
+}  // namespace parc::obs::model

@@ -1,0 +1,161 @@
+// obs::model — compositional scaling models fitted from traces (ISSUE 9).
+//
+// The paper's pedagogical core is *predict before you measure*: students
+// state the expected speedup curve of a program before running it on the
+// lab machines. This layer mechanises that move for a traced run. One trace
+// yields a RecordedGraph; sim::sweep replays its DAG at a handful of
+// training core counts; fit() then selects, Extra-P style, a small scaling
+// function
+//
+//     t(p) = c0 + c1·(n/p) + c2·log2(p) + c3·p
+//
+// (per-trace n is fixed, so the n/p term carries it inside c1) by
+// cross-validated residual over the candidate term subsets. fit_program()
+// does this per pattern group (map/taskloop, reduce, pipeline-ish chains,
+// fork-join, general DAGs — the annotation obs::analysis recovers) and
+// composes the per-pattern models along that structure: sequential phases
+// add, concurrent groups within a phase combine under the work law. The
+// composed and monolithic predictions are cross-checked against held-out
+// sim::simulate runs, so every report states its own residual instead of
+// asking to be trusted.
+//
+// What-if questions answered without re-running the simulator:
+//   - saturation P (where doubling cores stops paying),
+//   - crossover P between two fitted models (granularity choices),
+//   - predicted time/speedup at any P, including extrapolation
+//     (bounded by FitOptions::max_extrapolation_p — the fit refuses
+//     candidates that go non-positive anywhere in that range).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "sim/machine.hpp"
+
+namespace parc::obs::model {
+
+/// Term-selection knobs for fit().
+struct FitOptions {
+  /// A candidate within (1 + tolerance)·best_cv of the best cross-validated
+  /// residual wins if it uses fewer terms (Occam tie-break, Extra-P's
+  /// parsimony rule).
+  double parsimony_tolerance = 0.05;
+  /// Candidates must predict strictly positive time over [1, this] or be
+  /// rejected — extrapolation must never return a negative makespan.
+  double max_extrapolation_p = 1024.0;
+};
+
+/// A fitted scaling function over the basis {1, 1/p, log2(p), p}, plus an
+/// optional Graham floor: greedy-scheduled DAGs follow
+/// max(work-law hyperbola, span plateau), a kink no smooth basis can
+/// express, so the candidate family includes max(linear part, floor_s).
+struct ScalingModel {
+  std::array<double, 4> c{};  ///< coefficients, inactive terms 0
+  unsigned terms = 0x1;       ///< bitmask of active basis terms (bit 0 = c0;
+                              ///< bit 4 = Graham floor active)
+  double floor_s = 0.0;       ///< plateau for max(linear, floor) candidates
+  double t1 = 0.0;            ///< reference serial time (P=1 sweep point)
+  double cv_rel_rmse = 0.0;    ///< leave-one-out relative residual (selector)
+  double train_rel_rmse = 0.0;
+  std::size_t train_points = 0;
+
+  /// Predicted time at p ≥ 1 (clamped non-negative).
+  [[nodiscard]] double eval(double p) const noexcept;
+  /// Predicted speedup t(1-reference)/t(p); 0 when undefined.
+  [[nodiscard]] double speedup_at(double p) const noexcept;
+  /// Smallest p (walking 1, 2, 4, …) where doubling cores improves the
+  /// predicted time by less than `min_gain` relative; max_p if it never
+  /// saturates in range.
+  [[nodiscard]] std::size_t saturation_p(double min_gain = 0.05,
+                                         std::size_t max_p = 1024) const;
+  /// Human-readable "1.2e-02 + 3.4e-01/p + 5.6e-04*log2(p)".
+  [[nodiscard]] std::string formula() const;
+};
+
+/// Fit a scaling model to a sweep (the one sweep surface: any SweepTable,
+/// whether from a recorded graph, a serve replay or a flow replay).
+[[nodiscard]] ScalingModel fit(const sim::SweepTable& table,
+                               const FitOptions& opts = {});
+
+/// Smallest integer p in [1, max_p] where a's predicted time drops to or
+/// below b's (the granularity-crossover question); 0 when a never wins.
+[[nodiscard]] std::size_t crossover_p(const ScalingModel& a,
+                                      const ScalingModel& b,
+                                      std::size_t max_p = 1024);
+
+/// Model prediction vs ground-truth sim::simulate at one held-out P.
+struct HoldoutPoint {
+  std::size_t cores = 0;
+  double predicted_s = 0.0;        ///< model makespan
+  double simulated_s = 0.0;        ///< simulate() makespan
+  double predicted_speedup = 0.0;  ///< t1 / predicted_s
+  double simulated_speedup = 0.0;  ///< t1 / simulated_s (same reference)
+  double rel_error = 0.0;  ///< |predicted - simulated| / simulated speedup
+};
+
+/// Simulate the DAG at each held-out P and score the model against it.
+[[nodiscard]] std::vector<HoldoutPoint> cross_check(
+    const ScalingModel& model, const sim::TaskDag& dag,
+    const std::vector<std::size_t>& holdout_cores,
+    const sim::MachineParams& machine);
+
+/// End-to-end options for fit_program (and the perf_report tool).
+struct ModelOptions {
+  std::vector<std::size_t> train_cores = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  std::vector<std::size_t> holdout_cores = {3, 6, 12, 24, 48, 96};
+  /// Machine template for both sweeps and holdout ground truth.
+  sim::MachineParams machine{1, 0.0, "model"};
+  FitOptions fit{};
+};
+
+/// One pattern group's fitted model.
+struct PatternModel {
+  PatternKind kind = PatternKind::kSingle;
+  std::size_t group = 0;  ///< index into RecordedGraph::patterns()
+  std::size_t tasks = 0;
+  double work_s = 0.0;
+  ScalingModel model;
+};
+
+/// The compositional model of one traced program.
+struct ProgramModel {
+  /// Monolithic fit over the full recorded DAG — the primary predictor
+  /// (and the one the 15% holdout gate applies to).
+  ScalingModel total;
+  /// Per-pattern fits, in trace time order.
+  std::vector<PatternModel> patterns;
+  /// Pattern indices clustered into sequential phases by wall-time overlap:
+  /// groups inside one phase ran concurrently, phases ran back to back.
+  std::vector<std::vector<std::size_t>> phases;
+  /// total-model prediction vs simulate() at ModelOptions::holdout_cores.
+  std::vector<HoldoutPoint> holdout;
+  /// RMS relative error of the *composed* prediction against the training
+  /// sweep's simulated makespans — how much structure the composition loses
+  /// versus re-fitting the whole program.
+  double composed_rel_rmse = 0.0;
+
+  [[nodiscard]] double predict_time(double p) const { return total.eval(p); }
+  [[nodiscard]] double predict_speedup(double p) const {
+    return total.speedup_at(p);
+  }
+  /// Compositional prediction: Σ over phases of the phase time, where a
+  /// phase combines its concurrent groups under the work law —
+  /// max(max_g t_g(p), Σ_g work_g / p).
+  [[nodiscard]] double composed_time(double p) const;
+  [[nodiscard]] std::size_t saturation_p(double min_gain = 0.05,
+                                         std::size_t max_p = 1024) const {
+    return total.saturation_p(min_gain, max_p);
+  }
+  /// Worst holdout relative error (0 when no holdout was requested).
+  [[nodiscard]] double max_holdout_error() const noexcept;
+};
+
+/// Sweep + fit the full graph and every pattern group, cluster phases,
+/// cross-check against held-out simulations.
+[[nodiscard]] ProgramModel fit_program(const RecordedGraph& graph,
+                                       const ModelOptions& opts = {});
+
+}  // namespace parc::obs::model

@@ -8,9 +8,13 @@
 //   auto graph = obs::extract_task_graph(dump); // recorded dependence graph
 //   auto report = obs::critical_path(graph);    // T1, T∞, speedup bounds
 //   sim::simulate(graph.to_dag(), machine);     // replay on a modelled host
+//
+//   auto table = sim::sweep(graph.to_dag(), {}); // one sweep surface
+//   auto model = obs::model::fit_program(graph); // fitted scaling models
 #pragma once
 
 #include "obs/analysis.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
+#include "obs/model.hpp"
 #include "obs/trace.hpp"

@@ -43,6 +43,7 @@ ReplayDag build_serve_dag(const obs::TraceDump& dump) {
 
   ReplayDag out;
   out.arrivals = arrivals.size();
+  const std::uint64_t first_t = arrivals.empty() ? 0 : arrivals.front().first;
   std::uint64_t prev_t = 0;
   sim::TaskDag::NodeId prev_chain = 0;
   bool have_prev = false;
@@ -60,12 +61,33 @@ ReplayDag build_serve_dag(const obs::TraceDump& dump) {
         it->second.end_ns >= it->second.begin_ns) {
       const double cost_s =
           static_cast<double>(it->second.end_ns - it->second.begin_ns) * 1e-9;
-      (void)out.dag.add_task(cost_s, {chain});
+      const sim::TaskDag::NodeId exec = out.dag.add_task(cost_s, {chain});
+      out.requests.push_back(ReplayDag::RequestRef{
+          chain, exec, static_cast<double>(t_ns - first_t) * 1e-9});
       ++out.executed;
       out.exec_work_s += cost_s;
     }
   }
   return out;
+}
+
+std::vector<double> replay_latencies(const ReplayDag& replay,
+                                     const sim::MachineParams& machine) {
+  std::vector<double> latencies;
+  if (replay.requests.empty()) return latencies;
+  sim::MachineParams params = machine;
+  params.record_task_finish = true;
+  const sim::SimOutcome out = sim::simulate(replay.dag, params);
+  latencies.reserve(replay.requests.size());
+  for (const ReplayDag::RequestRef& r : replay.requests) {
+    // The ingress chain replays the offered-load clock, so a request's
+    // simulated arrival is its trace offset; anything the machine adds on
+    // top of that offset is queueing + service latency.
+    latencies.push_back(
+        std::max(0.0, out.task_finish_s[r.exec] - r.arrival_s));
+  }
+  std::sort(latencies.begin(), latencies.end());
+  return latencies;
 }
 
 }  // namespace parc::serve

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "sim/machine.hpp"
@@ -32,11 +33,28 @@ struct ReplayDag {
   std::uint64_t executed = 0;   ///< requests with a measured exec span
   double ingress_span_s = 0.0;  ///< total inter-arrival time (chain work)
   double exec_work_s = 0.0;     ///< total measured backend work
+  /// Per executed request: its arrival node (on the ingress chain) and its
+  /// exec node, in arrival order. Lets latency what-ifs read simulated
+  /// per-request latency (exec finish − arrival offset) off a
+  /// record_task_finish replay instead of only the makespan.
+  struct RequestRef {
+    sim::TaskDag::NodeId arrive = 0;
+    sim::TaskDag::NodeId exec = 0;
+    double arrival_s = 0.0;  ///< trace arrival offset from the first arrival
+  };
+  std::vector<RequestRef> requests;
 };
 
 /// Build the serving DAG from a trace. Requests whose exec begin/end pair
 /// was dropped (buffer exhaustion) are skipped; run with a large enough
 /// TraceConfig and assert total_dropped() == 0 for exact replays.
 [[nodiscard]] ReplayDag build_serve_dag(const obs::TraceDump& dump);
+
+/// Simulate the replay DAG at `machine` (record_task_finish is forced on)
+/// and return each executed request's latency: exec-task finish minus the
+/// request's trace arrival offset. Sorted ascending, so percentiles are
+/// index lookups. Empty when the replay executed no requests.
+[[nodiscard]] std::vector<double> replay_latencies(
+    const ReplayDag& replay, const sim::MachineParams& machine);
 
 }  // namespace parc::serve

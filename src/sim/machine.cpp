@@ -61,6 +61,7 @@ SimOutcome simulate(const TaskDag& dag, const MachineParams& machine) {
   PARC_CHECK(machine.cores >= 1);
   SimOutcome out;
   out.core_busy_s.assign(machine.cores, 0.0);
+  if (machine.record_task_finish) out.task_finish_s.assign(dag.size(), 0.0);
   if (dag.size() == 0) return out;
 
   // Cores are partitioned into contiguous locality domains exactly like the
@@ -144,6 +145,7 @@ SimOutcome simulate(const TaskDag& dag, const MachineParams& machine) {
     const double finish = start + dag.cost(task.id) + dispatch;
     out.core_busy_s[core] += finish - start;
     free_at[core] = finish;
+    if (machine.record_task_finish) out.task_finish_s[task.id] = finish;
     makespan = std::max(makespan, finish);
     for (TaskDag::NodeId child : dag.dependents(task.id)) {
       if (finish >= ready_time[child]) {
@@ -162,17 +164,35 @@ SimOutcome simulate(const TaskDag& dag, const MachineParams& machine) {
   return out;
 }
 
-std::vector<SpeedupPoint> speedup_curve(
-    const TaskDag& dag, const std::vector<std::size_t>& core_counts,
-    double per_task_overhead_s) {
-  std::vector<SpeedupPoint> curve;
-  curve.reserve(core_counts.size());
-  for (std::size_t p : core_counts) {
-    const auto outcome =
-        simulate(dag, MachineParams{p, per_task_overhead_s, "sweep"});
-    curve.push_back(SpeedupPoint{p, outcome.speedup, outcome.efficiency});
+const SimOutcome* SweepTable::find(std::size_t cores) const noexcept {
+  for (const SweepPoint& p : points) {
+    if (p.cores == cores) return &p.outcome;
   }
-  return curve;
+  return nullptr;
+}
+
+double SweepTable::speedup_at(std::size_t cores) const noexcept {
+  const SimOutcome* out = find(cores);
+  return out != nullptr ? out->speedup : 0.0;
+}
+
+double SweepTable::makespan_at(std::size_t cores) const noexcept {
+  const SimOutcome* out = find(cores);
+  return out != nullptr ? out->makespan_s : 0.0;
+}
+
+SweepTable sweep(const TaskDag& dag, const SweepOptions& opts) {
+  SweepTable table;
+  table.work_s = dag.total_work();
+  table.span_s = dag.critical_path();
+  table.points.reserve(opts.cores.size());
+  for (const std::size_t p : opts.cores) {
+    PARC_CHECK_MSG(p >= 1, "sweep core counts must be >= 1");
+    MachineParams machine = opts.machine;
+    machine.cores = p;
+    table.points.push_back(SweepPoint{p, simulate(dag, machine)});
+  }
+  return table;
 }
 
 TaskDag fork_join_dag(const std::vector<double>& costs) {

@@ -81,6 +81,11 @@ struct MachineParams {
   /// home-domain core unless going remote (cross cost included) would
   /// still start the task sooner, mirroring shard-first victim selection.
   bool hierarchical_dispatch = false;
+  /// Record each task's simulated finish time into SimOutcome::task_finish_s
+  /// (indexed by DAG node id). Off by default: most callers only want the
+  /// makespan, and a million-task replay should not allocate a vector per
+  /// sweep point unasked. Needed for latency what-ifs (serve p99 replay).
+  bool record_task_finish = false;
 };
 
 /// The three shared-memory systems of §III-B.
@@ -103,6 +108,9 @@ struct SimOutcome {
   /// cross-domain traffic a shard-oblivious schedule generates). Always 0
   /// on a 1-shard machine.
   std::uint64_t cross_shard_dispatches = 0;
+  /// Per-task finish times (seconds, indexed by node id); filled only when
+  /// MachineParams::record_task_finish is set, empty otherwise.
+  std::vector<double> task_finish_s;
 };
 
 /// Replay the DAG on the machine with greedy list scheduling (ready tasks
@@ -110,15 +118,43 @@ struct SimOutcome {
 [[nodiscard]] SimOutcome simulate(const TaskDag& dag,
                                   const MachineParams& machine);
 
-/// Speedup at each core count (same DAG, same overheads).
-struct SpeedupPoint {
-  std::size_t cores;
-  double speedup;
-  double efficiency;
+// ---------------------------------------------------------------------------
+// The one sweep surface (ISSUE 9): every "simulate this DAG at several core
+// counts" question goes through sweep(); the returned SweepTable is what
+// obs::model::fit consumes and what bench tables print from. Replaces the
+// ad-hoc `for (p : Ps) simulate(dag, {p, ...})` loops that used to be
+// copy-pasted through bench and tests (and the old speedup_curve helper).
+// ---------------------------------------------------------------------------
+
+struct SweepOptions {
+  /// Core counts to simulate, in the order the table should carry them.
+  std::vector<std::size_t> cores = {1, 2, 4, 8, 16, 32, 64};
+  /// Machine template: every point runs this machine with `cores` replaced
+  /// (overheads, shards, dispatch policy and the name stem all apply).
+  MachineParams machine{1, 0.0, "sweep"};
 };
-[[nodiscard]] std::vector<SpeedupPoint> speedup_curve(
-    const TaskDag& dag, const std::vector<std::size_t>& core_counts,
-    double per_task_overhead_s = 0.0);
+
+struct SweepPoint {
+  std::size_t cores = 0;
+  SimOutcome outcome;
+};
+
+struct SweepTable {
+  double work_s = 0.0;  ///< T1 of the swept DAG
+  double span_s = 0.0;  ///< T∞ of the swept DAG
+  std::vector<SweepPoint> points;
+
+  /// Outcome at an exact core count; nullptr when that P was not swept.
+  [[nodiscard]] const SimOutcome* find(std::size_t cores) const noexcept;
+  /// Speedup / makespan at an exact core count (0.0 when not swept).
+  [[nodiscard]] double speedup_at(std::size_t cores) const noexcept;
+  [[nodiscard]] double makespan_at(std::size_t cores) const noexcept;
+};
+
+/// Simulate the DAG once per requested core count. Deterministic; the
+/// table's work/span come from the DAG itself (overhead-free), so Graham's
+/// bound work/P ≤ makespan ≤ work/P + span can be asserted per point.
+[[nodiscard]] SweepTable sweep(const TaskDag& dag, const SweepOptions& opts);
 
 // ---------------------------------------------------------------------------
 // DAG builders for the canonical workload shapes.

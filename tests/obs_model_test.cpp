@@ -1,0 +1,407 @@
+// obs::model — fitted scaling models, pattern annotation, and the
+// trace → sweep → fit → cross-check loop (ISSUE 9 acceptance gates live
+// here: held-out prediction within 15%, degenerate DAGs without NaNs).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "ptask/ptask.hpp"
+#include "sim/machine.hpp"
+
+namespace parc::obs {
+namespace {
+
+using model::FitOptions;
+using model::ModelOptions;
+using model::ProgramModel;
+using model::ScalingModel;
+
+void expect_finite(const ScalingModel& m) {
+  for (const double c : m.c) EXPECT_TRUE(std::isfinite(c));
+  EXPECT_TRUE(std::isfinite(m.floor_s));
+  EXPECT_TRUE(std::isfinite(m.t1));
+  EXPECT_TRUE(std::isfinite(m.cv_rel_rmse));
+  for (const double p : {1.0, 2.0, 7.0, 64.0, 1024.0}) {
+    EXPECT_TRUE(std::isfinite(m.eval(p))) << "p = " << p;
+    EXPECT_GE(m.eval(p), 0.0) << "p = " << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fit() on synthetic sweeps.
+// ---------------------------------------------------------------------------
+
+TEST(ObsModelFit, AmdahlDagHoldoutWithin15Percent) {
+  // serial 0.5 s + 256 × 1/256 s parallel: the textbook curve.
+  const sim::TaskDag dag = sim::amdahl_dag(0.5, 256, 1.0 / 256.0);
+  sim::SweepOptions opts;
+  opts.cores = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const ScalingModel m = model::fit(sim::sweep(dag, opts));
+  expect_finite(m);
+  EXPECT_LE(m.cv_rel_rmse, 0.15);
+
+  // The acceptance gate: ≥2 held-out core counts, never used for fitting,
+  // predicted within 15% relative error against ground-truth simulate.
+  const auto holdout = model::cross_check(m, dag, {3, 6, 12, 24, 48, 96},
+                                          sim::MachineParams{1, 0.0, "h"});
+  ASSERT_GE(holdout.size(), 2u);
+  for (const auto& h : holdout) {
+    EXPECT_LE(h.rel_error, 0.15) << "cores = " << h.cores;
+    EXPECT_GT(h.simulated_speedup, 0.0);
+  }
+}
+
+TEST(ObsModelFit, ForkJoinKneeHoldoutWithin15Percent) {
+  // 192 equal tasks: sharp work-law knee at P = 192. The max(linear, floor)
+  // candidate exists exactly for this shape.
+  const sim::TaskDag dag =
+      sim::fork_join_dag(std::vector<double>(192, 1.0 / 192.0));
+  sim::SweepOptions opts;
+  opts.cores = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const ScalingModel m = model::fit(sim::sweep(dag, opts));
+  expect_finite(m);
+  const auto holdout = model::cross_check(m, dag, {3, 6, 12, 24, 48, 96},
+                                          sim::MachineParams{1, 0.0, "h"});
+  for (const auto& h : holdout) {
+    EXPECT_LE(h.rel_error, 0.15) << "cores = " << h.cores;
+  }
+  // Speedup keeps growing to the task count, so saturation is far out.
+  EXPECT_GE(m.saturation_p(), 32u);
+}
+
+TEST(ObsModelFit, SerialChainIsConstantWithoutNaN) {
+  sim::TaskDag dag;
+  sim::TaskDag::NodeId prev = dag.add_task(0.1);
+  for (int i = 0; i < 9; ++i) prev = dag.add_task(0.1, {prev});
+  const ScalingModel m = model::fit(sim::sweep(dag, {}));
+  expect_finite(m);
+  // A chain does not scale: constant prediction, saturation at 1.
+  EXPECT_NEAR(m.eval(1.0), 1.0, 1e-6);
+  EXPECT_NEAR(m.eval(64.0), 1.0, 1e-6);
+  EXPECT_EQ(m.saturation_p(), 1u);
+  EXPECT_NEAR(m.speedup_at(64.0), 1.0, 1e-6);
+}
+
+TEST(ObsModelFit, SingleTaskAndEmptyDagFitWithoutNaN) {
+  sim::TaskDag one;
+  one.add_task(0.25);
+  const ScalingModel m1 = model::fit(sim::sweep(one, {}));
+  expect_finite(m1);
+  EXPECT_NEAR(m1.eval(16.0), 0.25, 1e-9);
+
+  const sim::TaskDag empty;
+  const ScalingModel m0 = model::fit(sim::sweep(empty, {}));
+  expect_finite(m0);
+  EXPECT_EQ(m0.eval(8.0), 0.0);
+  EXPECT_EQ(m0.speedup_at(8.0), 0.0);
+}
+
+TEST(ObsModelFit, FormulaMentionsActiveTermsOnly) {
+  const sim::TaskDag dag =
+      sim::fork_join_dag(std::vector<double>(64, 1.0 / 64.0));
+  const ScalingModel m = model::fit(sim::sweep(dag, {}));
+  EXPECT_FALSE(m.formula().empty());
+  // Whatever was selected, the formula must parse back loosely: it names
+  // p only if a p-dependent term is active.
+  if ((m.terms & ~0x1u) == 0) {
+    EXPECT_EQ(m.formula().find('p'), std::string::npos);
+  } else {
+    EXPECT_NE(m.formula().find('p'), std::string::npos);
+  }
+}
+
+TEST(ObsModelFit, CrossoverBetweenGranularities) {
+  // Coarse: 4 chunks of 0.25 — wins at low P, capped at speedup 4.
+  // Fine: 64 chunks of 1/64 with 2 ms dispatch overhead each — pays more
+  // at P = 1, keeps scaling past 4 cores.
+  const sim::TaskDag coarse =
+      sim::fork_join_dag(std::vector<double>(4, 0.25));
+  const sim::TaskDag fine =
+      sim::fork_join_dag(std::vector<double>(64, 1.0 / 64.0));
+  sim::SweepOptions coarse_opts;
+  sim::SweepOptions fine_opts;
+  fine_opts.machine.per_task_overhead_s = 0.002;
+  const ScalingModel mc = model::fit(sim::sweep(coarse, coarse_opts));
+  const ScalingModel mf = model::fit(sim::sweep(fine, fine_opts));
+  const std::size_t cross = model::crossover_p(mf, mc, 256);
+  EXPECT_GT(cross, 2u);   // coarse wins while its 4 chunks still spread
+  EXPECT_LE(cross, 16u);  // fine takes over once coarse saturates
+}
+
+// ---------------------------------------------------------------------------
+// Pattern annotation through the stable accessors.
+// ---------------------------------------------------------------------------
+
+RecordedTask task_at(std::uint64_t id, std::uint64_t start_us,
+                     std::uint64_t dur_us, std::uint64_t parent = 0) {
+  RecordedTask t;
+  t.id = id;
+  t.parent = parent;
+  t.start_ns = start_us * 1000;
+  t.finish_ns = (start_us + dur_us) * 1000;
+  t.started = t.finished = true;
+  return t;
+}
+
+TEST(ObsPatterns, ReduceTreeIsClassified) {
+  // 4 leaves → 2 combiners → 1 root (in-tree, 4 sources, 1 sink).
+  std::vector<RecordedTask> tasks;
+  for (std::uint64_t i = 1; i <= 4; ++i) tasks.push_back(task_at(i, 0, 100));
+  tasks.push_back(task_at(5, 200, 50));
+  tasks.push_back(task_at(6, 200, 50));
+  tasks.push_back(task_at(7, 300, 50));
+  const std::vector<RecordedGraph::Edge> edges = {
+      {1, 5}, {2, 5}, {3, 6}, {4, 6}, {5, 7}, {6, 7}};
+  const RecordedGraph graph(tasks, edges);
+  ASSERT_EQ(graph.patterns().size(), 1u);
+  EXPECT_EQ(graph.patterns()[0].kind, PatternKind::kReduce);
+  EXPECT_EQ(graph.patterns()[0].tasks.size(), 7u);
+  for (std::size_t k = 0; k < graph.task_count(); ++k) {
+    EXPECT_EQ(graph.pattern_of(k), 0u);
+  }
+}
+
+TEST(ObsPatterns, ForkJoinAndChainAndMapCoexist) {
+  std::vector<RecordedTask> tasks;
+  // Fork-join: 10 fans 11..13, all join into 14.
+  tasks.push_back(task_at(10, 0, 10));
+  for (std::uint64_t i = 11; i <= 13; ++i) tasks.push_back(task_at(i, 20, 50));
+  tasks.push_back(task_at(14, 80, 10));
+  // Chain: 20 → 21.
+  tasks.push_back(task_at(20, 100, 30));
+  tasks.push_back(task_at(21, 140, 30));
+  // Map: three children of spawn parent 99 (id not a traced task).
+  for (std::uint64_t i = 30; i <= 32; ++i) {
+    tasks.push_back(task_at(i, 200, 40, 99));
+  }
+  const std::vector<RecordedGraph::Edge> edges = {
+      {10, 11}, {10, 12}, {10, 13}, {11, 14}, {12, 14}, {13, 14}, {20, 21}};
+  const RecordedGraph graph(tasks, edges);
+  ASSERT_EQ(graph.patterns().size(), 3u);
+  EXPECT_EQ(graph.patterns()[0].kind, PatternKind::kForkJoin);
+  EXPECT_EQ(graph.patterns()[1].kind, PatternKind::kSerialChain);
+  EXPECT_EQ(graph.patterns()[2].kind, PatternKind::kMap);
+  // group_dag keeps only intra-group structure.
+  EXPECT_EQ(graph.group_dag(0).size(), 5u);
+  EXPECT_EQ(graph.group_dag(2).size(), 3u);
+  EXPECT_NEAR(graph.group_dag(2).total_work(), 3 * 40e-6, 1e-12);
+}
+
+TEST(ObsPatterns, TwoTaskloopsSeparatedInTimeAreTwoMaps) {
+  // Parent-0 chunks: burst A (overlapping), gap, burst B.
+  std::vector<RecordedTask> tasks;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    tasks.push_back(task_at(i, 10 * i, 100));
+  }
+  for (std::uint64_t i = 5; i <= 8; ++i) {
+    tasks.push_back(task_at(i, 1000 + 10 * i, 100));
+  }
+  const RecordedGraph graph(tasks, {});
+  ASSERT_EQ(graph.patterns().size(), 2u);
+  EXPECT_EQ(graph.patterns()[0].kind, PatternKind::kMap);
+  EXPECT_EQ(graph.patterns()[1].kind, PatternKind::kMap);
+  EXPECT_EQ(graph.patterns()[0].tasks.size(), 4u);
+  EXPECT_EQ(graph.patterns()[1].tasks.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// fit_program: composition + holdout on a structured graph.
+// ---------------------------------------------------------------------------
+
+RecordedGraph map_then_chain_graph() {
+  std::vector<RecordedTask> tasks;
+  // Phase 1: 32-wide map, 1 ms each (children of one spawn call).
+  for (std::uint64_t i = 1; i <= 32; ++i) {
+    tasks.push_back(task_at(i, 0, 1000, 500));
+  }
+  // Phase 2: a 4-link chain of 0.5 ms, strictly after the map.
+  std::uint64_t prev = 0;
+  std::vector<RecordedGraph::Edge> edges;
+  for (std::uint64_t i = 100; i <= 103; ++i) {
+    tasks.push_back(task_at(i, 40000 + (i - 100) * 600, 500));
+    if (prev != 0) edges.push_back({prev, i});
+    prev = i;
+  }
+  return RecordedGraph(std::move(tasks), std::move(edges));
+}
+
+TEST(ObsProgramModel, HoldoutWithin15PercentAndPhasesRecovered) {
+  const RecordedGraph graph = map_then_chain_graph();
+  const ProgramModel pm = model::fit_program(graph);
+  expect_finite(pm.total);
+  EXPECT_GT(pm.total.t1, 0.0);
+
+  // The greedy schedule of this graph has a ceil(32/p) staircase no smooth
+  // basis reproduces point-for-point, so the acceptance gate here is the
+  // report's: at least two held-out core counts within 15%, and no holdout
+  // point badly wrong.
+  ASSERT_GE(pm.holdout.size(), 2u);
+  std::size_t within = 0;
+  for (const auto& h : pm.holdout) {
+    EXPECT_LE(h.rel_error, 0.25) << "cores = " << h.cores;
+    if (h.rel_error <= 0.15) ++within;
+  }
+  EXPECT_GE(within, 2u);
+
+  // Structure: one map group + one chain group, in two sequential phases.
+  ASSERT_EQ(pm.patterns.size(), 2u);
+  EXPECT_EQ(pm.patterns[0].kind, PatternKind::kMap);
+  EXPECT_EQ(pm.patterns[1].kind, PatternKind::kSerialChain);
+  EXPECT_EQ(pm.phases.size(), 2u);
+
+  // The composed prediction stays in the simulated truth's neighbourhood.
+  // It cannot match exactly: the trace records the chain strictly after the
+  // map, so composition sums the phases, while the flat DAG simulation is
+  // free to overlap them once p exceeds the map width.
+  EXPECT_LE(pm.composed_rel_rmse, 0.35);
+  for (const double p : {2.0, 8.0, 64.0}) {
+    EXPECT_GT(pm.composed_time(p), 0.0);
+    EXPECT_TRUE(std::isfinite(pm.composed_time(p)));
+  }
+  // What-if surface: map dominates, so saturation sits near its width.
+  EXPECT_GE(pm.saturation_p(), 8u);
+}
+
+TEST(ObsProgramModel, DegenerateGraphsFitWithoutNaN) {
+  // Single task.
+  {
+    const RecordedGraph graph({task_at(1, 0, 500)}, {});
+    const ProgramModel pm = model::fit_program(graph);
+    expect_finite(pm.total);
+    EXPECT_EQ(pm.patterns.size(), 1u);
+    EXPECT_TRUE(std::isfinite(pm.composed_time(8.0)));
+  }
+  // Pure serial chain.
+  {
+    std::vector<RecordedTask> tasks;
+    std::vector<RecordedGraph::Edge> edges;
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+      tasks.push_back(task_at(i, i * 1000, 900));
+      if (i > 1) edges.push_back({i - 1, i});
+    }
+    const RecordedGraph graph(std::move(tasks), std::move(edges));
+    const ProgramModel pm = model::fit_program(graph);
+    expect_finite(pm.total);
+    EXPECT_EQ(pm.total.saturation_p(), 1u);
+    EXPECT_LE(pm.max_holdout_error(), 0.15);
+  }
+  // Empty graph.
+  {
+    const RecordedGraph graph;
+    const ProgramModel pm = model::fit_program(graph);
+    expect_finite(pm.total);
+    EXPECT_EQ(pm.patterns.size(), 0u);
+    EXPECT_EQ(pm.composed_time(4.0), 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace round-trip: write → read → same recorded graph.
+// ---------------------------------------------------------------------------
+
+TEST(ObsTraceRoundTrip, SyntheticDumpSurvivesWriteRead) {
+  TraceDump dump;
+  ThreadTrack track;
+  track.name = "worker-7";
+  auto push = [&](EventKind kind, std::uint64_t t_ns, std::uint64_t id,
+                  std::uint64_t arg) {
+    Event e;
+    e.kind = kind;
+    e.t_ns = t_ns;
+    e.id = id;
+    e.arg = arg;
+    track.events.push_back(e);
+  };
+  push(EventKind::kTaskSpawn, 1000, 1, 0);
+  push(EventKind::kTaskStart, 2000, 1, 0);
+  push(EventKind::kTaskFinish, 250000, 1, 0);
+  push(EventKind::kTaskSpawn, 251000, 2, 1);
+  push(EventKind::kDepEdge, 251000, 1, 2);
+  push(EventKind::kTaskStart, 252000, 2, 0);
+  push(EventKind::kTaskFinish, 500000, 2, 0);
+  dump.tracks.push_back(track);
+
+  std::stringstream ss;
+  write_chrome_trace(dump, ss);
+  const TraceDump parsed = read_chrome_trace(ss);
+
+  ASSERT_EQ(parsed.tracks.size(), 1u);
+  EXPECT_EQ(parsed.tracks[0].name, "worker-7");
+  ASSERT_EQ(parsed.tracks[0].events.size(), track.events.size());
+  for (std::size_t i = 0; i < track.events.size(); ++i) {
+    const Event& a = track.events[i];
+    const Event& b = parsed.tracks[0].events[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.t_ns, b.t_ns) << "event " << i;
+    EXPECT_EQ(a.id, b.id) << "event " << i;
+    EXPECT_EQ(a.arg, b.arg) << "event " << i;
+  }
+
+  // And the graphs extracted from both dumps agree.
+  const RecordedGraph g1 = extract_task_graph(dump);
+  const RecordedGraph g2 = extract_task_graph(parsed);
+  EXPECT_EQ(g1.task_count(), g2.task_count());
+  EXPECT_EQ(g1.edge_count(), g2.edge_count());
+}
+
+TEST(ObsTraceRoundTrip, MalformedInputThrows) {
+  std::stringstream bad("{\"traceEvents\": [{\"ph\": \"B\", ");
+  EXPECT_THROW((void)read_chrome_trace(bad), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW((void)read_chrome_trace(empty), std::runtime_error);
+}
+
+TEST(ObsTraceRoundTrip, TracedRunSurvivesWriteRead) {
+  if (!kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  auto& rt = ptask::Runtime::global();
+  TraceDump dump;
+  {
+    TraceSession session;
+    auto spin = [] {
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(300);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    };
+    auto a = ptask::run(rt, spin);
+    auto b = ptask::run_after(rt, spin, a);
+    auto m = ptask::run_multi(rt, 4, [&](std::size_t) { spin(); });
+    b.wait();
+    m.wait();
+    dump = session.end();
+  }
+  std::stringstream ss;
+  write_chrome_trace(dump, ss);
+  const TraceDump parsed = read_chrome_trace(ss);
+
+  const RecordedGraph g1 = extract_task_graph(dump);
+  const RecordedGraph g2 = extract_task_graph(parsed);
+  ASSERT_EQ(g1.task_count(), g2.task_count());
+  ASSERT_EQ(g1.edge_count(), g2.edge_count());
+  ASSERT_EQ(g1.patterns().size(), g2.patterns().size());
+  for (std::size_t g = 0; g < g1.patterns().size(); ++g) {
+    EXPECT_EQ(g1.patterns()[g].kind, g2.patterns()[g].kind);
+    EXPECT_EQ(g1.patterns()[g].tasks.size(), g2.patterns()[g].tasks.size());
+    EXPECT_NEAR(g1.patterns()[g].work_s, g2.patterns()[g].work_s, 1e-12);
+  }
+  // The fitted models agree because the inputs agree exactly. A six-task
+  // trace recorded under real scheduler noise is the hardest fitting input
+  // in this file, so the accuracy ask is the report gate (two held-out core
+  // counts within 15%), not a bound on every point.
+  const ProgramModel m1 = model::fit_program(g1);
+  const ProgramModel m2 = model::fit_program(g2);
+  EXPECT_NEAR(m1.total.eval(8.0), m2.total.eval(8.0), 1e-12);
+  std::size_t within = 0;
+  for (const auto& h : m1.holdout) {
+    if (h.rel_error <= 0.15) ++within;
+  }
+  EXPECT_GE(within, 2u);
+  EXPECT_LE(m1.max_holdout_error(), 0.35);
+}
+
+}  // namespace
+}  // namespace parc::obs

@@ -46,21 +46,21 @@ TEST(ObsRoundTrip, DiamondGraphSurvivesExtractReplayAnalysis) {
   }
 
   const RecordedGraph graph = extract_task_graph(dump);
-  ASSERT_EQ(graph.tasks.size(), 4u);
-  ASSERT_EQ(graph.edges.size(), 4u);
-  for (const RecordedTask& t : graph.tasks) {
+  ASSERT_EQ(graph.task_count(), 4u);
+  ASSERT_EQ(graph.edge_count(), 4u);
+  for (const RecordedTask& t : graph.tasks()) {
     EXPECT_TRUE(t.started);
     EXPECT_TRUE(t.finished);
     EXPECT_GT(t.cost_s(), 0.0);
   }
   // Start-time order is topological: a first, d last.
-  EXPECT_GE(graph.tasks[3].start_ns, graph.tasks[0].finish_ns);
+  EXPECT_GE(graph.tasks()[3].start_ns, graph.tasks()[0].finish_ns);
 
   const CriticalPathReport report = critical_path(graph);
   EXPECT_EQ(report.tasks, 4u);
   EXPECT_EQ(report.edges, 4u);
   double sum = 0.0;
-  for (const RecordedTask& t : graph.tasks) sum += t.cost_s();
+  for (const RecordedTask& t : graph.tasks()) sum += t.cost_s();
   EXPECT_DOUBLE_EQ(report.work_s, sum);
   // The span follows the a → max(b, c) → d chain; every cost is ≥ its spin
   // budget, so the span must be at least 2+4+2 ms and below the total work.
@@ -81,10 +81,12 @@ TEST(ObsRoundTrip, DiamondGraphSurvivesExtractReplayAnalysis) {
 
   // Work/span laws: the simulated speedup never exceeds the analyzer's
   // bound at any core count.
-  for (const std::size_t cores : {1u, 2u, 3u, 8u}) {
-    const auto out = sim::simulate(dag, {cores, 0.0, "p"});
-    EXPECT_LE(out.speedup, report.speedup_bound(cores) * (1.0 + 1e-9))
-        << "cores = " << cores;
+  sim::SweepOptions sweep_opts;
+  sweep_opts.cores = {1, 2, 3, 8};
+  for (const sim::SweepPoint& point : sim::sweep(dag, sweep_opts).points) {
+    EXPECT_LE(point.outcome.speedup,
+              report.speedup_bound(point.cores) * (1.0 + 1e-9))
+        << "cores = " << point.cores;
   }
 }
 
@@ -100,7 +102,7 @@ TEST(ObsRoundTrip, DagTextDumpMirrorsToDag) {
     dump = session.end();
   }
   const RecordedGraph graph = extract_task_graph(dump);
-  ASSERT_EQ(graph.tasks.size(), 2u);
+  ASSERT_EQ(graph.task_count(), 2u);
   std::ostringstream os;
   graph.write(os);
   const std::string text = os.str();
@@ -124,14 +126,14 @@ TEST(ObsRoundTrip, MultiTaskBodiesRecordAsChildrenOfTheAggregate) {
   }
   const RecordedGraph graph = extract_task_graph(dump);
   // The aggregate handle plus one task per body.
-  ASSERT_EQ(graph.tasks.size(), kBodies + 1);
+  ASSERT_EQ(graph.task_count(), kBodies + 1);
   std::uint64_t agg_id = 0;
-  for (const RecordedTask& t : graph.tasks) {
+  for (const RecordedTask& t : graph.tasks()) {
     if (!t.started) agg_id = t.id;  // the aggregate never runs a body
   }
   ASSERT_NE(agg_id, 0u);
   std::size_t children = 0;
-  for (const RecordedTask& t : graph.tasks) {
+  for (const RecordedTask& t : graph.tasks()) {
     if (t.parent == agg_id) {
       ++children;
       EXPECT_TRUE(t.started);
@@ -170,12 +172,12 @@ TEST(ObsRoundTrip, PjTaskloopTraceReplaysThroughTheSimulator) {
   EXPECT_GT(dump.count_kind(EventKind::kRegionBegin), 0u);
   EXPECT_GT(dump.count_kind(EventKind::kBarrierBegin), 0u);
   const RecordedGraph graph = extract_task_graph(dump);
-  ASSERT_EQ(graph.tasks.size(), 8u);
-  EXPECT_TRUE(graph.edges.empty());
+  ASSERT_EQ(graph.task_count(), 8u);
+  EXPECT_TRUE((graph.edge_count() == 0));
   const CriticalPathReport report = critical_path(graph);
   // Independent chunks: the span is the single most expensive chunk.
   double max_cost = 0.0;
-  for (const RecordedTask& t : graph.tasks) {
+  for (const RecordedTask& t : graph.tasks()) {
     max_cost = std::max(max_cost, t.cost_s());
   }
   EXPECT_DOUBLE_EQ(report.span_s, max_cost);

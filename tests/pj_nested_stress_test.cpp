@@ -190,7 +190,7 @@ TEST(PjNestedStress, TracedNestedTaskloopsReplayThroughTheSimulator) {
   EXPECT_EQ(count.load(), 2 * kIters);
   // Both levels' chunk runners are recorded as (edge-free) tasks.
   const obs::RecordedGraph graph = obs::extract_task_graph(dump);
-  ASSERT_EQ(graph.tasks.size(), 2 * kChunksPerLevel);
+  ASSERT_EQ(graph.task_count(), 2 * kChunksPerLevel);
   const obs::CriticalPathReport report = obs::critical_path(graph);
   const sim::TaskDag dag = graph.to_dag();
   // T1 == single-core makespan, T∞ == unbounded-core makespan, and greedy
@@ -200,10 +200,12 @@ TEST(PjNestedStress, TracedNestedTaskloopsReplayThroughTheSimulator) {
   EXPECT_NEAR(serial.makespan_s, report.work_s, report.work_s * 1e-9);
   const auto wide = sim::simulate(dag, {64, 0.0, "p64"});
   EXPECT_NEAR(wide.makespan_s, report.span_s, report.span_s * 1e-9);
-  for (const std::size_t cores : {2u, 4u}) {
-    const auto out = sim::simulate(dag, {cores, 0.0, "p"});
-    EXPECT_LE(out.speedup, report.speedup_bound(cores) * (1.0 + 1e-9))
-        << "cores = " << cores;
+  sim::SweepOptions sweep_opts;
+  sweep_opts.cores = {2, 4};
+  for (const sim::SweepPoint& point : sim::sweep(dag, sweep_opts).points) {
+    EXPECT_LE(point.outcome.speedup,
+              report.speedup_bound(point.cores) * (1.0 + 1e-9))
+        << "cores = " << point.cores;
   }
 }
 

@@ -414,8 +414,8 @@ TEST(SchedShard, TracedRunReplaysWithLessCrossTrafficHierarchically) {
   }
   const obs::TraceDump dump = session.end();
   const obs::RecordedGraph graph = obs::extract_task_graph(dump);
-  ASSERT_EQ(graph.tasks.size(), kChains * kLinks);
-  ASSERT_EQ(graph.edges.size(), kChains * (kLinks - 1));
+  ASSERT_EQ(graph.task_count(), kChains * kLinks);
+  ASSERT_EQ(graph.edge_count(), kChains * (kLinks - 1));
   const sim::TaskDag dag = graph.to_dag();
 
   sim::MachineParams machine{16, 0.0, "replay-16c"};

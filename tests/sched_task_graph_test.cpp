@@ -305,8 +305,8 @@ TEST(TaskGraphRandomDag, TracedJoinMatchesSimCriticalPath) {
   }
 
   const obs::RecordedGraph graph = obs::extract_task_graph(dump);
-  ASSERT_EQ(graph.tasks.size(), spawned);
-  for (const obs::RecordedTask& t : graph.tasks) {
+  ASSERT_EQ(graph.task_count(), spawned);
+  for (const obs::RecordedTask& t : graph.tasks()) {
     EXPECT_TRUE(t.started);
     EXPECT_TRUE(t.finished);
   }
@@ -321,10 +321,12 @@ TEST(TaskGraphRandomDag, TracedJoinMatchesSimCriticalPath) {
   EXPECT_NEAR(serial.makespan_s, report.work_s, report.work_s * 1e-9);
   const auto wide = sim::simulate(dag, {64, 0.0, "pinf"});
   EXPECT_NEAR(wide.makespan_s, report.span_s, report.span_s * 1e-9);
-  for (const std::size_t cores : {2u, 4u, 8u}) {
-    const auto out = sim::simulate(dag, {cores, 0.0, "p"});
-    EXPECT_LE(out.speedup, report.speedup_bound(cores) * (1.0 + 1e-9))
-        << "cores = " << cores;
+  sim::SweepOptions sweep_opts;
+  sweep_opts.cores = {2, 4, 8};
+  for (const sim::SweepPoint& point : sim::sweep(dag, sweep_opts).points) {
+    EXPECT_LE(point.outcome.speedup,
+              report.speedup_bound(point.cores) * (1.0 + 1e-9))
+        << "cores = " << point.cores;
   }
 }
 

@@ -354,15 +354,13 @@ TEST(Replay, SimulatedCoresShowTheKnee) {
   const ReplayDag replay = build_serve_dag(dump);
   EXPECT_EQ(replay.executed, 400u);
 
-  auto speedup_at = [&](std::size_t cores) {
-    sim::MachineParams m;
-    m.cores = cores;
-    return sim::simulate(replay.dag, m).speedup;
-  };
-  const double sp1 = speedup_at(1);
-  const double sp4 = speedup_at(4);
-  const double sp64 = speedup_at(64);
-  const double sp256 = speedup_at(256);
+  sim::SweepOptions sweep_opts;
+  sweep_opts.cores = {1, 4, 64, 256};
+  const sim::SweepTable table = sim::sweep(replay.dag, sweep_opts);
+  const double sp1 = table.speedup_at(1);
+  const double sp4 = table.speedup_at(4);
+  const double sp64 = table.speedup_at(64);
+  const double sp256 = table.speedup_at(256);
   EXPECT_NEAR(sp1, 1.0, 1e-9);
   EXPECT_GT(sp4, 3.0);
   EXPECT_GT(sp64, sp4);

@@ -115,15 +115,23 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
-TEST(SpeedupCurve, MonotoneUntilSaturation) {
+TEST(Sweep, MonotoneUntilSaturation) {
   const TaskDag dag = divide_conquer_dag(1 << 20, 1 << 12, 1e-8, 0.0);
-  const auto curve = speedup_curve(dag, {1, 2, 4, 8, 16, 32, 64});
-  for (std::size_t i = 1; i < curve.size(); ++i) {
-    EXPECT_GE(curve[i].speedup, curve[i - 1].speedup - 1e-9);
+  const SweepTable table = sweep(dag, {});
+  ASSERT_EQ(table.points.size(), 7u);  // default grid 1..64
+  for (std::size_t i = 1; i < table.points.size(); ++i) {
+    EXPECT_GE(table.points[i].outcome.speedup,
+              table.points[i - 1].outcome.speedup - 1e-9);
   }
-  EXPECT_NEAR(curve[0].speedup, 1.0, 1e-9);
+  EXPECT_NEAR(table.points.front().outcome.speedup, 1.0, 1e-9);
   // Saturates at the DAG's parallelism.
-  EXPECT_LE(curve.back().speedup, dag.parallelism() + 1e-9);
+  EXPECT_LE(table.points.back().outcome.speedup, dag.parallelism() + 1e-9);
+  // Table summary matches the DAG and the lookup helpers hit.
+  EXPECT_NEAR(table.work_s, dag.total_work(), 1e-9);
+  EXPECT_NEAR(table.span_s, dag.critical_path(), 1e-9);
+  ASSERT_NE(table.find(8), nullptr);
+  EXPECT_NEAR(table.speedup_at(8), table.find(8)->speedup, 1e-12);
+  EXPECT_EQ(table.find(5), nullptr);  // not a sweep point
 }
 
 TEST(AmdahlDag, MatchesAmdahlFormula) {
