@@ -63,13 +63,27 @@ WorkloadConfig base_workload(std::size_t requests) {
 
 void check_conservation(const Server::Stats& s, const char* where) {
   PARC_CHECK_MSG(s.in_flight == 0, where);
-  PARC_CHECK_MSG(s.offered == s.admitted + s.shed_rate + s.shed_queue, where);
-  PARC_CHECK_MSG(s.admitted == s.completed, where);
-  PARC_CHECK_MSG(s.admitted == s.hits_inline + s.coalesced + s.executed,
+  PARC_CHECK_MSG(s.offered == s.admitted + s.shed_rate + s.shed_queue +
+                                  s.shed_deadline,
+                 where);
+  PARC_CHECK_MSG(s.admitted == s.completed + s.failed, where);
+  PARC_CHECK_MSG(s.admitted == s.hits_inline + s.negative_hits +
+                                   s.coalesced + s.executed,
                  where);
   // Every ingress cache miss became a leader (executed) or a waiter.
-  PARC_CHECK_MSG(s.cache.hits == s.hits_inline, where);
+  PARC_CHECK_MSG(s.cache.hits == s.hits_inline + s.negative_hits, where);
   PARC_CHECK_MSG(s.cache.misses == s.executed + s.coalesced, where);
+  // Per-priority splits sum to the aggregates, exactly.
+  std::uint64_t offered_by = 0, admitted_by = 0, shed_by = 0;
+  for (std::size_t p = 0; p < kPriorities; ++p) {
+    offered_by += s.offered_by[p];
+    admitted_by += s.admitted_by[p];
+    shed_by += s.shed_by[p];
+  }
+  PARC_CHECK_MSG(offered_by == s.offered, where);
+  PARC_CHECK_MSG(admitted_by == s.admitted, where);
+  PARC_CHECK_MSG(shed_by == s.shed_rate + s.shed_queue + s.shed_deadline,
+                 where);
 }
 
 struct LevelResult {
@@ -147,6 +161,82 @@ LevelResult run_level(std::size_t n, double rate, double admit_rate) {
   out.shed_rate =
       static_cast<double>(out.stats.shed_rate + out.stats.shed_queue) /
       static_cast<double>(out.stats.offered);
+  return out;
+}
+
+/// One replicated open-loop run for the degraded-mode sweep: 4 replicas,
+/// priority-weighted traffic at 1.3× the admitted rate (so the token
+/// ladder sheds — from the low class), optionally under a fault plan.
+/// The run is traced: zero drops asserted, and the eject/probe ledger is
+/// cross-checked against the router's own counters.
+struct DegradedResult {
+  Server::Stats stats;
+  double p99_ms = 0.0;       ///< all priorities, successful replies
+  double p99_high_ms = 0.0;  ///< priority-high replies
+  double shed_low_frac = 0.0;
+  std::vector<Router::ReplicaSnapshot> replicas;  ///< at end of schedule
+  std::uint64_t trace_ejects = 0;
+  std::uint64_t trace_probes = 0;
+  std::uint64_t trace_events = 0;
+};
+
+DegradedResult run_replicated(std::size_t n, double rate, double admit_rate,
+                              const FaultPlan& plan, double duration_s) {
+  ServerConfig cfg = base_config();
+  cfg.admission = AdmissionConfig{admit_rate, 256.0, 8192};
+  cfg.router.replicas = 4;
+  cfg.router.seed = 7;
+  // Backoffs scale with the schedule so a blackout ending at 60% of the
+  // run always leaves room for the recovery probe to land and succeed.
+  cfg.router.health.probe_backoff_s = duration_s * 0.005;
+  cfg.router.health.probe_backoff_max_s = duration_s * 0.02;
+  cfg.fault_plan = plan;
+  // Negative caching: a hot key that just failed on a dead replica fails
+  // fast at the ingress for a short window instead of re-dispatching.
+  cfg.negative_ttl_s = duration_s * 0.005;
+  Server server(cfg);
+  WorkloadConfig w = base_workload(n);
+  w.arrival_rate = rate;
+  LoadGenerator gen(w);
+  obs::TraceSession session(obs::TraceConfig{std::size_t{1} << 20});
+  server.start();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request r = gen.next();
+    if (server.now_s() < r.arrival_s) {
+      server.flush();
+      while (server.now_s() < r.arrival_s) {
+      }
+    }
+    (void)server.offer(r);
+  }
+  server.drain();
+  const obs::TraceDump dump = session.end();
+  PARC_CHECK_MSG(dump.total_dropped() == 0,
+                 "degraded-mode run must not drop trace events");
+
+  DegradedResult out;
+  out.stats = server.stats();
+  check_conservation(out.stats, "degraded-mode run");
+  out.p99_ms = server.latency_histogram().p99() * 1e3;
+  out.p99_high_ms = server.latency_histogram(Priority::high).p99() * 1e3;
+  const std::uint64_t shed_total =
+      out.stats.shed_rate + out.stats.shed_queue + out.stats.shed_deadline;
+  out.shed_low_frac =
+      shed_total == 0
+          ? 0.0
+          : static_cast<double>(
+                out.stats.shed_by[static_cast<std::size_t>(Priority::low)]) /
+                static_cast<double>(shed_total);
+  out.replicas = server.router().snapshot(duration_s);
+  out.trace_ejects = dump.count_kind(obs::EventKind::kEject);
+  out.trace_events = dump.count_kind(obs::EventKind::kServeArrive);
+  // kProbe arg 0 = routed, 1|2 = settled; count settled verdicts only.
+  for (const auto& track : dump.tracks) {
+    for (const obs::Event& e : track.events) {
+      out.trace_probes +=
+          e.kind == obs::EventKind::kProbe && e.arg != 0 ? 1 : 0;
+    }
+  }
   return out;
 }
 
@@ -340,6 +430,81 @@ int main(int argc, char** argv) {
   PARC_CHECK_MSG(p99_64 <= p99_4 * 1.05,
                  "more simulated cores must not worsen replay p99");
 
+  // Phase 4: degraded-mode sweep — the same replicated server healthy and
+  // with 1 of its 4 replicas blacked out for 40% of the schedule. Offered
+  // load is 1.3× the admitted rate so the priority ladder sheds (from the
+  // low class); the blackout must trigger ejection, then recovery via
+  // half-open probes once the window ends, while priority-high p99 stays
+  // inside 2× of the healthy run's.
+  const std::size_t per_degraded = json_only ? 40000 : 120000;
+  const double deg_admit = 0.5 * capacity;
+  const double deg_rate = 1.3 * deg_admit;
+  const double deg_duration = static_cast<double>(per_degraded) / deg_rate;
+  const FaultPlan blackout =
+      FaultPlan::blackout(0, 0.2 * deg_duration, 0.6 * deg_duration);
+  const DegradedResult healthy = run_replicated(
+      per_degraded, deg_rate, deg_admit, FaultPlan{}, deg_duration);
+  const DegradedResult degraded = run_replicated(
+      per_degraded, deg_rate, deg_admit, blackout, deg_duration);
+  total_offered += healthy.stats.offered + degraded.stats.offered;
+
+  Table deg("Degraded mode: 4 replicas, one blacked out for 40% of the "
+            "schedule (offered = 1.3x admitted rate)");
+  deg.columns({"run", "p99 ms", "p99-high ms", "shed rate", "shed from low",
+               "failed", "neg hits", "ejects", "recoveries"});
+  const std::pair<const char*, const DegradedResult*> deg_rows[] = {
+      {"healthy", &healthy}, {"blackout", &degraded}};
+  for (const auto& [name, r] : deg_rows) {
+    const auto& s = r->stats;
+    deg.add_row()
+        .cell(name)
+        .cell(r->p99_ms, 3)
+        .cell(r->p99_high_ms, 3)
+        .cell(static_cast<double>(s.shed_rate + s.shed_queue +
+                                  s.shed_deadline) /
+                  static_cast<double>(s.offered),
+              3)
+        .cell(r->shed_low_frac, 3)
+        .cell(static_cast<double>(s.failed), 0)
+        .cell(static_cast<double>(s.negative_hits), 0)
+        .cell(static_cast<double>(s.router.ejections), 0)
+        .cell(static_cast<double>(s.router.recoveries), 0);
+  }
+  bench::emit(deg);
+
+  // Gates (the ISSUE's degraded-mode acceptance criteria).
+  PARC_CHECK_MSG(healthy.stats.router.ejections == 0,
+                 "no ejection without a fault plan");
+  PARC_CHECK_MSG(healthy.stats.failed == 0,
+                 "no failures without a fault plan");
+  PARC_CHECK_MSG(degraded.stats.router.ejections >= 1,
+                 "the blackout must eject replica 0");
+  PARC_CHECK_MSG(degraded.stats.router.recoveries >= 1,
+                 "replica 0 must recover via probes after the window");
+  PARC_CHECK_MSG(degraded.stats.failed > 0,
+                 "pre-ejection traffic into the blackout must fail");
+  PARC_CHECK_MSG(degraded.replicas.size() == 4 &&
+                     degraded.replicas[0].state == ReplicaState::healthy,
+                 "replica 0 must be healthy again at end of schedule");
+  const std::uint64_t deg_shed = degraded.stats.shed_rate +
+                                 degraded.stats.shed_queue +
+                                 degraded.stats.shed_deadline;
+  PARC_CHECK_MSG(deg_shed > 0, "1.3x admitted rate must shed");
+  PARC_CHECK_MSG(degraded.shed_low_frac >= 0.9,
+                 "at least 90% of shedding drawn from the low class");
+  PARC_CHECK_MSG(
+      degraded.stats.shed_by[static_cast<std::size_t>(Priority::high)] == 0,
+      "the reserve ladder must never shed priority-high here");
+  PARC_CHECK_MSG(degraded.p99_high_ms <= 2.0 * healthy.p99_high_ms,
+                 "degraded priority-high p99 within 2x of healthy");
+  if (degraded.trace_events > 0) {
+    // Tracing compiled in: the event ledger must match the router.
+    PARC_CHECK_MSG(degraded.trace_ejects == degraded.stats.router.ejections,
+                   "kEject events == router ejections");
+    PARC_CHECK_MSG(degraded.trace_probes == degraded.stats.router.probes,
+                   "settled kProbe events == router probes");
+  }
+
   PARC_CHECK_MSG(json_only || total_offered >= 1000000,
                  "the full bench must offer at least a million requests");
   std::printf("\ntotal requests offered: %llu\n",
@@ -361,6 +526,16 @@ int main(int argc, char** argv) {
   report.add("replay_speedup_p4", sp4)
       .add("replay_speedup_p64", sp64)
       .add("replay_speedup_p256", sp256);
+  report.add("healthy_p99_high", healthy.p99_high_ms * 1e6)
+      .add("degraded_p99_high", degraded.p99_high_ms * 1e6)
+      .add("degraded_shed_low_frac", degraded.shed_low_frac)
+      .add("degraded_failed", static_cast<double>(degraded.stats.failed))
+      .add("degraded_negative_hits",
+           static_cast<double>(degraded.stats.negative_hits))
+      .add("degraded_ejections",
+           static_cast<double>(degraded.stats.router.ejections))
+      .add("degraded_recoveries",
+           static_cast<double>(degraded.stats.router.recoveries));
   report.write();
 
   // No google-benchmark micros here: every measurement above is a paced

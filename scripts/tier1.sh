@@ -44,7 +44,7 @@ TSAN_SUITES=(
   ptask_test ptask_multi_test ptask_pipeline_test ptask_graph_test
   pj_sync_test pj_nested_test pj_nested_stress_test pj_places_test
   conc_collections_test conc_tasksafe_test conc_cow_test
-  net_test serve_test flow_test
+  net_test serve_test serve_fault_test flow_test
 )
 cmake -B "${PREFIX}-tsan" -S . -DPARC_SANITIZE=thread \
   -DPARC_BUILD_BENCH=OFF -DPARC_BUILD_EXAMPLES=OFF >/dev/null

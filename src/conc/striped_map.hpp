@@ -111,6 +111,13 @@ class StripedHashMap {
 /// stripe's least-recently-used entry when over budget. Hit/miss/evict
 /// counters are relaxed atomics, summed by stats(); they are exact after a
 /// quiescent point, like the scheduler's Stats contract.
+///
+/// Entries may carry an absolute expiry stamp (`put(k, v, expire_at_s)` on
+/// whatever clock the caller measures time — parc::serve uses scheduled
+/// arrival time, so expiry is deterministic). `get(k, now_s)` treats an
+/// expired entry as a miss, erases it lazily, and counts it (`expired`).
+/// The default overloads (`put(k, v)` / `get(k)`) never expire anything,
+/// so existing callers are unchanged.
 template <typename K, typename V, typename Hash = std::hash<K>>
 class StripedLruCache {
  public:
@@ -120,6 +127,8 @@ class StripedLruCache {
     std::uint64_t insertions = 0;
     std::uint64_t updates = 0;     ///< put() of a key already present
     std::uint64_t evictions = 0;
+    std::uint64_t expired = 0;     ///< lookups that found a dead entry
+                                   ///< (each also counted as a miss)
     std::size_t size = 0;          ///< entries resident right now
   };
 
@@ -131,8 +140,13 @@ class StripedLruCache {
     per_stripe_cap_ = (capacity + stripes_ - 1) / stripes_;
   }
 
-  /// Look up `k`; a hit moves the entry to the stripe's most-recent slot.
-  [[nodiscard]] std::optional<V> get(const K& k) {
+  /// Look up `k` as of `now_s`; a live hit moves the entry to the stripe's
+  /// most-recent slot. An entry whose expiry has passed is erased and
+  /// reported as a miss (plus `expired`). The no-clock overload never sees
+  /// expiry (now_s = 0 precedes every positive stamp).
+  [[nodiscard]] std::optional<V> get(const K& k) { return get(k, 0.0); }
+
+  [[nodiscard]] std::optional<V> get(const K& k, double now_s) {
     Shard& s = shard(k);
     std::scoped_lock lock(s.mutex);
     auto it = s.index.find(k);
@@ -140,28 +154,41 @@ class StripedLruCache {
       s.misses.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
+    if (it->second->expire_s > 0.0 && now_s >= it->second->expire_s) {
+      s.order.erase(it->second);
+      s.index.erase(it);
+      s.expired.fetch_add(1, std::memory_order_relaxed);
+      s.misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
     s.order.splice(s.order.begin(), s.order, it->second);
     s.hits.fetch_add(1, std::memory_order_relaxed);
-    return it->second->second;
+    return it->second->value;
   }
 
   /// Insert or overwrite `k`; either way the entry becomes most-recent.
   /// Evicts the stripe's LRU entry when the stripe is over budget.
-  void put(const K& k, V v) {
+  /// `expire_at_s` > 0 makes the entry dead to any get() whose clock has
+  /// reached it (TTL = expire_at_s − put-time on the caller's clock);
+  /// 0 = never expires.
+  void put(const K& k, V v) { put(k, std::move(v), 0.0); }
+
+  void put(const K& k, V v, double expire_at_s) {
     Shard& s = shard(k);
     std::scoped_lock lock(s.mutex);
     auto it = s.index.find(k);
     if (it != s.index.end()) {
-      it->second->second = std::move(v);
+      it->second->value = std::move(v);
+      it->second->expire_s = expire_at_s;
       s.order.splice(s.order.begin(), s.order, it->second);
       s.updates.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    s.order.emplace_front(k, std::move(v));
+    s.order.emplace_front(Node{k, std::move(v), expire_at_s});
     s.index.emplace(k, s.order.begin());
     s.insertions.fetch_add(1, std::memory_order_relaxed);
     if (s.order.size() > per_stripe_cap_) {
-      s.index.erase(s.order.back().first);
+      s.index.erase(s.order.back().key);
       s.order.pop_back();
       s.evictions.fetch_add(1, std::memory_order_relaxed);
     }
@@ -202,6 +229,7 @@ class StripedLruCache {
       out.insertions += s.insertions.load(std::memory_order_relaxed);
       out.updates += s.updates.load(std::memory_order_relaxed);
       out.evictions += s.evictions.load(std::memory_order_relaxed);
+      out.expired += s.expired.load(std::memory_order_relaxed);
     }
     out.size = size();
     return out;
@@ -218,18 +246,24 @@ class StripedLruCache {
   }
 
  private:
+  struct Node {
+    K key;
+    V value;
+    double expire_s = 0.0;  ///< absolute expiry on the caller's clock; 0 = never
+  };
+
   struct Shard {
     mutable std::mutex mutex;
     // Recency list front = most recent; index maps key → list node. Both
     // guarded by mutex.
-    std::list<std::pair<K, V>> order;
-    std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
-        index;
+    std::list<Node> order;
+    std::unordered_map<K, typename std::list<Node>::iterator, Hash> index;
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> insertions{0};
     std::atomic<std::uint64_t> updates{0};
     std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> expired{0};
   };
 
   static std::size_t round_up_pow2(std::size_t n) {

@@ -76,6 +76,12 @@ KindInfo kind_info(EventKind kind) {
     case EventKind::kChanPop:      return {"i", "chan-pop", "flow", true};
     case EventKind::kChanFull:     return {"i", "chan-block", "flow", true};
     case EventKind::kChanClosed:   return {"i", "chan-closed", "flow", true};
+    case EventKind::kReplicaPick:  return {"i", "replica-pick", "serve", true};
+    case EventKind::kReplicaFail:  return {"i", "replica-fail", "serve", true};
+    case EventKind::kEject:        return {"i", "eject", "serve", true};
+    case EventKind::kProbe:        return {"i", "probe", "serve", true};
+    case EventKind::kDeadlineShed:
+      return {"i", "deadline-shed", "serve", true};
   }
   return {"i", "unknown", "obs", false};
 }

@@ -101,6 +101,19 @@ enum class EventKind : std::uint8_t {
   kChanFull,     ///< id = channel id, arg = 0 producer blocked on full,
                  ///< 1 consumer blocked on empty
   kChanClosed,   ///< id = channel id, arg = 0 closed, 1 poisoned
+  // Replicated serving (serve::Router health/fault lifecycle). Replica
+  // transitions are keyed on *scheduled* arrival time, so a traced run's
+  // eject/probe sequence is a pure function of the seeded request stream.
+  kReplicaPick,   ///< id = request id, arg = replica index — router choice
+  kReplicaFail,   ///< id = request id, arg = replica index — request failed
+                  ///< (injected fault or organic backend error)
+  kEject,         ///< id = replica index, arg = consecutive failures —
+                  ///< replica left the healthy rotation
+  kProbe,         ///< id = replica index, arg = 0 half-open probe routed /
+                  ///< 1 probe verdict ok (replica recovered) / 2 probe
+                  ///< verdict failed (backoff doubled, re-ejected)
+  kDeadlineShed,  ///< id = request id, arg = priority — expired or refused
+                  ///< by the priority/deadline admission ladder
 };
 
 /// Fixed-slot trace record: 32 bytes, written once, never reused.

@@ -1,6 +1,7 @@
 #include "serve/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.hpp"
 
@@ -10,26 +11,55 @@ AdmissionController::AdmissionController(AdmissionConfig cfg)
     : cfg_(cfg), tokens_(cfg.burst) {
   PARC_CHECK(cfg_.rate >= 0.0);
   PARC_CHECK(cfg_.burst >= 1.0);
+  PARC_CHECK(cfg_.reserve_normal >= 0.0);
+  PARC_CHECK(cfg_.reserve_low >= cfg_.reserve_normal);
+  PARC_CHECK(cfg_.reserve_low < 1.0);
+  PARC_CHECK(cfg_.pending_low > 0.0);
+  PARC_CHECK(cfg_.pending_normal >= cfg_.pending_low);
+  PARC_CHECK(cfg_.pending_normal <= 1.0);
+  reserves_ = {0.0, cfg_.reserve_normal * cfg_.burst,
+               cfg_.reserve_low * cfg_.burst};
+  if (cfg_.max_pending == 0) {
+    pending_caps_ = {0, 0, 0};
+  } else {
+    const auto cap = [&](double frac) {
+      return std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::floor(frac * static_cast<double>(cfg_.max_pending))));
+    };
+    pending_caps_ = {cfg_.max_pending, cap(cfg_.pending_normal),
+                     cap(cfg_.pending_low)};
+  }
 }
 
 AdmissionController::Decision AdmissionController::admit(
-    double arrival_s, std::size_t in_flight) {
+    double arrival_s, Priority priority, double deadline_s,
+    std::size_t in_flight) {
+  const auto p = static_cast<std::size_t>(priority);
   ++stats_.offered;
+  ++stats_.offered_by[p];
+  const auto shed = [&](std::uint64_t& counter, Decision d) {
+    ++counter;
+    ++stats_.shed_by[p];
+    return d;
+  };
+  if (deadline_s > 0.0 && arrival_s > deadline_s) {
+    return shed(stats_.shed_deadline, Decision::shed_deadline);
+  }
   if (cfg_.rate > 0.0) {
     tokens_ = std::min(cfg_.burst,
                        tokens_ + (arrival_s - last_refill_s_) * cfg_.rate);
     last_refill_s_ = arrival_s;
-    if (tokens_ < 1.0) {
-      ++stats_.shed_rate;
-      return Decision::shed_rate;
+    if (tokens_ < 1.0 + reserves_[p]) {
+      return shed(stats_.shed_rate, Decision::shed_rate);
     }
   }
-  if (cfg_.max_pending != 0 && in_flight >= cfg_.max_pending) {
-    ++stats_.shed_queue;
-    return Decision::shed_queue;
+  if (pending_caps_[p] != 0 && in_flight >= pending_caps_[p]) {
+    return shed(stats_.shed_queue, Decision::shed_queue);
   }
   if (cfg_.rate > 0.0) tokens_ -= 1.0;
   ++stats_.admitted;
+  ++stats_.admitted_by[p];
   return Decision::admit;
 }
 

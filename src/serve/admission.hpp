@@ -1,26 +1,41 @@
 // Admission control: the piece that turns overload into bounded, *counted*
-// shedding instead of unbounded queueing.
+// shedding instead of unbounded queueing — now priority- and deadline-
+// aware, so the shedding is drawn from the cheapest work first.
 //
-// Two gates, applied in order at the ingress:
+// Gates, applied in order at the ingress:
 //
-//  1. A token bucket over the request *schedule*: tokens refill at `rate`
+//  1. Deadline: a request already expired at its *scheduled* arrival
+//     (arrival_s > deadline_s) is shed immediately (shed_deadline). Work
+//     that cannot possibly be useful never occupies a queue slot.
+//
+//  2. A token bucket over the request *schedule*: tokens refill at `rate`
 //     per second of scheduled-arrival time and cap at `burst`. Refilling on
 //     the schedule (not the wall clock) makes the bucket's verdicts a pure
 //     function of the workload — the same stream sheds the same request
 //     ids on every run, which the bench's conservation assertions rely on.
+//     Priority ladder: class p admits only while
+//     tokens ≥ 1 + reserve(p) · burst, with reserve(high)=0 <
+//     reserve(normal) < reserve(low). The monotone reserves are what makes
+//     "no higher-priority request is shed while a lower-priority one is
+//     admitted" provable: within any window shorter than
+//     (reserve(q) − reserve(p)) · burst / rate the refill cannot climb from
+//     below class p's threshold to above class q's
+//     (serve_fault_test::Admission* property-checks exactly this).
 //
-//  2. A bound on requests concurrently inside the server (`max_pending`):
-//     admitted-but-unfinished work is live state (coalescer nodes, batch
-//     slots, pool queue entries), and a server that admits faster than it
-//     completes must eventually refuse — this is the refusal, counted.
+//  3. A bound on requests concurrently inside the server (`max_pending`),
+//     with the same ladder: class p admits only while
+//     in_flight < pending_fraction(p) · max_pending.
 //
 // Single-writer by design: one ingress thread calls admit(); the counters
 // are plain integers read after the run. (The server's own cross-thread
 // accounting is atomic; this object is deliberately not.)
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+
+#include "serve/request.hpp"
 
 namespace parc::serve {
 
@@ -31,14 +46,24 @@ struct AdmissionConfig {
   double burst = 256.0;
   /// Max requests admitted but not yet completed. 0 = no queue gate.
   std::size_t max_pending = 8192;
+  /// Token reserve each class must leave untouched, as a fraction of
+  /// `burst`. high is implicitly 0; the ladder must be monotone
+  /// (0 ≤ reserve_normal ≤ reserve_low < 1).
+  double reserve_normal = 0.1;
+  double reserve_low = 0.3;
+  /// Pending-slot fraction each class may fill (high implicitly 1;
+  /// 0 < pending_low ≤ pending_normal ≤ 1).
+  double pending_normal = 0.8;
+  double pending_low = 0.5;
 };
 
 class AdmissionController {
  public:
   enum class Decision : std::uint8_t {
     admit,
-    shed_rate,   ///< token bucket empty at this request's scheduled arrival
-    shed_queue,  ///< too many admitted requests still in flight
+    shed_rate,      ///< bucket below this class's reserve at its arrival
+    shed_queue,     ///< this class's share of pending slots is full
+    shed_deadline,  ///< already expired at its scheduled arrival
   };
 
   explicit AdmissionController(AdmissionConfig cfg);
@@ -46,13 +71,29 @@ class AdmissionController {
   /// Decide one request. `arrival_s` must be non-decreasing across calls
   /// (the generator's schedule is); `in_flight` is the server's current
   /// admitted-but-unfinished count.
-  [[nodiscard]] Decision admit(double arrival_s, std::size_t in_flight);
+  [[nodiscard]] Decision admit(double arrival_s, Priority priority,
+                               double deadline_s, std::size_t in_flight);
+
+  /// Token reserve (absolute tokens, not fraction) class `p` must leave.
+  [[nodiscard]] double reserve_tokens(Priority p) const noexcept {
+    return reserves_[static_cast<std::size_t>(p)];
+  }
+  /// Pending-slot cap for class `p` (0 = no queue gate).
+  [[nodiscard]] std::size_t pending_cap(Priority p) const noexcept {
+    return pending_caps_[static_cast<std::size_t>(p)];
+  }
 
   struct Stats {
     std::uint64_t offered = 0;
     std::uint64_t admitted = 0;
     std::uint64_t shed_rate = 0;
     std::uint64_t shed_queue = 0;
+    std::uint64_t shed_deadline = 0;
+    /// Per-priority splits (index = Priority); each row sums over classes
+    /// to its aggregate above.
+    std::array<std::uint64_t, kPriorities> offered_by{};
+    std::array<std::uint64_t, kPriorities> admitted_by{};
+    std::array<std::uint64_t, kPriorities> shed_by{};  ///< all shed causes
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -62,6 +103,8 @@ class AdmissionController {
   AdmissionConfig cfg_;
   double tokens_;
   double last_refill_s_ = 0.0;
+  std::array<double, kPriorities> reserves_{};
+  std::array<std::size_t, kPriorities> pending_caps_{};
   Stats stats_;
 };
 

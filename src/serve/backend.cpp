@@ -38,7 +38,7 @@ Backend::Backend(BackendConfig cfg) : cfg_(cfg), pool_(cfg.pool) {
   }
 }
 
-std::uint64_t Backend::execute(RequestKind kind, std::uint64_t key) {
+BackendResult Backend::execute(RequestKind kind, std::uint64_t key) {
   switch (kind) {
     case RequestKind::img: {
       const img::Image src = img::generate_image(
@@ -46,7 +46,7 @@ std::uint64_t Backend::execute(RequestKind kind, std::uint64_t key) {
       const img::Image thumb = img::resize(src, cfg_.img_thumb_dim,
                                            cfg_.img_thumb_dim,
                                            img::Filter::kBox);
-      return thumb.content_hash();
+      return {thumb.content_hash(), BackendError::none};
     }
     case RequestKind::text: {
       const std::string& chunk = corpus_[key % corpus_.size()];
@@ -54,22 +54,23 @@ std::uint64_t Backend::execute(RequestKind kind, std::uint64_t key) {
       // cheap enough that search cost is dominated by the scan.
       char needle[3] = {static_cast<char>('a' + key % 26),
                         static_cast<char>('a' + (key / 26) % 26), '\0'};
-      return text::find_all_literal(chunk, needle).size();
+      return {text::find_all_literal(chunk, needle).size(),
+              BackendError::none};
     }
     case RequestKind::net: {
       const auto host = static_cast<std::uint32_t>(key % cfg_.net_hosts);
       auto lease = pool_.acquire(host);
       if (!lease.valid) {
         net_timeouts_.fetch_add(1, std::memory_order_relaxed);
-        return 0;
+        return {0, BackendError::timeout};
       }
       const std::uint64_t bytes =
           1024 + spin_work(cfg_.net_spin_iters) % 4096;
       pool_.release(lease);
-      return bytes;
+      return {bytes, BackendError::none};
     }
   }
-  return 0;
+  return {0, BackendError::none};
 }
 
 }  // namespace parc::serve

@@ -37,19 +37,37 @@ struct BackendConfig {
   std::uint64_t seed = 42;
 };
 
+/// Why an execution failed. `timeout` is the organic "503 from upstream"
+/// path (net pool exhausted past its acquire budget); `injected` marks a
+/// FaultPlan verdict materialised by the worker (the replica was in an
+/// error/blackout window at the request's scheduled arrival).
+enum class BackendError : std::uint8_t { none = 0, timeout = 1, injected = 2 };
+
+/// Typed execution result. A zero `value` with `error == none` is a real
+/// answer ("fetched 0 bytes"); any other error means the request FAILED and
+/// must be counted/propagated as a failure, never cached as a value.
+struct BackendResult {
+  std::uint64_t value = 0;
+  BackendError error = BackendError::none;
+  [[nodiscard]] bool ok() const noexcept { return error == BackendError::none; }
+};
+
 class Backend {
  public:
   explicit Backend(BackendConfig cfg);
 
-  /// Do the work for (kind, key); returns the cacheable result value.
-  [[nodiscard]] std::uint64_t execute(RequestKind kind, std::uint64_t key);
+  /// Do the work for (kind, key). On success `.value` is the cacheable
+  /// result; a net-pool acquire timeout surfaces as
+  /// `{0, BackendError::timeout}` instead of a silent 0 sentinel, so
+  /// callers can distinguish "fetched 0 bytes" from "503".
+  [[nodiscard]] BackendResult execute(RequestKind kind, std::uint64_t key);
 
   /// Connection-pool telemetry (net requests only).
   [[nodiscard]] net::ConnectionPool::Stats pool_stats() const {
     return pool_.stats();
   }
   /// Net fetches that could not get a connection before the pool timeout
-  /// (they still complete, with result 0 — the "503 from upstream" path).
+  /// (they complete with BackendError::timeout).
   [[nodiscard]] std::uint64_t net_timeouts() const noexcept {
     return net_timeouts_.load(std::memory_order_relaxed);
   }

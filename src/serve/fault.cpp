@@ -1,0 +1,68 @@
+#include "serve/fault.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace parc::serve {
+
+namespace {
+
+/// splitmix64 finaliser over (seed, window index, request id): the one
+/// deterministic coin every error-window draw uses.
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  std::uint64_t x = a ^ (b * 0x9e3779b97f4a7c15ull) ^
+                    (c * 0xc2b2ae3d27d4eb4full);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultWindow> windows, std::uint64_t seed)
+    : windows_(std::move(windows)), seed_(seed) {
+  for (const FaultWindow& w : windows_) {
+    PARC_CHECK(w.end_s >= w.begin_s);
+    PARC_CHECK(w.error_prob >= 0.0 && w.error_prob <= 1.0);
+    PARC_CHECK(w.slow_factor >= 1);
+  }
+}
+
+FaultDecision FaultPlan::decide(std::size_t replica, double sched_s,
+                                std::uint64_t request_id) const noexcept {
+  FaultDecision out;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const FaultWindow& w = windows_[i];
+    if (w.replica != replica || sched_s < w.begin_s || sched_s >= w.end_s) {
+      continue;
+    }
+    switch (w.kind) {
+      case FaultKind::blackout:
+        out.fail = true;
+        break;
+      case FaultKind::error: {
+        const double coin =
+            static_cast<double>(mix3(seed_, i + 1, request_id) >> 11) *
+            0x1.0p-53;
+        if (coin < w.error_prob) out.fail = true;
+        break;
+      }
+      case FaultKind::slowdown:
+        out.slow_factor = std::max(out.slow_factor, w.slow_factor);
+        break;
+    }
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::blackout(std::size_t replica, double begin_s,
+                              double end_s) {
+  return FaultPlan({FaultWindow{replica, begin_s, end_s,
+                                FaultKind::blackout, 1.0, 1}});
+}
+
+}  // namespace parc::serve

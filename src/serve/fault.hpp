@@ -1,0 +1,72 @@
+// Deterministic fault injection for the replicated serving stack.
+//
+// A FaultPlan is a seeded list of per-replica windows on *scheduled* time:
+//
+//   blackout  — every request routed to the replica inside the window fails
+//               (connection refused: fail-fast, no backend work);
+//   error     — each request fails with probability `error_prob`, decided by
+//               hashing (seed, window, request id) — a pure function, never
+//               a wall-clock or thread-timing draw;
+//   slowdown  — requests succeed but the worker re-executes the backend
+//               work `slow_factor` times (a saturated upstream serving
+//               slowly rather than erroring).
+//
+// Because verdicts key on the request's scheduled arrival and seeded id,
+// every degradation scenario replays bit-identically: the router's
+// ejection/half-open/recovery sequence under a plan is a pure function of
+// the workload stream, which is what lets serve_fault_test assert the full
+// state machine against a hand-computed oracle and lets a concurrent run be
+// cross-checked against a sequential one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parc::serve {
+
+enum class FaultKind : std::uint8_t { blackout = 0, error = 1, slowdown = 2 };
+
+struct FaultWindow {
+  std::size_t replica = 0;
+  double begin_s = 0.0;  ///< scheduled-time window [begin_s, end_s)
+  double end_s = 0.0;
+  FaultKind kind = FaultKind::blackout;
+  double error_prob = 1.0;        ///< error windows only
+  std::uint32_t slow_factor = 2;  ///< slowdown windows only (work multiplier)
+};
+
+/// Verdict for one routed request. `fail` wins over `slow_factor`; when
+/// several slowdown windows overlap the largest factor applies.
+struct FaultDecision {
+  bool fail = false;
+  std::uint32_t slow_factor = 1;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultWindow> windows, std::uint64_t seed = 1);
+
+  /// The plan's verdict for request `request_id` routed to `replica` at
+  /// scheduled time `sched_s`. Pure and const: same arguments, same answer,
+  /// on every call and in every process.
+  [[nodiscard]] FaultDecision decide(std::size_t replica, double sched_s,
+                                     std::uint64_t request_id) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return windows_.empty(); }
+  [[nodiscard]] const std::vector<FaultWindow>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Convenience: one total blackout of `replica` over [begin_s, end_s).
+  [[nodiscard]] static FaultPlan blackout(std::size_t replica, double begin_s,
+                                          double end_s);
+
+ private:
+  std::vector<FaultWindow> windows_;
+  std::uint64_t seed_ = 1;
+};
+
+}  // namespace parc::serve

@@ -16,6 +16,8 @@ ReplayDag build_serve_dag(const obs::TraceDump& dump) {
   };
   std::vector<std::pair<std::uint64_t, std::uint64_t>> arrivals;  // (t, id)
   std::unordered_map<std::uint64_t, Span> spans;
+  std::unordered_map<std::uint64_t, std::size_t> picks;  // request → replica
+  std::unordered_map<std::uint64_t, std::size_t> fails;  // request → replica
   for (const auto& track : dump.tracks) {
     for (const obs::Event& e : track.events) {
       switch (e.kind) {
@@ -34,6 +36,12 @@ ReplayDag build_serve_dag(const obs::TraceDump& dump) {
           s.has_end = true;
           break;
         }
+        case obs::EventKind::kReplicaPick:
+          picks[e.id] = static_cast<std::size_t>(e.arg);
+          break;
+        case obs::EventKind::kReplicaFail:
+          fails[e.id] = static_cast<std::size_t>(e.arg);
+          break;
         default:
           break;
       }
@@ -62,11 +70,33 @@ ReplayDag build_serve_dag(const obs::TraceDump& dump) {
       const double cost_s =
           static_cast<double>(it->second.end_ns - it->second.begin_ns) * 1e-9;
       const sim::TaskDag::NodeId exec = out.dag.add_task(cost_s, {chain});
-      out.requests.push_back(ReplayDag::RequestRef{
-          chain, exec, static_cast<double>(t_ns - first_t) * 1e-9});
+      ReplayDag::RequestRef ref{chain, exec,
+                                static_cast<double>(t_ns - first_t) * 1e-9};
+      if (const auto pick = picks.find(id); pick != picks.end()) {
+        ref.replica = pick->second;
+      }
+      ref.failed = fails.contains(id);
+      if (ref.replica != ReplayDag::kNoReplica) {
+        if (ref.replica >= out.replicas.size()) {
+          out.replicas.resize(ref.replica + 1);
+        }
+        out.replicas[ref.replica].exec_work_s += cost_s;
+      }
+      out.requests.push_back(ref);
       ++out.executed;
       out.exec_work_s += cost_s;
     }
+  }
+  // Attribute every routing event — including requests whose exec span was
+  // dropped — so per-replica routed/failed totals match the router's own
+  // counters even on lossy traces.
+  for (const auto& [id, replica] : picks) {
+    if (replica >= out.replicas.size()) out.replicas.resize(replica + 1);
+    ++out.replicas[replica].routed;
+  }
+  for (const auto& [id, replica] : fails) {
+    if (replica >= out.replicas.size()) out.replicas.resize(replica + 1);
+    ++out.replicas[replica].failed;
   }
   return out;
 }

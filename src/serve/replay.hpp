@@ -41,8 +41,23 @@ struct ReplayDag {
     sim::TaskDag::NodeId arrive = 0;
     sim::TaskDag::NodeId exec = 0;
     double arrival_s = 0.0;  ///< trace arrival offset from the first arrival
+    /// Replica the router picked (kReplicaPick); kNoReplica when the trace
+    /// predates replication or the pick event was dropped.
+    std::size_t replica = kNoReplica;
+    bool failed = false;  ///< a kReplicaFail was recorded for this request
   };
+  static constexpr std::size_t kNoReplica = ~static_cast<std::size_t>(0);
   std::vector<RequestRef> requests;
+  /// Per-replica load attribution from the routing events (indexed by
+  /// replica id; sized to the largest replica seen, empty for unreplicated
+  /// traces). `routed` counts every kReplicaPick — including requests whose
+  /// exec span was dropped — so it can exceed the sum of exec spans.
+  struct ReplicaLoad {
+    std::uint64_t routed = 0;
+    std::uint64_t failed = 0;      ///< kReplicaFail count on this replica
+    double exec_work_s = 0.0;      ///< measured work that landed here
+  };
+  std::vector<ReplicaLoad> replicas;
 };
 
 /// Build the serving DAG from a trace. Requests whose exec begin/end pair

@@ -28,6 +28,23 @@ inline constexpr std::size_t kRequestKinds = 3;
   return "?";
 }
 
+/// Request priority classes, highest first. Under overload the admission
+/// ladder sheds the lowest class first (reserve thresholds monotone in
+/// priority — see AdmissionConfig), so `high` traffic keeps its latency
+/// envelope while `low` absorbs the shedding.
+enum class Priority : std::uint8_t { high = 0, normal = 1, low = 2 };
+
+inline constexpr std::size_t kPriorities = 3;
+
+[[nodiscard]] inline std::string to_string(Priority p) {
+  switch (p) {
+    case Priority::high:   return "high";
+    case Priority::normal: return "normal";
+    case Priority::low:    return "low";
+  }
+  return "?";
+}
+
 /// One request as the load generator emits it. `arrival_s` is the
 /// *scheduled* arrival on the driver's clock — open-loop latency is always
 /// measured from here, not from when the server got around to looking at
@@ -38,6 +55,11 @@ struct Request {
   RequestKind kind = RequestKind::img;
   std::uint64_t key = 0;
   double arrival_s = 0.0;
+  Priority priority = Priority::normal;
+  /// Absolute completion deadline on the same clock as `arrival_s`;
+  /// 0 = none. A request already expired at its scheduled arrival is shed
+  /// by admission (shed_deadline), never queued.
+  double deadline_s = 0.0;
 };
 
 /// (kind, key) folded into the one cache/coalescer/router key. Keys are

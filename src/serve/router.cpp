@@ -1,0 +1,267 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+namespace parc::serve {
+
+const char* to_string(ReplicaState s) noexcept {
+  switch (s) {
+    case ReplicaState::healthy:   return "healthy";
+    case ReplicaState::ejected:   return "ejected";
+    case ReplicaState::half_open: return "half-open";
+  }
+  return "?";
+}
+
+ReplicaHealth::ReplicaHealth(HealthConfig cfg) : cfg_(cfg) {
+  PARC_CHECK(cfg_.fail_threshold >= 1);
+  PARC_CHECK(cfg_.probe_backoff_s > 0.0);
+  PARC_CHECK(cfg_.probe_backoff_max_s >= cfg_.probe_backoff_s);
+}
+
+ReplicaState ReplicaHealth::state(double sched_s) const noexcept {
+  if (base_ == ReplicaState::healthy) return ReplicaState::healthy;
+  return sched_s >= next_probe_s_ ? ReplicaState::half_open
+                                  : ReplicaState::ejected;
+}
+
+ReplicaHealth::Transition ReplicaHealth::on_result(bool ok,
+                                                   double sched_s) noexcept {
+  // Completion-side organic reports can carry arrival stamps older than
+  // the ingress has already advanced past; keep the machine's clock
+  // monotone so a stale report cannot un-expire a scheduled probe.
+  last_s_ = std::max(last_s_, sched_s);
+  const double t = last_s_;
+
+  Transition tr;
+  tr.from = state(t);
+  switch (tr.from) {
+    case ReplicaState::healthy:
+      if (ok) {
+        fails_ = 0;
+      } else if (++fails_ >= cfg_.fail_threshold) {
+        base_ = ReplicaState::ejected;
+        backoff_ = cfg_.probe_backoff_s;
+        next_probe_s_ = t + backoff_;
+        ++ejections_;
+        tr.ejected = true;
+      }
+      break;
+    case ReplicaState::half_open:
+      // This result settles the probe.
+      ++probes_;
+      tr.probe = true;
+      if (ok) {
+        base_ = ReplicaState::healthy;
+        fails_ = 0;
+        backoff_ = 0.0;
+        next_probe_s_ = kNever;
+        ++recoveries_;
+        tr.recovered = true;
+      } else {
+        ++probe_failures_;
+        tr.probe_failed = true;
+        backoff_ = std::min(backoff_ * 2.0, cfg_.probe_backoff_max_s);
+        next_probe_s_ = t + backoff_;
+      }
+      break;
+    case ReplicaState::ejected:
+      // Forced traffic while backing off (every replica was down). Success
+      // recovers — the replica evidently works; failure changes nothing
+      // (backoff doubling is reserved for scheduled probes, so a blackout
+      // cannot stampede the backoff to its cap).
+      if (ok) {
+        base_ = ReplicaState::healthy;
+        fails_ = 0;
+        backoff_ = 0.0;
+        next_probe_s_ = kNever;
+        ++recoveries_;
+        tr.recovered = true;
+      }
+      break;
+  }
+  tr.to = state(t);
+  return tr;
+}
+
+Router::Router(RouterConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed == 0 ? 1 : cfg_.seed) {
+  PARC_CHECK(cfg_.replicas >= 1);
+  PARC_CHECK(cfg_.ewma_alpha >= 0.0 && cfg_.ewma_alpha <= 1.0);
+  PARC_CHECK(cfg_.error_penalty >= 0.0);
+  PARC_CHECK(cfg_.initial_latency_s > 0.0);
+  PARC_CHECK(cfg_.weights.empty() || cfg_.weights.size() == cfg_.replicas);
+  slots_.reserve(cfg_.replicas);
+  for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+    slots_.emplace_back(cfg_.health);
+    ReplicaSlot& slot = slots_.back();
+    slot.weight = cfg_.weights.empty() ? 1.0 : cfg_.weights[i];
+    PARC_CHECK(slot.weight > 0.0);
+    slot.ewma_latency_s = cfg_.initial_latency_s;
+  }
+  avail_.reserve(cfg_.replicas);
+}
+
+std::size_t Router::draw(const std::vector<std::size_t>& avail) {
+  double total = 0.0;
+  for (const std::size_t i : avail) total += slots_[i].weight;
+  const double u = rng_.uniform() * total;
+  double acc = 0.0;
+  for (const std::size_t i : avail) {
+    acc += slots_[i].weight;
+    if (u < acc) return i;
+  }
+  return avail.back();
+}
+
+void Router::apply_transition(std::size_t replica,
+                              const ReplicaHealth::Transition& tr) {
+  if (!obs::tracing()) [[likely]] { return; }
+  if (tr.ejected) {
+    obs::emit(obs::EventKind::kEject, replica,
+              slots_[replica].health.consecutive_failures());
+  }
+  if (tr.probe) {
+    obs::emit(obs::EventKind::kProbe, replica, tr.probe_failed ? 2 : 1);
+  }
+}
+
+Router::Route Router::route(std::uint64_t request_id, double sched_s) {
+  std::scoped_lock lock(mutex_);
+  Route out;
+
+  // Half-open replicas take priority: their probe IS the next request (one
+  // at a time — the verdict settles below, so there is no pile-up window).
+  double best_probe = std::numeric_limits<double>::infinity();
+  std::size_t probe_idx = cfg_.replicas;
+  avail_.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    switch (slots_[i].health.state(sched_s)) {
+      case ReplicaState::healthy:
+        avail_.push_back(i);
+        break;
+      case ReplicaState::half_open:
+        if (slots_[i].health.next_probe_s() < best_probe) {
+          best_probe = slots_[i].health.next_probe_s();
+          probe_idx = i;
+        }
+        break;
+      case ReplicaState::ejected:
+        break;
+    }
+  }
+
+  if (probe_idx < cfg_.replicas) {
+    out.replica = probe_idx;
+    out.probe = true;
+  } else if (!avail_.empty()) {
+    if (avail_.size() == 1) {
+      out.replica = avail_.front();
+    } else {
+      // Weighted power-of-two-choices: two weighted draws, keep the lower
+      // EWMA latency/error score (tie → the first draw).
+      const std::size_t a = draw(avail_);
+      const std::size_t b = draw(avail_);
+      out.replica = score(slots_[b]) < score(slots_[a]) ? b : a;
+    }
+  } else {
+    // Total blackout: best-effort route to the replica whose probe is due
+    // soonest. The request still executes (conservation), and a success
+    // recovers the replica early.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < slots_.size(); ++i) {
+      if (slots_[i].health.next_probe_s() <
+          slots_[best].health.next_probe_s()) {
+        best = i;
+      }
+    }
+    out.replica = best;
+    out.forced = true;
+    ++forced_routes_;
+  }
+
+  out.verdict = plan_.decide(out.replica, sched_s, request_id);
+
+  ReplicaSlot& slot = slots_[out.replica];
+  ++slot.routed;
+  if (obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kReplicaPick, request_id, out.replica);
+    if (out.probe) obs::emit(obs::EventKind::kProbe, out.replica, 0);
+  }
+  if (out.verdict.fail) {
+    ++slot.failed;
+    ++failed_injected_;
+  }
+  const ReplicaHealth::Transition tr =
+      slot.health.on_result(!out.verdict.fail, sched_s);
+  apply_transition(out.replica, tr);
+  return out;
+}
+
+void Router::on_complete(std::uint64_t request_id, std::size_t replica,
+                         bool ok, bool injected, double latency_s,
+                         double sched_s) {
+  PARC_DCHECK(replica < slots_.size());
+  std::scoped_lock lock(mutex_);
+  ReplicaSlot& slot = slots_[replica];
+  const double a = cfg_.ewma_alpha;
+  slot.ewma_latency_s = a * latency_s + (1.0 - a) * slot.ewma_latency_s;
+  slot.ewma_error = a * (ok ? 0.0 : 1.0) + (1.0 - a) * slot.ewma_error;
+  if (!ok && obs::tracing()) [[unlikely]] {
+    obs::emit(obs::EventKind::kReplicaFail, request_id, replica);
+  }
+  if (!ok && !injected) {
+    // Organic failure (e.g. net-pool timeout): the route-time verdict said
+    // ok, so the streak must advance here instead.
+    ++slot.failed;
+    ++failed_organic_;
+    const ReplicaHealth::Transition tr =
+        slot.health.on_result(false, sched_s);
+    apply_transition(replica, tr);
+  }
+}
+
+std::vector<Router::ReplicaSnapshot> Router::snapshot(double sched_s) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<ReplicaSnapshot> out;
+  out.reserve(slots_.size());
+  for (const ReplicaSlot& slot : slots_) {
+    ReplicaSnapshot s;
+    s.state = slot.health.state(sched_s);
+    s.consecutive_failures = slot.health.consecutive_failures();
+    s.ewma_latency_s = slot.ewma_latency_s;
+    s.ewma_error = slot.ewma_error;
+    s.score = score(slot);
+    s.next_probe_s = slot.health.next_probe_s();
+    s.backoff_s = slot.health.backoff_s();
+    s.routed = slot.routed;
+    s.failed = slot.failed;
+    s.ejections = slot.health.ejections();
+    s.probes = slot.health.probes();
+    s.probe_failures = slot.health.probe_failures();
+    s.recoveries = slot.health.recoveries();
+    out.push_back(s);
+  }
+  return out;
+}
+
+Router::Stats Router::stats() const {
+  std::scoped_lock lock(mutex_);
+  Stats out;
+  for (const ReplicaSlot& slot : slots_) {
+    out.routed += slot.routed;
+    out.ejections += slot.health.ejections();
+    out.probes += slot.health.probes();
+    out.probe_failures += slot.health.probe_failures();
+    out.recoveries += slot.health.recoveries();
+  }
+  out.failed_injected = failed_injected_;
+  out.failed_organic = failed_organic_;
+  out.forced_routes = forced_routes_;
+  return out;
+}
+
+}  // namespace parc::serve

@@ -1,0 +1,226 @@
+// Replicated-backend routing with health-based ejection.
+//
+// N replicas serve each request kind. The router picks one per request by
+// weighted power-of-two-choices: draw two candidates by configured weight,
+// keep the one with the lower EWMA score (latency × (1 + penalty · error
+// rate)). Health is a per-replica state machine (diagram in DESIGN §3):
+//
+//             ┌────────────────────────────────────────────┐
+//             │        fail_threshold consecutive          │
+//             ▼               failures                     │
+//   ┌─────────────┐                               ┌────────┴──────┐
+//   │   ejected   │◀── probe failed (backoff ×2, ─┤    healthy    │
+//   └──────┬──────┘    capped) ──────────┐        └───────────────┘
+//          │ sched_s ≥ eject + backoff   │                ▲
+//          ▼                             │                │
+//   ┌─────────────┐──────────────────────┘                │
+//   │  half_open  │───────── probe ok ────────────────────┘
+//   └─────────────┘   (streak + backoff reset)
+//
+// Every transition is keyed on *scheduled* arrival time and the FaultPlan's
+// seeded verdicts, settled at route() time on the single ingress thread —
+// so under injected faults the entire eject/probe/recover sequence is a
+// pure function of the request stream, independent of worker timing. The
+// completion path only feeds the EWMA score (and organic failures, e.g.
+// net-pool timeouts, which additionally advance the failure streak).
+//
+// When every replica is ejected the router still routes (to the replica
+// whose probe is due soonest, counted as a forced route): an admitted
+// request always executes somewhere, which keeps the conservation identity
+// `offered == completed + shed + failed` exact under total blackout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "serve/fault.hpp"
+#include "support/rng.hpp"
+
+namespace parc::serve {
+
+enum class ReplicaState : std::uint8_t { healthy = 0, ejected = 1,
+                                         half_open = 2 };
+
+[[nodiscard]] const char* to_string(ReplicaState s) noexcept;
+
+struct HealthConfig {
+  /// Consecutive failures (injected verdicts + organic errors) before a
+  /// healthy replica is ejected.
+  std::uint32_t fail_threshold = 5;
+  /// First half-open probe is scheduled this long after ejection; each
+  /// failed probe doubles the delay up to probe_backoff_max_s.
+  double probe_backoff_s = 0.05;
+  double probe_backoff_max_s = 1.0;
+};
+
+/// Per-replica health state machine. Single-threaded by contract (the
+/// router serialises access); pure — transitions depend only on the
+/// (ok, sched_s) event sequence, never on the wall clock.
+class ReplicaHealth {
+ public:
+  explicit ReplicaHealth(HealthConfig cfg = {});
+
+  /// State at scheduled time `sched_s`. The only time-driven transition is
+  /// ejected → half_open when the probe backoff expires.
+  [[nodiscard]] ReplicaState state(double sched_s) const noexcept;
+
+  /// What one on_result() call did.
+  struct Transition {
+    ReplicaState from = ReplicaState::healthy;
+    ReplicaState to = ReplicaState::healthy;
+    bool ejected = false;       ///< healthy → ejected this call
+    bool probe = false;         ///< this result settled a half-open probe
+    bool probe_failed = false;  ///< ... and the probe failed (backoff ×2)
+    bool recovered = false;     ///< → healthy from ejected/half_open
+  };
+
+  /// Record one outcome at scheduled time `sched_s` (clamped to be
+  /// non-decreasing: completion-side organic reports may carry older
+  /// arrival stamps than the ingress has already advanced past).
+  Transition on_result(bool ok, double sched_s) noexcept;
+
+  [[nodiscard]] std::uint32_t consecutive_failures() const noexcept {
+    return fails_;
+  }
+  /// Scheduled time of the next half-open probe; +inf while healthy.
+  [[nodiscard]] double next_probe_s() const noexcept { return next_probe_s_; }
+  [[nodiscard]] double backoff_s() const noexcept { return backoff_; }
+  [[nodiscard]] std::uint64_t ejections() const noexcept { return ejections_; }
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  [[nodiscard]] std::uint64_t probe_failures() const noexcept {
+    return probe_failures_;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_;
+  }
+
+ private:
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  HealthConfig cfg_;
+  ReplicaState base_ = ReplicaState::healthy;  ///< healthy or ejected
+  std::uint32_t fails_ = 0;
+  double backoff_ = 0.0;
+  double next_probe_s_ = kNever;
+  double last_s_ = 0.0;
+  std::uint64_t ejections_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t probe_failures_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+struct RouterConfig {
+  std::size_t replicas = 1;
+  /// Routing weights, one per replica; empty = equal. P2C candidates are
+  /// drawn proportionally to weight from the currently-available set.
+  std::vector<double> weights;
+  HealthConfig health{};
+  /// EWMA smoothing for the latency/error score fed by completions.
+  /// 0 freezes the scores at their priors, which makes the whole routing
+  /// sequence (not just health) a pure function of the seeded stream —
+  /// the mode serve_fault_test's sequential-oracle cross-check uses.
+  double ewma_alpha = 0.2;
+  /// Score = ewma_latency × (1 + error_penalty × ewma_error_rate).
+  double error_penalty = 4.0;
+  double initial_latency_s = 1e-3;  ///< EWMA prior
+  std::uint64_t seed = 1;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig cfg);
+
+  /// Install/replace the fault plan (before traffic; not thread-safe
+  /// against a concurrent route()).
+  void set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
+
+  struct Route {
+    std::size_t replica = 0;
+    FaultDecision verdict{};  ///< the plan's settled verdict for this pick
+    bool probe = false;       ///< half-open trial request
+    bool forced = false;      ///< every replica ejected; best-effort pick
+  };
+
+  /// Pick a replica for request `request_id` at scheduled time `sched_s`
+  /// and settle the planned verdict + health transition. Called from the
+  /// ingress in stream order; `sched_s` non-decreasing.
+  [[nodiscard]] Route route(std::uint64_t request_id, double sched_s);
+
+  /// Completion-side report from a worker: measured latency feeds the EWMA
+  /// score; an organic (non-injected) failure also advances the replica's
+  /// failure streak. Thread-safe.
+  void on_complete(std::uint64_t request_id, std::size_t replica, bool ok,
+                   bool injected, double latency_s, double sched_s);
+
+  struct ReplicaSnapshot {
+    ReplicaState state = ReplicaState::healthy;
+    std::uint32_t consecutive_failures = 0;
+    double ewma_latency_s = 0.0;
+    double ewma_error = 0.0;
+    double score = 0.0;
+    double next_probe_s = 0.0;
+    double backoff_s = 0.0;
+    std::uint64_t routed = 0;
+    std::uint64_t failed = 0;  ///< injected + organic on this replica
+    std::uint64_t ejections = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t probe_failures = 0;
+    std::uint64_t recoveries = 0;
+  };
+  /// Per-replica view at scheduled time `sched_s`. Thread-safe.
+  [[nodiscard]] std::vector<ReplicaSnapshot> snapshot(double sched_s) const;
+
+  struct Stats {
+    std::uint64_t routed = 0;
+    std::uint64_t failed_injected = 0;
+    std::uint64_t failed_organic = 0;
+    std::uint64_t ejections = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t probe_failures = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t forced_routes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const RouterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return cfg_.replicas;
+  }
+
+ private:
+  struct ReplicaSlot {
+    ReplicaHealth health;
+    double weight = 1.0;
+    double ewma_latency_s = 0.0;
+    double ewma_error = 0.0;
+    std::uint64_t routed = 0;
+    std::uint64_t failed = 0;
+    explicit ReplicaSlot(const HealthConfig& h) : health(h) {}
+  };
+
+  [[nodiscard]] double score(const ReplicaSlot& r) const noexcept {
+    return r.ewma_latency_s * (1.0 + cfg_.error_penalty * r.ewma_error);
+  }
+  /// Weighted draw from `avail` (indices into slots_). Consumes one rng
+  /// value.
+  [[nodiscard]] std::size_t draw(const std::vector<std::size_t>& avail);
+  void apply_transition(std::size_t replica,
+                        const ReplicaHealth::Transition& tr);
+
+  RouterConfig cfg_;
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::vector<ReplicaSlot> slots_;
+  Rng rng_;
+  std::uint64_t failed_injected_ = 0;
+  std::uint64_t failed_organic_ = 0;
+  std::uint64_t forced_routes_ = 0;
+  // scratch for route(); router is single-ingress so reuse is safe
+  std::vector<std::size_t> avail_;
+};
+
+}  // namespace parc::serve

@@ -16,6 +16,12 @@ LoadGenerator::LoadGenerator(WorkloadConfig cfg)
   PARC_CHECK(total > 0.0);
   cum_img_ = cfg_.weight_img / total;
   cum_text_ = cum_img_ + cfg_.weight_text / total;
+  const double ptotal =
+      cfg_.weight_high + cfg_.weight_normal + cfg_.weight_low;
+  PARC_CHECK(ptotal > 0.0);
+  PARC_CHECK(cfg_.deadline_slack_s >= 0.0);
+  cum_high_ = cfg_.weight_high / ptotal;
+  cum_normal_ = cum_high_ + cfg_.weight_normal / ptotal;
 }
 
 Request LoadGenerator::next() {
@@ -31,6 +37,13 @@ Request LoadGenerator::next() {
                               : RequestKind::net;
   r.key = cfg_.key_skew > 0.0 ? rng_.zipf(cfg_.keyspace, cfg_.key_skew)
                               : rng_.below(cfg_.keyspace);
+  const double prio = rng_.uniform();
+  r.priority = prio < cum_high_    ? Priority::high
+               : prio < cum_normal_ ? Priority::normal
+                                    : Priority::low;
+  if (cfg_.deadline_slack_s > 0.0 && cfg_.arrival_rate > 0.0) {
+    r.deadline_s = r.arrival_s + cfg_.deadline_slack_s;
+  }
   return r;
 }
 

@@ -38,6 +38,15 @@ struct WorkloadConfig {
   double weight_img = 0.45;
   double weight_text = 0.45;
   double weight_net = 0.10;
+  /// Priority mix, normalised internally. Defaults: a small latency-
+  /// critical class, a normal bulk, and a sheddable background class.
+  double weight_high = 0.2;
+  double weight_normal = 0.5;
+  double weight_low = 0.3;
+  /// Deadline slack: each open-loop request gets
+  /// deadline_s = arrival_s + deadline_slack_s. 0 = no deadlines. (Closed-
+  /// loop streams have no schedule, hence no generated deadlines.)
+  double deadline_slack_s = 0.0;
   std::uint64_t seed = 1;
 };
 
@@ -61,6 +70,8 @@ class LoadGenerator {
   double clock_s_ = 0.0;
   double cum_img_ = 0.0;   ///< normalised mix thresholds
   double cum_text_ = 0.0;
+  double cum_high_ = 0.0;  ///< normalised priority thresholds
+  double cum_normal_ = 0.0;
 };
 
 /// Materialise the whole stream (tests and the replay harness).

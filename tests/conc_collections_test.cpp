@@ -336,6 +336,42 @@ TEST(StripedLruCache, CapacitySplitsAcrossStripes) {
   EXPECT_EQ(st.insertions, st.evictions + st.size);
 }
 
+TEST(StripedLruCache, TtlExpiresOnTheCallerClock) {
+  StripedLruCache<int, int> c(8, 1);
+  c.put(1, 10, 5.0);  // expires at t = 5.0
+  EXPECT_EQ(c.get(1, 4.9).value(), 10);   // still live just before
+  EXPECT_FALSE(c.get(1, 5.0).has_value());  // expiry is inclusive at 5.0
+  EXPECT_FALSE(c.get(1, 0.0).has_value());  // ... and the entry is GONE
+  const auto st = c.stats();
+  EXPECT_EQ(st.expired, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 2u);  // the expiring get and the one after
+  EXPECT_EQ(st.size, 0u);
+}
+
+TEST(StripedLruCache, ClocklessGetNeverExpires) {
+  StripedLruCache<int, int> c(8, 1);
+  c.put(1, 10, 5.0);
+  // The two-arg get (and now_s = 0) means "no clock": TTL is not checked,
+  // so callers without a schedule see plain LRU semantics.
+  EXPECT_EQ(c.get(1).value(), 10);
+  EXPECT_EQ(c.get(1, 0.0).value(), 10);
+  EXPECT_EQ(c.stats().expired, 0u);
+}
+
+TEST(StripedLruCache, PutRefreshesExpiry) {
+  StripedLruCache<int, int> c(8, 1);
+  c.put(1, 10, 5.0);
+  c.put(1, 11, 9.0);  // update pushes the deadline out
+  EXPECT_EQ(c.get(1, 6.0).value(), 11);
+  EXPECT_FALSE(c.get(1, 9.0).has_value());
+  // An update can also clear the TTL entirely (expire 0 = immortal).
+  c.put(2, 20, 5.0);
+  c.put(2, 21, 0.0);
+  EXPECT_EQ(c.get(2, 100.0).value(), 21);
+  EXPECT_EQ(c.stats().expired, 1u);
+}
+
 class StripedLruCacheContention
     : public ::testing::TestWithParam<std::size_t> {};
 

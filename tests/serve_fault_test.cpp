@@ -1,0 +1,724 @@
+// serve::Router + fault injection: the health state machine against a
+// scripted oracle, FaultPlan purity, weighted-P2C routing, the priority/
+// deadline admission ladder, TTL + negative caching at the server level,
+// end-to-end blackout/ejection/recovery, and a 12-seed randomized stress
+// run whose concurrent counters must match a sequential mirror exactly
+// (ewma_alpha = 0 freezes the P2C scores, so the whole routing sequence is
+// a pure function of the seeded stream).
+#include "serve/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "serve/admission.hpp"
+#include "serve/fault.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "support/rng.hpp"
+
+namespace parc::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ReplicaHealth: the state machine vs a scripted oracle.
+
+TEST(HealthOracle, EjectsAfterThresholdThenProbesAndRecovers) {
+  ReplicaHealth h(HealthConfig{3, 0.1, 0.4});
+  EXPECT_EQ(h.state(0.0), ReplicaState::healthy);
+
+  EXPECT_FALSE(h.on_result(false, 1.0).ejected);
+  EXPECT_FALSE(h.on_result(false, 1.1).ejected);
+  EXPECT_EQ(h.state(1.1), ReplicaState::healthy);
+  EXPECT_EQ(h.consecutive_failures(), 2u);
+
+  const auto tr = h.on_result(false, 1.2);  // third consecutive: eject
+  EXPECT_TRUE(tr.ejected);
+  EXPECT_EQ(tr.from, ReplicaState::healthy);
+  EXPECT_EQ(tr.to, ReplicaState::ejected);
+  EXPECT_EQ(h.state(1.25), ReplicaState::ejected);
+  EXPECT_DOUBLE_EQ(h.next_probe_s(), 1.3);  // eject time + probe_backoff_s
+  EXPECT_EQ(h.state(1.3), ReplicaState::half_open);  // backoff expired
+
+  const auto probe = h.on_result(true, 1.3);  // probe succeeds
+  EXPECT_TRUE(probe.probe);
+  EXPECT_TRUE(probe.recovered);
+  EXPECT_FALSE(probe.probe_failed);
+  EXPECT_EQ(h.state(1.3), ReplicaState::healthy);
+  EXPECT_EQ(h.consecutive_failures(), 0u);
+  EXPECT_EQ(h.ejections(), 1u);
+  EXPECT_EQ(h.probes(), 1u);
+  EXPECT_EQ(h.recoveries(), 1u);
+}
+
+TEST(HealthOracle, FailedProbesDoubleBackoffUpToTheCap) {
+  ReplicaHealth h(HealthConfig{1, 0.1, 0.4});
+  EXPECT_TRUE(h.on_result(false, 0.0).ejected);
+  EXPECT_DOUBLE_EQ(h.backoff_s(), 0.1);
+  EXPECT_DOUBLE_EQ(h.next_probe_s(), 0.1);
+
+  const auto p1 = h.on_result(false, 0.1);  // probe fails: backoff 0.2
+  EXPECT_TRUE(p1.probe);
+  EXPECT_TRUE(p1.probe_failed);
+  EXPECT_DOUBLE_EQ(h.backoff_s(), 0.2);
+  EXPECT_DOUBLE_EQ(h.next_probe_s(), 0.3);
+
+  // Probe exactly when due (read the schedule back rather than recomputing
+  // it: 0.1 + 0.2 != 0.3 in binary floating point).
+  const double p2 = h.next_probe_s();
+  EXPECT_TRUE(h.on_result(false, p2).probe_failed);  // backoff 0.4
+  EXPECT_DOUBLE_EQ(h.backoff_s(), 0.4);
+  EXPECT_DOUBLE_EQ(h.next_probe_s(), p2 + 0.4);
+
+  const double p3 = h.next_probe_s();
+  EXPECT_TRUE(h.on_result(false, p3).probe_failed);  // capped at 0.4
+  EXPECT_DOUBLE_EQ(h.backoff_s(), 0.4);
+  EXPECT_DOUBLE_EQ(h.next_probe_s(), p3 + 0.4);
+  EXPECT_EQ(h.probe_failures(), 3u);
+  EXPECT_EQ(h.ejections(), 1u);  // one ejection, many probes
+}
+
+TEST(HealthOracle, SuccessResetsTheStreak) {
+  ReplicaHealth h(HealthConfig{3, 0.1, 0.4});
+  for (int round = 0; round < 8; ++round) {
+    const double t = 0.1 * round;
+    EXPECT_FALSE(h.on_result(false, t).ejected);
+    EXPECT_FALSE(h.on_result(false, t + 0.01).ejected);
+    h.on_result(true, t + 0.02);  // streak broken before the threshold
+    EXPECT_EQ(h.consecutive_failures(), 0u);
+  }
+  EXPECT_EQ(h.ejections(), 0u);
+  EXPECT_EQ(h.state(1.0), ReplicaState::healthy);
+}
+
+TEST(HealthOracle, ForcedTrafficWhileEjectedRecoversOnSuccessOnly) {
+  ReplicaHealth h(HealthConfig{1, 0.1, 0.8});
+  EXPECT_TRUE(h.on_result(false, 0.0).ejected);  // next probe at 0.1
+
+  // Forced failure while still ejected (before the probe is due): nothing
+  // changes — in particular the backoff must NOT double (a total blackout
+  // would otherwise stampede it to the cap).
+  const auto forced_fail = h.on_result(false, 0.05);
+  EXPECT_FALSE(forced_fail.probe);
+  EXPECT_FALSE(forced_fail.recovered);
+  EXPECT_DOUBLE_EQ(h.backoff_s(), 0.1);
+  EXPECT_DOUBLE_EQ(h.next_probe_s(), 0.1);
+
+  // Forced success while ejected: the replica evidently works — recover.
+  const auto forced_ok = h.on_result(true, 0.06);
+  EXPECT_TRUE(forced_ok.recovered);
+  EXPECT_FALSE(forced_ok.probe);
+  EXPECT_EQ(h.state(0.06), ReplicaState::healthy);
+  EXPECT_EQ(h.recoveries(), 1u);
+  EXPECT_EQ(h.probes(), 0u);
+}
+
+TEST(HealthOracle, StaleCompletionReportsCannotRewindTheClock) {
+  ReplicaHealth h(HealthConfig{1, 0.1, 0.4});
+  EXPECT_TRUE(h.on_result(false, 1.0).ejected);  // next probe 1.1
+  EXPECT_TRUE(h.on_result(false, 1.1).probe_failed);  // next probe 1.3
+  // A stale completion stamped before the last transition must not
+  // reschedule the probe into the past.
+  h.on_result(false, 0.5);
+  EXPECT_GE(h.next_probe_s(), 1.3);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: pure, seeded, windowed verdicts.
+
+TEST(FaultPlanTest, BlackoutWindowBoundsAreExact) {
+  const FaultPlan plan = FaultPlan::blackout(2, 1.0, 2.0);
+  EXPECT_TRUE(plan.decide(2, 1.0, 7).fail);     // begin inclusive
+  EXPECT_TRUE(plan.decide(2, 1.999, 7).fail);
+  EXPECT_FALSE(plan.decide(2, 2.0, 7).fail);    // end exclusive
+  EXPECT_FALSE(plan.decide(2, 0.999, 7).fail);
+  EXPECT_FALSE(plan.decide(1, 1.5, 7).fail);    // other replicas untouched
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(plan.decide(2, 1.5, 9).fail);   // pure: same args same answer
+  }
+}
+
+TEST(FaultPlanTest, ErrorWindowIsASeededCoin) {
+  FaultWindow w;
+  w.replica = 0;
+  w.begin_s = 0.0;
+  w.end_s = 1.0;
+  w.kind = FaultKind::error;
+  w.error_prob = 0.3;
+  const FaultPlan a({w}, 42);
+  const FaultPlan b({w}, 42);
+  const FaultPlan c({w}, 43);
+  int fails = 0;
+  int differs = 0;
+  for (std::uint64_t id = 1; id <= 10000; ++id) {
+    const bool fa = a.decide(0, 0.5, id).fail;
+    EXPECT_EQ(fa, b.decide(0, 0.5, id).fail);  // same seed, same verdicts
+    differs += fa != c.decide(0, 0.5, id).fail;
+    fails += fa;
+  }
+  EXPECT_NEAR(static_cast<double>(fails) / 10000.0, 0.3, 0.03);
+  EXPECT_GT(differs, 1000);  // a different seed is a different coin
+  EXPECT_FALSE(a.decide(0, 1.5, 1).fail);  // outside the window: clean
+}
+
+TEST(FaultPlanTest, OverlappingSlowdownsTakeTheMaxFactor) {
+  FaultWindow s2;
+  s2.replica = 1;
+  s2.begin_s = 0.0;
+  s2.end_s = 2.0;
+  s2.kind = FaultKind::slowdown;
+  s2.slow_factor = 2;
+  FaultWindow s5 = s2;
+  s5.begin_s = 1.0;
+  s5.slow_factor = 5;
+  const FaultPlan plan({s2, s5}, 1);
+  EXPECT_EQ(plan.decide(1, 0.5, 1).slow_factor, 2u);
+  EXPECT_EQ(plan.decide(1, 1.5, 1).slow_factor, 5u);  // overlap: max wins
+  EXPECT_FALSE(plan.decide(1, 1.5, 1).fail);
+  EXPECT_EQ(plan.decide(0, 1.5, 1).slow_factor, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Router: weighted P2C, score bias, ejection/diversion, forced routes.
+
+TEST(RouterTest, WeightedDrawTracksWeightsWithFrozenScores) {
+  RouterConfig rc;
+  rc.replicas = 3;
+  rc.weights = {1.0, 2.0, 1.0};
+  rc.ewma_alpha = 0.0;  // frozen equal scores: ties keep the first draw,
+                        // so the pick distribution IS the weighted draw
+  rc.seed = 5;
+  Router router(rc);
+  const std::size_t n = 30000;
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)router.route(i + 1, static_cast<double>(i) * 1e-6);
+  }
+  const auto snap = router.snapshot(1.0);
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(snap[0].routed) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(snap[1].routed) / n, 0.50, 0.02);
+  EXPECT_NEAR(static_cast<double>(snap[2].routed) / n, 0.25, 0.02);
+  EXPECT_EQ(router.stats().routed, n);
+  EXPECT_EQ(router.stats().ejections, 0u);
+}
+
+TEST(RouterTest, CompletionLatencyBiasesTheScore) {
+  RouterConfig rc;
+  rc.replicas = 2;
+  rc.ewma_alpha = 0.5;
+  rc.seed = 9;
+  Router router(rc);
+  // Teach the router that replica 0 is 100× slower.
+  for (int i = 0; i < 20; ++i) {
+    router.on_complete(1, 0, true, false, 0.1, 0.0);
+    router.on_complete(2, 1, true, false, 0.001, 0.0);
+  }
+  const std::size_t n = 10000;
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)router.route(100 + i, static_cast<double>(i) * 1e-6);
+  }
+  const auto snap = router.snapshot(1.0);
+  // P2C with unequal scores: the slow replica is picked only when both
+  // draws land on it (p = 1/4 at equal weights).
+  EXPECT_NEAR(static_cast<double>(snap[1].routed) / n, 0.75, 0.03);
+}
+
+TEST(RouterTest, BlackoutEjectsWithinThresholdAndDivertsTraffic) {
+  RouterConfig rc;
+  rc.replicas = 3;
+  rc.ewma_alpha = 0.0;
+  rc.health = HealthConfig{4, 0.05, 0.2};
+  rc.seed = 3;
+  Router router(rc);
+  router.set_fault_plan(FaultPlan::blackout(0, 0.0, 10.0));
+
+  // Drive scheduled time across the blackout window and past it.
+  std::uint64_t picks0_after_eject = 0;
+  std::uint64_t routed0_in_window = 0;
+  bool ejected_seen = false;
+  for (std::size_t i = 0; i < 40000; ++i) {
+    const double t = static_cast<double>(i) * 5e-4;  // 0 .. 20 s
+    const auto route = router.route(i + 1, t);
+    if (route.replica == 0 && t < 10.0) ++routed0_in_window;
+    if (ejected_seen && route.replica == 0 && t < 10.0) {
+      ++picks0_after_eject;
+      EXPECT_TRUE(route.probe);  // only probes reach an ejected replica
+    }
+    if (!ejected_seen && router.stats().ejections > 0) {
+      ejected_seen = true;
+      // Ejection must take exactly fail_threshold consecutive failures.
+      EXPECT_EQ(router.snapshot(t)[0].failed, 4u);
+    }
+  }
+  ASSERT_TRUE(ejected_seen);
+  const auto end = router.snapshot(20.0);
+  EXPECT_EQ(end[0].state, ReplicaState::healthy);  // recovered post-window
+  EXPECT_GE(end[0].recoveries, 1u);
+  EXPECT_GT(end[0].probe_failures, 0u);  // in-window probes kept failing
+  // Every in-window failure is either pre-ejection streak or a probe.
+  EXPECT_EQ(end[0].failed, 4u + end[0].probe_failures);
+  // Probes are paced by backoff, not traffic: far fewer than the window's
+  // 20000 requests went to the dead replica.
+  EXPECT_LT(routed0_in_window, 200u);
+  EXPECT_LE(picks0_after_eject, end[0].probes);
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.routed, 40000u);
+  EXPECT_EQ(stats.forced_routes, 0u);  // two replicas stayed healthy
+}
+
+TEST(RouterTest, TotalBlackoutForcesRoutesAndStillConserves) {
+  RouterConfig rc;
+  rc.replicas = 2;
+  rc.ewma_alpha = 0.0;
+  rc.health = HealthConfig{1, 0.05, 0.2};
+  rc.seed = 11;
+  Router router(rc);
+  FaultWindow w0;
+  w0.replica = 0;
+  w0.begin_s = 0.0;
+  w0.end_s = 1.0;
+  FaultWindow w1 = w0;
+  w1.replica = 1;
+  router.set_fault_plan(FaultPlan({w0, w1}, 1));
+
+  const std::size_t n = 4000;
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)router.route(i + 1, static_cast<double>(i) * 5e-4);  // 0 .. 2 s
+  }
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.routed, n);  // every request routed somewhere
+  EXPECT_EQ(stats.ejections, 2u);
+  EXPECT_GT(stats.forced_routes, 0u);  // both down: best-effort picks
+  EXPECT_GE(stats.recoveries, 2u);     // both healthy after the window
+  const auto end = router.snapshot(2.0);
+  EXPECT_EQ(end[0].state, ReplicaState::healthy);
+  EXPECT_EQ(end[1].state, ReplicaState::healthy);
+}
+
+// ---------------------------------------------------------------------------
+// Admission: deadline shedding + the priority ladder.
+
+TEST(AdmissionLadder, DeadlineExpiredIsShedAndCountedByClass) {
+  AdmissionController adm(AdmissionConfig{0.0, 256.0, 0});
+  EXPECT_EQ(adm.admit(1.0, Priority::high, 0.5, 0),
+            AdmissionController::Decision::shed_deadline);
+  EXPECT_EQ(adm.admit(1.0, Priority::low, 1.5, 0),
+            AdmissionController::Decision::admit);
+  EXPECT_EQ(adm.admit(1.0, Priority::low, 0.0, 0),  // 0 = no deadline
+            AdmissionController::Decision::admit);
+  const auto& s = adm.stats();
+  EXPECT_EQ(s.shed_deadline, 1u);
+  EXPECT_EQ(s.shed_by[static_cast<std::size_t>(Priority::high)], 1u);
+  EXPECT_EQ(s.admitted_by[static_cast<std::size_t>(Priority::low)], 2u);
+  EXPECT_EQ(s.offered, 3u);
+}
+
+TEST(AdmissionLadder, ReservesAndPendingCapsAreMonotone) {
+  AdmissionController adm(AdmissionConfig{100.0, 64.0, 100});
+  EXPECT_DOUBLE_EQ(adm.reserve_tokens(Priority::high), 0.0);
+  EXPECT_LT(adm.reserve_tokens(Priority::high),
+            adm.reserve_tokens(Priority::normal));
+  EXPECT_LT(adm.reserve_tokens(Priority::normal),
+            adm.reserve_tokens(Priority::low));
+  EXPECT_EQ(adm.pending_cap(Priority::high), 100u);
+  EXPECT_GE(adm.pending_cap(Priority::normal),
+            adm.pending_cap(Priority::low));
+  EXPECT_GE(adm.pending_cap(Priority::low), 1u);
+}
+
+TEST(AdmissionLadder, OverloadShedsTheLowClassFirst) {
+  // 1500/s admitted, 3000/s offered in a high,low,low cycle: high traffic
+  // (1000/s) fits entirely under the rate; low absorbs all the shedding.
+  AdmissionController adm(AdmissionConfig{1500.0, 10.0, 0});
+  const std::size_t n = 30000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 3000.0;
+    const Priority p = i % 3 == 0 ? Priority::high : Priority::low;
+    (void)adm.admit(t, p, 0.0, 0);
+  }
+  const auto& s = adm.stats();
+  EXPECT_EQ(s.shed_by[static_cast<std::size_t>(Priority::high)], 0u);
+  EXPECT_GT(s.shed_by[static_cast<std::size_t>(Priority::low)], n / 10);
+  EXPECT_EQ(s.offered, n);
+  EXPECT_EQ(s.admitted + s.shed_rate + s.shed_queue + s.shed_deadline, n);
+}
+
+TEST(AdmissionLadder, NoHigherClassShedWhileALowerClassAdmitsInTheWindow) {
+  // The provable ladder property (admission.hpp): after a class-p rate
+  // shed at time t, a class with a larger reserve cannot admit before the
+  // refill has had time to climb the reserve gap — in any window shorter
+  // than (reserve(q) − reserve(p)) / rate there is no (p shed, q admitted)
+  // pair with reserve(q) > reserve(p).
+  AdmissionConfig cfg{2000.0, 32.0, 0};
+  AdmissionController adm(cfg);
+  struct Obs {
+    double t;
+    Priority p;
+    bool admitted;
+    bool rate_shed;
+  };
+  std::vector<Obs> log;
+  Rng rng(77);
+  double t = 0.0;
+  // Alternate overload bursts (2× the rate: the bucket crashes to the
+  // normal-class boundary, normal sheds) and lulls (0.5×: tokens climb
+  // past the low reserve, low admits again) so the bucket sweeps the whole
+  // ladder instead of pinning at one boundary.
+  for (std::size_t i = 0; i < 24000; ++i) {
+    const bool burst = (i / 2000) % 2 == 0;
+    t += rng.exponential(burst ? 1.0 / 4000.0 : 1.0 / 1000.0);
+    const auto p = static_cast<Priority>(rng.below(kPriorities));
+    const auto d = adm.admit(t, p, 0.0, 0);
+    log.push_back(Obs{t, p,
+                      d == AdmissionController::Decision::admit,
+                      d == AdmissionController::Decision::shed_rate});
+  }
+  std::uint64_t violations = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (!log[i].rate_shed) continue;
+    const double res_i = adm.reserve_tokens(log[i].p);
+    for (std::size_t j = i + 1; j < log.size(); ++j) {
+      if (log[j].t - log[i].t >=
+          (adm.reserve_tokens(Priority::low) - res_i) / cfg.rate) {
+        break;  // beyond the widest window: everything later is legal
+      }
+      if (!log[j].admitted) continue;
+      const double res_j = adm.reserve_tokens(log[j].p);
+      if (res_j <= res_i) continue;
+      const double window = (res_j - res_i) / cfg.rate;
+      if (log[j].t - log[i].t >= window) continue;
+      ++violations;
+      ADD_FAILURE() << "class with reserve " << res_j << " admitted "
+                    << (log[j].t - log[i].t) << " s after a shed of class "
+                    << "with reserve " << res_i << " (window " << window
+                    << " s)";
+    }
+  }
+  EXPECT_EQ(violations, 0u);
+  // The stream must actually have exercised the property: higher classes
+  // shed while lower classes also admit elsewhere in the stream.
+  const auto& s = adm.stats();
+  EXPECT_GT(s.shed_rate, 1000u);
+  EXPECT_GT(s.shed_by[static_cast<std::size_t>(Priority::normal)], 100u);
+  EXPECT_GT(s.admitted_by[static_cast<std::size_t>(Priority::low)], 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Server level: TTL + negative caching, end-to-end blackout, determinism.
+
+ServerConfig fault_server(std::size_t replicas) {
+  ServerConfig cfg;
+  cfg.pool.num_threads = 2;
+  cfg.pool.shards = 2;
+  cfg.cache_capacity = 4096;
+  cfg.cache_stripes = 4;
+  cfg.backend.img_source_dim = 8;
+  cfg.backend.img_thumb_dim = 4;
+  cfg.backend.text_chunks = 8;
+  cfg.backend.text_chunk_bytes = 256;
+  cfg.admission = AdmissionConfig{0.0, 256.0, 0};  // no gates
+  cfg.router.replicas = replicas;
+  cfg.router.seed = 21;
+  return cfg;
+}
+
+Request img_at(std::uint64_t id, std::uint64_t key, double arrival_s) {
+  Request r;
+  r.id = id;
+  r.kind = RequestKind::img;
+  r.key = key;
+  r.arrival_s = arrival_s;
+  return r;
+}
+
+TEST(ServerFault, NegativeCacheFailsFastUntilItExpires) {
+  ServerConfig cfg = fault_server(1);
+  cfg.router.health.fail_threshold = 1000;  // stay healthy: isolate caching
+  cfg.fault_plan = FaultPlan::blackout(0, 0.0, 0.5);
+  cfg.negative_ttl_s = 0.2;
+  Server server(cfg);
+  server.start();
+
+  ASSERT_EQ(server.offer(img_at(1, 7, 0.10)), Server::Outcome::dispatched);
+  server.drain();  // fails in the blackout; negative entry until 0.30
+  EXPECT_EQ(server.stats().failed, 1u);
+
+  ASSERT_EQ(server.offer(img_at(2, 7, 0.15)), Server::Outcome::hit);
+  server.drain();  // negative hit: fail-fast, no dispatch
+  EXPECT_EQ(server.stats().negative_hits, 1u);
+  EXPECT_EQ(server.stats().failed, 2u);
+  EXPECT_EQ(server.stats().executed, 1u);
+
+  ASSERT_EQ(server.offer(img_at(3, 7, 0.35)), Server::Outcome::dispatched);
+  server.drain();  // entry expired; still inside the blackout: fails again
+  EXPECT_EQ(server.stats().failed, 3u);
+  EXPECT_EQ(server.stats().executed, 2u);
+
+  ASSERT_EQ(server.offer(img_at(4, 7, 0.90)), Server::Outcome::dispatched);
+  server.drain();  // blackout over (and negative entry from 0.35 expired)
+  const auto s = server.stats();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 3u);
+  EXPECT_EQ(s.executed, 3u);
+  EXPECT_EQ(s.cache.expired, 2u);
+  EXPECT_EQ(s.admitted, s.completed + s.failed);
+  EXPECT_EQ(s.admitted,
+            s.hits_inline + s.negative_hits + s.coalesced + s.executed);
+
+  // The success is now positively cached: an immediate repeat hits.
+  ASSERT_EQ(server.offer(img_at(5, 7, 0.95)), Server::Outcome::hit);
+  server.drain();
+  EXPECT_EQ(server.stats().hits_inline, 1u);
+}
+
+TEST(ServerFault, CacheTtlExpiresResultsOnTheScheduledClock) {
+  ServerConfig cfg = fault_server(1);
+  cfg.cache_ttl_s = 1.0;
+  Server server(cfg);
+  server.start();
+
+  ASSERT_EQ(server.offer(img_at(1, 3, 0.0)), Server::Outcome::dispatched);
+  server.drain();
+  ASSERT_EQ(server.offer(img_at(2, 3, 0.5)), Server::Outcome::hit);
+  server.drain();  // still live at 0.5
+  ASSERT_EQ(server.offer(img_at(3, 3, 1.25)), Server::Outcome::dispatched);
+  server.drain();  // expired at 1.0: re-executes
+  const auto s = server.stats();
+  EXPECT_EQ(s.executed, 2u);
+  EXPECT_EQ(s.hits_inline, 1u);
+  EXPECT_EQ(s.cache.expired, 1u);
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(ServerFault, BlackoutEjectsThenRecoversEndToEnd) {
+  ServerConfig cfg = fault_server(4);
+  cfg.router.ewma_alpha = 0.0;
+  cfg.router.health = HealthConfig{5, 0.02, 0.1};
+  cfg.fault_plan = FaultPlan::blackout(0, 0.2, 1.0);
+  Server server(cfg);
+  server.start();
+  const std::size_t n = 4000;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Unique keys: every request is a leader; arrival 0 .. 2 s scheduled.
+    (void)server.offer(img_at(i + 1, 1'000'000 + i,
+                              static_cast<double>(i) * 5e-4));
+  }
+  server.drain();
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.offered, n);
+  EXPECT_EQ(s.admitted, n);
+  EXPECT_EQ(s.executed, n);  // unique keys: no hits, no coalescing
+  EXPECT_EQ(s.hits_inline + s.negative_hits + s.coalesced, 0u);
+  EXPECT_EQ(s.completed + s.failed, n);
+  EXPECT_GT(s.failed, 0u);
+
+  EXPECT_GE(s.router.ejections, 1u);
+  EXPECT_GE(s.router.recoveries, 1u);
+  EXPECT_EQ(s.router.routed, n);
+  EXPECT_EQ(s.router.forced_routes, 0u);  // three replicas stayed up
+  EXPECT_EQ(s.router.failed_organic, 0u);  // img never times out
+
+  const auto snap = server.router().snapshot(2.0);
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].state, ReplicaState::healthy);  // recovered
+  // Every replica-0 failure was either the pre-ejection streak or a probe.
+  EXPECT_EQ(snap[0].failed,
+            5u * snap[0].ejections + snap[0].probe_failures);
+  EXPECT_EQ(snap[1].ejections + snap[2].ejections + snap[3].ejections, 0u);
+  EXPECT_EQ(s.failed, s.router.failed_injected);
+}
+
+TEST(ServerFault, IdenticalRunsProduceIdenticalStats) {
+  const auto run = [] {
+    ServerConfig cfg = fault_server(4);
+    cfg.router.ewma_alpha = 0.0;
+    cfg.router.health = HealthConfig{5, 0.02, 0.1};
+    cfg.fault_plan = FaultPlan::blackout(1, 0.3, 0.9);
+    Server server(cfg);
+    server.start();
+    for (std::size_t i = 0; i < 3000; ++i) {
+      (void)server.offer(img_at(i + 1, 2'000'000 + i,
+                                static_cast<double>(i) * 5e-4));
+    }
+    server.drain();
+    return server.stats();
+  };
+  const Server::Stats a = run();
+  const Server::Stats b = run();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.router.ejections, b.router.ejections);
+  EXPECT_EQ(a.router.probes, b.router.probes);
+  EXPECT_EQ(a.router.probe_failures, b.router.probe_failures);
+  EXPECT_EQ(a.router.recoveries, b.router.recoveries);
+  EXPECT_EQ(a.router.failed_injected, b.router.failed_injected);
+  EXPECT_EQ(a.router.forced_routes, b.router.forced_routes);
+}
+
+#if PARC_OBS_TRACE
+TEST(ServerFault, TraceLedgerCountsFaultEvents) {
+  ServerConfig cfg = fault_server(4);
+  cfg.router.ewma_alpha = 0.0;
+  cfg.router.health = HealthConfig{5, 0.02, 0.1};
+  cfg.fault_plan = FaultPlan::blackout(0, 0.2, 1.0);
+  Server server(cfg);
+  obs::TraceSession session(obs::TraceConfig{std::size_t{1} << 16});
+  server.start();
+  const std::size_t n = 3000;
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r = img_at(i + 1, 3'000'000 + i, static_cast<double>(i) * 5e-4);
+    if (i % 7 == 3) r.deadline_s = r.arrival_s - 1e-9;  // already expired
+    (void)server.offer(r);
+  }
+  server.drain();
+  const auto dump = session.end();
+  EXPECT_EQ(dump.total_dropped(), 0u);
+  const auto s = server.stats();
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kReplicaPick), s.executed);
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kReplicaFail), s.failed);
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kEject), s.router.ejections);
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kDeadlineShed), s.shed_deadline);
+  EXPECT_GT(s.shed_deadline, 0u);
+  // kProbe arg 0 marks the routed probe, 1|2 its settled verdict.
+  std::uint64_t settled = 0;
+  for (const auto& track : dump.tracks) {
+    for (const obs::Event& e : track.events) {
+      settled += e.kind == obs::EventKind::kProbe && e.arg != 0 ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(settled, s.router.probes);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Randomized stress: 12 seeds, concurrent run vs sequential mirror.
+
+TEST(ServerStress, TwelveSeedsMatchASequentialOracle) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    // A random fault plan: 0–2 windows per replica, mixed kinds.
+    Rng rng(seed * 1009);
+    std::vector<FaultWindow> windows;
+    for (std::size_t rep = 0; rep < 4; ++rep) {
+      const std::uint64_t count = rng.below(3);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        FaultWindow w;
+        w.replica = rep;
+        w.begin_s = rng.uniform() * 1.5;
+        w.end_s = w.begin_s + 0.1 + rng.uniform() * 0.5;
+        const std::uint64_t kind = rng.below(3);
+        w.kind = static_cast<FaultKind>(kind);
+        w.error_prob = 0.3 + 0.7 * rng.uniform();
+        w.slow_factor = 2 + static_cast<std::uint32_t>(rng.below(3));
+        windows.push_back(w);
+      }
+    }
+    const FaultPlan plan(windows, seed);
+
+    WorkloadConfig w;
+    w.requests = 6000;
+    w.arrival_rate = 3000.0;  // 2 s schedule
+    w.keyspace = 1ull << 40;  // unique keys w.h.p.: no cache/coalesce paths
+    w.key_skew = 0.0;
+    w.weight_img = 0.6;
+    w.weight_text = 0.4;
+    w.weight_net = 0.0;  // no organic failures: verdicts fully scripted
+    w.seed = 4242 + seed;
+    std::vector<Request> stream = generate(w);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (i % 7 == 3) {
+        stream[i].deadline_s = stream[i].arrival_s - 1e-9;  // expired
+      }
+    }
+
+    ServerConfig cfg;
+    cfg.pool.num_threads = 4;
+    cfg.pool.shards = 2;
+    cfg.cache_capacity = 1024;
+    cfg.cache_stripes = 4;
+    cfg.backend.img_source_dim = 8;
+    cfg.backend.img_thumb_dim = 4;
+    cfg.backend.text_chunks = 8;
+    cfg.backend.text_chunk_bytes = 256;
+    // Rate gate on (pure function of the schedule); queue gate off
+    // (in_flight depends on worker timing).
+    cfg.admission = AdmissionConfig{2500.0, 64.0, 0};
+    cfg.router.replicas = 4;
+    cfg.router.ewma_alpha = 0.0;  // frozen scores: routing is stream-pure
+    cfg.router.seed = 17 + seed;
+    cfg.router.health = HealthConfig{3, 0.01, 0.08};
+    cfg.fault_plan = plan;
+
+    // Sequential mirror: the same admission + routing decisions, made
+    // inline with zero concurrency.
+    AdmissionController mirror_adm(cfg.admission);
+    Router mirror_router(cfg.router);
+    mirror_router.set_fault_plan(plan);
+    std::uint64_t expect_failed = 0;
+    for (const Request& r : stream) {
+      const auto d =
+          mirror_adm.admit(r.arrival_s, r.priority, r.deadline_s, 0);
+      if (d != AdmissionController::Decision::admit) continue;
+      const auto rt = mirror_router.route(r.id, r.arrival_s);
+      expect_failed += rt.verdict.fail ? 1 : 0;
+    }
+
+    // Concurrent run over the identical stream.
+    Server server(cfg);
+    server.start();
+    for (const Request& r : stream) (void)server.offer(r);
+    server.drain();
+
+    const auto s = server.stats();
+    const auto& ma = mirror_adm.stats();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(s.offered, ma.offered);
+    EXPECT_EQ(s.admitted, ma.admitted);
+    EXPECT_EQ(s.shed_rate, ma.shed_rate);
+    EXPECT_EQ(s.shed_queue, ma.shed_queue);
+    EXPECT_EQ(s.shed_deadline, ma.shed_deadline);
+    EXPECT_EQ(s.offered_by, ma.offered_by);
+    EXPECT_EQ(s.admitted_by, ma.admitted_by);
+    EXPECT_EQ(s.shed_by, ma.shed_by);
+    EXPECT_GT(s.shed_deadline, 0u);
+
+    // Exact conservation under concurrency.
+    EXPECT_EQ(s.in_flight, 0u);
+    EXPECT_EQ(s.offered,
+              s.admitted + s.shed_rate + s.shed_queue + s.shed_deadline);
+    EXPECT_EQ(s.admitted, s.completed + s.failed);
+    EXPECT_EQ(s.executed, s.admitted);  // unique keys
+    EXPECT_EQ(s.hits_inline + s.negative_hits + s.coalesced, 0u);
+
+    // The routing sequence matches the sequential oracle bit-for-bit.
+    const auto mr = mirror_router.stats();
+    EXPECT_EQ(s.router.routed, mr.routed);
+    EXPECT_EQ(s.router.failed_injected, mr.failed_injected);
+    EXPECT_EQ(s.router.failed_organic, 0u);
+    EXPECT_EQ(s.router.ejections, mr.ejections);
+    EXPECT_EQ(s.router.probes, mr.probes);
+    EXPECT_EQ(s.router.probe_failures, mr.probe_failures);
+    EXPECT_EQ(s.router.recoveries, mr.recoveries);
+    EXPECT_EQ(s.router.forced_routes, mr.forced_routes);
+    EXPECT_EQ(s.failed, expect_failed);
+
+    const auto sa = server.router().snapshot(2.5);
+    const auto sb = mirror_router.snapshot(2.5);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].routed, sb[i].routed);
+      EXPECT_EQ(sa[i].failed, sb[i].failed);
+      EXPECT_EQ(sa[i].state, sb[i].state);
+      EXPECT_EQ(sa[i].ejections, sb[i].ejections);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parc::serve

@@ -93,7 +93,10 @@ TEST(Admission, TokenBucketShedsAtTheConfiguredRate) {
   std::uint64_t admitted = 0;
   for (int i = 0; i < 200; ++i) {
     const double t = static_cast<double>(i) / 200.0;
-    if (adm.admit(t, 0) == AdmissionController::Decision::admit) ++admitted;
+    if (adm.admit(t, Priority::high, 0.0, 0) ==
+        AdmissionController::Decision::admit) {
+      ++admitted;
+    }
   }
   // 10 burst tokens + ~99.5 refilled over 0.995 s.
   EXPECT_GE(admitted, 105u);
@@ -106,9 +109,12 @@ TEST(Admission, TokenBucketShedsAtTheConfiguredRate) {
 
 TEST(Admission, QueueBoundSheds) {
   AdmissionController adm(AdmissionConfig{0.0, 256.0, 4});
-  EXPECT_EQ(adm.admit(0.0, 3), AdmissionController::Decision::admit);
-  EXPECT_EQ(adm.admit(0.0, 4), AdmissionController::Decision::shed_queue);
-  EXPECT_EQ(adm.admit(0.0, 100), AdmissionController::Decision::shed_queue);
+  EXPECT_EQ(adm.admit(0.0, Priority::high, 0.0, 3),
+            AdmissionController::Decision::admit);
+  EXPECT_EQ(adm.admit(0.0, Priority::high, 0.0, 4),
+            AdmissionController::Decision::shed_queue);
+  EXPECT_EQ(adm.admit(0.0, Priority::high, 0.0, 100),
+            AdmissionController::Decision::shed_queue);
   EXPECT_EQ(adm.stats().shed_queue, 2u);
 }
 
@@ -117,10 +123,13 @@ TEST(Backend, DeterministicPerKey) {
   Backend a(cfg);
   Backend b(cfg);
   for (std::uint64_t key : {0ull, 7ull, 12345ull}) {
-    EXPECT_EQ(a.execute(RequestKind::img, key),
-              b.execute(RequestKind::img, key));
-    EXPECT_EQ(a.execute(RequestKind::text, key),
-              b.execute(RequestKind::text, key));
+    for (RequestKind kind : {RequestKind::img, RequestKind::text}) {
+      const BackendResult ra = a.execute(kind, key);
+      const BackendResult rb = b.execute(kind, key);
+      EXPECT_TRUE(ra.ok());
+      EXPECT_TRUE(rb.ok());
+      EXPECT_EQ(ra.value, rb.value);
+    }
   }
 }
 
@@ -162,9 +171,11 @@ TEST(Server, ConservationHoldsAfterDrain) {
   const auto s = server.stats();
   EXPECT_EQ(s.in_flight, 0u);
   EXPECT_EQ(s.offered, 20000u);
-  EXPECT_EQ(s.offered, s.admitted + s.shed_rate + s.shed_queue);
-  EXPECT_EQ(s.admitted, s.completed);
-  EXPECT_EQ(s.admitted, s.hits_inline + s.coalesced + s.executed);
+  EXPECT_EQ(s.offered,
+            s.admitted + s.shed_rate + s.shed_queue + s.shed_deadline);
+  EXPECT_EQ(s.admitted, s.completed + s.failed);
+  EXPECT_EQ(s.admitted,
+            s.hits_inline + s.negative_hits + s.coalesced + s.executed);
   EXPECT_EQ(s.cache.hits, s.hits_inline);
   EXPECT_EQ(s.cache.misses, s.executed + s.coalesced);
   EXPECT_EQ(s.cache.evictions, 0u);
@@ -228,6 +239,8 @@ TEST(Server, QueueBoundShedsWhileBatchesAreUnsealed) {
   server.start();
   Request r;
   r.kind = RequestKind::img;
+  r.priority = Priority::high;  // full pending cap (the ladder trims lower
+                                // classes to a fraction of max_pending)
   r.id = 1;
   r.key = 1;
   EXPECT_EQ(server.offer(r), Server::Outcome::dispatched);
@@ -280,13 +293,18 @@ TEST(Server, TraceEventsBalanceTheLedger) {
   EXPECT_EQ(dump.total_dropped(), 0u);
   const auto s = server.stats();
   EXPECT_EQ(dump.count_kind(obs::EventKind::kServeArrive), s.offered);
-  EXPECT_EQ(dump.count_kind(obs::EventKind::kServeDone), s.completed);
-  EXPECT_EQ(dump.count_kind(obs::EventKind::kServeHit), s.hits_inline);
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kServeDone),
+            s.completed + s.failed);
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kServeHit),
+            s.hits_inline + s.negative_hits);
   EXPECT_EQ(dump.count_kind(obs::EventKind::kServeCoalesce), s.coalesced);
   EXPECT_EQ(dump.count_kind(obs::EventKind::kServeExecBegin), s.executed);
   EXPECT_EQ(dump.count_kind(obs::EventKind::kServeExecEnd), s.executed);
   EXPECT_EQ(dump.count_kind(obs::EventKind::kServeBatch), s.batches);
   EXPECT_EQ(dump.count_kind(obs::EventKind::kServeShed), 0u);
+  // Every dispatched leader routes exactly once.
+  EXPECT_EQ(dump.count_kind(obs::EventKind::kReplicaPick), s.executed);
+  EXPECT_EQ(s.router.routed, s.executed);
 }
 #endif
 
@@ -326,6 +344,50 @@ TEST(Replay, BuildsChainPlusExecTasks) {
   EXPECT_NEAR(replay.dag.total_work(), 130e-6, 1e-12);
   // Critical path: full chain + one exec = 30 + 50 µs.
   EXPECT_NEAR(replay.dag.critical_path(), 80e-6, 1e-12);
+}
+
+TEST(Replay, AttributesLoadToReplicas) {
+  // Two executed requests routed to replicas 1 and 3; request 1 failed on
+  // its replica. The unreplicated-trace path (no kReplicaPick) is covered
+  // by BuildsChainPlusExecTasks above (replicas stays empty).
+  obs::ThreadTrack track;
+  auto ev = [](obs::EventKind k, std::uint64_t t, std::uint64_t id,
+               std::uint64_t arg = 0) {
+    obs::Event e;
+    e.kind = k;
+    e.t_ns = t;
+    e.id = id;
+    e.arg = arg;
+    return e;
+  };
+  track.events = {
+      ev(obs::EventKind::kServeArrive, 10000, 1),
+      ev(obs::EventKind::kServeArrive, 20000, 2),
+      ev(obs::EventKind::kReplicaPick, 10100, 1, 1),
+      ev(obs::EventKind::kReplicaPick, 20100, 2, 3),
+      ev(obs::EventKind::kReplicaFail, 60000, 1, 1),
+      ev(obs::EventKind::kServeExecBegin, 11000, 1),
+      ev(obs::EventKind::kServeExecEnd, 51000, 1),
+      ev(obs::EventKind::kServeExecBegin, 21000, 2),
+      ev(obs::EventKind::kServeExecEnd, 41000, 2),
+  };
+  obs::TraceDump dump;
+  dump.tracks.push_back(track);
+
+  const ReplayDag replay = build_serve_dag(dump);
+  ASSERT_EQ(replay.requests.size(), 2u);
+  EXPECT_EQ(replay.requests[0].replica, 1u);
+  EXPECT_TRUE(replay.requests[0].failed);
+  EXPECT_EQ(replay.requests[1].replica, 3u);
+  EXPECT_FALSE(replay.requests[1].failed);
+  ASSERT_EQ(replay.replicas.size(), 4u);
+  EXPECT_EQ(replay.replicas[1].routed, 1u);
+  EXPECT_EQ(replay.replicas[1].failed, 1u);
+  EXPECT_NEAR(replay.replicas[1].exec_work_s, 40e-6, 1e-12);
+  EXPECT_EQ(replay.replicas[3].routed, 1u);
+  EXPECT_EQ(replay.replicas[3].failed, 0u);
+  EXPECT_NEAR(replay.replicas[3].exec_work_s, 20e-6, 1e-12);
+  EXPECT_EQ(replay.replicas[0].routed, 0u);
 }
 
 TEST(Replay, SimulatedCoresShowTheKnee) {
